@@ -1,0 +1,25 @@
+(* Scenario runner: execute a TCloud orchestration script against a fresh
+   simulated deployment.
+
+     dune exec bin/tcloud_sim.exe -- examples/scenarios/demo.scenario
+
+   Exit status is non-zero if the script fails to parse or any `expect`
+   assertion fails, so scenarios double as regression tests. *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; path ] ->
+    (match Experiments.Scenario.run_file path with
+     | Error message ->
+       prerr_endline ("parse error: " ^ message);
+       exit 2
+     | Ok outcome ->
+       List.iter print_endline outcome.Experiments.Scenario.lines;
+       Printf.printf
+         "\n%d transactions, %d failed expectations\n"
+         outcome.Experiments.Scenario.transactions
+         outcome.Experiments.Scenario.failed_expectations;
+       exit (if outcome.Experiments.Scenario.failed_expectations = 0 then 0 else 1))
+  | _ ->
+    prerr_endline "usage: tcloud_sim <scenario-file>";
+    exit 2

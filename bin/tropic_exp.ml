@@ -1,0 +1,156 @@
+(* Experiment driver: one subcommand per table/figure of the paper's
+   evaluation, plus the ablations.  `tropic_exp all` runs everything. *)
+
+open Cmdliner
+
+(* TROPIC_LOG=debug|info|warning turns on engine logging (Logs sources
+   tropic.controller, tropic.worker, coord.replica, coord.client). *)
+let () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "TROPIC_LOG") with
+  | None -> ()
+  | Some level ->
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level
+      (match level with
+       | "debug" -> Some Logs.Debug
+       | "info" -> Some Logs.Info
+       | "warning" | "warn" -> Some Logs.Warning
+       | _ -> Some Logs.Info)
+
+let quick_flag =
+  let doc = "Shrink the experiment (fewer hosts, shorter trace window)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let perf_config quick =
+  if quick || Experiments.Common.quick_mode () then
+    Experiments.Perf.quick_config
+  else Experiments.Perf.default_config
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let table1_cmd =
+  let run () = Experiments.Table1.print () in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (spawnVM execution log)")
+    Term.(const run $ const ())
+
+let fig3_cmd =
+  let run () = Experiments.Perf.print_fig3 () in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Figure 3: EC2 workload, VMs launched per second")
+    Term.(const run $ const ())
+
+let multipliers_arg =
+  let doc = "Workload multipliers to run (comma-separated)." in
+  Arg.(value & opt (list int) [ 1; 2; 3; 4; 5 ] & info [ "multipliers"; "m" ] ~doc)
+
+let fig45_run quick multipliers =
+  Experiments.Perf.print_fig4_fig5 ~multipliers (perf_config quick)
+
+let fig4_cmd =
+  Cmd.v
+    (Cmd.info "fig4"
+       ~doc:
+         "Figures 4 & 5: controller CPU utilization and transaction latency \
+          under the 1x-5x EC2 workloads")
+    Term.(const fig45_run $ quick_flag $ multipliers_arg)
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Alias of fig4 (the two figures share one run)")
+    Term.(const fig45_run $ quick_flag $ multipliers_arg)
+
+let safety_cmd =
+  let run quick =
+    let iterations = if quick then 2_000 else 20_000 in
+    Experiments.Safety.print (Experiments.Safety.run ~iterations ())
+  in
+  Cmd.v
+    (Cmd.info "safety" ~doc:"Section 6.2: constraint-checking overhead")
+    Term.(const run $ quick_flag)
+
+let robustness_cmd =
+  let run quick =
+    let iterations = if quick then 2_000 else 20_000 in
+    let injections = if quick then 8 else 20 in
+    Experiments.Robustness.print
+      (Experiments.Robustness.run ~iterations ~injections ())
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Section 6.3: rollback overhead under injected errors")
+    Term.(const run $ quick_flag)
+
+let ha_cmd =
+  let session =
+    let doc = "Controller session timeout (failure-detection time)." in
+    Arg.(value & opt float 10. & info [ "session-timeout" ] ~doc)
+  in
+  let run session_timeout =
+    Experiments.Ha.print (Experiments.Ha.run ~session_timeout ())
+  in
+  Cmd.v
+    (Cmd.info "ha" ~doc:"Section 6.4: controller fail-over recovery")
+    Term.(const run $ session)
+
+let hosting_cmd =
+  let run quick =
+    let duration = if quick then 120. else 300. in
+    Experiments.Hosting_run.print (Experiments.Hosting_run.run ~duration ())
+  in
+  Cmd.v
+    (Cmd.info "hosting"
+       ~doc:"The hosting-provider workload end-to-end on a TCloud deployment")
+    Term.(const run $ quick_flag)
+
+let scale_cmd =
+  let run quick =
+    let host_counts = if quick then [ 500; 2_000 ] else [ 500; 2_000; 8_000 ] in
+    Experiments.Scale.print (Experiments.Scale.run ~host_counts ())
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Section 6.1: throughput and memory vs resource count")
+    Term.(const run $ quick_flag)
+
+let ablation_cmd =
+  let run () = Experiments.Ablation.print (Experiments.Ablation.run ()) in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Ablations of TROPIC's design choices")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run quick =
+    Experiments.Table1.print ();
+    Experiments.Perf.print_fig3 ();
+    fig45_run quick [ 1; 2; 3; 4; 5 ];
+    Experiments.Safety.print
+      (Experiments.Safety.run ~iterations:(if quick then 2_000 else 20_000) ());
+    Experiments.Robustness.print
+      (Experiments.Robustness.run
+         ~iterations:(if quick then 2_000 else 20_000)
+         ~injections:(if quick then 8 else 20)
+         ());
+    Experiments.Ha.print (Experiments.Ha.run ());
+    Experiments.Hosting_run.print
+      (Experiments.Hosting_run.run ~duration:(if quick then 120. else 300.) ());
+    Experiments.Scale.print
+      (Experiments.Scale.run
+         ~host_counts:(if quick then [ 500; 2_000 ] else [ 500; 2_000; 8_000 ])
+         ());
+    Experiments.Ablation.print (Experiments.Ablation.run ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence")
+    Term.(const run $ quick_flag)
+
+let main =
+  let doc = "Reproduce the TROPIC paper's evaluation (USENIX ATC 2012)" in
+  Cmd.group
+    (Cmd.info "tropic_exp" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; safety_cmd; robustness_cmd;
+      ha_cmd; hosting_cmd; scale_cmd; ablation_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,85 @@
+type t = {
+  esim : Des.Sim.t;
+  enet : Types.msg Des.Net.t;
+  econfig : Types.config;
+  replicas : Replica.t array;
+  up : bool array;
+  mutable next_client : int;
+  client_slots : int;
+}
+
+(* Datacenter LAN: sub-millisecond round trips, like the paper's testbed. *)
+let lan_latency ~src:_ ~dst:_ ~rng = Des.Dist.uniform rng ~lo:0.0001 ~hi:0.0003
+
+let create ?(replicas = 3) ?(clients = 64) ?(config = Types.default_config) sim =
+  let enet = Des.Net.create ~latency:lan_latency sim ~nodes:(replicas + clients) in
+  let members =
+    Array.init replicas (fun id ->
+        Replica.create ~net:enet ~id ~replicas ~config)
+  in
+  Array.iter Replica.start members;
+  {
+    esim = sim;
+    enet;
+    econfig = config;
+    replicas = members;
+    up = Array.make replicas true;
+    next_client = replicas;
+    client_slots = clients;
+  }
+
+let sim e = e.esim
+let net e = e.enet
+let config e = e.econfig
+let replica_count e = Array.length e.replicas
+let replica e i = e.replicas.(i)
+let replica_up e i = e.up.(i)
+
+let connect e ?session_timeout ~name () =
+  if e.next_client >= Array.length e.replicas + e.client_slots then
+    failwith "Ensemble.connect: out of client id slots";
+  let id = e.next_client in
+  e.next_client <- e.next_client + 1;
+  Client.connect ~net:e.enet ~id ~replicas:(Array.length e.replicas)
+    ~config:e.econfig ?session_timeout ~name ()
+
+let crash_replica e i =
+  if e.up.(i) then begin
+    e.up.(i) <- false;
+    Replica.stop e.replicas.(i);
+    Des.Net.crash e.enet i
+  end
+
+let restart_replica e i =
+  if not e.up.(i) then begin
+    e.up.(i) <- true;
+    Replica.reset_volatile e.replicas.(i);
+    Des.Net.restart e.enet i;
+    Replica.start e.replicas.(i)
+  end
+
+let leader_id e =
+  let best = ref None in
+  Array.iteri
+    (fun i r ->
+      if e.up.(i) && Replica.is_leader r then
+        match !best with
+        | Some (_, best_term) when best_term >= Replica.term r -> ()
+        | Some _ | None -> best := Some (i, Replica.term r))
+    e.replicas;
+  Option.map fst !best
+
+let await_leader e =
+  let rec wait () =
+    match leader_id e with
+    | Some leader -> leader
+    | None ->
+      Des.Proc.sleep (e.econfig.Types.election_timeout /. 4.);
+      wait ()
+  in
+  wait ()
+
+let leader_store e =
+  match leader_id e with
+  | Some leader -> Replica.store e.replicas.(leader)
+  | None -> failwith "Ensemble.leader_store: no leader"

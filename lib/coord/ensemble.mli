@@ -1,0 +1,38 @@
+(** Assembles a coordination-service ensemble on a simulated network and
+    hands out client sessions.
+
+    Network node ids [0 .. replicas-1] are replicas; client sessions take
+    ids from [replicas] upward. *)
+
+type t
+
+(** [create ?replicas ?clients ?config sim] — [replicas] defaults to 3,
+    [clients] (client id slots) to 64. *)
+val create :
+  ?replicas:int -> ?clients:int -> ?config:Types.config -> Des.Sim.t -> t
+
+val sim : t -> Des.Sim.t
+val net : t -> Types.msg Des.Net.t
+val config : t -> Types.config
+val replica_count : t -> int
+val replica : t -> int -> Replica.t
+
+(** Open a client session. *)
+val connect : t -> ?session_timeout:float -> name:string -> unit -> Client.t
+
+(** Crash a replica: its processes die and its network port goes down.
+    Stable state (term, vote, log) survives for {!restart_replica}. *)
+val crash_replica : t -> int -> unit
+
+val restart_replica : t -> int -> unit
+val replica_up : t -> int -> bool
+
+(** The current leader among live replicas (highest term wins if the view
+    is transiently split); [None] during elections. *)
+val leader_id : t -> int option
+
+(** Block the calling process until a leader exists; returns its id. *)
+val await_leader : t -> int
+
+(** The leader's applied store, for tests. @raise Failure if no leader. *)
+val leader_store : t -> Store.t

@@ -1,0 +1,597 @@
+let log_src = Logs.Src.create "coord.replica" ~doc:"coordination replica"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type role = Follower | Candidate | Leader
+
+type session_info = { mutable last_seen : float; mutable timeout : float }
+
+type t = {
+  rid : int;
+  net : Types.msg Des.Net.t;
+  replicas : int;
+  config : Types.config;
+  (* State that survives a crash (stable storage). *)
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable log : Types.log_entry Vec.t;
+      (* element 0 is a sentinel standing for absolute index [log_base];
+         absolute index i lives at [i - log_base] *)
+  mutable log_base : int;
+  mutable snapshot : (int * int * string) option;
+      (* (last_included_index, last_included_term, serialized store);
+         stable storage, like term/vote/log *)
+  (* Volatile state. *)
+  mutable role : role;
+  mutable leader_hint : int option;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable machine : Store.t;
+  next_index : int array;
+  match_index : int array;
+  mutable votes : int list;
+  mutable election_deadline : float;
+  pending : (int, int * int) Hashtbl.t; (* log index -> client node, req_id *)
+  sessions : (int, session_info) Hashtbl.t;
+  key_watches : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  child_watches : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable station : Des.Station.t;
+  mutable stop_requested : bool;
+  mutable procs : Des.Proc.t list;
+}
+
+let sim r = Des.Net.sim r.net
+let now r = Des.Sim.now (sim r)
+let id r = r.rid
+let is_leader r = r.role = Leader
+let term r = r.term
+let commit_index r = r.commit_index
+let log_length r = Vec.length r.log - 1
+let log_base r = r.log_base
+let has_snapshot r = Option.is_some r.snapshot
+let store r = r.machine
+let station_busy_time r = Des.Station.busy_time r.station
+let station_queue_length r = Des.Station.queue_length r.station
+let quorum r = (r.replicas / 2) + 1
+let last_log_index r = r.log_base + Vec.length r.log - 1
+let entry_at r i = Vec.get r.log (i - r.log_base)
+let term_at r i = (entry_at r i).Types.term
+
+let reset_election_deadline r =
+  let base = r.config.Types.election_timeout in
+  let jitter = Des.Dist.uniform (Des.Sim.rng (sim r)) ~lo:0. ~hi:base in
+  r.election_deadline <- now r +. base +. jitter
+
+let peers r = List.filter (fun p -> p <> r.rid) (List.init r.replicas Fun.id)
+let send_peer r dst pm = Des.Net.send r.net ~src:r.rid ~dst (Types.Peer pm)
+
+let send_resp r dst ~req_id response =
+  Des.Net.send r.net ~src:r.rid ~dst (Types.Client_resp { req_id; response })
+
+(* ------------------------------------------------------------------ *)
+(* Sessions and watches (leader-local) *)
+
+let touch_session ?timeout r session =
+  let timeout =
+    Option.value timeout ~default:r.config.Types.default_session_timeout
+  in
+  match Hashtbl.find_opt r.sessions session with
+  | Some info ->
+    info.last_seen <- now r;
+    info.timeout <- timeout
+  | None -> Hashtbl.replace r.sessions session { last_seen = now r; timeout }
+
+let add_watch table target session =
+  let sessions =
+    match Hashtbl.find_opt table target with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace table target s;
+      s
+  in
+  Hashtbl.replace sessions session ()
+
+let fire_watch_table r table target kind =
+  match Hashtbl.find_opt table target with
+  | None -> ()
+  | Some sessions ->
+    Hashtbl.remove table target;
+    Hashtbl.iter
+      (fun session () ->
+        Des.Net.send r.net ~src:r.rid ~dst:session
+          (Types.Watch_fired { watched = target; kind }))
+      sessions
+
+let fire_watches r changed_keys =
+  List.iter
+    (fun key ->
+      fire_watch_table r r.key_watches key Types.Key_watch;
+      match Store.parent key with
+      | Some parent ->
+        fire_watch_table r r.child_watches parent Types.Child_watch
+      | None -> ())
+    changed_keys
+
+(* ------------------------------------------------------------------ *)
+(* Commit and apply *)
+
+(* Fold the applied log prefix into a snapshot once it grows past the
+   threshold; every replica compacts independently (apply is deterministic,
+   so the snapshots agree). *)
+let maybe_compact r =
+  let threshold = r.config.Types.snapshot_threshold in
+  if threshold > 0 && r.last_applied - r.log_base >= threshold then begin
+    let data = Data.Sexp.to_string (Store.to_sexp r.machine) in
+    let included_term = term_at r r.last_applied in
+    r.snapshot <- Some (r.last_applied, included_term, data);
+    let compacted = Vec.create () in
+    Vec.push compacted { Types.term = included_term; cmd = Types.Noop };
+    for i = r.last_applied + 1 to last_log_index r do
+      Vec.push compacted (entry_at r i)
+    done;
+    r.log <- compacted;
+    r.log_base <- r.last_applied;
+    Log.info (fun m ->
+        m "replica %d: compacted log up to index %d" r.rid r.last_applied)
+  end
+
+let apply_committed r =
+  while r.last_applied < r.commit_index do
+    r.last_applied <- r.last_applied + 1;
+    let entry = entry_at r r.last_applied in
+    let result, changed = Store.apply r.machine entry.Types.cmd in
+    if r.role = Leader then begin
+      (match Hashtbl.find_opt r.pending r.last_applied with
+       | Some (client, req_id) ->
+         Hashtbl.remove r.pending r.last_applied;
+         send_resp r client ~req_id (Types.Result result)
+       | None -> ());
+      fire_watches r changed
+    end
+  done;
+  maybe_compact r
+
+let advance_commit r =
+  let n = last_log_index r in
+  let highest = ref r.commit_index in
+  for candidate = r.commit_index + 1 to n do
+    if term_at r candidate = r.term then begin
+      let acks = ref 1 (* self *) in
+      Array.iteri
+        (fun peer m -> if peer <> r.rid && m >= candidate then incr acks)
+        r.match_index;
+      if !acks >= quorum r then highest := candidate
+    end
+  done;
+  if !highest > r.commit_index then begin
+    r.commit_index <- !highest;
+    apply_committed r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Log replication (leader side) *)
+
+let entries_from r start =
+  let last = last_log_index r in
+  let stop = min last (start + r.config.Types.batch_limit - 1) in
+  let rec collect i acc =
+    if i < start then acc else collect (i - 1) (entry_at r i :: acc)
+  in
+  if start > last then [] else collect stop []
+
+let send_append r peer =
+  let next = max r.next_index.(peer) 1 in
+  if next <= r.log_base then
+    (* The entries this follower needs were compacted away: ship the
+       snapshot instead (Raft's InstallSnapshot). *)
+    match r.snapshot with
+    | Some (last_included_index, last_included_term, data) ->
+      send_peer r peer
+        (Types.Install_snapshot
+           { term = r.term; last_included_index; last_included_term; data })
+    | None ->
+      Log.err (fun m ->
+          m "replica %d: next_index %d below log base %d with no snapshot"
+            r.rid next r.log_base)
+  else
+    let prev = next - 1 in
+    send_peer r peer
+      (Types.Append_entries
+         {
+           term = r.term;
+           prev_log_index = prev;
+           prev_log_term = term_at r prev;
+           entries = entries_from r next;
+           leader_commit = r.commit_index;
+         })
+
+let replicate_all r = List.iter (send_append r) (peers r)
+
+let append_local r cmd =
+  Vec.push r.log { Types.term = r.term; cmd };
+  last_log_index r
+
+(* ------------------------------------------------------------------ *)
+(* Role transitions *)
+
+let become_follower r term =
+  if term > r.term then begin
+    r.term <- term;
+    r.voted_for <- None
+  end;
+  if r.role <> Follower then
+    Log.debug (fun m -> m "replica %d: -> follower (term %d)" r.rid r.term);
+  r.role <- Follower;
+  reset_election_deadline r
+
+let expire_dead_sessions r =
+  let t = now r in
+  let dead =
+    Hashtbl.fold
+      (fun session info acc ->
+        if t -. info.last_seen > info.timeout then session :: acc else acc)
+      r.sessions []
+  in
+  List.iter
+    (fun session ->
+      Log.info (fun m -> m "replica %d: expiring session %d" r.rid session);
+      Hashtbl.remove r.sessions session;
+      ignore (append_local r (Types.Expire_session session)))
+    dead;
+  if dead <> [] then replicate_all r
+
+(* The replication pump doubles as the heartbeat: it periodically sends
+   append-entries (possibly empty) to every follower, retransmitting any
+   suffix the follower is missing.  It runs as its own process so that a
+   leader whose main loop is busy charging ops to the service station still
+   keeps the cluster stable. *)
+let spawn_leader_duties r =
+  let epoch = r.term in
+  let still_leading () =
+    (not r.stop_requested) && r.role = Leader && r.term = epoch
+  in
+  let pump =
+    Des.Proc.spawn ~name:(Printf.sprintf "replica-%d-pump" r.rid) (sim r)
+      (fun () ->
+        while still_leading () do
+          replicate_all r;
+          Des.Proc.sleep r.config.Types.heartbeat_interval
+        done)
+  in
+  let reaper =
+    Des.Proc.spawn ~name:(Printf.sprintf "replica-%d-sessions" r.rid) (sim r)
+      (fun () ->
+        while still_leading () do
+          Des.Proc.sleep r.config.Types.session_check_interval;
+          if still_leading () then expire_dead_sessions r
+        done)
+  in
+  r.procs <- pump :: reaper :: r.procs
+
+let become_leader r =
+  Log.info (fun m -> m "replica %d: -> leader (term %d)" r.rid r.term);
+  r.role <- Leader;
+  r.leader_hint <- Some r.rid;
+  Array.fill r.next_index 0 r.replicas (last_log_index r + 1);
+  Array.fill r.match_index 0 r.replicas 0;
+  (* Commit the new term immediately (Raft's no-op trick), so earlier-term
+     entries become committable. *)
+  ignore (append_local r Types.Noop);
+  (* Grace period for sessions inherited from the previous leader: anything
+     owning an ephemeral gets a fresh expiry clock. *)
+  List.iter (touch_session r) (Store.ephemeral_owners r.machine);
+  spawn_leader_duties r;
+  replicate_all r
+
+let start_election r =
+  r.term <- r.term + 1;
+  r.role <- Candidate;
+  r.voted_for <- Some r.rid;
+  r.votes <- [ r.rid ];
+  reset_election_deadline r;
+  Log.debug (fun m -> m "replica %d: election for term %d" r.rid r.term);
+  let last = last_log_index r in
+  List.iter
+    (fun peer ->
+      send_peer r peer
+        (Types.Request_vote
+           { term = r.term; last_log_index = last; last_log_term = term_at r last }))
+    (peers r);
+  if quorum r = 1 then become_leader r
+
+(* ------------------------------------------------------------------ *)
+(* Peer message handling *)
+
+let log_up_to_date r ~last_log_index:cand_last ~last_log_term:cand_term =
+  let my_last = last_log_index r in
+  let my_term = term_at r my_last in
+  cand_term > my_term || (cand_term = my_term && cand_last >= my_last)
+
+let handle_request_vote r src ~term ~last_log_index ~last_log_term =
+  if term > r.term then become_follower r term;
+  let granted =
+    term = r.term
+    && (match r.voted_for with None -> true | Some v -> v = src)
+    && log_up_to_date r ~last_log_index ~last_log_term
+  in
+  if granted then begin
+    r.voted_for <- Some src;
+    reset_election_deadline r
+  end;
+  send_peer r src (Types.Vote_reply { term = r.term; granted })
+
+let handle_vote_reply r src ~term ~granted =
+  if term > r.term then become_follower r term
+  else if r.role = Candidate && term = r.term && granted then begin
+    if not (List.mem src r.votes) then r.votes <- src :: r.votes;
+    if List.length r.votes >= quorum r then become_leader r
+  end
+
+let handle_append_entries r src ~term ~prev_log_index ~prev_log_term ~entries
+    ~leader_commit =
+  if term < r.term then
+    send_peer r src
+      (Types.Append_reply { term = r.term; success = false; match_index = 0 })
+  else begin
+    become_follower r term;
+    r.leader_hint <- Some src;
+    if prev_log_index < r.log_base then
+      (* Everything at or below the log base is covered by our snapshot:
+         acknowledge it so the leader advances next_index. *)
+      send_peer r src
+        (Types.Append_reply
+           { term = r.term; success = true; match_index = r.log_base })
+    else if
+      prev_log_index > last_log_index r
+      || term_at r prev_log_index <> prev_log_term
+    then
+      (* Log mismatch: hint the leader where to back up to. *)
+      send_peer r src
+        (Types.Append_reply
+           {
+             term = r.term;
+             success = false;
+             match_index =
+               min (last_log_index r) (max r.log_base (prev_log_index - 1));
+           })
+    else begin
+      (* Append entries, truncating any conflicting suffix; duplicates from
+         retransmissions are recognized and skipped. *)
+      List.iteri
+        (fun offset (entry : Types.log_entry) ->
+          let index = prev_log_index + 1 + offset in
+          if index <= r.log_base then () (* already in the snapshot *)
+          else if index <= last_log_index r then begin
+            if term_at r index <> entry.Types.term then begin
+              Vec.truncate r.log (index - r.log_base);
+              Vec.push r.log entry
+            end
+          end
+          else Vec.push r.log entry)
+        entries;
+      let matched = prev_log_index + List.length entries in
+      if leader_commit > r.commit_index then begin
+        r.commit_index <- min leader_commit (last_log_index r);
+        apply_committed r
+      end;
+      send_peer r src
+        (Types.Append_reply { term = r.term; success = true; match_index = matched })
+    end
+  end
+
+let handle_append_reply r src ~term ~success ~match_index =
+  if term > r.term then become_follower r term
+  else if r.role = Leader && term = r.term then
+    if success then begin
+      r.match_index.(src) <- max r.match_index.(src) match_index;
+      r.next_index.(src) <- r.match_index.(src) + 1;
+      advance_commit r
+    end
+    else begin
+      r.next_index.(src) <- max 1 (match_index + 1);
+      send_append r src
+    end
+
+let handle_install_snapshot r src ~term ~last_included_index
+    ~last_included_term ~data =
+  if term < r.term then
+    send_peer r src
+      (Types.Append_reply { term = r.term; success = false; match_index = 0 })
+  else begin
+    become_follower r term;
+    r.leader_hint <- Some src;
+    if last_included_index <= r.last_applied then
+      (* Stale snapshot: we already have this prefix applied. *)
+      send_peer r src
+        (Types.Append_reply
+           { term = r.term; success = true; match_index = r.last_applied })
+    else begin
+      match Result.bind (Data.Sexp.of_string data) Store.of_sexp with
+      | Error reason ->
+        Log.err (fun m -> m "replica %d: corrupt snapshot: %s" r.rid reason)
+      | Ok machine ->
+        r.machine <- machine;
+        let fresh = Vec.create () in
+        Vec.push fresh { Types.term = last_included_term; cmd = Types.Noop };
+        r.log <- fresh;
+        r.log_base <- last_included_index;
+        r.commit_index <- last_included_index;
+        r.last_applied <- last_included_index;
+        r.snapshot <- Some (last_included_index, last_included_term, data);
+        Log.info (fun m ->
+            m "replica %d: installed snapshot at index %d" r.rid
+              last_included_index);
+        send_peer r src
+          (Types.Append_reply
+             { term = r.term; success = true; match_index = last_included_index })
+    end
+  end
+
+let handle_peer r src pm =
+  match pm with
+  | Types.Request_vote { term; last_log_index; last_log_term } ->
+    handle_request_vote r src ~term ~last_log_index ~last_log_term
+  | Types.Vote_reply { term; granted } -> handle_vote_reply r src ~term ~granted
+  | Types.Append_entries
+      { term; prev_log_index; prev_log_term; entries; leader_commit } ->
+    handle_append_entries r src ~term ~prev_log_index ~prev_log_term ~entries
+      ~leader_commit
+  | Types.Append_reply { term; success; match_index } ->
+    handle_append_reply r src ~term ~success ~match_index
+  | Types.Install_snapshot { term; last_included_index; last_included_term; data } ->
+    handle_install_snapshot r src ~term ~last_included_index
+      ~last_included_term ~data
+
+(* ------------------------------------------------------------------ *)
+(* Client request handling *)
+
+let serve_query r src query =
+  match query with
+  | Types.Get key -> Types.Got (Store.get r.machine key)
+  | Types.Children prefix -> Types.Children_are (Store.children r.machine prefix)
+  | Types.First_child prefix ->
+    Types.First_child_is (Store.first_child r.machine prefix)
+  | Types.First_child_value prefix ->
+    Types.First_child_value_is
+      (match Store.first_child r.machine prefix with
+       | None -> None
+       | Some key ->
+         (match Store.get r.machine key with
+          | Some (value, _) -> Some (key, value)
+          | None -> None))
+  | Types.Count_children prefix ->
+    Types.Child_count (Store.count_children r.machine prefix)
+  | Types.Watch_key key ->
+    add_watch r.key_watches key src;
+    Types.Watch_set
+  | Types.Watch_children prefix ->
+    add_watch r.child_watches prefix src;
+    Types.Watch_set
+
+let handle_client r src ~req_id ~session_timeout request =
+  if r.role <> Leader then
+    send_resp r src ~req_id (Types.Not_leader r.leader_hint)
+  else begin
+    touch_session ~timeout:session_timeout r src;
+    match request with
+    | Types.Ping -> send_resp r src ~req_id Types.Pong
+    | Types.Goodbye ->
+      (* ZooKeeper's closeSession: drop the session's ephemerals without
+         waiting for the failure detector. *)
+      Hashtbl.remove r.sessions src;
+      ignore (append_local r (Types.Expire_session src));
+      replicate_all r;
+      if r.replicas = 1 then advance_commit r;
+      send_resp r src ~req_id Types.Pong
+    | Types.Query query ->
+      send_resp r src ~req_id (Types.Query_result (serve_query r src query))
+    | Types.Submit cmd ->
+      (* The modeled per-op I/O cost: this blocks the main loop, so client
+         commands queue here under load — the paper's throughput ceiling. *)
+      Des.Station.request r.station ~service:r.config.Types.op_service_time;
+      if r.role <> Leader then
+        send_resp r src ~req_id (Types.Not_leader r.leader_hint)
+      else begin
+        let index = append_local r cmd in
+        Hashtbl.replace r.pending index (src, req_id);
+        replicate_all r;
+        if r.replicas = 1 then advance_commit r
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Main loop and lifecycle *)
+
+let main_loop r () =
+  reset_election_deadline r;
+  while not r.stop_requested do
+    (match
+       Des.Channel.recv_timeout
+         (Des.Net.inbox r.net r.rid)
+         ~timeout:r.config.Types.tick
+     with
+     | Some (src, Types.Peer pm) -> handle_peer r src pm
+     | Some (src, Types.Client_req { req_id; session_timeout; request }) ->
+       handle_client r src ~req_id ~session_timeout request
+     | Some (_, (Types.Client_resp _ | Types.Watch_fired _)) ->
+       () (* not addressed to replicas; ignore *)
+     | None -> ());
+    if r.role <> Leader && now r >= r.election_deadline then start_election r
+  done
+
+let create ~net ~id ~replicas ~config =
+  let log = Vec.create () in
+  Vec.push log { Types.term = 0; cmd = Types.Noop };
+  {
+    rid = id;
+    net;
+    replicas;
+    config;
+    term = 0;
+    voted_for = None;
+    log;
+    log_base = 0;
+    snapshot = None;
+    role = Follower;
+    leader_hint = None;
+    commit_index = 0;
+    last_applied = 0;
+    machine = Store.create ();
+    next_index = Array.make replicas 1;
+    match_index = Array.make replicas 0;
+    votes = [];
+    election_deadline = 0.;
+    pending = Hashtbl.create 64;
+    sessions = Hashtbl.create 16;
+    key_watches = Hashtbl.create 64;
+    child_watches = Hashtbl.create 64;
+    station = Des.Station.create ~name:(Printf.sprintf "replica-%d-io" id) (Des.Net.sim net);
+    stop_requested = false;
+    procs = [];
+  }
+
+let start r =
+  r.stop_requested <- false;
+  let p =
+    Des.Proc.spawn ~name:(Printf.sprintf "replica-%d" r.rid) (sim r)
+      (main_loop r)
+  in
+  r.procs <- [ p ]
+
+let stop r =
+  r.stop_requested <- true;
+  List.iter Des.Proc.kill r.procs;
+  r.procs <- []
+
+let reset_volatile r =
+  r.role <- Follower;
+  r.leader_hint <- None;
+  (* Stable state (term, vote, log, snapshot) survives; the applied store
+     is rebuilt from the snapshot, then the retained log replays on top. *)
+  (match r.snapshot with
+   | Some (index, _, data) ->
+     (match Result.bind (Data.Sexp.of_string data) Store.of_sexp with
+      | Ok machine ->
+        r.machine <- machine;
+        r.commit_index <- index;
+        r.last_applied <- index
+      | Error reason ->
+        Log.err (fun m -> m "replica %d: corrupt snapshot on restart: %s" r.rid reason);
+        r.machine <- Store.create ();
+        r.commit_index <- r.log_base;
+        r.last_applied <- r.log_base)
+   | None ->
+     r.machine <- Store.create ();
+     r.commit_index <- 0;
+     r.last_applied <- 0);
+  Array.fill r.next_index 0 r.replicas 1;
+  Array.fill r.match_index 0 r.replicas 0;
+  r.votes <- [];
+  Hashtbl.reset r.pending;
+  Hashtbl.reset r.sessions;
+  Hashtbl.reset r.key_watches;
+  Hashtbl.reset r.child_watches;
+  (* A fresh station: jobs queued before the crash are gone. *)
+  r.station <-
+    Des.Station.create ~name:(Printf.sprintf "replica-%d-io" r.rid) (sim r)

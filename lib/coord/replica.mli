@@ -1,0 +1,57 @@
+(** One replica of the coordination service.
+
+    Replicas elect a leader and replicate a command log with a Raft-style
+    protocol (randomized election timeouts, term-checked append entries,
+    quorum commit, new-leader no-op).  The leader additionally owns the
+    client-facing duties: serving queries, tracking sessions and expiring
+    their ephemerals, firing watches, and charging each replicated command
+    to a FIFO service station — the modeled ZooKeeper I/O cost that bounds
+    transaction throughput in the paper's evaluation.
+
+    Lifecycle is driven by {!Ensemble}: [create] then [start]; a crash is
+    [stop] (plus {!Des.Net.crash}); a restart is [reset_volatile] then
+    [start] again — term, vote and log survive, mimicking stable storage. *)
+
+type t
+
+val create :
+  net:Types.msg Des.Net.t ->
+  id:int ->
+  replicas:int ->
+  config:Types.config ->
+  t
+
+(** Spawn the replica's processes (main loop; leaders add a replication
+    pump and a session checker). *)
+val start : t -> unit
+
+(** Kill all processes; state is left in place (simulates stable storage). *)
+val stop : t -> unit
+
+(** Drop volatile state (role, commit index, applied store, sessions,
+    watches); keep term, vote and log. Call between [stop] and [start]. *)
+val reset_volatile : t -> unit
+
+(** {1 Introspection (tests and harnesses)} *)
+
+val id : t -> int
+val is_leader : t -> bool
+val term : t -> int
+val commit_index : t -> int
+
+(** Retained (post-compaction) log entries. *)
+val log_length : t -> int
+
+(** Absolute index the retained log starts after (0 = never compacted). *)
+val log_base : t -> int
+
+val has_snapshot : t -> bool
+
+(** The replica's applied state machine — read-only use only. *)
+val store : t -> Store.t
+
+(** Cumulative busy time of the leader-side op service station. *)
+val station_busy_time : t -> float
+
+(** Jobs queued at the op service station right now. *)
+val station_queue_length : t -> int

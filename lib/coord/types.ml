@@ -1,0 +1,158 @@
+(* Shared protocol types of the coordination service.
+
+   The service exposes a ZooKeeper-flavoured API (versioned keys, ephemeral
+   and sequential nodes, one-shot watches, sessions) replicated across an
+   ensemble with a Raft-style protocol.  This module is pure data; replica
+   and client logic live in {!Replica} and {!Client}. *)
+
+(* ------------------------------------------------------------------ *)
+(* Replicated commands and their results *)
+
+(* Every client-originated command carries its session id and a per-session
+   request sequence number: the state machine deduplicates retries so a
+   command is applied exactly once even if the client re-sends it across a
+   leader change. *)
+type cmd =
+  | Create of {
+      session : int;
+      req : int;
+      key : string;
+      value : string;
+      ephemeral : bool;  (* deleted automatically when the session expires *)
+      sequential : bool; (* a monotone suffix is appended to [key] *)
+    }
+  | Write of {
+      session : int;
+      req : int;
+      key : string;
+      value : string;
+      expect_version : int option; (* CAS when [Some v]; upsert when [None] *)
+    }
+  | Delete of { session : int; req : int; key : string; expect_version : int option }
+  | Expire_session of int (* proposed by the leader; system command *)
+  | Noop (* appended by a fresh leader to commit its term *)
+
+type op_error = Key_missing | Key_exists | Bad_version
+
+type op_result =
+  | Created of string (* the final key, with sequence suffix if requested *)
+  | Written of int    (* new version *)
+  | Deleted_ok
+  | Expired_ok
+  | Noop_ok
+  | Op_failed of op_error
+
+(* ------------------------------------------------------------------ *)
+(* Client-visible queries (served at the leader, not replicated) *)
+
+type query =
+  | Get of string
+  | Children of string            (* direct children of a key prefix *)
+  | First_child of string         (* smallest direct child, if any *)
+  | First_child_value of string   (* smallest child and its value *)
+  | Count_children of string
+  | Watch_key of string           (* one-shot watch *)
+  | Watch_children of string
+
+type watch_kind = Key_watch | Child_watch
+
+type watch_event = { watched : string; kind : watch_kind }
+
+type query_result =
+  | Got of (string * int) option  (* value, version *)
+  | Children_are of string list
+  | First_child_is of string option
+  | First_child_value_is of (string * string) option
+  | Child_count of int
+  | Watch_set
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages *)
+
+type log_entry = { term : int; cmd : cmd }
+
+type peer_msg =
+  | Request_vote of { term : int; last_log_index : int; last_log_term : int }
+  | Vote_reply of { term : int; granted : bool }
+  | Append_entries of {
+      term : int;
+      prev_log_index : int;
+      prev_log_term : int;
+      entries : log_entry list;
+      leader_commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_index : int }
+  | Install_snapshot of {
+      term : int;
+      last_included_index : int;
+      last_included_term : int;
+      data : string; (* serialized Store at last_included_index *)
+    }
+
+type request =
+  | Ping
+  | Goodbye (* graceful close: expire this session's ephemerals now *)
+  | Submit of cmd
+  | Query of query
+
+type response =
+  | Pong
+  | Result of op_result
+  | Query_result of query_result
+  | Not_leader of int option (* best-known leader id *)
+
+type msg =
+  | Peer of peer_msg
+  | Client_req of {
+      req_id : int;
+      session_timeout : float;
+          (* piggybacked on every request so whichever replica currently
+             leads learns the session's failure-detection timeout *)
+      request : request;
+    }
+  | Client_resp of { req_id : int; response : response }
+  | Watch_fired of watch_event
+
+(* ------------------------------------------------------------------ *)
+(* Ensemble configuration *)
+
+type config = {
+  heartbeat_interval : float;
+  election_timeout : float; (* base; each election waits 1–2 × this *)
+  tick : float;             (* replica loop granularity *)
+  op_service_time : float;  (* leader service time per replicated op *)
+  session_check_interval : float;
+  default_session_timeout : float; (* for sessions learned implicitly *)
+  request_timeout : float;  (* client retry timeout *)
+  batch_limit : int;        (* max log entries per Append_entries *)
+  snapshot_threshold : int; (* applied entries kept in the log before
+                               compacting into a snapshot; 0 disables *)
+}
+
+let default_config =
+  {
+    heartbeat_interval = 0.05;
+    election_timeout = 0.4;
+    tick = 0.02;
+    op_service_time = 0.0008;
+    session_check_interval = 1.0;
+    default_session_timeout = 10.0;
+    request_timeout = 1.0;
+    batch_limit = 64;
+    snapshot_threshold = 50_000;
+  }
+
+let pp_op_error fmt e =
+  Format.pp_print_string fmt
+    (match e with
+     | Key_missing -> "key missing"
+     | Key_exists -> "key exists"
+     | Bad_version -> "bad version")
+
+let pp_op_result fmt = function
+  | Created k -> Format.fprintf fmt "created %s" k
+  | Written v -> Format.fprintf fmt "written v%d" v
+  | Deleted_ok -> Format.pp_print_string fmt "deleted"
+  | Expired_ok -> Format.pp_print_string fmt "session expired"
+  | Noop_ok -> Format.pp_print_string fmt "noop"
+  | Op_failed e -> Format.fprintf fmt "failed: %a" pp_op_error e

@@ -1,0 +1,742 @@
+let log_src = Logs.Src.create "tropic.controller" ~doc:"TROPIC controller"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  scheduling : [ `Fifo | `Aggressive ];
+  cpu_per_txn : float;
+  cpu_per_action : float;
+  checkpoint_every : int option;
+  repair_rules : Recon.rule list;
+  constraint_guard_locks : bool;
+  repair_interval : float option;
+}
+
+let default_config =
+  {
+    scheduling = `Fifo;
+    cpu_per_txn = 0.0027;
+    cpu_per_action = 0.001;
+    checkpoint_every = None;
+    repair_rules = [];
+    constraint_guard_locks = true;
+    repair_interval = None;
+  }
+
+type stats = {
+  mutable accepted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable failed : int;
+  mutable deferrals : int;
+  mutable violations : int;
+  mutable repairs : int;
+  mutable reloads : int;
+}
+
+type t = {
+  cname : string;
+  client : Coord.Client.t;
+  env : Dsl.env;
+  cfg : config;
+  devices : Physical.device_lookup;
+  device_roots : Data.Path.t list;
+  sim : Des.Sim.t;
+  cpu : Des.Station.t;
+  mutable tree : Data.Tree.t;
+  locks : Mglock.t;
+  todo : Txn.t Deque.t;
+  txns : (int, Txn.t) Hashtbl.t;
+  quarantine : (string, unit) Hashtbl.t;
+  mutable next_start_seq : int;
+  mutable next_internal_txn : int; (* negative lock owners for reload *)
+  mutable checkpoint_seq : int;
+  mutable commits_since_checkpoint : int;
+  mutable prune_candidates : string list; (* terminal record keys *)
+  signaled : (int, unit) Hashtbl.t; (* txns with a pending signal key *)
+  mutable max_request_seq : int; (* highest request item seq processed *)
+  mutable leading : bool;
+  mutable stopped : bool;
+  mutable procs : Des.Proc.t list;
+  st : stats;
+}
+
+let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
+  {
+    cname = name;
+    client;
+    env;
+    cfg = config;
+    devices;
+    device_roots;
+    sim;
+    cpu = Des.Station.create ~name:(name ^ ".cpu") sim;
+    tree = Data.Tree.empty;
+    locks = Mglock.create ();
+    todo = Deque.create ();
+    txns = Hashtbl.create 256;
+    quarantine = Hashtbl.create 8;
+    next_start_seq = 1;
+    next_internal_txn = -1;
+    checkpoint_seq = 0;
+    commits_since_checkpoint = 0;
+    prune_candidates = [];
+    signaled = Hashtbl.create 8;
+    max_request_seq = 0;
+    leading = false;
+    stopped = false;
+    procs = [];
+    st =
+      {
+        accepted = 0;
+        committed = 0;
+        aborted = 0;
+        failed = 0;
+        deferrals = 0;
+        violations = 0;
+        repairs = 0;
+        reloads = 0;
+      };
+  }
+
+let name t = t.cname
+let is_leader t = t.leading
+let tree t = t.tree
+let stats t = t.st
+let todo_length t = Deque.length t.todo
+let cpu_busy_time t = Des.Station.busy_time t.cpu
+
+let inflight t =
+  Hashtbl.fold
+    (fun _ (txn : Txn.t) n -> if txn.Txn.state = Txn.Started then n + 1 else n)
+    t.txns 0
+
+let quarantined t =
+  Hashtbl.fold
+    (fun key () acc ->
+      match Data.Path.of_string key with Ok p -> p :: acc | Error _ -> acc)
+    t.quarantine []
+  |> List.sort Data.Path.compare
+
+(* ------------------------------------------------------------------ *)
+(* Persistence helpers *)
+
+let persist t (txn : Txn.t) =
+  match
+    Coord.Client.write t.client ~key:(Txn.record_key txn.Txn.id)
+      ~value:(Txn.to_string txn) ()
+  with
+  | Ok _ -> ()
+  | Error e ->
+    Log.err (fun m ->
+        m "%s: persisting txn %d failed: %s" t.cname txn.Txn.id
+          (Format.asprintf "%a" Coord.Types.pp_op_error e))
+
+let finish t (txn : Txn.t) state =
+  txn.Txn.state <- state;
+  txn.Txn.finished_at <- Some (Des.Sim.now t.sim);
+  persist t txn;
+  t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine *)
+
+let quarantine_path t path =
+  Hashtbl.replace t.quarantine (Data.Path.to_string path) ()
+
+let unquarantine_subtree t path =
+  let doomed =
+    Hashtbl.fold
+      (fun key () acc ->
+        match Data.Path.of_string key with
+        | Ok p when Data.Path.is_prefix path p -> key :: acc
+        | Ok _ | Error _ -> acc)
+      t.quarantine []
+  in
+  List.iter (Hashtbl.remove t.quarantine) doomed
+
+let is_quarantined t path =
+  Hashtbl.length t.quarantine > 0
+  && List.exists
+       (fun p -> Hashtbl.mem t.quarantine (Data.Path.to_string p))
+       (path :: Data.Path.ancestors path)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction finalization *)
+
+let release_locks t (txn : Txn.t) = Mglock.release_all t.locks ~txn:txn.Txn.id
+
+let write_paths (txn : Txn.t) =
+  List.filter_map
+    (fun (path, mode) -> if mode = Mglock.W then Some path else None)
+    txn.Txn.locks
+
+(* Quiescent checkpoint: when nothing is physically in flight, the logical
+   tree contains exactly the committed state, so it can serve as the replay
+   base and all terminal records can be pruned. *)
+let maybe_checkpoint t =
+  match t.cfg.checkpoint_every with
+  | None -> ()
+  | Some period ->
+    if t.commits_since_checkpoint >= period && inflight t = 0 then begin
+      let seq = t.next_start_seq - 1 in
+      let snapshot =
+        Data.Sexp.List
+          [ Data.Sexp.of_int seq; Data.Tree.to_sexp t.tree ]
+      in
+      (match
+         Coord.Client.write t.client ~key:Proto.checkpoint_key
+           ~value:(Data.Sexp.to_string snapshot) ()
+       with
+       | Ok _ ->
+         t.checkpoint_seq <- seq;
+         t.commits_since_checkpoint <- 0;
+         List.iter
+           (fun key -> ignore (Coord.Client.delete t.client ~key ()))
+           t.prune_candidates;
+         t.prune_candidates <- [];
+         Log.info (fun m -> m "%s: checkpoint at start_seq %d" t.cname seq)
+       | Error _ -> ())
+    end
+
+let commit_txn t (txn : Txn.t) =
+  finish t txn Txn.Committed;
+  release_locks t txn;
+  t.st.committed <- t.st.committed + 1;
+  t.commits_since_checkpoint <- t.commits_since_checkpoint + 1;
+  maybe_checkpoint t
+
+(* Roll the logical layer back via the undo actions in the execution log.
+   If some logical undo cannot apply, the affected subtrees are quarantined
+   and the transaction is failed regardless of the physical outcome. *)
+let rollback_logical t (txn : Txn.t) =
+  match Logical.rollback t.env ~tree:t.tree ~log:txn.Txn.log with
+  | Ok tree' ->
+    t.tree <- tree';
+    Ok ()
+  | Error (index, reason) ->
+    List.iter (quarantine_path t) (write_paths txn);
+    Error (Printf.sprintf "logical undo #%d failed: %s" index reason)
+
+let abort_txn t (txn : Txn.t) reason =
+  match rollback_logical t txn with
+  | Ok () ->
+    finish t txn (Txn.Aborted reason);
+    release_locks t txn;
+    t.st.aborted <- t.st.aborted + 1
+  | Error undo_reason ->
+    finish t txn (Txn.Failed (reason ^ "; " ^ undo_reason));
+    release_locks t txn;
+    t.st.failed <- t.st.failed + 1
+
+let fail_txn t (txn : Txn.t) reason =
+  (* The physical layer is now inconsistent with the logical layer under
+     this transaction's write set: quarantine until reconciliation. *)
+  let result = rollback_logical t txn in
+  List.iter (quarantine_path t) (write_paths txn);
+  (match result with
+   | Ok () -> finish t txn (Txn.Failed reason)
+   | Error undo_reason ->
+     finish t txn (Txn.Failed (reason ^ "; " ^ undo_reason)));
+  release_locks t txn;
+  t.st.failed <- t.st.failed + 1
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling (paper §3.1.1) *)
+
+type start_result = [ `Started | `Finished | `Conflict ]
+
+let try_start t (txn : Txn.t) : start_result =
+  match
+    Logical.simulate ~guard_locks:t.cfg.constraint_guard_locks t.env
+      ~tree:t.tree ~proc:txn.Txn.proc ~args:txn.Txn.args
+  with
+  | Error reason ->
+    Des.Station.request t.cpu ~service:t.cfg.cpu_per_txn;
+    finish t txn (Txn.Aborted reason);
+    t.st.aborted <- t.st.aborted + 1;
+    t.st.violations <- t.st.violations + 1;
+    `Finished
+  | Ok { Logical.new_tree; log; locks; actions } ->
+    (* The CPU cost model of logical simulation: base + per-action. *)
+    Des.Station.request t.cpu
+      ~service:(t.cfg.cpu_per_txn +. (t.cfg.cpu_per_action *. float_of_int actions));
+    if List.exists (fun (path, _) -> is_quarantined t path) locks then begin
+      finish t txn (Txn.Aborted "resource quarantined pending reconciliation");
+      t.st.aborted <- t.st.aborted + 1;
+      `Finished
+    end
+    else begin
+      match Mglock.try_acquire t.locks ~txn:txn.Txn.id locks with
+      | Error _conflict ->
+        txn.Txn.state <- Txn.Deferred;
+        t.st.deferrals <- t.st.deferrals + 1;
+        `Conflict
+      | Ok () ->
+        txn.Txn.state <- Txn.Started;
+        txn.Txn.log <- log;
+        txn.Txn.locks <- locks;
+        txn.Txn.start_seq <- Some t.next_start_seq;
+        t.next_start_seq <- t.next_start_seq + 1;
+        persist t txn;
+        t.tree <- new_tree;
+        ignore
+          (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
+             (string_of_int txn.Txn.id));
+        `Started
+    end
+
+let schedule t =
+  match t.cfg.scheduling with
+  | `Fifo ->
+    (* Strict FIFO: a deferred transaction returns to the head and blocks
+       the queue until a completion frees its locks. *)
+    let rec loop () =
+      match Deque.pop_front t.todo with
+      | None -> ()
+      | Some txn ->
+        (match try_start t txn with
+         | `Started | `Finished -> loop ()
+         | `Conflict -> Deque.push_front t.todo txn)
+    in
+    loop ()
+  | `Aggressive ->
+    (* Try every queued transaction once, keeping the relative order of the
+       still-deferred ones (the paper's "more sophisticated policy"). *)
+    let rec loop still_deferred =
+      match Deque.pop_front t.todo with
+      | None ->
+        List.iter (Deque.push_back t.todo) (List.rev still_deferred)
+      | Some txn ->
+        (match try_start t txn with
+         | `Started | `Finished -> loop still_deferred
+         | `Conflict -> loop (txn :: still_deferred))
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Input processing *)
+
+(* Request items are processed in key order and their seq numbers increase
+   monotonically, so anything at or below [max_request_seq] is a redelivery
+   (a previous leader died after accepting but before deleting the item).
+   Returns true when the scheduler must run — per §3.1.1 only when the
+   transaction lands in an {e empty} todoQ; a non-empty todoQ means the head
+   is deferred on a lock conflict and will be retried when a transaction
+   completes, not on every arrival. *)
+let accept_request t ~txn_id ~proc ~args =
+  if txn_id <= t.max_request_seq || Hashtbl.mem t.txns txn_id then false
+  else begin
+    t.max_request_seq <- txn_id;
+    let was_empty = Deque.is_empty t.todo in
+    let txn =
+      Txn.make ~id:txn_id ~proc ~args ~submitted_at:(Des.Sim.now t.sim)
+    in
+    txn.Txn.state <- Txn.Accepted;
+    persist t txn;
+    Hashtbl.replace t.txns txn_id txn;
+    Deque.push_back t.todo txn;
+    t.st.accepted <- t.st.accepted + 1;
+    was_empty
+  end
+
+let handle_result t ~txn_id ~outcome =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> () (* unknown or already finalized by a previous leader *)
+  | Some txn ->
+    if txn.Txn.state = Txn.Started then begin
+      (match outcome with
+       | Proto.Phy_committed -> commit_txn t txn
+       | Proto.Phy_aborted reason -> abort_txn t txn reason
+       | Proto.Phy_failed reason -> fail_txn t txn reason);
+      (* Clean up the signal marker, if one was ever written. *)
+      if Hashtbl.mem t.signaled txn_id then begin
+        Hashtbl.remove t.signaled txn_id;
+        ignore (Coord.Client.delete t.client ~key:(Proto.signal_key txn_id) ())
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Signals (§4) *)
+
+let handle_signal t ~txn_id signal =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn ->
+    (match txn.Txn.state with
+     | Txn.Accepted | Txn.Deferred ->
+       (* Not yet started: drop from the queue, nothing to roll back. *)
+       ignore (Deque.remove t.todo (fun (q : Txn.t) -> q.Txn.id = txn_id));
+       finish t txn
+         (Txn.Aborted
+            (Printf.sprintf "signal %s before start" (Proto.signal_to_string signal)));
+       t.st.aborted <- t.st.aborted + 1
+     | Txn.Started ->
+       Hashtbl.replace t.signaled txn_id ();
+       ignore
+         (Coord.Client.write t.client ~key:(Proto.signal_key txn_id)
+            ~value:(Proto.signal_to_string signal) ());
+       (match signal with
+        | Proto.Term ->
+          (* Graceful: the worker stops, undoes, and reports an abort; the
+             normal result path rolls back the logical layer. *)
+          ()
+        | Proto.Kill ->
+          (* Immediate: abort in the logical layer only; the physical side
+             is left as-is.  Recorded as Failed so the cross-layer
+             inconsistency (and its quarantine) survives a controller
+             fail-over until reconciliation. *)
+          let result = rollback_logical t txn in
+          List.iter (quarantine_path t) (write_paths txn);
+          (match result with
+           | Ok () -> finish t txn (Txn.Failed "killed by operator")
+           | Error undo_reason ->
+             finish t txn (Txn.Failed ("killed by operator; " ^ undo_reason)));
+          release_locks t txn;
+          t.st.failed <- t.st.failed + 1)
+     | Txn.Initialized | Txn.Committed | Txn.Aborted _ | Txn.Failed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Reconciliation (§4) *)
+
+let internal_lock_owner t =
+  let owner = t.next_internal_txn in
+  t.next_internal_txn <- t.next_internal_txn - 1;
+  owner
+
+let handle_reload t path =
+  match t.devices path with
+  | None -> Log.err (fun m -> m "%s: reload: no device at %a" t.cname Data.Path.pp path)
+  | Some device ->
+    let owner = internal_lock_owner t in
+    (match Mglock.try_acquire t.locks ~txn:owner [ (path, Mglock.W) ] with
+     | Error _ ->
+       Log.info (fun m ->
+           m "%s: reload of %a deferred (locked)" t.cname Data.Path.pp path)
+     | Ok () ->
+       Fun.protect
+         ~finally:(fun () -> Mglock.release_all t.locks ~txn:owner)
+         (fun () ->
+           let physical = Devices.Device.export device in
+           match Data.Tree.replace_subtree t.tree path physical with
+           | Error e ->
+             Log.err (fun m ->
+                 m "%s: reload of %a failed: %s" t.cname Data.Path.pp path
+                   (Data.Tree.error_to_string e))
+           | Ok candidate ->
+             (match
+                Constraints.check_path (Dsl.constraints_of t.env) candidate path
+              with
+              | violation :: _ ->
+                Log.info (fun m ->
+                    m "%s: reload of %a aborted: %a" t.cname Data.Path.pp path
+                      Constraints.pp_violation violation)
+              | [] ->
+                t.tree <- candidate;
+                unquarantine_subtree t path;
+                t.st.reloads <- t.st.reloads + 1)))
+
+let handle_repair t path =
+  match t.devices path with
+  | None -> Log.err (fun m -> m "%s: repair: no device at %a" t.cname Data.Path.pp path)
+  | Some device ->
+    (match Data.Tree.subtree t.tree path with
+     | Error e ->
+       Log.err (fun m ->
+           m "%s: repair of %a: %s" t.cname Data.Path.pp path
+             (Data.Tree.error_to_string e))
+     | Ok logical ->
+       let physical = Devices.Device.export device in
+       let plan =
+         Recon.plan_repair ~rules:t.cfg.repair_rules ~at:path ~logical ~physical
+       in
+       let all_ok =
+         List.for_all
+           (fun (step : Recon.step) ->
+             match
+               Devices.Device.invoke device ~action:step.Recon.action
+                 ~args:step.Recon.args
+             with
+             | Ok () ->
+               t.st.repairs <- t.st.repairs + 1;
+               true
+             | Error reason ->
+               Log.err (fun m ->
+                   m "%s: repair step %a failed: %s" t.cname Recon.pp_step step
+                     reason);
+               false)
+           plan.Recon.steps
+       in
+       if all_ok && plan.Recon.unrepaired = [] then
+         unquarantine_subtree t path
+       else
+         Log.info (fun m ->
+             m "%s: repair of %a incomplete (%d unrepaired diffs)" t.cname
+               Data.Path.pp path
+               (List.length plan.Recon.unrepaired)))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (idempotent; §2.3) *)
+
+let load_checkpoint t =
+  let rec wait () =
+    match Coord.Client.get t.client Proto.checkpoint_key with
+    | Some (value, _) ->
+      (match Data.Sexp.of_string value with
+       | Ok (Data.Sexp.List [ seq; tree ]) ->
+         (match Data.Sexp.to_int seq, Data.Tree.of_sexp tree with
+          | Ok seq, Ok tree ->
+            t.checkpoint_seq <- seq;
+            t.next_start_seq <- seq + 1;
+            t.tree <- tree
+          | _, _ -> failwith "corrupt checkpoint")
+       | Ok _ | Error _ -> failwith "corrupt checkpoint")
+    | None ->
+      (* The platform bootstrap has not written the initial checkpoint yet. *)
+      Des.Proc.sleep 0.2;
+      wait ()
+  in
+  wait ()
+
+let recover t =
+  load_checkpoint t;
+  let record_keys = Coord.Client.get_children t.client Proto.txns_prefix in
+  let records =
+    List.filter_map
+      (fun key ->
+        match Coord.Client.get t.client key with
+        | None -> None
+        | Some (value, _) ->
+          (match Txn.of_string value with
+           | Ok txn -> Some txn
+           | Error reason ->
+             Log.err (fun m -> m "%s: corrupt record %s: %s" t.cname key reason);
+             None))
+      record_keys
+  in
+  (* Replay the logical effects of everything at-or-beyond Started, in the
+     order the previous leaders started them. *)
+  let replayable =
+    List.filter
+      (fun (txn : Txn.t) ->
+        (match txn.Txn.state with
+         | Txn.Started | Txn.Committed -> true
+         | Txn.Initialized | Txn.Accepted | Txn.Deferred
+         | Txn.Aborted _ | Txn.Failed _ -> false)
+        && match txn.Txn.start_seq with
+           | Some seq -> seq > t.checkpoint_seq
+           | None -> false)
+      records
+    |> List.sort (fun (a : Txn.t) b ->
+           compare a.Txn.start_seq b.Txn.start_seq)
+  in
+  List.iter
+    (fun (txn : Txn.t) ->
+      List.iter
+        (fun record ->
+          match Dsl.apply_record t.env t.tree record with
+          | Ok tree' -> t.tree <- tree'
+          | Error reason ->
+            Log.err (fun m ->
+                m "%s: recovery replay of txn %d failed: %s" t.cname
+                  txn.Txn.id reason))
+        txn.Txn.log)
+    replayable;
+  (* Rebuild scheduler and lock state; figure out which Started txns still
+     need to be (re)offered to the physical layer. *)
+  let phy_ids =
+    List.filter_map
+      (fun key ->
+        match Coord.Client.get t.client key with
+        | Some (value, _) -> int_of_string_opt value
+        | None -> None)
+      (Coord.Client.get_children t.client Proto.phy_queue)
+  in
+  let result_ids =
+    List.filter_map
+      (fun key ->
+        match Coord.Client.get t.client key with
+        | Some (value, _) ->
+          (match Proto.input_of_string value with
+           | Ok (Proto.Result { txn_id; _ }) -> Some txn_id
+           | Ok (Proto.Request _ | Proto.Control _) | Error _ -> None)
+        | None -> None)
+      (Coord.Client.get_children t.client Proto.input_queue)
+  in
+  let max_seq = ref t.checkpoint_seq in
+  List.iter
+    (fun (txn : Txn.t) ->
+      (match txn.Txn.start_seq with
+       | Some seq when seq > !max_seq -> max_seq := seq
+       | Some _ | None -> ());
+      match txn.Txn.state with
+      | Txn.Accepted | Txn.Deferred ->
+        Hashtbl.replace t.txns txn.Txn.id txn;
+        Deque.push_back t.todo txn
+      | Txn.Started ->
+        Hashtbl.replace t.txns txn.Txn.id txn;
+        (match Mglock.try_acquire t.locks ~txn:txn.Txn.id txn.Txn.locks with
+         | Ok () -> ()
+         | Error conflict ->
+           Log.err (fun m ->
+               m "%s: recovery lock conflict for txn %d: %a" t.cname
+                 txn.Txn.id Mglock.pp_conflict conflict));
+        let executing =
+          Option.is_some
+            (Coord.Client.get t.client (Proto.executing_key txn.Txn.id))
+        in
+        if
+          (not executing)
+          && (not (List.mem txn.Txn.id phy_ids))
+          && not (List.mem txn.Txn.id result_ids)
+        then
+          ignore
+            (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
+               (string_of_int txn.Txn.id))
+      | Txn.Failed _ ->
+        (* A failed transaction left the layers inconsistent under its
+           write set; a new leader must not serve those resources until
+           reconciliation.  Conservative: if the previous leader already
+           reconciled but had not yet checkpointed the record away, the
+           subtree needs another reload. *)
+        List.iter (quarantine_path t) (write_paths txn);
+        t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+      | Txn.Committed | Txn.Aborted _ ->
+        t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+      | Txn.Initialized -> ())
+    (List.sort (fun (a : Txn.t) b -> compare a.Txn.id b.Txn.id) records);
+  t.next_start_seq <- !max_seq + 1;
+  List.iter
+    (fun (txn : Txn.t) ->
+      if txn.Txn.id > t.max_request_seq then t.max_request_seq <- txn.Txn.id)
+    records;
+  List.iter
+    (fun key ->
+      match Proto.seq_of_item_key key with
+      | Ok txn_id -> Hashtbl.replace t.signaled txn_id ()
+      | Error _ -> ())
+    (Coord.Client.get_children t.client "/tropic/signals");
+  Log.info (fun m ->
+      m "%s: recovered: %d records, todo=%d, inflight=%d, tree=%d nodes"
+        t.cname (List.length records) (Deque.length t.todo) (inflight t)
+        (Data.Tree.size t.tree))
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+(* Returns true when the scheduler should run afterwards (paper §3.1.1:
+   arrival into an empty queue, or a transaction completing). *)
+let process_item t ~key ~payload =
+  match Proto.input_of_string payload with
+  | Error reason ->
+    Log.err (fun m -> m "%s: bad input item %s: %s" t.cname key reason);
+    false
+  | Ok (Proto.Request { proc; args }) ->
+    (match Proto.seq_of_item_key key with
+     | Ok txn_id -> accept_request t ~txn_id ~proc ~args
+     | Error reason ->
+       Log.err (fun m -> m "%s: %s" t.cname reason);
+       false)
+  | Ok (Proto.Result { txn_id; outcome }) ->
+    handle_result t ~txn_id ~outcome;
+    true
+  | Ok (Proto.Control (Proto.Reload path)) ->
+    handle_reload t path;
+    true
+  | Ok (Proto.Control (Proto.Repair path)) ->
+    handle_repair t path;
+    true
+  | Ok (Proto.Control (Proto.Signal (txn_id, signal))) ->
+    handle_signal t ~txn_id signal;
+    true
+
+(* Take the head of inputQ with process-then-delete semantics: if we crash
+   mid-processing the item is re-processed by the next leader, and every
+   handler above is idempotent. *)
+let next_item t =
+  match Coord.Client.first_child_value t.client Proto.input_queue with
+  | Some item -> Some item
+  | None ->
+    Coord.Client.watch_children t.client Proto.input_queue;
+    (match Coord.Client.first_child_value t.client Proto.input_queue with
+     | Some item -> Some item
+     | None ->
+       ignore (Coord.Client.await_change t.client ~timeout:1.0);
+       None)
+
+(* §4: inconsistencies are "detected by periodically comparing the data
+   between the two layers", and repair runs at an operator-chosen
+   frequency.  The sweeper compares every device's exported state with the
+   logical subtree (a read-only snapshot comparison) and enqueues Repair
+   controls for divergent or quarantined subtrees, so the healing itself
+   serializes with transaction processing in the main loop. *)
+let spawn_repair_sweeper t interval =
+  let device_diverged root =
+    match t.devices root with
+    | None -> false
+    | Some device ->
+      (match Data.Tree.subtree t.tree root with
+       | Error _ -> false
+       | Ok logical ->
+         not (Data.Tree.equal logical (Devices.Device.export device)))
+  in
+  let sweeper () =
+    while not t.stopped do
+      Des.Proc.sleep interval;
+      if t.leading && not t.stopped then begin
+        let quarantined_roots =
+          List.filter_map (fun path -> t.devices path) (quarantined t)
+          |> List.map Devices.Device.root
+        in
+        let drifted =
+          List.filter
+            (fun root ->
+              (* Skip subtrees with transactions physically in flight: a
+                 transient mismatch there is work in progress, not drift. *)
+              Mglock.holders t.locks root = [] && device_diverged root)
+            t.device_roots
+        in
+        List.sort_uniq Data.Path.compare (quarantined_roots @ drifted)
+        |> List.iter (fun root ->
+               ignore
+                 (Coord.Recipes.enqueue t.client ~queue:Proto.input_queue
+                    (Proto.input_to_string (Proto.Control (Proto.Repair root)))))
+      end
+    done
+  in
+  t.procs <-
+    Des.Proc.spawn ~name:(t.cname ^ ".repair") t.sim sweeper :: t.procs
+
+let run t () =
+  let member =
+    Coord.Recipes.join_election t.client ~election:Proto.election_path
+      ~payload:t.cname
+  in
+  Coord.Recipes.await_leadership t.client ~election:Proto.election_path
+    ~member;
+  t.leading <- true;
+  Log.info (fun m -> m "%s: elected leader" t.cname);
+  (match t.cfg.repair_interval with
+   | Some interval -> spawn_repair_sweeper t interval
+   | None -> ());
+  recover t;
+  schedule t;
+  while not t.stopped do
+    match next_item t with
+    | None -> ()
+    | Some (key, payload) ->
+      let need_schedule = process_item t ~key ~payload in
+      ignore (Coord.Client.delete t.client ~key ());
+      if need_schedule then schedule t
+  done
+
+let start t =
+  let p = Des.Proc.spawn ~name:t.cname t.sim (run t) in
+  t.procs <- [ p ]
+
+let crash t =
+  t.stopped <- true;
+  t.leading <- false;
+  List.iter Des.Proc.kill t.procs;
+  t.procs <- [];
+  Coord.Client.close t.client

@@ -1,0 +1,81 @@
+(** The TROPIC controller (logical layer).
+
+    Each instance joins the controller election; the winner serves
+    transactions: it accepts requests from inputQ, schedules them (FIFO
+    with defer-on-conflict, or the "aggressive" variant the paper leaves as
+    future work), simulates them against the logical tree under constraint
+    checks and multi-granularity locks, hands runnable transactions to the
+    physical layer via phyQ, and finalizes them when results come back —
+    rolling the logical layer back with undo actions on aborts.
+
+    Every state transition that matters is persisted in the coordination
+    service first, so when a controller dies, the next leader's {e
+    idempotent recovery} — checkpoint + log replay, re-acquired locks,
+    re-queued work — resumes every in-flight transaction without loss.
+
+    The controller charges its logical work to a CPU {!Des.Station}
+    (simulation is single-threaded, as in the paper's Python prototype);
+    the station's busy time is what Figure 4 plots. *)
+
+type config = {
+  scheduling : [ `Fifo | `Aggressive ];
+  cpu_per_txn : float;      (** base CPU seconds per simulated transaction *)
+  cpu_per_action : float;   (** CPU seconds per simulated action *)
+  checkpoint_every : int option;
+      (** quiescent checkpoint period, in commits; [None] disables *)
+  repair_rules : Recon.rule list;
+  constraint_guard_locks : bool;
+      (** the §3.1.3 R-lock-on-constrained-ancestor rule (ablation knob) *)
+  repair_interval : float option;
+      (** §4: how often the leader compares the two layers and repairs
+          drift (also re-attempting quarantined subtrees); [None] leaves
+          reconciliation to the operator *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable accepted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable failed : int;
+  mutable deferrals : int;       (** lock-conflict deferments *)
+  mutable violations : int;      (** constraint-violation aborts *)
+  mutable repairs : int;         (** repair steps executed *)
+  mutable reloads : int;
+}
+
+type t
+
+val create :
+  name:string ->
+  client:Coord.Client.t ->
+  env:Dsl.env ->
+  config:config ->
+  devices:Physical.device_lookup ->
+  device_roots:Data.Path.t list ->
+  sim:Des.Sim.t ->
+  t
+
+(** Spawn the controller process (election, recovery, main loop). *)
+val start : t -> unit
+
+(** Kill the controller process and close its coordination session — from
+    the rest of the system's point of view, a crash. *)
+val crash : t -> unit
+
+val name : t -> string
+val is_leader : t -> bool
+
+(** Current logical tree (meaningful on the leader). *)
+val tree : t -> Data.Tree.t
+
+val stats : t -> stats
+val todo_length : t -> int
+val inflight : t -> int
+
+(** Quarantined (inconsistent) subtree roots. *)
+val quarantined : t -> Data.Path.t list
+
+(** Cumulative CPU busy time (Fig. 4's y-axis numerator). *)
+val cpu_busy_time : t -> float

@@ -1,0 +1,74 @@
+type device_lookup = Data.Path.t -> Devices.Device.t option
+type signal_check = unit -> [ `Go | `Term | `Kill ]
+
+let lookup_of_list devices =
+  let table = Hashtbl.create (max 16 (List.length devices)) in
+  List.iter
+    (fun device ->
+      Hashtbl.replace table
+        (Data.Path.to_string (Devices.Device.root device))
+        device)
+    devices;
+  fun path ->
+    let rec search p =
+      match Hashtbl.find_opt table (Data.Path.to_string p) with
+      | Some device -> Some device
+      | None ->
+        (match Data.Path.parent p with
+         | Some parent -> search parent
+         | None -> None)
+    in
+    search path
+
+let invoke_record ~devices (record : Xlog.record) ~action ~args =
+  match devices record.Xlog.path with
+  | None ->
+    Error
+      (Printf.sprintf "no device for %s"
+         (Data.Path.to_string record.Xlog.path))
+  | Some device -> Devices.Device.invoke device ~action ~args
+
+(* Undo the given (already executed) records, newest first.  Returns the
+   index of the first record whose undo failed, if any. *)
+let undo_executed ~devices executed =
+  let rec go = function
+    | [] -> Ok ()
+    | (record : Xlog.record) :: rest ->
+      (match record.Xlog.undo with
+       | None -> Error (record.Xlog.index, "irreversible action")
+       | Some undo_action ->
+         (match
+            invoke_record ~devices record ~action:undo_action
+              ~args:record.Xlog.undo_args
+          with
+          | Ok () -> go rest
+          | Error reason -> Error (record.Xlog.index, reason)))
+  in
+  go executed
+
+let execute ~devices ?(check_signal = fun () -> `Go) log =
+  (* [executed] accumulates completed records, newest first. *)
+  let rec run executed = function
+    | [] -> Proto.Phy_committed
+    | (record : Xlog.record) :: rest ->
+      (match check_signal () with
+       | `Kill -> Proto.Phy_failed "killed by operator"
+       | `Term -> roll_back executed "terminated by operator"
+       | `Go ->
+         (match
+            invoke_record ~devices record ~action:record.Xlog.action
+              ~args:record.Xlog.args
+          with
+          | Ok () -> run (record :: executed) rest
+          | Error reason ->
+            roll_back executed
+              (Printf.sprintf "action #%d %s: %s" record.Xlog.index
+                 record.Xlog.action reason)))
+  and roll_back executed reason =
+    match undo_executed ~devices executed with
+    | Ok () -> Proto.Phy_aborted reason
+    | Error (index, undo_reason) ->
+      Proto.Phy_failed
+        (Printf.sprintf "%s; undo #%d failed: %s" reason index undo_reason)
+  in
+  run [] log

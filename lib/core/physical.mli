@@ -1,0 +1,24 @@
+(** Physical-layer execution (paper §3.2): replay an execution log against
+    the devices; on an action failure, execute the undo actions of the
+    already-completed prefix in reverse chronological order.
+
+    If an undo itself fails, undoing stops (undos may have temporal
+    dependencies — paper footnote 2) and the transaction is failed,
+    leaving a cross-layer inconsistency for reconciliation to repair. *)
+
+(** Resolve the device owning a resource path (exact root or ancestor). *)
+type device_lookup = Data.Path.t -> Devices.Device.t option
+
+(** Consulted between actions; [`Term] stops with a graceful undo roll
+    back, [`Kill] stops immediately leaving physical state as-is. *)
+type signal_check = unit -> [ `Go | `Term | `Kill ]
+
+val execute :
+  devices:device_lookup ->
+  ?check_signal:signal_check ->
+  Xlog.t ->
+  Proto.outcome
+
+(** [lookup_of_list devices] builds a {!device_lookup} that matches a path
+    to the device whose root is the path itself or its nearest ancestor. *)
+val lookup_of_list : Devices.Device.t list -> device_lookup

@@ -1,0 +1,244 @@
+type mode = Full | Logical_only of float
+
+type spec = {
+  controllers : int;
+  workers : int;
+  mode : mode;
+  coord_replicas : int;
+  coord_config : Coord.Types.config;
+  controller_config : Controller.config;
+  controller_session_timeout : float;
+  submit_clients : int;
+  client_slots : int;
+}
+
+let default_spec =
+  {
+    controllers = 3;
+    workers = 1;
+    mode = Full;
+    coord_replicas = 3;
+    coord_config = Coord.Types.default_config;
+    controller_config = Controller.default_config;
+    controller_session_timeout = 10.0;
+    submit_clients = 4;
+    client_slots = 64;
+  }
+
+type t = {
+  psim : Des.Sim.t;
+  pspec : spec;
+  ensemble : Coord.Ensemble.t;
+  control : Controller.t array;
+  work : Worker.t array;
+  submitters : Coord.Client.t array;
+  mutable next_submitter : int;
+  (* await support: key -> wakeup channels, fed by per-client dispatchers *)
+  awaiters : (string, unit Des.Channel.t list ref) Hashtbl.t;
+}
+
+let sim t = t.psim
+let spec t = t.pspec
+let controllers t = t.control
+let workers t = t.work
+let coord t = t.ensemble
+
+let leader_controller t =
+  Array.fold_left
+    (fun found c ->
+      match found with
+      | Some _ -> found
+      | None -> if Controller.is_leader c then Some c else None)
+    None t.control
+
+let await_leader_controller t =
+  let rec wait () =
+    match leader_controller t with
+    | Some c -> c
+    | None ->
+      Des.Proc.sleep 0.25;
+      wait ()
+  in
+  wait ()
+
+let logical_tree t =
+  match leader_controller t with
+  | Some c -> Controller.tree c
+  | None -> failwith "Platform.logical_tree: no leading controller"
+
+let controller_cpu_busy t =
+  Array.fold_left (fun acc c -> acc +. Controller.cpu_busy_time c) 0. t.control
+
+let coord_io_busy t =
+  match Coord.Ensemble.leader_id t.ensemble with
+  | Some leader ->
+    Coord.Replica.station_busy_time (Coord.Ensemble.replica t.ensemble leader)
+  | None -> 0.
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let worker_mode = function
+  | Full -> Worker.Full
+  | Logical_only delay -> Worker.Logical_only delay
+
+let create pspec env ~initial_tree ~devices psim =
+  let ensemble =
+    Coord.Ensemble.create ~replicas:pspec.coord_replicas
+      ~clients:pspec.client_slots ~config:pspec.coord_config psim
+  in
+  let device_lookup = Physical.lookup_of_list devices in
+  let device_roots = List.map Devices.Device.root devices in
+  let control =
+    Array.init pspec.controllers (fun i ->
+        let cname = Printf.sprintf "controller-%d" i in
+        let client =
+          Coord.Ensemble.connect ensemble
+            ~session_timeout:pspec.controller_session_timeout ~name:cname ()
+        in
+        Controller.create ~name:cname ~client ~env
+          ~config:pspec.controller_config ~devices:device_lookup ~device_roots
+          ~sim:psim)
+  in
+  let work =
+    Array.init pspec.workers (fun i ->
+        let wname = Printf.sprintf "worker-%d" i in
+        let client = Coord.Ensemble.connect ensemble ~name:wname () in
+        Worker.create ~name:wname ~client ~mode:(worker_mode pspec.mode)
+          ~devices:device_lookup ~sim:psim)
+  in
+  let submitters =
+    Array.init pspec.submit_clients (fun i ->
+        Coord.Ensemble.connect ensemble
+          ~name:(Printf.sprintf "submitter-%d" i) ())
+  in
+  let t =
+    {
+      psim;
+      pspec;
+      ensemble;
+      control;
+      work;
+      submitters;
+      next_submitter = 0;
+      awaiters = Hashtbl.create 256;
+    }
+  in
+  (* Watch-event dispatcher: wake every awaiter registered on the key a
+     watch fired for.  One dispatcher per submit client. *)
+  Array.iteri
+    (fun i client ->
+      ignore
+        (Des.Proc.spawn
+           ~name:(Printf.sprintf "await-dispatch-%d" i)
+           psim
+           (fun () ->
+             let events = Coord.Client.events client in
+             while not (Coord.Client.closed client) do
+               let event = Des.Channel.recv events in
+               match Hashtbl.find_opt t.awaiters event.Coord.Types.watched with
+               | Some channels ->
+                 List.iter (fun ch -> Des.Channel.send ch ()) !channels
+               | None -> ()
+             done)))
+    submitters;
+  (* Bootstrap: the initial logical tree is checkpoint 0; controllers wait
+     for it before recovering. *)
+  ignore
+    (Des.Proc.spawn ~name:"bootstrap" psim (fun () ->
+         let snapshot =
+           Data.Sexp.List
+             [ Data.Sexp.of_int 0; Data.Tree.to_sexp initial_tree ]
+         in
+         match
+           Coord.Client.write t.submitters.(0) ~key:Proto.checkpoint_key
+             ~value:(Data.Sexp.to_string snapshot) ()
+         with
+         | Ok _ -> ()
+         | Error e ->
+           failwith
+             (Printf.sprintf "bootstrap failed: %s"
+                (Format.asprintf "%a" Coord.Types.pp_op_error e))));
+  Array.iter Controller.start control;
+  Array.iter Worker.start work;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Client API *)
+
+let pick_submitter t =
+  let client = t.submitters.(t.next_submitter mod Array.length t.submitters) in
+  t.next_submitter <- t.next_submitter + 1;
+  client
+
+let enqueue_input t item =
+  let client = pick_submitter t in
+  Coord.Recipes.enqueue client ~queue:Proto.input_queue
+    (Proto.input_to_string item)
+
+let submit t ~proc ~args =
+  let key = enqueue_input t (Proto.Request { proc; args }) in
+  match Proto.seq_of_item_key key with
+  | Ok txn_id -> txn_id
+  | Error reason -> failwith ("Platform.submit: " ^ reason)
+
+let txn_state_via client txn_id =
+  match Coord.Client.get client (Txn.record_key txn_id) with
+  | None -> None
+  | Some (value, _) ->
+    (match Txn.of_string value with
+     | Ok txn -> Some txn.Txn.state
+     | Error _ -> None)
+
+let txn_state t txn_id = txn_state_via (pick_submitter t) txn_id
+
+let register_awaiter t key channel =
+  let channels =
+    match Hashtbl.find_opt t.awaiters key with
+    | Some existing -> existing
+    | None ->
+      let fresh = ref [] in
+      Hashtbl.replace t.awaiters key fresh;
+      fresh
+  in
+  channels := channel :: !channels
+
+let unregister_awaiter t key channel =
+  match Hashtbl.find_opt t.awaiters key with
+  | None -> ()
+  | Some channels ->
+    channels := List.filter (fun ch -> ch != channel) !channels;
+    if !channels = [] then Hashtbl.remove t.awaiters key
+
+let await t txn_id =
+  let client = pick_submitter t in
+  let key = Txn.record_key txn_id in
+  let wakeup = Des.Channel.create ~name:"await" () in
+  register_awaiter t key wakeup;
+  Fun.protect
+    ~finally:(fun () -> unregister_awaiter t key wakeup)
+    (fun () ->
+      let rec wait () =
+        match txn_state_via client txn_id with
+        | Some state when Txn.is_terminal state -> state
+        | Some _ | None ->
+          Coord.Client.watch_key client key;
+          (* Re-check: the transition may have happened before the watch was
+             armed; fall back to a poll in case the event is lost. *)
+          (match txn_state_via client txn_id with
+           | Some state when Txn.is_terminal state -> state
+           | Some _ | None ->
+             ignore (Des.Channel.recv_timeout wakeup ~timeout:1.0);
+             wait ())
+      in
+      wait ())
+
+let run_txn t ~proc ~args =
+  let txn_id = submit t ~proc ~args in
+  await t txn_id
+
+let signal t txn_id s = ignore (enqueue_input t (Proto.Control (Proto.Signal (txn_id, s))))
+let reload t path = ignore (enqueue_input t (Proto.Control (Proto.Reload path)))
+let repair t path = ignore (enqueue_input t (Proto.Control (Proto.Repair path)))
+
+let kill_controller t i = Controller.crash t.control.(i)

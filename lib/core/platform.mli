@@ -1,0 +1,86 @@
+(** Whole-system assembly: a TROPIC deployment inside one simulation.
+
+    Builds the coordination ensemble, bootstraps the initial logical tree
+    as checkpoint 0, starts the controller replica group and the workers,
+    and gives harness code a client-side API: submit orchestration
+    requests, await their outcome, send operator controls, and inject
+    controller failures. *)
+
+type mode =
+  | Full                   (** workers drive the simulated devices *)
+  | Logical_only of float  (** paper §5; per-txn worker stand-in delay *)
+
+type spec = {
+  controllers : int;
+  workers : int;
+  mode : mode;
+  coord_replicas : int;
+  coord_config : Coord.Types.config;
+  controller_config : Controller.config;
+  controller_session_timeout : float;
+      (** failure-detection time for controller fail-over (§6.4) *)
+  submit_clients : int;  (** client sessions the harness submits through *)
+  client_slots : int;    (** coordination-service session slots *)
+}
+
+val default_spec : spec
+
+type t
+
+(** [create spec env ~initial_tree ~devices sim] — asynchronous: bootstrap,
+    elections and recovery happen as the simulation runs. *)
+val create :
+  spec ->
+  Dsl.env ->
+  initial_tree:Data.Tree.t ->
+  devices:Devices.Device.t list ->
+  Des.Sim.t ->
+  t
+
+val sim : t -> Des.Sim.t
+val spec : t -> spec
+
+(** {1 Client API (call from inside a process)} *)
+
+(** Enqueue an orchestration request; returns the transaction id. *)
+val submit : t -> proc:string -> args:Data.Value.t list -> int
+
+(** Block until the transaction reaches a terminal state. *)
+val await : t -> int -> Txn.state
+
+(** [submit] + [await]. *)
+val run_txn : t -> proc:string -> args:Data.Value.t list -> Txn.state
+
+(** Current state from the persisted record, if any. *)
+val txn_state : t -> int -> Txn.state option
+
+(** Operator controls, routed through inputQ like any request. *)
+val signal : t -> int -> Proto.signal -> unit
+
+val reload : t -> Data.Path.t -> unit
+val repair : t -> Data.Path.t -> unit
+
+(** {1 Introspection and fault injection} *)
+
+val controllers : t -> Controller.t array
+val workers : t -> Worker.t array
+val leader_controller : t -> Controller.t option
+
+(** Block until some controller is leading; returns it. *)
+val await_leader_controller : t -> Controller.t
+
+(** Logical tree of the current leader.  @raise Failure if none leads. *)
+val logical_tree : t -> Data.Tree.t
+
+(** Crash controller [i] (process death + session loss). *)
+val kill_controller : t -> int -> unit
+
+val coord : t -> Coord.Ensemble.t
+
+(** Sum of controller-CPU busy time (all controllers; only the leader
+    accrues). *)
+val controller_cpu_busy : t -> float
+
+(** Busy time of the coordination leader's op station, if there is a
+    leader. *)
+val coord_io_busy : t -> float

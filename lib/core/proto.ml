@@ -1,0 +1,115 @@
+type signal = Term | Kill
+
+let signal_to_string = function Term -> "TERM" | Kill -> "KILL"
+
+let signal_of_string = function
+  | "TERM" -> Ok Term
+  | "KILL" -> Ok Kill
+  | s -> Error (Printf.sprintf "unknown signal %S" s)
+
+type control =
+  | Reload of Data.Path.t
+  | Repair of Data.Path.t
+  | Signal of int * signal
+
+type outcome =
+  | Phy_committed
+  | Phy_aborted of string
+  | Phy_failed of string
+
+let pp_outcome fmt = function
+  | Phy_committed -> Format.pp_print_string fmt "committed"
+  | Phy_aborted reason -> Format.fprintf fmt "aborted (%s)" reason
+  | Phy_failed reason -> Format.fprintf fmt "failed (%s)" reason
+
+type input_item =
+  | Request of { proc : string; args : Data.Value.t list }
+  | Result of { txn_id : int; outcome : outcome }
+  | Control of control
+
+let outcome_to_sexp =
+  let open Data.Sexp in
+  function
+  | Phy_committed -> List [ Atom "committed" ]
+  | Phy_aborted reason -> List [ Atom "aborted"; Atom reason ]
+  | Phy_failed reason -> List [ Atom "failed"; Atom reason ]
+
+let outcome_of_sexp = function
+  | Data.Sexp.List [ Data.Sexp.Atom "committed" ] -> Ok Phy_committed
+  | Data.Sexp.List [ Data.Sexp.Atom "aborted"; Data.Sexp.Atom reason ] ->
+    Ok (Phy_aborted reason)
+  | Data.Sexp.List [ Data.Sexp.Atom "failed"; Data.Sexp.Atom reason ] ->
+    Ok (Phy_failed reason)
+  | other -> Error ("bad outcome: " ^ Data.Sexp.to_string other)
+
+let to_sexp item =
+  let open Data.Sexp in
+  match item with
+  | Request { proc; args } ->
+    List
+      [ Atom "request"; Atom proc; List (List.map Data.Value.to_sexp args) ]
+  | Result { txn_id; outcome } ->
+    List [ Atom "result"; of_int txn_id; outcome_to_sexp outcome ]
+  | Control (Reload path) ->
+    List [ Atom "control"; Atom "reload"; Data.Path.to_sexp path ]
+  | Control (Repair path) ->
+    List [ Atom "control"; Atom "repair"; Data.Path.to_sexp path ]
+  | Control (Signal (txn_id, signal)) ->
+    List
+      [ Atom "control"; Atom "signal"; of_int txn_id;
+        Atom (signal_to_string signal) ]
+
+let ( let* ) r f = Result.bind r f
+
+let of_sexp sexp =
+  match sexp with
+  | Data.Sexp.List [ Data.Sexp.Atom "request"; Data.Sexp.Atom proc; Data.Sexp.List args ] ->
+    let* args =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* v = Data.Value.of_sexp s in
+          Ok (v :: acc))
+        (Ok []) args
+      |> Result.map List.rev
+    in
+    Ok (Request { proc; args })
+  | Data.Sexp.List [ Data.Sexp.Atom "result"; txn_id; outcome ] ->
+    let* txn_id = Data.Sexp.to_int txn_id in
+    let* outcome = outcome_of_sexp outcome in
+    Ok (Result { txn_id; outcome })
+  | Data.Sexp.List [ Data.Sexp.Atom "control"; Data.Sexp.Atom "reload"; path ] ->
+    let* path = Data.Path.of_sexp path in
+    Ok (Control (Reload path))
+  | Data.Sexp.List [ Data.Sexp.Atom "control"; Data.Sexp.Atom "repair"; path ] ->
+    let* path = Data.Path.of_sexp path in
+    Ok (Control (Repair path))
+  | Data.Sexp.List
+      [ Data.Sexp.Atom "control"; Data.Sexp.Atom "signal"; txn_id; Data.Sexp.Atom s ] ->
+    let* txn_id = Data.Sexp.to_int txn_id in
+    let* signal = signal_of_string s in
+    Ok (Control (Signal (txn_id, signal)))
+  | other -> Error ("Proto.of_sexp: " ^ Data.Sexp.to_string other)
+
+let input_to_string item = Data.Sexp.to_string (to_sexp item)
+
+let input_of_string s =
+  let* sexp = Data.Sexp.of_string s in
+  of_sexp sexp
+
+let seq_of_item_key key =
+  match String.rindex_opt key '-' with
+  | None -> Error (Printf.sprintf "bad item key %S" key)
+  | Some i ->
+    let digits = String.sub key (i + 1) (String.length key - i - 1) in
+    (match int_of_string_opt digits with
+     | Some n -> Ok n
+     | None -> Error (Printf.sprintf "bad item key %S" key))
+
+let election_path = "/tropic/election"
+let input_queue = "/tropic/inputQ"
+let phy_queue = "/tropic/phyQ"
+let checkpoint_key = "/tropic/checkpoint"
+let txns_prefix = "/tropic/txns"
+let signal_key txn_id = Printf.sprintf "/tropic/signals/s%010d" txn_id
+let executing_key txn_id = Printf.sprintf "/tropic/executing/e%010d" txn_id

@@ -1,0 +1,49 @@
+(** Payloads carried through the distributed queues.
+
+    [inputQ] multiplexes three kinds of items (paper Fig. 1/2): client
+    orchestration requests, execution results from physical workers, and
+    operator control commands (reconciliation, signals).  [phyQ] carries
+    bare transaction ids — workers fetch the execution log from the
+    transaction record. *)
+
+type signal = Term | Kill
+
+val signal_to_string : signal -> string
+
+type control =
+  | Reload of Data.Path.t             (** physical -> logical sync *)
+  | Repair of Data.Path.t             (** logical -> physical sync *)
+  | Signal of int * signal            (** unstick a transaction *)
+
+type outcome =
+  | Phy_committed
+  | Phy_aborted of string  (** an action failed; undo chain completed *)
+  | Phy_failed of string   (** an undo failed too: layers now inconsistent *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type input_item =
+  | Request of { proc : string; args : Data.Value.t list }
+  | Result of { txn_id : int; outcome : outcome }
+  | Control of control
+
+val input_to_string : input_item -> string
+val input_of_string : string -> (input_item, string) result
+
+(** Extract the numeric suffix of a queue item key
+    (e.g. ".../item-0000000042" -> 42). *)
+val seq_of_item_key : string -> (int, string) result
+
+(** {1 Well-known coordination-service keys} *)
+
+val election_path : string
+val input_queue : string
+val phy_queue : string
+val checkpoint_key : string
+val txns_prefix : string
+
+(** Key carrying a pending TERM/KILL signal for a transaction. *)
+val signal_key : int -> string
+
+(** Ephemeral marker a worker holds while physically executing a txn. *)
+val executing_key : int -> string

@@ -1,0 +1,47 @@
+(** Reconciliation planning (paper §4).
+
+    Pure logic only: compare a device's exported physical state with the
+    logical subtree and derive the repair actions (logical → physical
+    synchronization).  Executing the plan, locking, and quarantine
+    bookkeeping live in the controller.
+
+    Repairs are rule-driven: a rule says how to force one attribute of one
+    entity kind to its logical value (e.g. a [vm] whose [state] should be
+    ["running"] is repaired with [startVM]).  Differences with no rule —
+    nodes that appeared or vanished physically — are reported as
+    unrepairable; the operator handles those with [reload] or by marking
+    the resource unusable. *)
+
+type rule = {
+  rule_kind : string;  (** entity kind of the node the attribute lives on *)
+  rule_attr : string;
+  make_action :
+    node_name:string ->
+    target:Data.Value.t ->
+    (string * Data.Value.t list) option;
+      (** action (and args) to run on the node's parent device object;
+          [None] if this target value cannot be repaired *)
+}
+
+type step = {
+  at : Data.Path.t;  (** object the action targets (the node's parent) *)
+  action : string;
+  args : Data.Value.t list;
+}
+
+val pp_step : Format.formatter -> step -> unit
+
+type plan = {
+  steps : step list;
+  unrepaired : Data.Diff.change list;
+}
+
+(** [plan_repair ~rules ~at ~logical ~physical] — changes that turn the
+    physical subtree into the logical one, translated through [rules].
+    [at] is the subtree's root path (used to address the steps). *)
+val plan_repair :
+  rules:rule list ->
+  at:Data.Path.t ->
+  logical:Data.Tree.node ->
+  physical:Data.Tree.node ->
+  plan

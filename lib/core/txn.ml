@@ -1,0 +1,178 @@
+type state =
+  | Initialized
+  | Accepted
+  | Deferred
+  | Started
+  | Committed
+  | Aborted of string
+  | Failed of string
+
+let state_to_string = function
+  | Initialized -> "initialized"
+  | Accepted -> "accepted"
+  | Deferred -> "deferred"
+  | Started -> "started"
+  | Committed -> "committed"
+  | Aborted reason -> "aborted:" ^ reason
+  | Failed reason -> "failed:" ^ reason
+
+let state_of_string s =
+  let tagged prefix =
+    let plen = String.length prefix in
+    if String.length s >= plen && String.sub s 0 plen = prefix then
+      Some (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "initialized" -> Ok Initialized
+  | "accepted" -> Ok Accepted
+  | "deferred" -> Ok Deferred
+  | "started" -> Ok Started
+  | "committed" -> Ok Committed
+  | _ ->
+    (match tagged "aborted:" with
+     | Some reason -> Ok (Aborted reason)
+     | None ->
+       (match tagged "failed:" with
+        | Some reason -> Ok (Failed reason)
+        | None -> Error (Printf.sprintf "unknown txn state %S" s)))
+
+let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
+
+let is_terminal = function
+  | Committed | Aborted _ | Failed _ -> true
+  | Initialized | Accepted | Deferred | Started -> false
+
+type t = {
+  id : int;
+  proc : string;
+  args : Data.Value.t list;
+  mutable state : state;
+  mutable log : Xlog.t;
+  mutable locks : (Data.Path.t * Mglock.mode) list;
+  mutable start_seq : int option;
+  mutable submitted_at : float;
+  mutable finished_at : float option;
+}
+
+let make ~id ~proc ~args ~submitted_at =
+  {
+    id;
+    proc;
+    args;
+    state = Initialized;
+    log = [];
+    locks = [];
+    start_seq = None;
+    submitted_at;
+    finished_at = None;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "txn %d %s(%s) [%a]" t.id t.proc
+    (String.concat ", " (List.map Data.Value.to_string t.args))
+    pp_state t.state
+
+let record_key id = Printf.sprintf "/tropic/txns/t%010d" id
+
+let mode_to_sexp mode = Data.Sexp.Atom (Mglock.mode_to_string mode)
+
+let mode_of_sexp = function
+  | Data.Sexp.Atom "R" -> Ok Mglock.R
+  | Data.Sexp.Atom "W" -> Ok Mglock.W
+  | Data.Sexp.Atom "IR" -> Ok Mglock.IR
+  | Data.Sexp.Atom "IW" -> Ok Mglock.IW
+  | other -> Error ("bad lock mode: " ^ Data.Sexp.to_string other)
+
+let to_sexp t =
+  let open Data.Sexp in
+  List
+    [
+      List [ Atom "id"; of_int t.id ];
+      List [ Atom "proc"; Atom t.proc ];
+      List [ Atom "args"; List (List.map Data.Value.to_sexp t.args) ];
+      List [ Atom "state"; Atom (state_to_string t.state) ];
+      List [ Atom "log"; Xlog.to_sexp t.log ];
+      List
+        [
+          Atom "locks";
+          List
+            (List.map
+               (fun (path, mode) ->
+                 List [ Data.Path.to_sexp path; mode_to_sexp mode ])
+               t.locks);
+        ];
+      List [ Atom "submitted"; of_float t.submitted_at ];
+      List
+        [
+          Atom "start_seq";
+          (match t.start_seq with Some n -> of_int n | None -> Atom "none");
+        ];
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let of_sexp sexp =
+  let* fields = Data.Sexp.to_list sexp in
+  let* id = Result.bind (Data.Sexp.assoc "id" fields) Data.Sexp.to_int in
+  let* proc = Result.bind (Data.Sexp.assoc "proc" fields) Data.Sexp.to_atom in
+  let* args_sexp = Data.Sexp.assoc "args" fields in
+  let* args_list = Data.Sexp.to_list args_sexp in
+  let* args =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* v = Data.Value.of_sexp s in
+        Ok (v :: acc))
+      (Ok []) args_list
+    |> Result.map List.rev
+  in
+  let* state_str =
+    Result.bind (Data.Sexp.assoc "state" fields) Data.Sexp.to_atom
+  in
+  let* state = state_of_string state_str in
+  let* log = Result.bind (Data.Sexp.assoc "log" fields) Xlog.of_sexp in
+  let* locks_sexp = Data.Sexp.assoc "locks" fields in
+  let* locks_list = Data.Sexp.to_list locks_sexp in
+  let* locks =
+    List.fold_left
+      (fun acc entry ->
+        let* acc = acc in
+        match entry with
+        | Data.Sexp.List [ path; mode ] ->
+          let* path = Data.Path.of_sexp path in
+          let* mode = mode_of_sexp mode in
+          Ok ((path, mode) :: acc)
+        | other -> Error ("bad lock entry: " ^ Data.Sexp.to_string other))
+      (Ok []) locks_list
+    |> Result.map List.rev
+  in
+  let* submitted_at =
+    Result.bind (Data.Sexp.assoc "submitted" fields) Data.Sexp.to_float
+  in
+  let* start_seq =
+    match Data.Sexp.assoc "start_seq" fields with
+    | Ok (Data.Sexp.Atom "none") -> Ok None
+    | Ok s ->
+      let* n = Data.Sexp.to_int s in
+      Ok (Some n)
+    | Error _ -> Ok None
+  in
+  Ok
+    {
+      id;
+      proc;
+      args;
+      state;
+      log;
+      locks;
+      start_seq;
+      submitted_at;
+      finished_at = None;
+    }
+
+let to_string t = Data.Sexp.to_string (to_sexp t)
+
+let of_string s =
+  let* sexp = Data.Sexp.of_string s in
+  of_sexp sexp

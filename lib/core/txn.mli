@@ -1,0 +1,50 @@
+(** Transaction records and their life cycle (paper Fig. 2).
+
+    A record is persisted in the coordination service at every state
+    transition that matters for recovery, so a newly elected controller can
+    rebuild its in-memory state (todo queue, lock table, logical tree)
+    without losing any transaction. *)
+
+type state =
+  | Initialized          (** created by the client, in inputQ *)
+  | Accepted             (** dequeued by the controller, in todoQ *)
+  | Deferred             (** hit a lock conflict; back at the head of todoQ *)
+  | Started              (** simulated, locks held, handed to the physical layer *)
+  | Committed
+  | Aborted of string    (** rolled back cleanly; reason recorded *)
+  | Failed of string     (** an undo failed: cross-layer inconsistency *)
+
+val state_to_string : state -> string
+val state_of_string : string -> (state, string) result
+val pp_state : Format.formatter -> state -> unit
+
+(** Terminal states are [Committed], [Aborted] and [Failed]. *)
+val is_terminal : state -> bool
+
+type t = {
+  id : int;
+  proc : string;                     (** stored procedure name *)
+  args : Data.Value.t list;
+  mutable state : state;
+  mutable log : Xlog.t;              (** filled by logical simulation *)
+  mutable locks : (Data.Path.t * Mglock.mode) list;
+  mutable start_seq : int option;
+      (** order in which the controller started transactions; recovery
+          replays Started/Committed logs in this order *)
+  mutable submitted_at : float;
+  mutable finished_at : float option;
+}
+
+val make : id:int -> proc:string -> args:Data.Value.t list -> submitted_at:float -> t
+val pp : Format.formatter -> t -> unit
+
+(** {1 Persistence} *)
+
+val to_sexp : t -> Data.Sexp.t
+val of_sexp : Data.Sexp.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+(** Key of this transaction's record in the coordination service,
+    e.g. ["/tropic/txns/t0000000042"]. *)
+val record_key : int -> string

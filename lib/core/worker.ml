@@ -1,0 +1,116 @@
+let log_src = Logs.Src.create "tropic.worker" ~doc:"TROPIC worker"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Full | Logical_only of float
+
+type t = {
+  wname : string;
+  client : Coord.Client.t;
+  mode : mode;
+  devices : Physical.device_lookup;
+  sim : Des.Sim.t;
+  mutable stopped : bool;
+  mutable procs : Des.Proc.t list;
+  mutable n_executed : int;
+  mutable n_committed : int;
+}
+
+let create ~name ~client ~mode ~devices ~sim =
+  {
+    wname = name;
+    client;
+    mode;
+    devices;
+    sim;
+    stopped = false;
+    procs = [];
+    n_executed = 0;
+    n_committed = 0;
+  }
+
+let name w = w.wname
+let executed w = w.n_executed
+let committed w = w.n_committed
+
+let check_signal w txn_id () =
+  match Coord.Client.get w.client (Proto.signal_key txn_id) with
+  | Some ("TERM", _) -> `Term
+  | Some ("KILL", _) -> `Kill
+  | Some _ | None -> `Go
+
+let execute_txn w txn_id =
+  match Coord.Client.get w.client (Txn.record_key txn_id) with
+  | None ->
+    Log.err (fun m -> m "%s: no record for txn %d" w.wname txn_id);
+    None
+  | Some (value, _) ->
+    (match Txn.of_string value with
+     | Error reason ->
+       Log.err (fun m -> m "%s: corrupt record for txn %d: %s" w.wname txn_id reason);
+       None
+     | Ok txn ->
+       if txn.Txn.state <> Txn.Started then None
+       else begin
+         let outcome =
+           match w.mode with
+           | Logical_only delay ->
+             if delay > 0. then Des.Proc.sleep delay;
+             Proto.Phy_committed
+           | Full ->
+             Physical.execute ~devices:w.devices
+               ~check_signal:(check_signal w txn_id)
+               txn.Txn.log
+         in
+         w.n_executed <- w.n_executed + 1;
+         if outcome = Proto.Phy_committed then
+           w.n_committed <- w.n_committed + 1;
+         Some outcome
+       end)
+
+(* Take protocol: claim with an ephemeral executing-marker before deleting
+   the queue item, so a recovering controller never re-queues a transaction
+   some worker is already executing. *)
+let take_and_run w (key, payload) =
+  (match int_of_string_opt payload with
+     | None -> ignore (Coord.Client.delete w.client ~key ())
+     | Some txn_id ->
+       let marker = Proto.executing_key txn_id in
+       ignore
+         (Coord.Client.create w.client ~ephemeral:true ~key:marker ~value:w.wname ());
+       (match Coord.Client.delete w.client ~key () with
+        | Error _ ->
+          (* Another worker won the take; withdraw the claim if it is ours. *)
+          (match Coord.Client.get w.client marker with
+           | Some (owner, _) when String.equal owner w.wname ->
+             ignore (Coord.Client.delete w.client ~key:marker ())
+           | Some _ | None -> ())
+        | Ok () ->
+          (match execute_txn w txn_id with
+           | Some outcome ->
+             ignore
+               (Coord.Recipes.enqueue w.client ~queue:Proto.input_queue
+                  (Proto.input_to_string (Proto.Result { txn_id; outcome })))
+           | None -> ());
+          ignore (Coord.Client.delete w.client ~key:marker ())))
+
+let run w () =
+  while not w.stopped do
+    match Coord.Client.first_child_value w.client Proto.phy_queue with
+    | Some item -> take_and_run w item
+    | None ->
+      Coord.Client.watch_children w.client Proto.phy_queue;
+      (match Coord.Client.first_child_value w.client Proto.phy_queue with
+       | Some item -> take_and_run w item
+       | None -> ignore (Coord.Client.await_change w.client ~timeout:1.0))
+  done
+
+let start w =
+  let p = Des.Proc.spawn ~name:w.wname w.sim (run w) in
+  w.procs <- [ p ]
+
+let crash w =
+  w.stopped <- true;
+  List.iter Des.Proc.kill w.procs;
+  w.procs <- [];
+  Coord.Client.close w.client

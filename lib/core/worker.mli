@@ -1,0 +1,32 @@
+(** Physical-layer worker (paper §3.2).
+
+    Workers compete for transactions on phyQ, replay each execution log
+    against the devices (checking for TERM/KILL signals between actions)
+    and report the outcome back to the controller through inputQ.
+
+    In logical-only mode (paper §5) device calls are bypassed: the worker
+    just models a small handling delay and reports success — the mode the
+    performance evaluation (Figs. 4, 5) runs in. *)
+
+type mode =
+  | Full
+  | Logical_only of float  (** stand-in handling delay per transaction *)
+
+type t
+
+val create :
+  name:string ->
+  client:Coord.Client.t ->
+  mode:mode ->
+  devices:Physical.device_lookup ->
+  sim:Des.Sim.t ->
+  t
+
+val start : t -> unit
+val crash : t -> unit
+val name : t -> string
+
+(** Transactions physically executed so far, by outcome. *)
+val executed : t -> int
+
+val committed : t -> int

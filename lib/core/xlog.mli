@@ -1,0 +1,25 @@
+(** Transaction execution logs (paper Table 1).
+
+    The logical layer records one entry per simulated action; the physical
+    layer replays them in order and, on failure, executes the undo actions
+    in reverse chronological order.  Logs are persisted inside transaction
+    records, so a recovering controller can re-apply or roll back. *)
+
+type record = {
+  index : int;                 (** 1-based position in the log *)
+  path : Data.Path.t;          (** resource object the action targets *)
+  action : string;
+  args : Data.Value.t list;
+  undo : string option;        (** [None] — irreversible action *)
+  undo_args : Data.Value.t list;
+}
+
+type t = record list (* in execution order *)
+
+val pp_record : Format.formatter -> record -> unit
+val pp : Format.formatter -> t -> unit
+
+val record_to_sexp : record -> Data.Sexp.t
+val record_of_sexp : Data.Sexp.t -> (record, string) result
+val to_sexp : t -> Data.Sexp.t
+val of_sexp : Data.Sexp.t -> (t, string) result

@@ -1,0 +1,65 @@
+type change =
+  | Added of Path.t * Tree.node
+  | Removed of Path.t
+  | Kind_changed of Path.t * string * string
+  | Attr_set of Path.t * string * Value.t option * Value.t
+  | Attr_removed of Path.t * string * Value.t
+
+let pp_change fmt = function
+  | Added (p, node) -> Format.fprintf fmt "+ %a [%s]" Path.pp p node.Tree.kind
+  | Removed p -> Format.fprintf fmt "- %a" Path.pp p
+  | Kind_changed (p, old_kind, new_kind) ->
+    Format.fprintf fmt "~ %a kind %s -> %s" Path.pp p old_kind new_kind
+  | Attr_set (p, name, None, v) ->
+    Format.fprintf fmt "~ %a +%s=%a" Path.pp p name Value.pp v
+  | Attr_set (p, name, Some old_v, v) ->
+    Format.fprintf fmt "~ %a %s: %a -> %a" Path.pp p name Value.pp old_v
+      Value.pp v
+  | Attr_removed (p, name, v) ->
+    Format.fprintf fmt "~ %a -%s (was %a)" Path.pp p name Value.pp v
+
+let change_to_string c = Format.asprintf "%a" pp_change c
+
+let path_of = function
+  | Added (p, _) | Removed p | Kind_changed (p, _, _)
+  | Attr_set (p, _, _, _) | Attr_removed (p, _, _) ->
+    p
+
+let diff ~old_tree ~new_tree =
+  let rec go path (old_node : Tree.node) (new_node : Tree.node) acc =
+    let acc =
+      if String.equal old_node.Tree.kind new_node.Tree.kind then acc
+      else Kind_changed (path, old_node.Tree.kind, new_node.Tree.kind) :: acc
+    in
+    let acc =
+      Tree.Smap.fold
+        (fun name old_v acc ->
+          match Tree.Smap.find_opt name new_node.Tree.attrs with
+          | None -> Attr_removed (path, name, old_v) :: acc
+          | Some new_v when Value.equal old_v new_v -> acc
+          | Some new_v -> Attr_set (path, name, Some old_v, new_v) :: acc)
+        old_node.Tree.attrs acc
+    in
+    let acc =
+      Tree.Smap.fold
+        (fun name new_v acc ->
+          if Tree.Smap.mem name old_node.Tree.attrs then acc
+          else Attr_set (path, name, None, new_v) :: acc)
+        new_node.Tree.attrs acc
+    in
+    let acc =
+      Tree.Smap.fold
+        (fun name old_child acc ->
+          let child_path = Path.child path name in
+          match Tree.Smap.find_opt name new_node.Tree.children with
+          | None -> Removed child_path :: acc
+          | Some new_child -> go child_path old_child new_child acc)
+        old_node.Tree.children acc
+    in
+    Tree.Smap.fold
+      (fun name new_child acc ->
+        if Tree.Smap.mem name old_node.Tree.children then acc
+        else Added (Path.child path name, new_child) :: acc)
+      new_node.Tree.children acc
+  in
+  List.rev (go Path.root old_tree new_tree [])

@@ -1,0 +1,23 @@
+(** Structural difference between two trees.
+
+    Reconciliation uses this to compare the logical and physical data
+    models: [diff ~old_tree ~new_tree] lists the changes that turn
+    [old_tree] into [new_tree]. *)
+
+type change =
+  | Added of Path.t * Tree.node       (** subtree present only in [new_tree] *)
+  | Removed of Path.t                 (** subtree present only in [old_tree] *)
+  | Kind_changed of Path.t * string * string  (** old kind, new kind *)
+  | Attr_set of Path.t * string * Value.t option * Value.t
+      (** attribute added or changed: old value ([None] = absent), new *)
+  | Attr_removed of Path.t * string * Value.t
+
+val pp_change : Format.formatter -> change -> unit
+val change_to_string : change -> string
+
+(** [path_of change] is the node the change applies to. *)
+val path_of : change -> Path.t
+
+(** Changes in deterministic (preorder, name-sorted) order; empty iff the
+    trees are equal. *)
+val diff : old_tree:Tree.t -> new_tree:Tree.t -> change list

@@ -1,0 +1,188 @@
+type t = Atom of string | List of t list
+
+let rec equal a b =
+  match a, b with
+  | Atom x, Atom y -> String.equal x y
+  | List xs, List ys ->
+    (try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | Atom _, List _ | List _, Atom _ -> false
+
+let atom s = Atom s
+let list xs = List xs
+let of_int i = Atom (string_of_int i)
+
+(* %h is an exact hexadecimal representation, so float round-trips are
+   lossless; plain integers stay readable. *)
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Atom (Printf.sprintf "%.0f." f)
+  else Atom (Printf.sprintf "%h" f)
+
+let of_bool b = Atom (if b then "true" else "false")
+
+let needs_quoting s =
+  String.length s = 0
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' | ';' -> true
+         | c -> Char.code c < 32 || Char.code c = 127)
+       s
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string sexp =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Atom s -> if needs_quoting s then escape buf s else Buffer.add_string buf s
+    | List xs ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ' ';
+          go x)
+        xs;
+      Buffer.add_char buf ')'
+  in
+  go sexp;
+  Buffer.contents buf
+
+let pp fmt sexp = Format.pp_print_string fmt (to_string sexp)
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'
+         | Some '\\' -> Buffer.add_char buf '\\'
+         | Some 'n' -> Buffer.add_char buf '\n'
+         | Some 't' -> Buffer.add_char buf '\t'
+         | Some 'r' -> Buffer.add_char buf '\r'
+         | Some c -> fail (Printf.sprintf "bad escape \\%c" c)
+         | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then fail "empty atom";
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          advance ();
+          List (List.rev acc)
+        | None -> fail "unterminated list"
+        | Some _ -> items (parse_value () :: acc)
+      in
+      items []
+    | Some ')' -> fail "unexpected ')'"
+    | Some '"' -> parse_quoted ()
+    | Some _ -> parse_bare ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let to_atom = function
+  | Atom s -> Ok s
+  | List _ -> Error "expected atom, got list"
+
+let to_list = function
+  | List xs -> Ok xs
+  | Atom s -> Error (Printf.sprintf "expected list, got atom %S" s)
+
+let to_int sexp =
+  match sexp with
+  | Atom s ->
+    (match int_of_string_opt s with
+     | Some i -> Ok i
+     | None -> Error (Printf.sprintf "not an int: %S" s))
+  | List _ -> Error "expected int, got list"
+
+let to_float sexp =
+  match sexp with
+  | Atom s ->
+    (match float_of_string_opt s with
+     | Some f -> Ok f
+     | None -> Error (Printf.sprintf "not a float: %S" s))
+  | List _ -> Error "expected float, got list"
+
+let to_bool sexp =
+  match sexp with
+  | Atom "true" -> Ok true
+  | Atom "false" -> Ok false
+  | Atom s -> Error (Printf.sprintf "not a bool: %S" s)
+  | List _ -> Error "expected bool, got list"
+
+let assoc key fields =
+  let matches = function
+    | List (Atom k :: _) -> String.equal k key
+    | List _ | Atom _ -> false
+  in
+  match List.find_opt matches fields with
+  | Some (List [ _; v ]) -> Ok v
+  | Some (List (_ :: vs)) -> Ok (List vs)
+  | Some _ | None -> Error (Printf.sprintf "missing field %S" key)

@@ -1,0 +1,224 @@
+module Smap = Map.Make (String)
+
+type node = {
+  kind : string;
+  attrs : Value.t Smap.t;
+  children : node Smap.t;
+}
+
+type t = node
+
+type error =
+  | Missing of Path.t
+  | Exists of Path.t
+  | No_parent of Path.t
+  | Root_immutable
+
+let pp_error fmt = function
+  | Missing p -> Format.fprintf fmt "no such path %a" Path.pp p
+  | Exists p -> Format.fprintf fmt "path already exists %a" Path.pp p
+  | No_parent p -> Format.fprintf fmt "parent of %a does not exist" Path.pp p
+  | Root_immutable -> Format.pp_print_string fmt "the root cannot be removed"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let make_node ~kind ?(attrs = []) ?(children = []) () =
+  {
+    kind;
+    attrs = Smap.of_seq (List.to_seq attrs);
+    children = Smap.of_seq (List.to_seq children);
+  }
+
+let empty = make_node ~kind:"root" ()
+
+let rec node_equal a b =
+  String.equal a.kind b.kind
+  && Smap.equal Value.equal a.attrs b.attrs
+  && Smap.equal node_equal a.children b.children
+
+let equal = node_equal
+
+let rec find_node node segs =
+  match segs with
+  | [] -> Some node
+  | seg :: rest ->
+    (match Smap.find_opt seg node.children with
+     | Some child -> find_node child rest
+     | None -> None)
+
+let find t path = find_node t (Path.segments path)
+let mem t path = Option.is_some (find t path)
+
+let get_attr t path name =
+  Option.bind (find t path) (fun node -> Smap.find_opt name node.attrs)
+
+let kind t path = Option.map (fun node -> node.kind) (find t path)
+
+let children t path =
+  Option.map (fun node -> Smap.bindings node.children) (find t path)
+
+let child_names t path =
+  Option.map (List.map fst) (children t path)
+
+let attrs_of node = Smap.bindings node.attrs
+
+let fold f t init =
+  let rec go path node acc =
+    let acc = f path node acc in
+    Smap.fold (fun name child acc -> go (Path.child path name) child acc)
+      node.children acc
+  in
+  go Path.root t init
+
+let size t = fold (fun path _ acc -> if Path.is_root path then acc else acc + 1) t 0
+
+(* Rebuild the spine from the root to [path], applying [f] to the node at
+   [path] ([f None] when absent; returning [None] deletes it). *)
+let update t path (f : node option -> (node option, error) result) =
+  let rec go node segs =
+    match segs with
+    | [] ->
+      (match f (Some node) with
+       | Ok (Some node') -> Ok (Some node')
+       | Ok None -> Error Root_immutable
+       | Error e -> Error e)
+    | [ last ] ->
+      let current = Smap.find_opt last node.children in
+      (match f current with
+       | Error e -> Error e
+       | Ok None ->
+         (match current with
+          | None -> Error (Missing path)
+          | Some _ ->
+            Ok (Some { node with children = Smap.remove last node.children }))
+       | Ok (Some child') ->
+         Ok (Some { node with children = Smap.add last child' node.children }))
+    | seg :: rest ->
+      (match Smap.find_opt seg node.children with
+       | None ->
+         (* An intermediate node is absent: classify the failure. *)
+         (match f None with
+          | Error e -> Error e
+          | Ok (Some _) -> Error (No_parent path)
+          | Ok None -> Error (Missing path))
+       | Some child ->
+         (match go child rest with
+          | Error e -> Error e
+          | Ok None -> assert false (* only the last step deletes *)
+          | Ok (Some child') ->
+            Ok (Some { node with children = Smap.add seg child' node.children })))
+  in
+  match go t (Path.segments path) with
+  | Ok (Some root) -> Ok root
+  | Ok None -> Error Root_immutable
+  | Error e -> Error e
+
+let insert t path ~kind ?(attrs = []) () =
+  update t path (function
+    | Some _ -> Error (Exists path)
+    | None -> Ok (Some (make_node ~kind ~attrs ())))
+
+let remove t path =
+  if Path.is_root path then Error Root_immutable
+  else
+    update t path (function
+      | None -> Error (Missing path)
+      | Some _ -> Ok None)
+
+let modify_existing t path f =
+  update t path (function
+    | None -> Error (Missing path)
+    | Some node -> Ok (Some (f node)))
+
+let set_attr t path name value =
+  modify_existing t path (fun node ->
+      { node with attrs = Smap.add name value node.attrs })
+
+let remove_attr t path name =
+  modify_existing t path (fun node ->
+      { node with attrs = Smap.remove name node.attrs })
+
+let replace_subtree t path node =
+  if Path.is_root path then Ok node
+  else
+    update t path (function
+      | None -> Error (Missing path)
+      | Some _ -> Ok (Some node))
+
+let subtree t path =
+  match find t path with Some node -> Ok node | None -> Error (Missing path)
+
+(* Codec: (node <kind> (attrs (<name> <value>)...) (children (<name> <node>)...)) *)
+let rec node_to_sexp node =
+  Sexp.List
+    [
+      Sexp.Atom "node";
+      Sexp.Atom node.kind;
+      Sexp.List
+        (Sexp.Atom "attrs"
+         :: List.map
+              (fun (name, v) -> Sexp.List [ Sexp.Atom name; Value.to_sexp v ])
+              (Smap.bindings node.attrs));
+      Sexp.List
+        (Sexp.Atom "children"
+         :: List.map
+              (fun (name, child) ->
+                Sexp.List [ Sexp.Atom name; node_to_sexp child ])
+              (Smap.bindings node.children));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let rec node_of_sexp sexp =
+  match sexp with
+  | Sexp.List
+      [
+        Sexp.Atom "node";
+        Sexp.Atom kind;
+        Sexp.List (Sexp.Atom "attrs" :: attrs);
+        Sexp.List (Sexp.Atom "children" :: children);
+      ] ->
+    let* attrs =
+      List.fold_left
+        (fun acc entry ->
+          let* acc = acc in
+          match entry with
+          | Sexp.List [ Sexp.Atom name; v ] ->
+            let* v = Value.of_sexp v in
+            Ok ((name, v) :: acc)
+          | other -> Error ("bad attr entry: " ^ Sexp.to_string other))
+        (Ok []) attrs
+    in
+    let* children =
+      List.fold_left
+        (fun acc entry ->
+          let* acc = acc in
+          match entry with
+          | Sexp.List [ Sexp.Atom name; child ] ->
+            let* child = node_of_sexp child in
+            Ok ((name, child) :: acc)
+          | other -> Error ("bad child entry: " ^ Sexp.to_string other))
+        (Ok []) children
+    in
+    Ok (make_node ~kind ~attrs ~children ())
+  | other -> Error ("Tree.node_of_sexp: bad node " ^ Sexp.to_string other)
+
+let to_sexp = node_to_sexp
+let of_sexp = node_of_sexp
+let to_string t = Sexp.to_string (to_sexp t)
+
+let of_string s =
+  let* sexp = Sexp.of_string s in
+  of_sexp sexp
+
+let pp fmt t =
+  let rec go indent name node =
+    Format.fprintf fmt "%s%s [%s]" indent name node.kind;
+    Smap.iter
+      (fun attr_name v -> Format.fprintf fmt " %s=%a" attr_name Value.pp v)
+      node.attrs;
+    Format.pp_print_newline fmt ();
+    Smap.iter (fun child_name child -> go (indent ^ "  ") child_name child)
+      node.children
+  in
+  go "" "/" t

@@ -1,0 +1,86 @@
+(** The hierarchical resource data model: a persistent (immutable) tree of
+    typed nodes with attribute maps.
+
+    Persistence is what makes the logical layer cheap to checkpoint and roll
+    back: the controller keeps the pre-transaction tree value and restores
+    it in O(1) on abort. *)
+
+module Smap : Map.S with type key = string
+
+type node = {
+  kind : string;  (** entity type, e.g. ["vmHost"], ["vm"], ["image"] *)
+  attrs : Value.t Smap.t;
+  children : node Smap.t;
+}
+
+type t = node
+
+type error =
+  | Missing of Path.t      (** path does not exist *)
+  | Exists of Path.t       (** insert target already exists *)
+  | No_parent of Path.t    (** insert target's parent does not exist *)
+  | Root_immutable         (** attempt to remove or replace the root *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val empty : t
+val equal : t -> t -> bool
+
+(** {1 Reading} *)
+
+val find : t -> Path.t -> node option
+val mem : t -> Path.t -> bool
+val get_attr : t -> Path.t -> string -> Value.t option
+val kind : t -> Path.t -> string option
+
+(** Children of the node at [path], in name order. *)
+val children : t -> Path.t -> (string * node) list option
+
+(** Child names only. *)
+val child_names : t -> Path.t -> string list option
+
+(** Attributes of a node, in name order. *)
+val attrs_of : node -> (string * Value.t) list
+
+(** Preorder fold over every node (including the root, path = []). *)
+val fold : (Path.t -> node -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Number of nodes, root excluded. *)
+val size : t -> int
+
+(** {1 Updating — all persistent} *)
+
+val insert :
+  t -> Path.t -> kind:string -> ?attrs:(string * Value.t) list -> unit ->
+  (t, error) result
+
+(** Removes the node and its whole subtree. *)
+val remove : t -> Path.t -> (t, error) result
+
+val set_attr : t -> Path.t -> string -> Value.t -> (t, error) result
+val remove_attr : t -> Path.t -> string -> (t, error) result
+
+(** [replace_subtree t path node] substitutes the node (with children) at
+    [path]; used by reload to adopt freshly retrieved physical state. *)
+val replace_subtree : t -> Path.t -> node -> (t, error) result
+
+(** [subtree t path] is the node at [path] viewed as a standalone tree. *)
+val subtree : t -> Path.t -> (node, error) result
+
+(** {1 Codec} *)
+
+val node_to_sexp : node -> Sexp.t
+val node_of_sexp : Sexp.t -> (node, string) result
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+(** Render as an indented outline (for examples and debugging). *)
+val pp : Format.formatter -> t -> unit
+
+(** Build a node value directly (for {!replace_subtree} and tests). *)
+val make_node :
+  kind:string -> ?attrs:(string * Value.t) list ->
+  ?children:(string * node) list -> unit -> node

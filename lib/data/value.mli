@@ -1,0 +1,29 @@
+(** Attribute values stored at data-model nodes and passed to actions. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+
+(** {1 Typed accessors} — [None] on a type mismatch. *)
+
+val as_bool : t -> bool option
+val as_int : t -> int option
+val as_float : t -> float option
+
+(** [as_number] accepts both [Int] and [Float]. *)
+val as_number : t -> float option
+
+val as_str : t -> string option
+val as_list : t -> t list option

@@ -1,0 +1,25 @@
+(** Array-based binary min-heap.
+
+    Used as the event queue of the simulator, but generic: the ordering is
+    fixed at creation time by a comparison function. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. Amortized O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** [pop h] removes and returns the minimum element.
+    @raise Invalid_argument on an empty heap. *)
+val pop : 'a t -> 'a
+
+(** [peek h] is the minimum element without removing it, if any. *)
+val peek : 'a t -> 'a option
+
+(** [pop_opt h] is [Some (pop h)] unless the heap is empty. *)
+val pop_opt : 'a t -> 'a option

@@ -1,0 +1,48 @@
+(** Simulated message-passing network with fault injection.
+
+    Nodes are integers [0 .. nodes-1]; each has an inbox channel carrying
+    [(src, message)] pairs.  Delivery is unicast, unordered across distinct
+    latencies, and unreliable under injected faults:
+
+    - a crashed node neither sends nor receives (its inbox is flushed);
+    - partitioned node pairs drop messages at send time;
+    - a global drop probability models lossy links;
+    - messages in flight to a node that crashes are dropped at delivery. *)
+
+type 'm t
+
+val create :
+  ?latency:(src:int -> dst:int -> rng:Random.State.t -> float) ->
+  ?drop_rate:float ->
+  Sim.t ->
+  nodes:int ->
+  'm t
+
+val sim : 'm t -> Sim.t
+val node_count : 'm t -> int
+
+(** [send net ~src ~dst msg] attempts delivery of [msg] to [dst]'s inbox. *)
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+
+(** [broadcast net ~src msg] sends to every node except [src]. *)
+val broadcast : 'm t -> src:int -> 'm -> unit
+
+val inbox : 'm t -> int -> (int * 'm) Channel.t
+
+val crash : 'm t -> int -> unit
+val restart : 'm t -> int -> unit
+val is_up : 'm t -> int -> bool
+
+(** [partition net a b] cuts all links between node groups [a] and [b]. *)
+val partition : 'm t -> int list -> int list -> unit
+
+(** Remove all partitions. *)
+val heal : 'm t -> unit
+
+val set_drop_rate : 'm t -> float -> unit
+
+(** Total messages actually delivered (for tests / stats). *)
+val delivered : 'm t -> int
+
+(** Total messages dropped by faults. *)
+val dropped : 'm t -> int

@@ -1,0 +1,44 @@
+type plan = Next of int | Always
+
+type t = {
+  plans : (string, plan) Hashtbl.t;
+  mutable probability : float;
+  mutable injected_count : int;
+}
+
+let create () = { plans = Hashtbl.create 8; probability = 0.; injected_count = 0 }
+
+let fail_next ?(count = 1) t ~action =
+  if count > 0 then Hashtbl.replace t.plans action (Next count)
+
+let fail_always t ~action = Hashtbl.replace t.plans action Always
+let clear t ~action = Hashtbl.remove t.plans action
+
+let clear_all t =
+  Hashtbl.reset t.plans;
+  t.probability <- 0.
+
+let set_probability t p = t.probability <- p
+
+let check t ~rng ~action =
+  let planned =
+    match Hashtbl.find_opt t.plans action with
+    | Some (Next 1) ->
+      Hashtbl.remove t.plans action;
+      true
+    | Some (Next n) ->
+      Hashtbl.replace t.plans action (Next (n - 1));
+      true
+    | Some Always -> true
+    | None -> false
+  in
+  let random =
+    t.probability > 0. && Des.Dist.flip rng ~p:t.probability
+  in
+  if planned || random then begin
+    t.injected_count <- t.injected_count + 1;
+    Error (Printf.sprintf "injected fault in %s" action)
+  end
+  else Ok ()
+
+let injected t = t.injected_count

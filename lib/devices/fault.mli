@@ -1,0 +1,28 @@
+(** Fault injection for simulated devices.
+
+    Supports the error scenarios of the paper's robustness evaluation
+    (§6.3): deterministic one-shot failures of a named action (e.g. "the
+    last step of VM spawning fails"), persistent failures, and a background
+    random failure probability. *)
+
+type t
+
+val create : unit -> t
+
+(** The next [count] (default 1) invocations of [action] fail. *)
+val fail_next : ?count:int -> t -> action:string -> unit
+
+(** Every invocation of [action] fails until {!clear}. *)
+val fail_always : t -> action:string -> unit
+
+val clear : t -> action:string -> unit
+val clear_all : t -> unit
+
+(** Background failure probability applied to every action. *)
+val set_probability : t -> float -> unit
+
+(** [check t ~rng ~action] decides the fate of one invocation. *)
+val check : t -> rng:Random.State.t -> action:string -> (unit, string) result
+
+(** Injected failures so far. *)
+val injected : t -> int

@@ -1,0 +1,102 @@
+type vlan = { vlan_name : string; mutable ports : string list }
+
+type t = {
+  limit : int;
+  vlans : (int, vlan) Hashtbl.t;
+  handle : Device.t Lazy.t;
+}
+
+let vlan_key id = Printf.sprintf "vlan%04d" id
+
+let export_state switch () =
+  let children =
+    Hashtbl.fold
+      (fun id vlan acc ->
+        let node =
+          Data.Tree.make_node ~kind:Schema.vlan_kind
+            ~attrs:
+              [
+                Schema.attr_vlan_name, Data.Value.Str vlan.vlan_name;
+                ( Schema.attr_ports,
+                  Data.Value.List
+                    (List.map
+                       (fun p -> Data.Value.Str p)
+                       (List.sort String.compare vlan.ports)) );
+              ]
+            ()
+        in
+        (vlan_key id, node) :: acc)
+      switch.vlans []
+  in
+  Data.Tree.make_node ~kind:Schema.switch_kind
+    ~attrs:[ Schema.attr_max_vlans, Data.Value.Int switch.limit ]
+    ~children ()
+
+let ( let* ) r f = Result.bind r f
+
+let dispatch switch ~action ~args =
+  if String.equal action Schema.act_create_vlan then
+    let* id = Device.int_arg args 0 in
+    let* name = Device.str_arg args 1 in
+    if Hashtbl.mem switch.vlans id then
+      Error (Printf.sprintf "vlan %d already exists" id)
+    else if Hashtbl.length switch.vlans >= switch.limit then
+      Error "switch out of vlan capacity"
+    else Ok (Hashtbl.replace switch.vlans id { vlan_name = name; ports = [] })
+  else if String.equal action Schema.act_remove_vlan then
+    let* id = Device.int_arg args 0 in
+    (match Hashtbl.find_opt switch.vlans id with
+     | None -> Error (Printf.sprintf "vlan %d does not exist" id)
+     | Some { ports = _ :: _; _ } ->
+       Error (Printf.sprintf "vlan %d still has ports" id)
+     | Some { ports = []; _ } -> Ok (Hashtbl.remove switch.vlans id))
+  else if String.equal action Schema.act_add_port then
+    let* id = Device.int_arg args 0 in
+    let* port = Device.str_arg args 1 in
+    (match Hashtbl.find_opt switch.vlans id with
+     | None -> Error (Printf.sprintf "vlan %d does not exist" id)
+     | Some vlan ->
+       if List.mem port vlan.ports then
+         Error (Printf.sprintf "port %s already in vlan %d" port id)
+       else Ok (vlan.ports <- port :: vlan.ports))
+  else if String.equal action Schema.act_remove_port then
+    let* id = Device.int_arg args 0 in
+    let* port = Device.str_arg args 1 in
+    (match Hashtbl.find_opt switch.vlans id with
+     | None -> Error (Printf.sprintf "vlan %d does not exist" id)
+     | Some vlan ->
+       if not (List.mem port vlan.ports) then
+         Error (Printf.sprintf "port %s not in vlan %d" port id)
+       else Ok (vlan.ports <- List.filter (fun p -> p <> port) vlan.ports))
+  else Error (Printf.sprintf "switch: unknown action %s" action)
+
+let create ?(timing = `Instant) ?latency ?rng ~root ~max_vlans () =
+  let latency = Option.value latency ~default:Device.default_latency in
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 2213 |]
+  in
+  let rec switch =
+    {
+      limit = max_vlans;
+      vlans = Hashtbl.create 16;
+      handle =
+        lazy
+          (Device.make ~root ~kind:Schema.switch_kind ~timing ~latency ~rng
+             ~dispatch:(fun ~action ~args -> dispatch switch ~action ~args)
+             ~export_state:(export_state switch));
+    }
+  in
+  switch
+
+let device switch = Lazy.force switch.handle
+
+let vlan_ids switch =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) switch.vlans [])
+
+let ports_of switch id =
+  Option.map
+    (fun vlan -> List.sort String.compare vlan.ports)
+    (Hashtbl.find_opt switch.vlans id)
+
+let max_vlans switch = switch.limit
+let force_remove_vlan switch id = Hashtbl.remove switch.vlans id

@@ -1,0 +1,52 @@
+(* Shared vocabulary between the simulated devices (physical layer) and the
+   TCloud data model (logical layer): entity kinds, attribute names, VM
+   states, and the action names of Table 1.  Keeping these in one place is
+   what lets reload/repair compare the two layers structurally. *)
+
+(* Entity kinds *)
+let vm_root_kind = "vmRoot"
+let vm_host_kind = "vmHost"
+let vm_kind = "vm"
+let storage_root_kind = "storageRoot"
+let storage_host_kind = "storageHost"
+let image_kind = "image"
+let net_root_kind = "netRoot"
+let switch_kind = "switch"
+let vlan_kind = "vlan"
+
+(* Attribute names *)
+let attr_mem_mb = "mem_mb"
+let attr_hypervisor = "hypervisor"
+let attr_state = "state"
+let attr_image = "image"
+let attr_size_mb = "size_mb"
+let attr_exported = "exported"
+let attr_template = "template"
+let attr_ports = "ports"
+let attr_vlan_name = "name"
+let attr_imported = "imported"   (* images imported on a compute host *)
+let attr_max_vlans = "max_vlans"
+
+(* VM lifecycle states *)
+let state_stopped = "stopped"
+let state_running = "running"
+
+(* Compute-host actions *)
+let act_import_image = "importImage"
+let act_unimport_image = "unimportImage"
+let act_create_vm = "createVM"
+let act_remove_vm = "removeVM"
+let act_start_vm = "startVM"
+let act_stop_vm = "stopVM"
+
+(* Storage-host actions *)
+let act_clone_image = "cloneImage"
+let act_remove_image = "removeImage"
+let act_export_image = "exportImage"
+let act_unexport_image = "unexportImage"
+
+(* Switch actions *)
+let act_create_vlan = "createVlan"
+let act_remove_vlan = "removeVlan"
+let act_add_port = "addPort"
+let act_remove_port = "removePort"

@@ -1,0 +1,122 @@
+type image = {
+  size_mb : int;
+  template : bool;
+  mutable exported : bool;
+}
+
+type t = {
+  capacity : int;
+  images : (string, image) Hashtbl.t;
+  handle : Device.t Lazy.t;
+}
+
+let export_state host () =
+  let children =
+    Hashtbl.fold
+      (fun name img acc ->
+        let node =
+          Data.Tree.make_node ~kind:Schema.image_kind
+            ~attrs:
+              [
+                Schema.attr_size_mb, Data.Value.Int img.size_mb;
+                Schema.attr_template, Data.Value.Bool img.template;
+                Schema.attr_exported, Data.Value.Bool img.exported;
+              ]
+            ()
+        in
+        (name, node) :: acc)
+      host.images []
+  in
+  Data.Tree.make_node ~kind:Schema.storage_host_kind
+    ~attrs:[ Schema.attr_size_mb, Data.Value.Int host.capacity ]
+    ~children ()
+
+let used_mb host =
+  Hashtbl.fold (fun _ img acc -> acc + img.size_mb) host.images 0
+
+let ( let* ) r f = Result.bind r f
+
+let dispatch host ~action ~args =
+  if String.equal action Schema.act_clone_image then
+    let* template = Device.str_arg args 0 in
+    let* image = Device.str_arg args 1 in
+    (match Hashtbl.find_opt host.images template with
+     | None -> Error (Printf.sprintf "template %s does not exist" template)
+     | Some { template = false; _ } ->
+       Error (Printf.sprintf "%s is not a template" template)
+     | Some src ->
+       if Hashtbl.mem host.images image then
+         Error (Printf.sprintf "image %s already exists" image)
+       else if used_mb host + src.size_mb > host.capacity then
+         Error "storage host out of space"
+       else
+         Ok
+           (Hashtbl.replace host.images image
+              { size_mb = src.size_mb; template = false; exported = false }))
+  else if String.equal action Schema.act_remove_image then
+    let* image = Device.str_arg args 0 in
+    (match Hashtbl.find_opt host.images image with
+     | None -> Error (Printf.sprintf "image %s does not exist" image)
+     | Some { template = true; _ } -> Error "cannot remove a template"
+     | Some { exported = true; _ } ->
+       Error (Printf.sprintf "image %s is still exported" image)
+     | Some _ -> Ok (Hashtbl.remove host.images image))
+  else if String.equal action Schema.act_export_image then
+    let* image = Device.str_arg args 0 in
+    (match Hashtbl.find_opt host.images image with
+     | None -> Error (Printf.sprintf "image %s does not exist" image)
+     | Some ({ exported = false; _ } as img) -> Ok (img.exported <- true)
+     | Some { exported = true; _ } ->
+       Error (Printf.sprintf "image %s already exported" image))
+  else if String.equal action Schema.act_unexport_image then
+    let* image = Device.str_arg args 0 in
+    (match Hashtbl.find_opt host.images image with
+     | None -> Error (Printf.sprintf "image %s does not exist" image)
+     | Some ({ exported = true; _ } as img) -> Ok (img.exported <- false)
+     | Some { exported = false; _ } ->
+       Error (Printf.sprintf "image %s not exported" image))
+  else Error (Printf.sprintf "storage host: unknown action %s" action)
+
+let create ?(timing = `Instant) ?latency ?rng ~root ~capacity_mb () =
+  let latency = Option.value latency ~default:Device.default_latency in
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 2207 |]
+  in
+  let rec host =
+    {
+      capacity = capacity_mb;
+      images = Hashtbl.create 16;
+      handle =
+        lazy
+          (Device.make ~root ~kind:Schema.storage_host_kind ~timing ~latency
+             ~rng
+             ~dispatch:(fun ~action ~args -> dispatch host ~action ~args)
+             ~export_state:(export_state host));
+    }
+  in
+  host
+
+let device host = Lazy.force host.handle
+
+let add_template host ~name ~size_mb =
+  Hashtbl.replace host.images name { size_mb; template = true; exported = false }
+
+let preload_image host ~name ~size_mb ~exported =
+  Hashtbl.replace host.images name { size_mb; template = false; exported }
+
+let image_names host =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) host.images [])
+
+let is_template host name =
+  match Hashtbl.find_opt host.images name with
+  | Some img -> img.template
+  | None -> false
+
+let is_exported host name =
+  match Hashtbl.find_opt host.images name with
+  | Some img -> img.exported
+  | None -> false
+
+let capacity_mb host = host.capacity
+let force_remove_image host name = Hashtbl.remove host.images name

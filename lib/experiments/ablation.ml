@@ -1,0 +1,252 @@
+module Schema = Devices.Schema
+
+type scheduling_result = {
+  fifo_makespan : float;
+  aggressive_makespan : float;
+  fifo_mean_latency : float;
+  aggressive_mean_latency : float;
+}
+
+type safety_result = {
+  with_constraints_overcommitted_hosts : int;
+  with_constraints_device_ops : int;
+  without_constraints_overcommitted_hosts : int;
+  without_constraints_device_ops : int;
+}
+
+type checkpoint_result = {
+  txns_before_crash : int;
+  recovery_with_checkpoint : float;
+  recovery_without_checkpoint : float;
+}
+
+type result = {
+  scheduling : scheduling_result;
+  safety : safety_result;
+  checkpointing : checkpoint_result;
+}
+
+let host i = Data.Path.to_string (Tcloud.Setup.compute_path i)
+let storage i = Data.Path.to_string (Tcloud.Setup.storage_path i)
+
+let spawn_args ~vm ~h ~storage_hosts =
+  Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:1024
+    ~storage:(storage (h mod storage_hosts))
+    ~host:(host h)
+
+(* ------------------------------------------------------------------ *)
+(* 1. FIFO vs aggressive scheduling *)
+
+(* Four transactions contend on host 0 ahead of six independent ones: a
+   strict FIFO keeps deferring the head and blocks the independents. *)
+let scheduling_run policy =
+  let sim = Des.Sim.create ~seed:71 () in
+  let size =
+    { Tcloud.Setup.small with Tcloud.Setup.compute_hosts = 8; storage_hosts = 8 }
+  in
+  let inv = Tcloud.Setup.build size in
+  let spec =
+    {
+      Tropic.Platform.default_spec with
+      Tropic.Platform.mode = Tropic.Platform.Logical_only 1.0;
+      workers = 8;
+      controller_config =
+        { Tropic.Controller.default_config with Tropic.Controller.scheduling = policy };
+    }
+  in
+  let platform =
+    Tropic.Platform.create spec inv.Tcloud.Setup.env
+      ~initial_tree:inv.Tcloud.Setup.tree ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let latencies = Metrics.Cdf.create () in
+  let last_commit = ref 0. in
+  Common.run_scenario ~horizon:600. sim (fun () ->
+      (* Let elections settle so submission order is scheduling order. *)
+      ignore (Tropic.Platform.await_leader_controller platform);
+      Des.Proc.sleep 1.;
+      let t0 = Des.Proc.now () in
+      let submit_and_track vm h =
+        let args = spawn_args ~vm ~h ~storage_hosts:8 in
+        ignore
+          (Des.Proc.spawn ~name:vm sim (fun () ->
+               let id = Tropic.Platform.submit platform ~proc:"spawnVM" ~args in
+               match Tropic.Platform.await platform id with
+               | Tropic.Txn.Committed ->
+                 let t = Des.Proc.now () in
+                 Metrics.Cdf.add latencies (t -. t0);
+                 if t -. t0 > !last_commit then last_commit := t -. t0
+               | other ->
+                 failwith
+                   (Printf.sprintf "ablation txn not committed: %s"
+                      (Tropic.Txn.state_to_string other))))
+      in
+      (* Hot head: four spawns on host 0... *)
+      List.iteri (fun i () -> submit_and_track (Printf.sprintf "hot%d" i) 0)
+        [ (); (); (); () ];
+      (* ...queued ahead of six independent spawns. *)
+      List.iteri (fun i () -> submit_and_track (Printf.sprintf "ind%d" i) (i + 1))
+        [ (); (); (); (); (); () ];
+      (* Wait for all ten to finish. *)
+      while Metrics.Cdf.count latencies < 10 do
+        Des.Proc.sleep 0.5
+      done);
+  (!last_commit, Metrics.Cdf.mean latencies)
+
+let scheduling_ablation () =
+  let fifo_makespan, fifo_mean_latency = scheduling_run `Fifo in
+  let aggressive_makespan, aggressive_mean_latency = scheduling_run `Aggressive in
+  { fifo_makespan; aggressive_makespan; fifo_mean_latency; aggressive_mean_latency }
+
+(* ------------------------------------------------------------------ *)
+(* 2. Logical-first safety vs device-only execution *)
+
+let total_device_ops inv =
+  List.fold_left
+    (fun acc device -> acc + Devices.Device.ops device)
+    0 inv.Tcloud.Setup.devices
+
+let overcommitted_hosts inv =
+  Array.fold_left
+    (fun acc (_, compute) ->
+      if Devices.Compute.used_mem_mb compute > Devices.Compute.mem_mb compute
+      then acc + 1
+      else acc)
+    0 inv.Tcloud.Setup.computes
+
+let safety_run ~with_constraints =
+  let sim = Des.Sim.create ~seed:72 () in
+  let size =
+    { Tcloud.Setup.small with Tcloud.Setup.storage_capacity_mb = 5_000_000 }
+  in
+  let inv = Tcloud.Setup.build size in
+  let env =
+    if with_constraints then inv.Tcloud.Setup.env
+    else begin
+      let env = Tropic.Dsl.create_env () in
+      Tcloud.Actions.register_all env;
+      Tcloud.Procs.register_all env;
+      env
+    end
+  in
+  let platform =
+    Tropic.Platform.create
+      { Tropic.Platform.default_spec with Tropic.Platform.workers = 4 }
+      env ~initial_tree:inv.Tcloud.Setup.tree
+      ~devices:inv.Tcloud.Setup.devices sim
+  in
+  Common.run_scenario ~horizon:3_000. sim (fun () ->
+      (* Twelve 1 GB spawns against one 8 GB host. *)
+      let ids =
+        List.init 12 (fun k ->
+            Tropic.Platform.submit platform ~proc:"spawnVM"
+              ~args:(spawn_args ~vm:(Printf.sprintf "oc%02d" k) ~h:0 ~storage_hosts:2))
+      in
+      List.iter (fun id -> ignore (Tropic.Platform.await platform id)) ids);
+  (overcommitted_hosts inv, total_device_ops inv)
+
+let safety_ablation () =
+  let with_oc, with_ops = safety_run ~with_constraints:true in
+  let without_oc, without_ops = safety_run ~with_constraints:false in
+  {
+    with_constraints_overcommitted_hosts = with_oc;
+    with_constraints_device_ops = with_ops;
+    without_constraints_overcommitted_hosts = without_oc;
+    without_constraints_device_ops = without_ops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 3. Checkpointed vs full-replay recovery *)
+
+let recovery_run ~checkpoint_every ~txns =
+  let sim = Des.Sim.create ~seed:73 () in
+  let size =
+    {
+      Tcloud.Setup.small with
+      Tcloud.Setup.compute_hosts = 64;
+      storage_hosts = 16;
+      storage_capacity_mb = 50_000_000;
+    }
+  in
+  let inv = Tcloud.Setup.build size in
+  let spec =
+    {
+      Tropic.Platform.default_spec with
+      Tropic.Platform.mode = Tropic.Platform.Logical_only 0.002;
+      workers = 4;
+      controller_session_timeout = 2.0;
+      controller_config =
+        {
+          Tropic.Controller.default_config with
+          Tropic.Controller.checkpoint_every;
+        };
+    }
+  in
+  let platform =
+    Tropic.Platform.create spec inv.Tcloud.Setup.env
+      ~initial_tree:inv.Tcloud.Setup.tree ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let recovery = ref Float.nan in
+  Common.run_scenario ~horizon:4_000. sim (fun () ->
+      for k = 0 to txns - 1 do
+        let h = k mod size.Tcloud.Setup.compute_hosts in
+        ignore
+          (Tropic.Platform.run_txn platform ~proc:"spawnVM"
+             ~args:
+               (spawn_args ~vm:(Printf.sprintf "ck%04d" k) ~h ~storage_hosts:16))
+      done;
+      let leader = Tropic.Platform.await_leader_controller platform in
+      let index =
+        let found = ref (-1) in
+        Array.iteri
+          (fun i c -> if c == leader then found := i)
+          (Tropic.Platform.controllers platform);
+        !found
+      in
+      let t_kill = Des.Proc.now () in
+      Tropic.Platform.kill_controller platform index;
+      (* Probe: the first transaction to commit marks recovery done. *)
+      let probe =
+        Tropic.Platform.run_txn platform ~proc:"spawnVM"
+          ~args:(spawn_args ~vm:"probe" ~h:0 ~storage_hosts:16)
+      in
+      (match probe with
+       | Tropic.Txn.Committed -> ()
+       | other ->
+         failwith ("probe not committed: " ^ Tropic.Txn.state_to_string other));
+      recovery := Des.Proc.now () -. t_kill);
+  !recovery
+
+let checkpoint_ablation () =
+  let txns = 400 in
+  {
+    txns_before_crash = txns;
+    recovery_with_checkpoint = recovery_run ~checkpoint_every:(Some 50) ~txns;
+    recovery_without_checkpoint = recovery_run ~checkpoint_every:None ~txns;
+  }
+
+let run () =
+  {
+    scheduling = scheduling_ablation ();
+    safety = safety_ablation ();
+    checkpointing = checkpoint_ablation ();
+  }
+
+let print r =
+  Common.section "Ablation 1: FIFO vs aggressive scheduling (hot head-of-line)";
+  Printf.printf
+    "FIFO:       makespan %.2f s, mean latency %.2f s\nAggressive: makespan %.2f s, mean latency %.2f s\n"
+    r.scheduling.fifo_makespan r.scheduling.fifo_mean_latency
+    r.scheduling.aggressive_makespan r.scheduling.aggressive_mean_latency;
+  Common.section "Ablation 2: logical-first safety vs device-only execution";
+  Printf.printf
+    "with constraints:    %d overcommitted hosts, %d device ops\nwithout constraints: %d overcommitted hosts, %d device ops\n"
+    r.safety.with_constraints_overcommitted_hosts
+    r.safety.with_constraints_device_ops
+    r.safety.without_constraints_overcommitted_hosts
+    r.safety.without_constraints_device_ops;
+  Common.section "Ablation 3: checkpointed vs full-replay recovery";
+  Printf.printf
+    "%d txns before crash: recovery %.2f s with checkpoints, %.2f s with full replay\n%!"
+    r.checkpointing.txns_before_crash
+    r.checkpointing.recovery_with_checkpoint
+    r.checkpointing.recovery_without_checkpoint

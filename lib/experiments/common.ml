@@ -1,0 +1,26 @@
+let run_scenario ?(horizon = 36_000.) sim body =
+  let finished = ref false in
+  ignore
+    (Des.Proc.spawn ~name:"experiment" sim (fun () ->
+         body ();
+         finished := true));
+  ignore (Des.Sim.run ~until:horizon sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     failwith
+       (Printf.sprintf "process %s crashed: %s" who (Printexc.to_string exn)));
+  if not !finished then failwith "experiment did not finish before horizon"
+
+let time_it f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. t0)
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let quick_mode () =
+  match Sys.getenv_opt "TROPIC_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false

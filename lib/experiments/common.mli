@@ -1,0 +1,18 @@
+(** Shared plumbing for experiment harnesses. *)
+
+(** [run_scenario ?horizon sim body] spawns [body] as a process, drains the
+    simulation (bounded by [horizon], default 36 000 s), and fails with the
+    first recorded process crash, if any.
+    @raise Failure if a process crashed or [body] did not finish. *)
+val run_scenario : ?horizon:float -> Des.Sim.t -> (unit -> unit) -> unit
+
+(** Wall-clock seconds spent evaluating [f] (monotonic-ish, via
+    [Sys.time]'s processor time — the experiments are CPU-bound). *)
+val time_it : (unit -> 'a) -> 'a * float
+
+(** Print a section header to stdout. *)
+val section : string -> unit
+
+(** TROPIC_BENCH_QUICK=1 shrinks the big experiments (documented per
+    experiment). *)
+val quick_mode : unit -> bool

@@ -1,0 +1,26 @@
+(** The hosting-provider workload (§6.2–§6.4's driver) run end-to-end on a
+    full-mode TCloud deployment, reporting the operation mix, outcomes and
+    per-operation-type latency — the "realistic TCloud deployment" the
+    paper mimics with this trace. *)
+
+type op_stats = {
+  op_name : string;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  latency : Metrics.Cdf.t;
+}
+
+type result = {
+  duration : float;
+  rate : float;
+  ops : op_stats list;
+  deferrals : int;
+  violations : int;
+  layers_consistent : bool;
+      (** every non-quarantined device equals its logical subtree at the
+          end of the run *)
+}
+
+val run : ?seed:int -> ?rate:float -> ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,26 @@
+(** §6.3 — robustness: transaction rollback under injected errors.
+
+    The paper injects exceptions into the last step of VM spawn and
+    migrate and reports the logical-layer rollback completing in < 9 ms
+    per transaction.  This experiment measures (a) the real OCaml cost of
+    logical rollback for spawn and migrate logs, and (b) an end-to-end
+    fault-injection run on a full platform: every injected error must end
+    in a clean [Aborted] with both layers rolled back. *)
+
+type micro = {
+  iterations : int;
+  spawn_rollback_us : float;
+  migrate_rollback_us : float;
+}
+
+type e2e = {
+  injected : int;
+  aborted : int;       (** transactions that rolled back cleanly *)
+  committed : int;     (** control transactions without faults *)
+  residue : int;       (** VMs left behind on devices by aborted txns *)
+}
+
+type result = { micro : micro; e2e : e2e }
+
+val run : ?iterations:int -> ?injections:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,37 @@
+(** Scriptable orchestration scenarios.
+
+    A scenario is a small line-oriented script driving a fresh simulated
+    TCloud deployment — spawn/start/stop/migrate/destroy VMs, inject
+    faults, crash controllers, reconcile, and assert outcomes.  Scenarios
+    double as reproducible bug reports and operator runbooks; the
+    [tcloud_sim] binary runs one from a file.
+
+    Grammar (one command per line, [#] starts a comment):
+
+    {v
+    hosts N | storage N | seed N | mode full|logical   (header, optional)
+    spawn VM HOST [MEM_MB]      start VM HOST     stop VM HOST
+    migrate VM SRC DST          destroy VM HOST
+    vlan-create SWITCH ID NAME  vlan-attach SWITCH ID VM
+    sleep SECONDS               power-cycle HOST
+    fail-next HOST ACTION       kill-leader
+    repair HOST                 reload HOST
+    show HOST                   stats
+    expect committed|aborted|failed
+    v}
+
+    [expect] asserts the outcome of the most recent transaction. *)
+
+type outcome = {
+  lines : string list;   (** transcript, in order *)
+  failed_expectations : int;
+  transactions : int;
+}
+
+(** Parse and execute a scenario.  [Error] is a parse problem (line number
+    and message); execution problems surface in the transcript and the
+    [failed_expectations] count. *)
+val run_script : string -> (outcome, string) result
+
+(** Convenience: read a file and {!run_script} it. *)
+val run_file : string -> (outcome, string) result

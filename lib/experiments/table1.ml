@@ -1,0 +1,31 @@
+let spawn_log () =
+  let inv = Tcloud.Setup.build Tcloud.Setup.small in
+  (* The VM is literally called vmName so the log reads like the paper's
+     Table 1; base.img is the small deployment's image template. *)
+  let args =
+    Tcloud.Procs.spawn_vm_args ~vm:"vmName" ~template:"base.img" ~mem_mb:1024
+      ~storage:(Data.Path.to_string (Tcloud.Setup.storage_path 0))
+      ~host:(Data.Path.to_string (Tcloud.Setup.compute_path 0))
+  in
+  match
+    Tropic.Logical.simulate inv.Tcloud.Setup.env ~tree:inv.Tcloud.Setup.tree
+      ~proc:"spawnVM" ~args
+  with
+  | Ok { Tropic.Logical.log; _ } -> log
+  | Error reason -> failwith reason
+
+let print () =
+  Common.section "Table 1: execution log for spawnVM";
+  Printf.printf "%-3s %-28s %-14s %-28s %-14s %s\n" "#" "resource object path"
+    "action" "args" "undo action" "undo args";
+  List.iter
+    (fun (r : Tropic.Xlog.record) ->
+      Printf.printf "%-3d %-28s %-14s %-28s %-14s %s\n" r.Tropic.Xlog.index
+        (Data.Path.to_string r.Tropic.Xlog.path)
+        r.Tropic.Xlog.action
+        (String.concat ", " (List.map Data.Value.to_string r.Tropic.Xlog.args))
+        (Option.value r.Tropic.Xlog.undo ~default:"-")
+        (String.concat ", "
+           (List.map Data.Value.to_string r.Tropic.Xlog.undo_args)))
+    (spawn_log ());
+  print_newline ()

@@ -1,0 +1,70 @@
+type t = { mutable samples : float list; mutable n : int; mutable dirty : bool;
+           mutable sorted : float array }
+
+let create () = { samples = []; n = 0; dirty = true; sorted = [||] }
+
+let add t v =
+  t.samples <- v :: t.samples;
+  t.n <- t.n + 1;
+  t.dirty <- true
+
+let count t = t.n
+
+let ensure_sorted t =
+  if t.dirty then begin
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- a;
+    t.dirty <- false
+  end;
+  t.sorted
+
+let mean t =
+  if t.n = 0 then 0.
+  else List.fold_left ( +. ) 0. t.samples /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then invalid_arg "Cdf.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q out of range";
+  let a = ensure_sorted t in
+  let idx = int_of_float (q *. float_of_int (t.n - 1)) in
+  a.(idx)
+
+let min_value t = quantile t 0.
+let max_value t = quantile t 1.
+
+let points ?(points = 100) t =
+  let a = ensure_sorted t in
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let step = max 1 (n / points) in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      out := (a.(!i), float_of_int (!i + 1) /. float_of_int n) :: !out;
+      i := !i + step
+    done;
+    (* Always include the max. *)
+    let out =
+      match !out with
+      | (v, _) :: _ when v = a.(n - 1) -> !out
+      | _ -> (a.(n - 1), 1.) :: !out
+    in
+    List.rev out
+  end
+
+let render ?(label = "latency (s)") t =
+  if t.n = 0 then Printf.sprintf "%s: no samples\n" label
+  else begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: n=%d mean=%.4f min=%.4f max=%.4f\n" label t.n
+         (mean t) (min_value t) (max_value t));
+    List.iter
+      (fun q ->
+        Buffer.add_string buf
+          (Printf.sprintf "  p%-5g %10.4f\n" (q *. 100.) (quantile t q)))
+      [ 0.10; 0.25; 0.50; 0.75; 0.90; 0.95; 0.99; 1.0 ];
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** Latency recorder with exact quantiles and CDF rendering (Fig. 5). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** [quantile t q] with [q] in [0, 1]; 0.5 is the median.
+    @raise Invalid_argument on an empty recorder or out-of-range [q]. *)
+val quantile : t -> float -> float
+
+val min_value : t -> float
+val max_value : t -> float
+
+(** CDF support points [(value, fraction_le)], one per sample, thinned to
+    at most [points] entries (default 100). *)
+val points : ?points:int -> t -> (float * float) list
+
+(** Render selected percentiles plus a log-ish CDF table. *)
+val render : ?label:string -> t -> string

@@ -1,0 +1,19 @@
+let delta_series sim ~bucket ~duration ~sample ~scale =
+  let series = Series.create ~bucket ~duration in
+  let buckets = Series.bucket_count series in
+  let previous = ref (sample ()) in
+  for i = 0 to buckets - 1 do
+    let edge = float_of_int (i + 1) *. bucket in
+    ignore
+      (Des.Sim.at sim edge (fun () ->
+           let current = sample () in
+           Series.set_bucket series i ((current -. !previous) *. scale);
+           previous := current))
+  done;
+  series
+
+let utilization_series sim ~bucket ~duration ~busy =
+  delta_series sim ~bucket ~duration ~sample:busy ~scale:(1. /. bucket)
+
+let rate_series sim ~bucket ~duration ~count =
+  delta_series sim ~bucket ~duration ~sample:count ~scale:(1. /. bucket)

@@ -1,0 +1,19 @@
+(** Periodic sampling of cumulative counters inside a simulation.
+
+    The Fig. 4 pattern: sample a monotonically growing busy-time counter at
+    bucket edges and difference consecutive samples, yielding per-bucket
+    utilization. *)
+
+(** [utilization_series sim ~bucket ~duration ~busy] schedules samples of
+    [busy ()] every [bucket] seconds and returns the series; each bucket
+    holds (Δbusy / bucket), i.e. utilization in [0, 1] for a single-server
+    resource.  Must be called before the relevant interval runs. *)
+val utilization_series :
+  Des.Sim.t -> bucket:float -> duration:float -> busy:(unit -> float) ->
+  Series.t
+
+(** [rate_series sim ~bucket ~duration ~count] — same, for event counters:
+    each bucket holds Δcount / bucket (events per second). *)
+val rate_series :
+  Des.Sim.t -> bucket:float -> duration:float -> count:(unit -> float) ->
+  Series.t

@@ -1,0 +1,154 @@
+module Path = Data.Path
+
+type mode = R | W | IR | IW
+
+let mode_to_string = function R -> "R" | W -> "W" | IR -> "IR" | IW -> "IW"
+let pp_mode fmt m = Format.pp_print_string fmt (mode_to_string m)
+
+let compatible a b =
+  match a, b with
+  | IR, (IR | IW | R) | (IW | R), IR -> true
+  | IW, IW -> true
+  | R, R -> true
+  | IR, W | W, IR -> false
+  | IW, (R | W) | (R | W), IW -> false
+  | R, W | W, R -> false
+  | W, W -> false
+
+(* Lattice order: IR < IW < W, IR < R < W; R and IW join to W because this
+   scheme has no RIW/SIX mode. *)
+let join a b =
+  match a, b with
+  | x, y when x = y -> x
+  | IR, m | m, IR -> m
+  | W, _ | _, W -> W
+  | IW, R | R, IW -> W
+  | IW, IW | R, R -> assert false (* covered by the first clause *)
+
+let intention = function R | IR -> IR | W | IW -> IW
+
+type conflict = { path : Path.t; wanted : mode; holder : int; held : mode }
+
+let pp_conflict fmt c =
+  Format.fprintf fmt "%a: txn %d holds %a, wanted %a" Path.pp c.path c.holder
+    pp_mode c.held pp_mode c.wanted
+
+module Pmap = Map.Make (Path)
+module Imap = Map.Make (Int)
+
+type t = {
+  mutable by_path : mode Imap.t Pmap.t;  (* path -> txn -> mode *)
+  mutable by_txn : Path.t list Imap.t;   (* txn -> paths it locks *)
+}
+
+let create () = { by_path = Pmap.empty; by_txn = Imap.empty }
+
+(* The full requirement implied by a request: each requested lock plus
+   intention locks on all ancestors, merged per path with [join]. *)
+let requirements locks =
+  List.fold_left
+    (fun acc (path, mode) ->
+      let add acc path mode =
+        Pmap.update path
+          (function None -> Some mode | Some m -> Some (join m mode))
+          acc
+      in
+      let acc = add acc path mode in
+      List.fold_left
+        (fun acc ancestor -> add acc ancestor (intention mode))
+        acc (Path.ancestors path))
+    Pmap.empty locks
+
+let find_conflict t ~txn wanted_by_path =
+  Pmap.fold
+    (fun path wanted found ->
+      match found with
+      | Some _ -> found
+      | None ->
+        (match Pmap.find_opt path t.by_path with
+         | None -> None
+         | Some holders ->
+           (* An upgrade must be checked at the strength it will actually be
+              stored at: the join of what the txn already holds with what it
+              now wants (e.g. held R + wanted IW stores W). *)
+           let effective =
+             match Imap.find_opt txn holders with
+             | None -> wanted
+             | Some own -> join own wanted
+           in
+           Imap.fold
+             (fun holder held found ->
+               match found with
+               | Some _ -> found
+               | None ->
+                 if holder <> txn && not (compatible held effective) then
+                   Some { path; wanted = effective; holder; held }
+                 else None)
+             holders None))
+    wanted_by_path None
+
+let try_acquire t ~txn locks =
+  let wanted = requirements locks in
+  match find_conflict t ~txn wanted with
+  | Some conflict -> Error conflict
+  | None ->
+    let newly_locked = ref [] in
+    t.by_path <-
+      Pmap.fold
+        (fun path mode by_path ->
+          Pmap.update path
+            (fun holders ->
+              let holders = Option.value holders ~default:Imap.empty in
+              if not (Imap.mem txn holders) then
+                newly_locked := path :: !newly_locked;
+              Some
+                (Imap.update txn
+                   (function
+                     | None -> Some mode
+                     | Some held -> Some (join held mode))
+                   holders))
+            by_path)
+        wanted t.by_path;
+    t.by_txn <-
+      Imap.update txn
+        (fun paths ->
+          Some (List.rev_append !newly_locked (Option.value paths ~default:[])))
+        t.by_txn;
+    Ok ()
+
+let release_all t ~txn =
+  match Imap.find_opt txn t.by_txn with
+  | None -> ()
+  | Some paths ->
+    t.by_txn <- Imap.remove txn t.by_txn;
+    t.by_path <-
+      List.fold_left
+        (fun by_path path ->
+          Pmap.update path
+            (function
+              | None -> None
+              | Some holders ->
+                let holders = Imap.remove txn holders in
+                if Imap.is_empty holders then None else Some holders)
+            by_path)
+        t.by_path paths
+
+let holders t path =
+  match Pmap.find_opt path t.by_path with
+  | None -> []
+  | Some holders -> Imap.bindings holders
+
+let held_by t ~txn =
+  match Imap.find_opt txn t.by_txn with
+  | None -> []
+  | Some paths ->
+    paths
+    |> List.filter_map (fun path ->
+           match Pmap.find_opt path t.by_path with
+           | None -> None
+           | Some holders ->
+             Option.map (fun mode -> (path, mode)) (Imap.find_opt txn holders))
+    |> List.sort (fun (a, _) (b, _) -> Path.compare a b)
+
+let lock_count t =
+  Pmap.fold (fun _ holders acc -> acc + Imap.cardinal holders) t.by_path 0

@@ -1,0 +1,63 @@
+(** Multi-granularity lock manager over the resource tree (paper §3.1.3).
+
+    Modes follow the classic hierarchy-locking scheme: [R]/[W] on the object
+    itself, intention locks [IR]/[IW] placed automatically on every ancestor
+    so conflicts are detected high up the tree.  Per the paper: IW conflicts
+    with R and W; IR conflicts with W only.
+
+    Acquisition is all-or-nothing: a transaction's full lock set is either
+    granted atomically or refused with the first conflict, leaving the table
+    untouched.  Combined with the scheduler's defer-and-retry policy this
+    rules out deadlocks — a transaction never holds some locks while waiting
+    for others. *)
+
+type mode = R | W | IR | IW
+
+val pp_mode : Format.formatter -> mode -> unit
+val mode_to_string : mode -> string
+
+(** [compatible a b] — can locks of modes [a] and [b] be held on the same
+    object by two different transactions? (Symmetric.) *)
+val compatible : mode -> mode -> bool
+
+(** [join a b] is the weakest mode at least as strong as both; used to merge
+    requests by the same transaction on the same object ([R ∨ IW] has no
+    exact mode in this lattice and widens to [W]). *)
+val join : mode -> mode -> mode
+
+(** Intention mode to place on ancestors of an object locked with the given
+    mode. *)
+val intention : mode -> mode
+
+type t
+
+type conflict = {
+  path : Data.Path.t;      (** object on which the conflict arose *)
+  wanted : mode;
+  holder : int;            (** transaction currently in the way *)
+  held : mode;
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val create : unit -> t
+
+(** [try_acquire t ~txn locks] atomically grants [locks] (plus the implied
+    intention locks on every ancestor, including the root) to [txn], or
+    returns the first conflict — in deterministic path order — without
+    changing any state.  Locks already held by [txn] are upgraded via
+    {!join}. *)
+val try_acquire :
+  t -> txn:int -> (Data.Path.t * mode) list -> (unit, conflict) result
+
+(** Release everything held by [txn]. *)
+val release_all : t -> txn:int -> unit
+
+(** Transactions holding a lock on exactly this path, with their modes. *)
+val holders : t -> Data.Path.t -> (int * mode) list
+
+(** All paths locked by [txn] (including intention locks), sorted. *)
+val held_by : t -> txn:int -> (Data.Path.t * mode) list
+
+(** Number of (path, txn) lock entries in the table. *)
+val lock_count : t -> int

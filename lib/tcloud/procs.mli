@@ -1,0 +1,45 @@
+(** TCloud's stored procedures (paper §5): the orchestration operations
+    exposed to end users and operators, composed from queries and actions.
+
+    Resource arguments are full data-model paths encoded as strings, e.g.
+    [spawn_vm_args ~vm:"tenant1-web" ~template:"base.img" ~mem_mb:1024
+    ~storage:"/storageRoot/storage00000" ~host:"/vmRoot/host00003"].
+
+    [register_all] installs them under these names:
+    ["spawnVM"], ["startVM"], ["stopVM"], ["destroyVM"], ["migrateVM"],
+    ["spawnVMWithNetwork"], ["createVlan"], ["removeVlan"],
+    ["attachVmVlan"], ["detachVmVlan"]. *)
+
+val register_all : Tropic.Dsl.env -> unit
+
+(** Image name a VM's volume uses: [vm ^ ".img"]. *)
+val image_of_vm : string -> string
+
+(** {1 Argument builders} *)
+
+val spawn_vm_args :
+  vm:string -> template:string -> mem_mb:int -> storage:string -> host:string ->
+  Data.Value.t list
+
+val start_vm_args : host:string -> vm:string -> Data.Value.t list
+val stop_vm_args : host:string -> vm:string -> Data.Value.t list
+
+val destroy_vm_args :
+  host:string -> storage:string -> vm:string -> Data.Value.t list
+
+val migrate_vm_args :
+  src:string -> dst:string -> vm:string -> Data.Value.t list
+
+val spawn_vm_with_network_args :
+  vm:string -> template:string -> mem_mb:int -> storage:string -> host:string ->
+  switch:string -> vlan:int ->
+  Data.Value.t list
+
+val create_vlan_args : switch:string -> vlan:int -> name:string -> Data.Value.t list
+val remove_vlan_args : switch:string -> vlan:int -> Data.Value.t list
+
+val attach_vm_vlan_args :
+  switch:string -> vlan:int -> vm:string -> Data.Value.t list
+
+val detach_vm_vlan_args :
+  switch:string -> vlan:int -> vm:string -> Data.Value.t list

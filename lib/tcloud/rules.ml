@@ -1,0 +1,101 @@
+module Schema = Devices.Schema
+module Value = Data.Value
+
+let ( let* ) r f = Result.bind r f
+
+let vm_host_memory =
+  {
+    Tropic.Constraints.name = "vm-host-memory";
+    kind = Schema.vm_host_kind;
+    check =
+      (fun _tree _path node ->
+        let* capacity = Actions.int_attr node Schema.attr_mem_mb in
+        let used = Actions.vm_memory_sum node in
+        if used <= capacity then Ok ()
+        else
+          Error
+            (Printf.sprintf "VM memory %d MB exceeds host capacity %d MB" used
+               capacity));
+  }
+
+let storage_capacity =
+  {
+    Tropic.Constraints.name = "storage-capacity";
+    kind = Schema.storage_host_kind;
+    check =
+      (fun _tree _path node ->
+        let* capacity = Actions.int_attr node Schema.attr_size_mb in
+        let used = Actions.image_size_sum node in
+        if used <= capacity then Ok ()
+        else
+          Error
+            (Printf.sprintf "images use %d MB, capacity is %d MB" used capacity));
+  }
+
+let switch_vlan_capacity =
+  {
+    Tropic.Constraints.name = "switch-vlan-capacity";
+    kind = Schema.switch_kind;
+    check =
+      (fun _tree _path node ->
+        let* limit = Actions.int_attr node Schema.attr_max_vlans in
+        let used =
+          Data.Tree.Smap.fold
+            (fun _ (child : Data.Tree.node) n ->
+              if String.equal child.Data.Tree.kind Schema.vlan_kind then n + 1
+              else n)
+            node.Data.Tree.children 0
+        in
+        if used <= limit then Ok ()
+        else Error (Printf.sprintf "%d VLANs exceed switch limit %d" used limit));
+  }
+
+let vm_state_valid =
+  {
+    Tropic.Constraints.name = "vm-state-valid";
+    kind = Schema.vm_kind;
+    check =
+      (fun _tree _path node ->
+        let* state = Actions.str_attr node Schema.attr_state in
+        if
+          String.equal state Schema.state_stopped
+          || String.equal state Schema.state_running
+        then Ok ()
+        else Error (Printf.sprintf "illegal VM state %S" state));
+  }
+
+let register_constraints env =
+  let registry = Tropic.Dsl.constraints_of env in
+  List.iter
+    (Tropic.Constraints.register registry)
+    [ vm_host_memory; storage_capacity; switch_vlan_capacity; vm_state_valid ]
+
+(* ------------------------------------------------------------------ *)
+(* Repair rules: logical value -> device action on the parent object *)
+
+let repair_rules =
+  [
+    {
+      Tropic.Recon.rule_kind = Schema.vm_kind;
+      rule_attr = Schema.attr_state;
+      make_action =
+        (fun ~node_name ~target ->
+          match Value.as_str target with
+          | Some s when String.equal s Schema.state_running ->
+            Some (Schema.act_start_vm, [ Value.Str node_name ])
+          | Some s when String.equal s Schema.state_stopped ->
+            Some (Schema.act_stop_vm, [ Value.Str node_name ])
+          | Some _ | None -> None);
+    };
+    {
+      Tropic.Recon.rule_kind = Schema.image_kind;
+      rule_attr = Schema.attr_exported;
+      make_action =
+        (fun ~node_name ~target ->
+          match Value.as_bool target with
+          | Some true -> Some (Schema.act_export_image, [ Value.Str node_name ])
+          | Some false ->
+            Some (Schema.act_unexport_image, [ Value.Str node_name ])
+          | None -> None);
+    };
+  ]

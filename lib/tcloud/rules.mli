@@ -1,0 +1,23 @@
+(** TCloud's safety rules (the constraints of §6.2) and repair rules (§4).
+
+    Constraints registered by [register_constraints]:
+    - {b vm-host-memory}: the aggregate memory of the VMs placed on a
+      compute host may not exceed the host's capacity;
+    - {b storage-capacity}: images on a storage host may not exceed its
+      capacity;
+    - {b switch-vlan-capacity}: a switch may not carry more VLANs than its
+      hardware limit;
+    - {b vm-state-valid}: a VM's state attribute is one of the legal
+      lifecycle states.
+
+    (The second §6.2 rule — no migration across hypervisor types — is a
+    service rule enforced by the [migrateVM] stored procedure before it
+    emits any action.)
+
+    Repair rules translate logical/physical attribute differences into
+    device actions: a VM whose logical state says running is started, a
+    volume that should be exported is exported, and vice versa. *)
+
+val register_constraints : Tropic.Dsl.env -> unit
+
+val repair_rules : Tropic.Recon.rule list

@@ -1,0 +1,81 @@
+type t = int array
+
+let duration = 3600
+let total_launches = 8417
+let peak_rate = 14
+let peak_second = 2880 (* 0.8 h *)
+
+(* Expected launch rate at second [t]: a baseline plus a Gaussian burst
+   centred on the peak.  Integrates to roughly the paper's total; exact
+   normalization happens after sampling. *)
+let rate t =
+  let x = float_of_int (t - peak_second) /. 130. in
+  1.62 +. (11.5 *. exp (-.(x *. x)))
+
+let poisson rng lambda =
+  (* Knuth's method; lambda is small (< 15). *)
+  let limit = exp (-.lambda) in
+  let rec go k p =
+    let p = p *. Random.State.float rng 1. in
+    if p <= limit then k else go (k + 1) p
+  in
+  go 0 1.
+
+let generate ?(seed = 20110701) () =
+  let rng = Random.State.make [| seed |] in
+  let trace = Array.init duration (fun t -> poisson rng (rate t)) in
+  (* Pin the documented peak and keep it unique. *)
+  trace.(peak_second) <- peak_rate;
+  Array.iteri
+    (fun t c -> if t <> peak_second && c >= peak_rate then trace.(t) <- peak_rate - 1)
+    trace;
+  (* Normalize to the exact total by nudging random non-peak seconds. *)
+  let total () = Array.fold_left ( + ) 0 trace in
+  let adjust delta =
+    let step = if delta > 0 then 1 else -1 in
+    let remaining = ref (abs delta) in
+    while !remaining > 0 do
+      let t = Random.State.int rng duration in
+      if t <> peak_second then begin
+        let candidate = trace.(t) + step in
+        if candidate >= 0 && candidate < peak_rate then begin
+          trace.(t) <- candidate;
+          decr remaining
+        end
+      end
+    done
+  in
+  adjust (total_launches - total ());
+  trace
+
+let scale trace k = Array.map (fun c -> c * k) trace
+
+type stats = {
+  total : int;
+  mean_per_second : float;
+  peak : int;
+  peak_at_second : int;
+}
+
+let stats trace =
+  let total = Array.fold_left ( + ) 0 trace in
+  let peak = ref 0 and peak_at = ref 0 in
+  Array.iteri
+    (fun t c ->
+      if c > !peak then begin
+        peak := c;
+        peak_at := t
+      end)
+    trace;
+  {
+    total;
+    mean_per_second = float_of_int total /. float_of_int (Array.length trace);
+    peak = !peak;
+    peak_at_second = !peak_at;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d launches, %.2f/s mean, peak %d/s at %.2f h" s.total s.mean_per_second
+    s.peak
+    (float_of_int s.peak_at_second /. 3600.)

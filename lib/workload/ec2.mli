@@ -1,0 +1,35 @@
+(** Synthetic EC2 VM-launch trace (paper §6.1, Figure 3).
+
+    The paper measured VM launches in EC2 us-east over one hour: 8 417
+    spawns, an average of 2.34/s, and a peak of 14/s at 0.8 h.  The real
+    trace is not public, so this generator reproduces those statistics: a
+    noisy baseline with a burst centred at 0.8 h, seeded and deterministic,
+    normalized to the exact total with the peak pinned at 14/s. *)
+
+type t = int array
+(** VM launches per second; length {!duration}. *)
+
+val duration : int  (** 3600 seconds *)
+
+val total_launches : int  (** 8417 *)
+
+val peak_rate : int  (** 14 *)
+
+val peak_second : int  (** 2880 = 0.8 h *)
+
+(** Deterministic for a given seed. *)
+val generate : ?seed:int -> unit -> t
+
+(** [scale trace k] multiplies each second's count by [k] (the paper's
+    2×–5× workloads). *)
+val scale : t -> int -> t
+
+type stats = {
+  total : int;
+  mean_per_second : float;
+  peak : int;
+  peak_at_second : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,531 @@
+(* Tests for the hierarchical data model: sexp codec, values, paths, trees,
+   diffs. *)
+
+open Data
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let tree_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Tree.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Sexp *)
+
+let test_sexp_print_parse () =
+  let cases =
+    [
+      Sexp.Atom "hello", "hello";
+      Sexp.Atom "two words", {|"two words"|};
+      Sexp.Atom "", {|""|};
+      Sexp.Atom "a\"b\\c\n", {|"a\"b\\c\n"|};
+      Sexp.List [], "()";
+      ( Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ] ],
+        "(a (b c))" );
+    ]
+  in
+  List.iter
+    (fun (sexp, expected) ->
+      check string_c "print" expected (Sexp.to_string sexp);
+      let parsed = ok_or_fail "parse" (Sexp.of_string expected) in
+      check bool_c "roundtrip" true (Sexp.equal sexp parsed))
+    cases
+
+let test_sexp_parse_errors () =
+  List.iter
+    (fun input ->
+      match Sexp.of_string input with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" input
+      | Error _ -> ())
+    [ ""; "("; ")"; "(a"; {|"unterminated|}; {|"bad \q escape"|}; "a b" ]
+
+let test_sexp_whitespace () =
+  let parsed = ok_or_fail "parse" (Sexp.of_string "  ( a\n\tb )  ") in
+  check bool_c "tolerates whitespace" true
+    (Sexp.equal (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]) parsed)
+
+let test_sexp_assoc () =
+  let fields =
+    [
+      Sexp.List [ Sexp.Atom "id"; Sexp.Atom "42" ];
+      Sexp.List [ Sexp.Atom "tags"; Sexp.Atom "a"; Sexp.Atom "b" ];
+    ]
+  in
+  check int_c "assoc scalar" 42
+    (ok_or_fail "id" (Result.bind (Sexp.assoc "id" fields) Sexp.to_int));
+  (match Sexp.assoc "tags" fields with
+   | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]) -> ()
+   | _ -> Alcotest.fail "multi-value assoc");
+  match Sexp.assoc "missing" fields with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected missing field error"
+
+let sexp_gen =
+  let open QCheck.Gen in
+  let atom_gen = string_size ~gen:printable (int_range 0 12) in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then map (fun s -> Sexp.Atom s) atom_gen
+          else
+            frequency
+              [
+                3, map (fun s -> Sexp.Atom s) atom_gen;
+                2, map (fun xs -> Sexp.List xs) (list_size (int_bound 4) (self (n / 2)));
+              ])
+        (min n 20))
+
+let sexp_arbitrary = QCheck.make ~print:Sexp.to_string sexp_gen
+
+let sexp_fuzz_prop =
+  QCheck.Test.make ~name:"sexp parser never raises on junk" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_bound 30) Gen.char)
+    (fun junk ->
+      match Sexp.of_string junk with Ok _ | Error _ -> true)
+
+let sexp_roundtrip_prop =
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:500 sexp_arbitrary
+    (fun sexp ->
+      match Sexp.of_string (Sexp.to_string sexp) with
+      | Ok parsed -> Sexp.equal sexp parsed
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let scalar =
+            oneof
+              [
+                return Value.Null;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) int;
+                map (fun f -> Value.Float f) (float_bound_inclusive 1e9);
+                map (fun s -> Value.Str s) (string_size ~gen:printable (int_bound 10));
+              ]
+          in
+          if n <= 0 then scalar
+          else
+            frequency
+              [
+                4, scalar;
+                1, map (fun xs -> Value.List xs) (list_size (int_bound 3) (self (n / 2)));
+              ])
+        (min n 10))
+
+let value_arbitrary = QCheck.make ~print:Value.to_string value_gen
+
+let value_roundtrip_prop =
+  QCheck.Test.make ~name:"value sexp roundtrip" ~count:500 value_arbitrary
+    (fun v ->
+      match Value.of_sexp (Value.to_sexp v) with
+      | Ok v' -> Value.equal v v'
+      | Error _ -> false)
+
+let test_value_accessors () =
+  check (Alcotest.option int_c) "as_int" (Some 3) (Value.as_int (Value.Int 3));
+  check (Alcotest.option int_c) "as_int on str" None
+    (Value.as_int (Value.Str "3"));
+  check (Alcotest.option (Alcotest.float 1e-9)) "as_number on int" (Some 3.)
+    (Value.as_number (Value.Int 3));
+  check (Alcotest.option (Alcotest.float 1e-9)) "as_number on float" (Some 2.5)
+    (Value.as_number (Value.Float 2.5));
+  check (Alcotest.option bool_c) "as_bool" (Some true)
+    (Value.as_bool (Value.Bool true))
+
+let test_value_compare_total () =
+  let vs = [ Value.Null; Value.Bool false; Value.Int 0; Value.Float 0.;
+             Value.Str ""; Value.List [] ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          check int_c "antisymmetric" (Stdlib.compare c1 0) (Stdlib.compare 0 c2))
+        vs)
+    vs
+
+(* ------------------------------------------------------------------ *)
+(* Path *)
+
+let test_path_parse_print () =
+  let p = ok_or_fail "parse" (Path.of_string "/vmRoot/host-1/vm_2") in
+  check string_c "print" "/vmRoot/host-1/vm_2" (Path.to_string p);
+  check (Alcotest.list string_c) "segments" [ "vmRoot"; "host-1"; "vm_2" ]
+    (Path.segments p);
+  check string_c "root prints" "/" (Path.to_string Path.root);
+  check int_c "depth" 3 (Path.depth p)
+
+let test_path_invalid () =
+  List.iter
+    (fun s ->
+      match Path.of_string s with
+      | Ok _ -> Alcotest.failf "expected error for %S" s
+      | Error _ -> ())
+    [ ""; "no-slash"; "//"; "/a//b"; "/a/"; "/a b"; "/a/(x)" ]
+
+let test_path_family () =
+  let p = Path.v "/a/b/c" in
+  check (Alcotest.option string_c) "basename" (Some "c") (Path.basename p);
+  (match Path.parent p with
+   | Some parent -> check string_c "parent" "/a/b" (Path.to_string parent)
+   | None -> Alcotest.fail "parent");
+  check (Alcotest.list string_c) "ancestors nearest-first"
+    [ "/a/b"; "/a"; "/" ]
+    (List.map Path.to_string (Path.ancestors p));
+  check bool_c "prefix self" true (Path.is_prefix p p);
+  check bool_c "prefix ancestor" true (Path.is_prefix (Path.v "/a") p);
+  check bool_c "root prefixes all" true (Path.is_prefix Path.root p);
+  check bool_c "not prefix sibling" false
+    (Path.is_prefix (Path.v "/a/x") p);
+  check bool_c "descendant not prefix" false (Path.is_prefix p (Path.v "/a"))
+
+let path_gen =
+  let open QCheck.Gen in
+  let seg = oneofl [ "a"; "b"; "host-1"; "vm_2"; "img.qcow2"; "x" ] in
+  map
+    (fun segs -> List.fold_left Path.child Path.root segs)
+    (list_size (int_bound 5) seg)
+
+let path_arbitrary = QCheck.make ~print:Path.to_string path_gen
+
+let path_roundtrip_prop =
+  QCheck.Test.make ~name:"path string roundtrip" ~count:300 path_arbitrary
+    (fun p ->
+      match Path.of_string (Path.to_string p) with
+      | Ok p' -> Path.equal p p'
+      | Error _ -> false)
+
+let path_prefix_prop =
+  QCheck.Test.make ~name:"parent is always a prefix" ~count:300 path_arbitrary
+    (fun p ->
+      match Path.parent p with
+      | None -> Path.is_root p
+      | Some parent -> Path.is_prefix parent p && not (Path.equal parent p))
+
+(* ------------------------------------------------------------------ *)
+(* Tree *)
+
+let sample_tree () =
+  let t = Tree.empty in
+  let t = tree_ok "insert vmRoot" (Tree.insert t (Path.v "/vmRoot") ~kind:"vmRoot" ()) in
+  let t =
+    tree_ok "insert host"
+      (Tree.insert t (Path.v "/vmRoot/host1") ~kind:"vmHost"
+         ~attrs:[ "mem_mb", Value.Int 8192; "hypervisor", Value.Str "xen" ]
+         ())
+  in
+  let t =
+    tree_ok "insert vm"
+      (Tree.insert t (Path.v "/vmRoot/host1/vm1") ~kind:"vm"
+         ~attrs:[ "state", Value.Str "stopped"; "mem_mb", Value.Int 1024 ]
+         ())
+  in
+  t
+
+let test_tree_insert_find () =
+  let t = sample_tree () in
+  check (Alcotest.option string_c) "kind" (Some "vm")
+    (Tree.kind t (Path.v "/vmRoot/host1/vm1"));
+  check bool_c "mem" true (Tree.mem t (Path.v "/vmRoot/host1"));
+  check bool_c "not mem" false (Tree.mem t (Path.v "/vmRoot/host2"));
+  (match Tree.get_attr t (Path.v "/vmRoot/host1") "mem_mb" with
+   | Some (Value.Int 8192) -> ()
+   | _ -> Alcotest.fail "attr");
+  check int_c "size" 3 (Tree.size t);
+  check (Alcotest.option (Alcotest.list string_c)) "children"
+    (Some [ "vm1" ])
+    (Tree.child_names t (Path.v "/vmRoot/host1"))
+
+let test_tree_errors () =
+  let t = sample_tree () in
+  (match Tree.insert t (Path.v "/vmRoot/host1") ~kind:"vmHost" () with
+   | Error (Tree.Exists _) -> ()
+   | _ -> Alcotest.fail "expected Exists");
+  (match Tree.insert t (Path.v "/nowhere/x") ~kind:"x" () with
+   | Error (Tree.No_parent _) -> ()
+   | _ -> Alcotest.fail "expected No_parent");
+  (match Tree.remove t (Path.v "/vmRoot/ghost") with
+   | Error (Tree.Missing _) -> ()
+   | _ -> Alcotest.fail "expected Missing");
+  (match Tree.remove t Path.root with
+   | Error Tree.Root_immutable -> ()
+   | _ -> Alcotest.fail "expected Root_immutable");
+  match Tree.set_attr t (Path.v "/ghost") "a" Value.Null with
+  | Error (Tree.Missing _) -> ()
+  | _ -> Alcotest.fail "expected Missing on set_attr"
+
+let test_tree_remove_subtree () =
+  let t = sample_tree () in
+  let t' = tree_ok "remove" (Tree.remove t (Path.v "/vmRoot/host1")) in
+  check bool_c "subtree gone" false (Tree.mem t' (Path.v "/vmRoot/host1/vm1"));
+  check int_c "size after" 1 (Tree.size t')
+
+let test_tree_persistence () =
+  let t = sample_tree () in
+  let t' =
+    tree_ok "set" (Tree.set_attr t (Path.v "/vmRoot/host1/vm1") "state"
+                     (Value.Str "running"))
+  in
+  (* The original snapshot is untouched: rollbacks restore old values. *)
+  (match Tree.get_attr t (Path.v "/vmRoot/host1/vm1") "state" with
+   | Some (Value.Str "stopped") -> ()
+   | _ -> Alcotest.fail "old snapshot mutated");
+  match Tree.get_attr t' (Path.v "/vmRoot/host1/vm1") "state" with
+  | Some (Value.Str "running") -> ()
+  | _ -> Alcotest.fail "new snapshot wrong"
+
+let test_tree_replace_subtree () =
+  let t = sample_tree () in
+  let replacement =
+    Tree.make_node ~kind:"vmHost"
+      ~attrs:[ "mem_mb", Value.Int 4096 ]
+      ~children:[ "vm9", Tree.make_node ~kind:"vm" () ]
+      ()
+  in
+  let t' =
+    tree_ok "replace" (Tree.replace_subtree t (Path.v "/vmRoot/host1") replacement)
+  in
+  check bool_c "new child" true (Tree.mem t' (Path.v "/vmRoot/host1/vm9"));
+  check bool_c "old child gone" false (Tree.mem t' (Path.v "/vmRoot/host1/vm1"))
+
+let test_tree_fold_preorder () =
+  let t = sample_tree () in
+  let paths = List.rev (Tree.fold (fun p _ acc -> Path.to_string p :: acc) t []) in
+  check (Alcotest.list string_c) "preorder"
+    [ "/"; "/vmRoot"; "/vmRoot/host1"; "/vmRoot/host1/vm1" ]
+    paths
+
+let test_tree_codec () =
+  let t = sample_tree () in
+  let t' = ok_or_fail "decode" (Tree.of_string (Tree.to_string t)) in
+  check bool_c "roundtrip equal" true (Tree.equal t t')
+
+(* Random tree via a sequence of inserts under previously created paths. *)
+let tree_gen =
+  let open QCheck.Gen in
+  let* n = int_bound 20 in
+  let rec build t paths k st =
+    if k = 0 then t
+    else
+      let parent = List.nth paths (Random.State.int st (List.length paths)) in
+      let name = Printf.sprintf "n%d" k in
+      let path = Path.child parent name in
+      match
+        Tree.insert t path ~kind:"node"
+          ~attrs:[ "v", Value.Int k ]
+          ()
+      with
+      | Ok t' -> build t' (path :: paths) (k - 1) st
+      | Error _ -> build t paths (k - 1) st
+  in
+  fun st -> build Tree.empty [ Path.root ] n st
+
+let tree_arbitrary = QCheck.make ~print:Tree.to_string tree_gen
+
+let tree_codec_prop =
+  QCheck.Test.make ~name:"tree sexp roundtrip" ~count:200 tree_arbitrary
+    (fun t ->
+      match Tree.of_string (Tree.to_string t) with
+      | Ok t' -> Tree.equal t t'
+      | Error _ -> false)
+
+let tree_size_prop =
+  QCheck.Test.make ~name:"size counts non-root nodes" ~count:200 tree_arbitrary
+    (fun t ->
+      let counted = Tree.fold (fun p _ acc -> if Path.is_root p then acc else acc + 1) t 0 in
+      counted = Tree.size t)
+
+(* ------------------------------------------------------------------ *)
+(* Diff *)
+
+let test_diff_equal_trees () =
+  let t = sample_tree () in
+  check int_c "no changes" 0 (List.length (Diff.diff ~old_tree:t ~new_tree:t))
+
+let test_diff_detects_changes () =
+  let t = sample_tree () in
+  let vm = Path.v "/vmRoot/host1/vm1" in
+  let t1 = tree_ok "set" (Tree.set_attr t vm "state" (Value.Str "running")) in
+  (match Diff.diff ~old_tree:t ~new_tree:t1 with
+   | [ Diff.Attr_set (p, "state", Some (Value.Str "stopped"), Value.Str "running") ]
+     when Path.equal p vm -> ()
+   | changes ->
+     Alcotest.failf "unexpected: %s"
+       (String.concat "; " (List.map Diff.change_to_string changes)));
+  let t2 = tree_ok "rm" (Tree.remove t vm) in
+  (match Diff.diff ~old_tree:t ~new_tree:t2 with
+   | [ Diff.Removed p ] when Path.equal p vm -> ()
+   | _ -> Alcotest.fail "expected Removed");
+  (match Diff.diff ~old_tree:t2 ~new_tree:t with
+   | [ Diff.Added (p, _) ] when Path.equal p vm -> ()
+   | _ -> Alcotest.fail "expected Added");
+  let t3 = tree_ok "attr rm" (Tree.remove_attr t vm "mem_mb") in
+  match Diff.diff ~old_tree:t ~new_tree:t3 with
+  | [ Diff.Attr_removed (p, "mem_mb", Value.Int 1024) ] when Path.equal p vm -> ()
+  | _ -> Alcotest.fail "expected Attr_removed"
+
+let diff_empty_iff_equal_prop =
+  QCheck.Test.make ~name:"diff empty iff trees equal" ~count:100
+    (QCheck.pair tree_arbitrary tree_arbitrary)
+    (fun (a, b) ->
+      let d = Diff.diff ~old_tree:a ~new_tree:b in
+      (d = []) = Tree.equal a b)
+
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: the tree agrees with a naive reference model
+   (path-keyed association list) over random operation sequences. *)
+
+type model_op =
+  | M_insert of string * string          (* path, kind *)
+  | M_remove of string
+  | M_set_attr of string * string * int
+
+let model_op_gen =
+  let open QCheck.Gen in
+  let path_gen =
+    oneofl [ "/a"; "/a/b"; "/a/b/c"; "/a/d"; "/e"; "/e/f"; "/e/f/g" ]
+  in
+  frequency
+    [
+      4, map2 (fun p k -> M_insert (p, "k" ^ string_of_int k)) path_gen (int_bound 3);
+      2, map (fun p -> M_remove p) path_gen;
+      3, map2 (fun p v -> M_set_attr (p, "x", v)) path_gen (int_bound 100);
+    ]
+
+let model_ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | M_insert (p, k) -> Printf.sprintf "insert %s %s" p k
+             | M_remove p -> Printf.sprintf "remove %s" p
+             | M_set_attr (p, a, v) -> Printf.sprintf "set %s.%s=%d" p a v)
+           ops))
+    QCheck.Gen.(list_size (int_bound 40) model_op_gen)
+
+(* The reference: a sorted list of (path, kind, attrs). *)
+module Model = struct
+  type t = (string * string * (string * int) list) list
+
+  let parent p =
+    match String.rindex_opt p '/' with
+    | Some 0 -> Some "/"
+    | Some i -> Some (String.sub p 0 i)
+    | None -> None
+
+  let mem (m : t) p = p = "/" || List.exists (fun (q, _, _) -> q = p) m
+
+  let insert m p kind =
+    if mem m p then Error "exists"
+    else if not (mem m (Option.value (parent p) ~default:"?")) then
+      Error "no parent"
+    else Ok ((p, kind, []) :: m)
+
+  let remove m p =
+    if not (mem m p) || p = "/" then Error "missing"
+    else
+      Ok
+        (List.filter
+           (fun (q, _, _) ->
+             not (q = p || (String.length q > String.length p
+                            && String.sub q 0 (String.length p + 1) = p ^ "/")))
+           m)
+
+  let set_attr m p a v =
+    if not (mem m p) || p = "/" then Error "missing"
+    else
+      Ok
+        (List.map
+           (fun (q, k, attrs) ->
+             if q = p then (q, k, (a, v) :: List.remove_assoc a attrs)
+             else (q, k, attrs))
+           m)
+end
+
+let tree_model_prop =
+  QCheck.Test.make ~name:"tree agrees with reference model" ~count:300
+    model_ops_arbitrary (fun ops ->
+      let apply (tree, model) op =
+        match op with
+        | M_insert (p, kind) ->
+          (match Tree.insert tree (Path.v p) ~kind (), Model.insert model p kind with
+           | Ok tree', Ok model' -> (tree', model')
+           | Error _, Error _ -> (tree, model)
+           | Ok _, Error _ | Error _, Ok _ ->
+             QCheck.Test.fail_report ("insert disagreement at " ^ p))
+        | M_remove p ->
+          (match Tree.remove tree (Path.v p), Model.remove model p with
+           | Ok tree', Ok model' -> (tree', model')
+           | Error _, Error _ -> (tree, model)
+           | Ok _, Error _ | Error _, Ok _ ->
+             QCheck.Test.fail_report ("remove disagreement at " ^ p))
+        | M_set_attr (p, a, v) ->
+          (match
+             Tree.set_attr tree (Path.v p) a (Value.Int v),
+             Model.set_attr model p a v
+           with
+           | Ok tree', Ok model' -> (tree', model')
+           | Error _, Error _ -> (tree, model)
+           | Ok _, Error _ | Error _, Ok _ ->
+             QCheck.Test.fail_report ("set_attr disagreement at " ^ p))
+      in
+      let tree, model = List.fold_left apply (Tree.empty, []) ops in
+      (* Same population... *)
+      if Tree.size tree <> List.length model then
+        QCheck.Test.fail_report "size mismatch";
+      (* ...and identical per-node content. *)
+      List.for_all
+        (fun (p, kind, attrs) ->
+          let path = Path.v p in
+          Tree.kind tree path = Some kind
+          && List.for_all
+               (fun (a, v) -> Tree.get_attr tree path a = Some (Value.Int v))
+               attrs)
+        model)
+
+let suite =
+  [
+    ("sexp: print/parse cases", `Quick, test_sexp_print_parse);
+    ("sexp: parse errors", `Quick, test_sexp_parse_errors);
+    ("sexp: whitespace", `Quick, test_sexp_whitespace);
+    ("sexp: assoc", `Quick, test_sexp_assoc);
+    QCheck_alcotest.to_alcotest sexp_roundtrip_prop;
+    QCheck_alcotest.to_alcotest sexp_fuzz_prop;
+    QCheck_alcotest.to_alcotest value_roundtrip_prop;
+    ("value: accessors", `Quick, test_value_accessors);
+    ("value: compare total", `Quick, test_value_compare_total);
+    ("path: parse/print", `Quick, test_path_parse_print);
+    ("path: invalid", `Quick, test_path_invalid);
+    ("path: family relations", `Quick, test_path_family);
+    QCheck_alcotest.to_alcotest path_roundtrip_prop;
+    QCheck_alcotest.to_alcotest path_prefix_prop;
+    ("tree: insert/find", `Quick, test_tree_insert_find);
+    ("tree: errors", `Quick, test_tree_errors);
+    ("tree: remove subtree", `Quick, test_tree_remove_subtree);
+    ("tree: persistence", `Quick, test_tree_persistence);
+    ("tree: replace subtree", `Quick, test_tree_replace_subtree);
+    ("tree: fold preorder", `Quick, test_tree_fold_preorder);
+    ("tree: codec", `Quick, test_tree_codec);
+    QCheck_alcotest.to_alcotest tree_codec_prop;
+    QCheck_alcotest.to_alcotest tree_size_prop;
+    ("diff: equal trees", `Quick, test_diff_equal_trees);
+    ("diff: detects changes", `Quick, test_diff_detects_changes);
+    QCheck_alcotest.to_alcotest diff_empty_iff_equal_prop;
+    QCheck_alcotest.to_alcotest tree_model_prop;
+  ]
+
+let () = Alcotest.run "data" [ ("data", suite) ]

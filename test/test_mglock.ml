@@ -1,0 +1,306 @@
+(* Tests for the multi-granularity lock manager. *)
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let p = Data.Path.v
+
+let all_modes = [ Mglock.R; Mglock.W; Mglock.IR; Mglock.IW ]
+
+(* The paper's footnote: "IW locks conflict with R/W locks, while IR locks
+   conflict with W locks" — plus the classic R/W core. *)
+let expected_compatible a b =
+  match a, b with
+  | Mglock.IR, Mglock.W | Mglock.W, Mglock.IR -> false
+  | Mglock.IR, _ | _, Mglock.IR -> true
+  | Mglock.IW, Mglock.IW -> true
+  | Mglock.IW, _ | _, Mglock.IW -> false
+  | Mglock.R, Mglock.R -> true
+  | _ -> false
+
+let test_compat_matrix () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check bool_c
+            (Printf.sprintf "compat %s %s" (Mglock.mode_to_string a)
+               (Mglock.mode_to_string b))
+            (expected_compatible a b) (Mglock.compatible a b))
+        all_modes)
+    all_modes
+
+let test_compat_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check bool_c "symmetric" (Mglock.compatible a b)
+            (Mglock.compatible b a))
+        all_modes)
+    all_modes
+
+let test_join_lattice () =
+  List.iter
+    (fun a ->
+      check bool_c "join idempotent" true (Mglock.join a a = a);
+      List.iter
+        (fun b ->
+          let j = Mglock.join a b in
+          check bool_c "join commutative" true (j = Mglock.join b a);
+          (* Anything incompatible with a or b is incompatible with the join. *)
+          List.iter
+            (fun c ->
+              if not (Mglock.compatible a c) || not (Mglock.compatible b c)
+              then
+                check bool_c "join at least as strong" false
+                  (Mglock.compatible j c))
+            all_modes)
+        all_modes)
+    all_modes
+
+let test_intention () =
+  check bool_c "R->IR" true (Mglock.intention Mglock.R = Mglock.IR);
+  check bool_c "W->IW" true (Mglock.intention Mglock.W = Mglock.IW);
+  check bool_c "IR->IR" true (Mglock.intention Mglock.IR = Mglock.IR);
+  check bool_c "IW->IW" true (Mglock.intention Mglock.IW = Mglock.IW)
+
+let acquire_ok t ~txn locks =
+  match Mglock.try_acquire t ~txn locks with
+  | Ok () -> ()
+  | Error c ->
+    Alcotest.failf "unexpected conflict: %s"
+      (Format.asprintf "%a" Mglock.pp_conflict c)
+
+let acquire_conflict t ~txn locks =
+  match Mglock.try_acquire t ~txn locks with
+  | Ok () -> Alcotest.fail "expected conflict"
+  | Error c -> c
+
+let test_ancestors_get_intention_locks () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b/c", Mglock.W ];
+  let held = Mglock.held_by t ~txn:1 in
+  let find path = List.assoc_opt (p path) (List.map (fun (k, v) -> (k, v)) held) in
+  check bool_c "W on object" true (find "/a/b/c" = Some Mglock.W);
+  check bool_c "IW on parent" true (find "/a/b" = Some Mglock.IW);
+  check bool_c "IW on grandparent" true (find "/a" = Some Mglock.IW);
+  check bool_c "IW on root" true (find "/" = Some Mglock.IW)
+
+let test_sibling_writes_allowed () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b", Mglock.W ];
+  acquire_ok t ~txn:2 [ p "/a/c", Mglock.W ]
+
+let test_write_blocks_descendant_read () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.W ];
+  let c = acquire_conflict t ~txn:2 [ p "/a/b", Mglock.R ] in
+  (* The IR on /a collides with txn 1's W. *)
+  check bool_c "conflict at /a" true (Data.Path.equal c.Mglock.path (p "/a"));
+  check int_c "holder" 1 c.Mglock.holder
+
+let test_read_blocks_ancestor_write () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b", Mglock.R ];
+  let _ = acquire_conflict t ~txn:2 [ p "/a", Mglock.W ] in
+  (* But a read of the ancestor is fine. *)
+  acquire_ok t ~txn:3 [ p "/a", Mglock.R ]
+
+let test_concurrent_reads () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b", Mglock.R ];
+  acquire_ok t ~txn:2 [ p "/a/b", Mglock.R ];
+  acquire_ok t ~txn:3 [ p "/a", Mglock.R ]
+
+let test_all_or_nothing () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/x", Mglock.W ];
+  let before = Mglock.lock_count t in
+  (* txn 2 wants /free (would succeed) and /x (conflicts): nothing granted. *)
+  let _ = acquire_conflict t ~txn:2 [ p "/free", Mglock.W; p "/x", Mglock.W ] in
+  check int_c "table unchanged" before (Mglock.lock_count t);
+  check (Alcotest.list (Alcotest.pair Alcotest.pass Alcotest.pass))
+    "txn2 holds nothing" [] (Mglock.held_by t ~txn:2)
+
+let test_self_upgrade () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.R ];
+  acquire_ok t ~txn:1 [ p "/a", Mglock.W ];
+  (* Upgraded in place. *)
+  check bool_c "upgraded" true
+    (List.exists (fun (q, m) -> Data.Path.equal q (p "/a") && m = Mglock.W)
+       (Mglock.held_by t ~txn:1));
+  let _ = acquire_conflict t ~txn:2 [ p "/a", Mglock.R ] in
+  ()
+
+let test_upgrade_blocked_by_other_reader () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.R ];
+  acquire_ok t ~txn:2 [ p "/a", Mglock.R ];
+  let c = acquire_conflict t ~txn:1 [ p "/a", Mglock.W ] in
+  check int_c "other reader blocks upgrade" 2 c.Mglock.holder
+
+let test_release_unblocks () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b", Mglock.W ];
+  let _ = acquire_conflict t ~txn:2 [ p "/a/b", Mglock.W ] in
+  Mglock.release_all t ~txn:1;
+  check int_c "empty table" 0 (Mglock.lock_count t);
+  acquire_ok t ~txn:2 [ p "/a/b", Mglock.W ]
+
+let test_release_unknown_txn () =
+  let t = Mglock.create () in
+  Mglock.release_all t ~txn:42;
+  check int_c "still empty" 0 (Mglock.lock_count t)
+
+let test_holders () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.R ];
+  acquire_ok t ~txn:2 [ p "/a", Mglock.R ];
+  match Mglock.holders t (p "/a") with
+  | [ (1, Mglock.R); (2, Mglock.R) ] -> ()
+  | _ -> Alcotest.fail "holders mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Property: whatever sequence of acquires/releases happens, all granted
+   locks held by distinct transactions on the same path stay pairwise
+   compatible, and failed acquires change nothing. *)
+
+type op =
+  | Acquire of int * (string * Mglock.mode) list
+  | Release of int
+
+let op_gen =
+  let open QCheck.Gen in
+  let path_gen = oneofl [ "/a"; "/a/b"; "/a/b/c"; "/a/d"; "/e"; "/e/f" ] in
+  let mode_gen = oneofl all_modes in
+  let txn_gen = int_range 1 5 in
+  frequency
+    [
+      ( 4,
+        map2
+          (fun txn locks -> Acquire (txn, locks))
+          txn_gen
+          (list_size (int_range 1 3) (pair path_gen mode_gen)) );
+      1, map (fun txn -> Release txn) txn_gen;
+    ]
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | Acquire (txn, locks) ->
+               Printf.sprintf "acquire %d [%s]" txn
+                 (String.concat ","
+                    (List.map
+                       (fun (pp, m) -> pp ^ ":" ^ Mglock.mode_to_string m)
+                       locks))
+             | Release txn -> Printf.sprintf "release %d" txn)
+           ops))
+    QCheck.Gen.(list_size (int_bound 40) op_gen)
+
+let table_invariant t paths =
+  List.for_all
+    (fun path ->
+      let holders = Mglock.holders t path in
+      List.for_all
+        (fun (txn_a, mode_a) ->
+          List.for_all
+            (fun (txn_b, mode_b) ->
+              txn_a = txn_b || Mglock.compatible mode_a mode_b)
+            holders)
+        holders)
+    paths
+
+let all_paths =
+  List.map p [ "/"; "/a"; "/a/b"; "/a/b/c"; "/a/d"; "/e"; "/e/f" ]
+
+let lock_safety_prop =
+  QCheck.Test.make ~name:"granted locks always pairwise compatible" ~count:300
+    ops_arbitrary (fun ops ->
+      let t = Mglock.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+           | Acquire (txn, locks) ->
+             let locks = List.map (fun (s, m) -> (p s, m)) locks in
+             let before = Mglock.lock_count t in
+             (match Mglock.try_acquire t ~txn locks with
+              | Ok () -> ()
+              | Error _ ->
+                if Mglock.lock_count t <> before then
+                  QCheck.Test.fail_report "failed acquire mutated table")
+           | Release txn -> Mglock.release_all t ~txn);
+          table_invariant t all_paths)
+        ops)
+
+(* Hierarchy invariant: whenever a transaction holds an object lock, it
+   also holds at least an intention lock on every ancestor. *)
+let intention_coverage_prop =
+  QCheck.Test.make ~name:"object locks imply ancestor intention locks"
+    ~count:200 ops_arbitrary (fun ops ->
+      let t = Mglock.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+           | Acquire (txn, locks) ->
+             let locks = List.map (fun (s, m) -> (p s, m)) locks in
+             ignore (Mglock.try_acquire t ~txn locks)
+           | Release txn -> Mglock.release_all t ~txn);
+          List.for_all
+            (fun txn ->
+              let held = Mglock.held_by t ~txn in
+              List.for_all
+                (fun (path, _) ->
+                  List.for_all
+                    (fun ancestor ->
+                      List.exists
+                        (fun (q, _) -> Data.Path.equal q ancestor)
+                        held)
+                    (Data.Path.ancestors path))
+                held)
+            [ 1; 2; 3; 4; 5 ])
+        ops)
+
+let release_clears_prop =
+  QCheck.Test.make ~name:"release_all removes every entry of the txn"
+    ~count:200 ops_arbitrary (fun ops ->
+      let t = Mglock.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | Acquire (txn, locks) ->
+            let locks = List.map (fun (s, m) -> (p s, m)) locks in
+            ignore (Mglock.try_acquire t ~txn locks)
+          | Release txn -> Mglock.release_all t ~txn)
+        ops;
+      List.iter (fun txn -> Mglock.release_all t ~txn) [ 1; 2; 3; 4; 5 ];
+      Mglock.lock_count t = 0)
+
+let suite =
+  [
+    ("compatibility matrix", `Quick, test_compat_matrix);
+    ("compatibility symmetric", `Quick, test_compat_symmetric);
+    ("join lattice", `Quick, test_join_lattice);
+    ("intention modes", `Quick, test_intention);
+    ("ancestors get intention locks", `Quick, test_ancestors_get_intention_locks);
+    ("sibling writes allowed", `Quick, test_sibling_writes_allowed);
+    ("write blocks descendant read", `Quick, test_write_blocks_descendant_read);
+    ("read blocks ancestor write", `Quick, test_read_blocks_ancestor_write);
+    ("concurrent reads", `Quick, test_concurrent_reads);
+    ("all-or-nothing acquisition", `Quick, test_all_or_nothing);
+    ("self upgrade", `Quick, test_self_upgrade);
+    ("upgrade blocked by other reader", `Quick, test_upgrade_blocked_by_other_reader);
+    ("release unblocks", `Quick, test_release_unblocks);
+    ("release unknown txn", `Quick, test_release_unknown_txn);
+    ("holders", `Quick, test_holders);
+    QCheck_alcotest.to_alcotest lock_safety_prop;
+    QCheck_alcotest.to_alcotest intention_coverage_prop;
+    QCheck_alcotest.to_alcotest release_clears_prop;
+  ]
+
+let () = Alcotest.run "mglock" [ ("mglock", suite) ]

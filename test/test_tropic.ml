@@ -1,0 +1,917 @@
+(* Tests for the TROPIC core: unit tests of the engine pieces, plus
+   end-to-end transactional orchestration on a full simulated platform. *)
+
+open Tropic
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+module Schema = Devices.Schema
+
+let vm_state_c =
+  Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        (match s with `Running -> "running" | `Stopped -> "stopped"))
+    ( = )
+
+let v_str s = Data.Value.Str s
+let host0 = "/vmRoot/host00000"
+let host1 = "/vmRoot/host00001"
+let storage0 = "/storageRoot/storage00000"
+
+(* ------------------------------------------------------------------ *)
+(* Xlog / Txn / Proto codecs *)
+
+let sample_log =
+  [
+    {
+      Xlog.index = 1;
+      path = Data.Path.v storage0;
+      action = "cloneImage";
+      args = [ v_str "base.img"; v_str "vm1.img" ];
+      undo = Some "removeImage";
+      undo_args = [ v_str "vm1.img" ];
+    };
+    {
+      Xlog.index = 2;
+      path = Data.Path.v host0;
+      action = "startVM";
+      args = [ v_str "vm1" ];
+      undo = None;
+      undo_args = [];
+    };
+  ]
+
+let test_xlog_roundtrip () =
+  match Xlog.of_sexp (Xlog.to_sexp sample_log) with
+  | Ok log ->
+    check int_c "length" 2 (List.length log);
+    check bool_c "equal" true (log = sample_log)
+  | Error reason -> Alcotest.fail reason
+
+let test_txn_roundtrip () =
+  let txn =
+    Txn.make ~id:42 ~proc:"spawnVM" ~args:[ v_str "vm1"; Data.Value.Int 512 ]
+      ~submitted_at:12.5
+  in
+  txn.Txn.state <- Txn.Started;
+  txn.Txn.log <- sample_log;
+  txn.Txn.locks <- [ (Data.Path.v host0, Mglock.W) ];
+  txn.Txn.start_seq <- Some 7;
+  match Txn.of_string (Txn.to_string txn) with
+  | Error reason -> Alcotest.fail reason
+  | Ok txn' ->
+    check int_c "id" 42 txn'.Txn.id;
+    check string_c "proc" "spawnVM" txn'.Txn.proc;
+    check bool_c "state" true (txn'.Txn.state = Txn.Started);
+    check bool_c "log" true (txn'.Txn.log = sample_log);
+    check bool_c "locks" true (txn'.Txn.locks = txn.Txn.locks);
+    check bool_c "start_seq" true (txn'.Txn.start_seq = Some 7)
+
+let txn_state_strings_prop =
+  QCheck.Test.make ~name:"txn state string roundtrip" ~count:100
+    QCheck.(
+      oneofl
+        [ Txn.Initialized; Txn.Accepted; Txn.Deferred; Txn.Started;
+          Txn.Committed; Txn.Aborted "x y"; Txn.Failed "z" ])
+    (fun state ->
+      match Txn.state_of_string (Txn.state_to_string state) with
+      | Ok state' -> state = state'
+      | Error _ -> false)
+
+let test_proto_roundtrip () =
+  let items =
+    [
+      Proto.Request { proc = "spawnVM"; args = [ v_str "vm1"; Data.Value.Int 3 ] };
+      Proto.Result { txn_id = 9; outcome = Proto.Phy_committed };
+      Proto.Result { txn_id = 9; outcome = Proto.Phy_aborted "disk on fire" };
+      Proto.Result { txn_id = 9; outcome = Proto.Phy_failed "undo broke" };
+      Proto.Control (Proto.Reload (Data.Path.v host0));
+      Proto.Control (Proto.Repair (Data.Path.v host0));
+      Proto.Control (Proto.Signal (4, Proto.Term));
+      Proto.Control (Proto.Signal (5, Proto.Kill));
+    ]
+  in
+  List.iter
+    (fun item ->
+      match Proto.input_of_string (Proto.input_to_string item) with
+      | Ok item' -> check bool_c "roundtrip" true (item = item')
+      | Error reason -> Alcotest.fail reason)
+    items
+
+let test_seq_of_item_key () =
+  (match Proto.seq_of_item_key "/tropic/inputQ/item-0000000042" with
+   | Ok 42 -> ()
+   | _ -> Alcotest.fail "seq parse");
+  match Proto.seq_of_item_key "nodigits" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_deque () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_front d 0;
+  check int_c "length" 3 (Deque.length d);
+  check (Alcotest.list int_c) "order" [ 0; 1; 2 ] (Deque.to_list d);
+  check (Alcotest.option int_c) "pop" (Some 0) (Deque.pop_front d);
+  check int_c "removed" 1 (Deque.remove d (fun x -> x = 2));
+  check (Alcotest.option int_c) "pop rest" (Some 1) (Deque.pop_front d);
+  check (Alcotest.option int_c) "empty" None (Deque.pop_front d)
+
+(* ------------------------------------------------------------------ *)
+(* Logical layer: Table 1, constraints, locks, rollback *)
+
+let small_inventory () = Tcloud.Setup.build Tcloud.Setup.small
+
+let spawn_args vm =
+  Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:1024
+    ~storage:storage0 ~host:host0
+
+let test_table1_spawn_log () =
+  let inv = small_inventory () in
+  match
+    Logical.simulate inv.Tcloud.Setup.env ~tree:inv.Tcloud.Setup.tree
+      ~proc:"spawnVM" ~args:(spawn_args "vm1")
+  with
+  | Error reason -> Alcotest.fail reason
+  | Ok { Logical.log; new_tree; actions; _ } ->
+    check int_c "five actions (Table 1)" 5 actions;
+    let names = List.map (fun (r : Xlog.record) -> r.Xlog.action) log in
+    check (Alcotest.list string_c) "action sequence"
+      [ "cloneImage"; "exportImage"; "importImage"; "createVM"; "startVM" ]
+      names;
+    let undos = List.map (fun (r : Xlog.record) -> r.Xlog.undo) log in
+    check
+      (Alcotest.list (Alcotest.option string_c))
+      "undo sequence"
+      [ Some "removeImage"; Some "unexportImage"; Some "unimportImage";
+        Some "removeVM"; Some "stopVM" ]
+      undos;
+    (match
+       Data.Tree.get_attr new_tree
+         (Data.Path.v (host0 ^ "/vm1"))
+         Schema.attr_state
+     with
+     | Some (Data.Value.Str s) -> check string_c "running" "running" s
+     | _ -> Alcotest.fail "vm state");
+    (* The input tree is untouched (persistence = free rollback). *)
+    check bool_c "input tree unchanged" false
+      (Data.Tree.mem inv.Tcloud.Setup.tree (Data.Path.v (host0 ^ "/vm1")))
+
+let test_simulation_constraint_violation () =
+  let inv = small_inventory () in
+  (* 8 GB host: a 9 GB VM violates vm-host-memory. *)
+  let args =
+    Tcloud.Procs.spawn_vm_args ~vm:"fat" ~template:"base.img" ~mem_mb:9000
+      ~storage:storage0 ~host:host0
+  in
+  match
+    Logical.simulate inv.Tcloud.Setup.env ~tree:inv.Tcloud.Setup.tree
+      ~proc:"spawnVM" ~args
+  with
+  | Ok _ -> Alcotest.fail "expected violation"
+  | Error reason ->
+    check bool_c "mentions the constraint" true
+      (Str_contains.contains reason "vm-host-memory")
+
+and test_lock_inference () =
+  let inv = small_inventory () in
+  match
+    Logical.simulate inv.Tcloud.Setup.env ~tree:inv.Tcloud.Setup.tree
+      ~proc:"spawnVM" ~args:(spawn_args "vm1")
+  with
+  | Error reason -> Alcotest.fail reason
+  | Ok { Logical.locks; _ } ->
+    let has path mode =
+      List.exists
+        (fun (p, m) -> Data.Path.equal p (Data.Path.v path) && m = mode)
+        locks
+    in
+    check bool_c "W on compute host" true (has host0 Mglock.W);
+    check bool_c "W on storage host" true (has storage0 Mglock.W);
+    (* Constraint-guard R locks on the constrained hosts themselves. *)
+    check bool_c "R guard on compute host" true (has host0 Mglock.R);
+    check bool_c "R guard on storage host" true (has storage0 Mglock.R)
+
+let test_logical_rollback_restores_tree () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  match
+    Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+      ~args:(spawn_args "vm1")
+  with
+  | Error reason -> Alcotest.fail reason
+  | Ok { Logical.new_tree; log; _ } ->
+    (match Logical.rollback env ~tree:new_tree ~log with
+     | Error (index, reason) -> Alcotest.failf "undo #%d failed: %s" index reason
+     | Ok restored ->
+       check bool_c "tree restored exactly" true
+         (Data.Tree.equal restored inv.Tcloud.Setup.tree))
+
+let test_rollback_irreversible_fails () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  (* destroyVM ends in irreversible removes. *)
+  match
+    Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+      ~args:(spawn_args "vm1")
+  with
+  | Error reason -> Alcotest.fail reason
+  | Ok { Logical.new_tree; _ } ->
+    (match
+       Logical.simulate env ~tree:new_tree ~proc:"destroyVM"
+         ~args:
+           (Tcloud.Procs.destroy_vm_args ~host:host0 ~storage:storage0 ~vm:"vm1")
+     with
+     | Error reason -> Alcotest.fail reason
+     | Ok { Logical.new_tree = destroyed; log; _ } ->
+       (match Logical.rollback env ~tree:destroyed ~log with
+        | Ok _ -> Alcotest.fail "expected irreversible undo failure"
+        | Error (_, reason) ->
+          check bool_c "says irreversible" true
+            (Str_contains.contains reason "irreversible")))
+
+let test_migrate_hypervisor_rule () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  (* host0 is xen, host1 is kvm (alternating). *)
+  match
+    Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+      ~args:(spawn_args "vm1")
+  with
+  | Error reason -> Alcotest.fail reason
+  | Ok { Logical.new_tree; _ } ->
+    (match
+       Logical.simulate env ~tree:new_tree ~proc:"migrateVM"
+         ~args:(Tcloud.Procs.migrate_vm_args ~src:host0 ~dst:host1 ~vm:"vm1")
+     with
+     | Ok _ -> Alcotest.fail "expected hypervisor rule violation"
+     | Error reason ->
+       check bool_c "mentions hypervisor" true
+         (Str_contains.contains reason "hypervisor"));
+    (* host2 is xen again: allowed. *)
+    (match
+       Logical.simulate env ~tree:new_tree ~proc:"migrateVM"
+         ~args:
+           (Tcloud.Procs.migrate_vm_args ~src:host0 ~dst:"/vmRoot/host00002"
+              ~vm:"vm1")
+     with
+     | Error reason -> Alcotest.fail reason
+     | Ok { Logical.new_tree = migrated; _ } ->
+       check bool_c "vm moved" true
+         (Data.Tree.mem migrated (Data.Path.v "/vmRoot/host00002/vm1"));
+       check bool_c "vm gone from source" false
+         (Data.Tree.mem migrated (Data.Path.v (host0 ^ "/vm1"))))
+
+let test_constraints_helpers () =
+  let inv = small_inventory () in
+  let registry = Dsl.constraints_of inv.Tcloud.Setup.env in
+  let tree = inv.Tcloud.Setup.tree in
+  check bool_c "vmHost constrained" true
+    (Constraints.constrained_kind registry Schema.vm_host_kind);
+  check bool_c "vmRoot unconstrained" false
+    (Constraints.constrained_kind registry Schema.vm_root_kind);
+  (match
+     Constraints.highest_constrained_ancestor registry tree (Data.Path.v host0)
+   with
+   | Some p -> check string_c "host is its own guard" host0 (Data.Path.to_string p)
+   | None -> Alcotest.fail "no constrained ancestor");
+  check int_c "clean tree has no violations" 0
+    (List.length (Constraints.check_path registry tree (Data.Path.v host0)))
+
+(* Property: for every reversible procedure, logical rollback is the exact
+   inverse of simulation — over random operation sequences applied to an
+   evolving tree. *)
+let rollback_inverse_prop =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 12) (pair (int_bound 3) (int_bound 3)))
+  in
+  QCheck.Test.make ~name:"rollback inverts simulation" ~count:60
+    (QCheck.make gen) (fun choices ->
+      let inv =
+        Tcloud.Setup.build
+          { Tcloud.Setup.small with Tcloud.Setup.prepopulated_vms_per_host = 2 }
+      in
+      let env = inv.Tcloud.Setup.env in
+      let step (tree, counter) (kind, host) =
+        let host_s = Printf.sprintf "/vmRoot/host%05d" host in
+        let vm = Tcloud.Setup.prepop_vm_name ~host ~index:(kind mod 2) in
+        let proc, args =
+          match kind with
+          | 0 ->
+            ( "spawnVM",
+              Tcloud.Procs.spawn_vm_args
+                ~vm:(Printf.sprintf "pr%d" counter)
+                ~template:"base.img" ~mem_mb:512
+                ~storage:"/storageRoot/storage00000" ~host:host_s )
+          | 1 -> ("startVM", Tcloud.Procs.start_vm_args ~host:host_s ~vm)
+          | 2 -> ("stopVM", Tcloud.Procs.stop_vm_args ~host:host_s ~vm)
+          | _ ->
+            ( "migrateVM",
+              Tcloud.Procs.migrate_vm_args ~src:host_s
+                ~dst:(Printf.sprintf "/vmRoot/host%05d" ((host + 2) mod 4))
+                ~vm )
+        in
+        match Logical.simulate env ~tree ~proc ~args with
+        | Error _ -> (tree, counter + 1) (* invalid in current state: skip *)
+        | Ok { Logical.new_tree; log; _ } ->
+          (* The round trip must restore the pre-simulation tree exactly. *)
+          (match Logical.rollback env ~tree:new_tree ~log with
+           | Ok restored when Data.Tree.equal restored tree ->
+             (* Keep the effect and continue mutating. *)
+             (new_tree, counter + 1)
+           | Ok _ -> QCheck.Test.fail_report "rollback restored a different tree"
+           | Error (i, reason) ->
+             QCheck.Test.fail_report
+               (Printf.sprintf "undo #%d failed: %s" i reason))
+      in
+      ignore (List.fold_left step (inv.Tcloud.Setup.tree, 0) choices);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Physical layer (devices driven directly, no platform) *)
+
+let test_physical_execute_commit_and_rollback () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  let devices = Physical.lookup_of_list inv.Tcloud.Setup.devices in
+  let log =
+    match
+      Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+        ~args:(spawn_args "vm1")
+    with
+    | Ok { Logical.log; _ } -> log
+    | Error reason -> Alcotest.fail reason
+  in
+  let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+  let _, storage0_dev = inv.Tcloud.Setup.storages.(0) in
+  (* Fail the last action (startVM): everything must be undone. *)
+  Devices.Fault.fail_next
+    (Devices.Device.faults (Devices.Compute.device compute0))
+    ~action:Schema.act_start_vm;
+  (match Physical.execute ~devices log with
+   | Proto.Phy_aborted reason ->
+     check bool_c "reports startVM" true
+       (Str_contains.contains reason "startVM")
+   | Proto.Phy_committed | Proto.Phy_failed _ -> Alcotest.fail "expected abort");
+  check (Alcotest.list string_c) "no vm left" []
+    (Devices.Compute.vm_names compute0);
+  check bool_c "no image left" false
+    (List.mem "vm1.img" (Devices.Storage.image_names storage0_dev));
+  (* Second run without faults commits. *)
+  (match Physical.execute ~devices log with
+   | Proto.Phy_committed -> ()
+   | Proto.Phy_aborted r | Proto.Phy_failed r -> Alcotest.fail r);
+  check (Alcotest.option Alcotest.pass) "vm running" (Some `Running)
+    (Devices.Compute.vm_state compute0 "vm1")
+
+let test_physical_undo_failure_is_failed () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  let devices = Physical.lookup_of_list inv.Tcloud.Setup.devices in
+  let log =
+    match
+      Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+        ~args:(spawn_args "vm1")
+    with
+    | Ok { Logical.log; _ } -> log
+    | Error reason -> Alcotest.fail reason
+  in
+  let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+  let faults = Devices.Device.faults (Devices.Compute.device compute0) in
+  Devices.Fault.fail_next faults ~action:Schema.act_start_vm;
+  (* The undo of createVM is removeVM: make it fail too. *)
+  Devices.Fault.fail_next faults ~action:Schema.act_remove_vm;
+  match Physical.execute ~devices log with
+  | Proto.Phy_failed reason ->
+    check bool_c "mentions undo" true (Str_contains.contains reason "undo")
+  | Proto.Phy_committed | Proto.Phy_aborted _ ->
+    Alcotest.fail "expected failure"
+
+let test_plan_repair_after_power_cycle () =
+  let inv = small_inventory () in
+  let env = inv.Tcloud.Setup.env in
+  let devices = Physical.lookup_of_list inv.Tcloud.Setup.devices in
+  let log, logical_tree =
+    match
+      Logical.simulate env ~tree:inv.Tcloud.Setup.tree ~proc:"spawnVM"
+        ~args:(spawn_args "vm1")
+    with
+    | Ok { Logical.log; new_tree; _ } -> (log, new_tree)
+    | Error reason -> Alcotest.fail reason
+  in
+  (match Physical.execute ~devices log with
+   | Proto.Phy_committed -> ()
+   | _ -> Alcotest.fail "spawn failed");
+  let host_path, compute0 = inv.Tcloud.Setup.computes.(0) in
+  Devices.Compute.power_cycle compute0;
+  let logical =
+    match Data.Tree.subtree logical_tree host_path with
+    | Ok node -> node
+    | Error e -> Alcotest.fail (Data.Tree.error_to_string e)
+  in
+  let plan =
+    Recon.plan_repair ~rules:Tcloud.Rules.repair_rules ~at:host_path ~logical
+      ~physical:(Devices.Device.export (Devices.Compute.device compute0))
+  in
+  (match plan.Recon.steps with
+   | [ { Recon.action; args = [ Data.Value.Str "vm1" ]; _ } ] ->
+     check string_c "startVM step" Schema.act_start_vm action
+   | _ -> Alcotest.fail "expected exactly one startVM step");
+  check int_c "nothing unrepairable" 0 (List.length plan.Recon.unrepaired);
+  (* Executing the plan re-converges the device. *)
+  List.iter
+    (fun (step : Recon.step) ->
+      match
+        Devices.Device.invoke
+          (Devices.Compute.device compute0)
+          ~action:step.Recon.action ~args:step.Recon.args
+      with
+      | Ok () -> ()
+      | Error reason -> Alcotest.fail reason)
+    plan.Recon.steps;
+  check (Alcotest.option vm_state_c) "running again" (Some `Running)
+    (Devices.Compute.vm_state compute0 "vm1")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end platform tests *)
+
+let quick_coord_config =
+  { Coord.Types.default_config with Coord.Types.default_session_timeout = 5.0 }
+
+let quick_spec =
+  {
+    Platform.default_spec with
+    Platform.controllers = 3;
+    workers = 2;
+    mode = Platform.Full;
+    coord_config = quick_coord_config;
+    controller_config = Tcloud.Setup.controller_config;
+    controller_session_timeout = 3.0;
+  }
+
+(* Run [scenario] against a freshly built platform; returns the inventory
+   for device-level assertions. *)
+let with_platform ?(spec = quick_spec) ?(size = Tcloud.Setup.small)
+    ?(horizon = 600.) ?(seed = 11) scenario =
+  let sim = Des.Sim.create ~seed () in
+  let inv = Tcloud.Setup.build ~timing:`Process ~rng:(Des.Sim.rng sim) size in
+  let platform =
+    Platform.create spec inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
+      ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let finished = ref false in
+  ignore
+    (Des.Proc.spawn ~name:"scenario" sim (fun () ->
+         scenario platform inv;
+         finished := true));
+  ignore (Des.Sim.run ~until:horizon sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     Alcotest.failf "process %s crashed: %s" who (Printexc.to_string exn));
+  if not !finished then Alcotest.fail "scenario did not finish before horizon"
+
+let expect_committed what state =
+  match state with
+  | Txn.Committed -> ()
+  | other -> Alcotest.failf "%s: expected committed, got %s" what (Txn.state_to_string other)
+
+let test_e2e_spawn_commits () =
+  with_platform (fun platform inv ->
+      let state =
+        Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "web1")
+      in
+      expect_committed "spawnVM" state;
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      check (Alcotest.option vm_state_c) "vm running on device"
+        (Some `Running)
+        (Devices.Compute.vm_state compute0 "web1");
+      (* Logical view matches the physical export. *)
+      let host_path, _ = inv.Tcloud.Setup.computes.(0) in
+      let logical =
+        match Data.Tree.subtree (Platform.logical_tree platform) host_path with
+        | Ok node -> node
+        | Error e -> Alcotest.fail (Data.Tree.error_to_string e)
+      in
+      check bool_c "layers consistent" true
+        (Data.Tree.equal logical
+           (Devices.Device.export (Devices.Compute.device compute0))))
+
+let test_e2e_violation_aborts_before_devices () =
+  with_platform (fun platform inv ->
+      let args =
+        Tcloud.Procs.spawn_vm_args ~vm:"fat" ~template:"base.img" ~mem_mb:9000
+          ~storage:storage0 ~host:host0
+      in
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args with
+       | Txn.Aborted reason ->
+         check bool_c "constraint named" true
+           (Str_contains.contains reason "vm-host-memory")
+       | other -> Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      let _, storage_dev = inv.Tcloud.Setup.storages.(0) in
+      (* Early detection: the devices never saw a single operation. *)
+      check int_c "no device ops" 0
+        (Devices.Device.ops (Devices.Storage.device storage_dev)))
+
+let test_e2e_physical_failure_rolls_back_both_layers () =
+  with_platform (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Fault.fail_next
+        (Devices.Device.faults (Devices.Compute.device compute0))
+        ~action:Schema.act_start_vm;
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "vmx") with
+       | Txn.Aborted _ -> ()
+       | other -> Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      check (Alcotest.list string_c) "device clean" []
+        (Devices.Compute.vm_names compute0);
+      check bool_c "logical clean" false
+        (Data.Tree.mem (Platform.logical_tree platform)
+           (Data.Path.v (host0 ^ "/vmx")));
+      (* The platform stays fully usable. *)
+      expect_committed "next spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "vmy")))
+
+let test_e2e_undo_failure_quarantines_then_reload_recovers () =
+  with_platform (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      let faults = Devices.Device.faults (Devices.Compute.device compute0) in
+      Devices.Fault.fail_next faults ~action:Schema.act_start_vm;
+      Devices.Fault.fail_next faults ~action:Schema.act_remove_vm;
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "vmz") with
+       | Txn.Failed _ -> ()
+       | other -> Alcotest.failf "expected failed, got %s" (Txn.state_to_string other));
+      (* The host is quarantined: further transactions on it abort. *)
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "vmq") with
+       | Txn.Aborted reason ->
+         check bool_c "quarantine abort" true
+           (Str_contains.contains reason "quarantined")
+       | other ->
+         Alcotest.failf "expected quarantine abort, got %s"
+           (Txn.state_to_string other));
+      (* Reload adopts the physical truth and lifts the quarantine. *)
+      Platform.reload platform (Data.Path.v host0);
+      Platform.reload platform (Data.Path.v storage0);
+      Des.Proc.sleep 5.;
+      expect_committed "after reload"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "vmok")))
+
+let test_e2e_concurrent_spawns_memory_safety () =
+  with_platform (fun platform _inv ->
+      (* Host capacity 8192 MB: eight 1 GB VMs fit, the ninth must abort.
+         Submit all nine concurrently. *)
+      let ids =
+        List.init 9 (fun i ->
+            Platform.submit platform ~proc:"spawnVM"
+              ~args:(spawn_args (Printf.sprintf "c%d" i)))
+      in
+      let states = List.map (fun id -> Platform.await platform id) ids in
+      let committed =
+        List.length (List.filter (fun s -> s = Txn.Committed) states)
+      in
+      let aborted =
+        List.length
+          (List.filter
+             (function Txn.Aborted _ -> true | _ -> false)
+             states)
+      in
+      check int_c "eight commit" 8 committed;
+      check int_c "one aborts on memory" 1 aborted;
+      (* No race: the logical view never exceeds capacity. *)
+      match Data.Tree.find (Platform.logical_tree platform) (Data.Path.v host0) with
+      | Some host ->
+        check bool_c "memory within capacity" true
+          (Tcloud.Actions.vm_memory_sum host <= 8192)
+      | None -> Alcotest.fail "host missing")
+
+let test_e2e_deferred_conflict_then_commit () =
+  with_platform (fun platform _inv ->
+      (* Two spawns on the same host: serialized by locks, both commit. *)
+      let a = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "d1") in
+      let b = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "d2") in
+      expect_committed "first" (Platform.await platform a);
+      expect_committed "second" (Platform.await platform b);
+      let leader = Platform.await_leader_controller platform in
+      check bool_c "lock conflicts caused deferrals" true
+        ((Controller.stats leader).Controller.deferrals > 0))
+
+let test_e2e_kill_signal_quarantines_then_repair () =
+  with_platform (fun platform inv ->
+      let txn_id =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "k1")
+      in
+      (* Give it time to reach the physical layer (cloneImage takes 4 s),
+         then KILL it. *)
+      Des.Proc.sleep 6.;
+      Platform.signal platform txn_id Proto.Kill;
+      (match Platform.await platform txn_id with
+       | Txn.Aborted _ | Txn.Failed _ -> ()
+       | other ->
+         Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      Des.Proc.sleep 30.;
+      (* The logical layer shows no VM, but the device may hold leftovers:
+         reconcile, then the host is usable again. *)
+      check bool_c "logical clean" false
+        (Data.Tree.mem (Platform.logical_tree platform)
+           (Data.Path.v (host0 ^ "/k1")));
+      Platform.reload platform (Data.Path.v host0);
+      Platform.reload platform (Data.Path.v storage0);
+      Des.Proc.sleep 5.;
+      ignore inv;
+      expect_committed "post-KILL spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "k2")))
+
+let test_e2e_repair_after_power_cycle () =
+  with_platform (fun platform inv ->
+      expect_committed "spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "p1"));
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Compute.power_cycle compute0;
+      check (Alcotest.option vm_state_c) "physically stopped" (Some `Stopped)
+        (Devices.Compute.vm_state compute0 "p1");
+      Platform.repair platform (Data.Path.v host0);
+      Des.Proc.sleep 10.;
+      check (Alcotest.option vm_state_c) "repaired to running"
+        (Some `Running)
+        (Devices.Compute.vm_state compute0 "p1"))
+
+let test_e2e_reload_adopts_oob_change () =
+  with_platform (fun platform inv ->
+      expect_committed "spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "r1"));
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      (* Operator removes the VM behind TROPIC's back. *)
+      Devices.Compute.force_set_vm_state compute0 "r1" `Stopped;
+      Devices.Compute.force_remove_vm compute0 "r1";
+      Platform.reload platform (Data.Path.v host0);
+      Des.Proc.sleep 5.;
+      check bool_c "logical adopted removal" false
+        (Data.Tree.mem (Platform.logical_tree platform)
+           (Data.Path.v (host0 ^ "/r1"))))
+
+let test_e2e_periodic_repair_detects_drift () =
+  let spec =
+    {
+      quick_spec with
+      Platform.controller_config =
+        {
+          Tcloud.Setup.controller_config with
+          Controller.repair_interval = Some 5.0;
+        };
+    }
+  in
+  with_platform ~spec (fun platform inv ->
+      expect_committed "spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "auto1"));
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Compute.power_cycle compute0;
+      check (Alcotest.option vm_state_c) "drifted to stopped" (Some `Stopped)
+        (Devices.Compute.vm_state compute0 "auto1");
+      (* No operator action: the sweeper detects the divergence and heals. *)
+      Des.Proc.sleep 30.;
+      check (Alcotest.option vm_state_c) "healed automatically" (Some `Running)
+        (Devices.Compute.vm_state compute0 "auto1"))
+
+
+let test_e2e_destroy_roundtrip () =
+  with_platform (fun platform inv ->
+      expect_committed "spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "cycle"));
+      expect_committed "destroy"
+        (Platform.run_txn platform ~proc:"destroyVM"
+           ~args:
+             (Tcloud.Procs.destroy_vm_args ~host:host0 ~storage:storage0
+                ~vm:"cycle"));
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      let _, storage_dev = inv.Tcloud.Setup.storages.(0) in
+      check (Alcotest.list string_c) "no vm" [] (Devices.Compute.vm_names compute0);
+      check bool_c "image gone" false
+        (List.mem "cycle.img" (Devices.Storage.image_names storage_dev));
+      (* The name is reusable. *)
+      expect_committed "respawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "cycle")))
+
+let test_e2e_network_procedures () =
+  with_platform (fun platform inv ->
+      let switch = "/netRoot/switch000" in
+      expect_committed "create vlan"
+        (Platform.run_txn platform ~proc:"createVlan"
+           ~args:(Tcloud.Procs.create_vlan_args ~switch ~vlan:42 ~name:"tenant"));
+      expect_committed "spawn with network"
+        (Platform.run_txn platform ~proc:"spawnVMWithNetwork"
+           ~args:
+             (Tcloud.Procs.spawn_vm_with_network_args ~vm:"netvm"
+                ~template:"base.img" ~mem_mb:512 ~storage:storage0 ~host:host0
+                ~switch ~vlan:42));
+      let _, switch_dev = inv.Tcloud.Setup.switches.(0) in
+      (match Devices.Network.ports_of switch_dev 42 with
+       | Some [ "netvm.eth0" ] -> ()
+       | Some ports ->
+         Alcotest.failf "unexpected ports [%s]" (String.concat "; " ports)
+       | None -> Alcotest.fail "vlan missing");
+      (* Tear down in reverse; removing a vlan with ports must abort. *)
+      (match
+         Platform.run_txn platform ~proc:"removeVlan"
+           ~args:(Tcloud.Procs.remove_vlan_args ~switch ~vlan:42)
+       with
+       | Txn.Aborted _ -> ()
+       | other -> Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      expect_committed "detach"
+        (Platform.run_txn platform ~proc:"detachVmVlan"
+           ~args:(Tcloud.Procs.detach_vm_vlan_args ~switch ~vlan:42 ~vm:"netvm"));
+      expect_committed "remove vlan"
+        (Platform.run_txn platform ~proc:"removeVlan"
+           ~args:(Tcloud.Procs.remove_vlan_args ~switch ~vlan:42)))
+
+let test_e2e_term_on_queued_txn () =
+  with_platform (fun platform _inv ->
+      (* Two conflicting spawns: the second sits queued behind the first;
+         TERM it before it ever starts. *)
+      let a = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "t1") in
+      let b = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "t2") in
+      Des.Proc.sleep 3.;
+      Platform.signal platform b Proto.Term;
+      (match Platform.await platform b with
+       | Txn.Aborted reason ->
+         check bool_c "aborted by signal" true
+           (Str_contains.contains reason "signal")
+       | other -> Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      expect_committed "first unaffected" (Platform.await platform a))
+
+let test_e2e_aggressive_scheduling () =
+  let spec =
+    {
+      quick_spec with
+      Platform.mode = Platform.Logical_only 2.0;
+      controller_config =
+        {
+          Tcloud.Setup.controller_config with
+          Controller.scheduling = `Aggressive;
+        };
+    }
+  in
+  with_platform ~spec (fun platform _inv ->
+      ignore (Platform.await_leader_controller platform);
+      Des.Proc.sleep 1.;
+      (* Conflicting pair first, independent txn behind them: with the
+         aggressive policy the independent one must NOT wait for the
+         deferred head. *)
+      let a = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "h1") in
+      let b = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "h2") in
+      let c =
+        Platform.submit platform ~proc:"spawnVM"
+          ~args:
+            (Tcloud.Procs.spawn_vm_args ~vm:"ind" ~template:"base.img"
+               ~mem_mb:512 ~storage:"/storageRoot/storage00001"
+               ~host:"/vmRoot/host00001")
+      in
+      let t0 = Des.Proc.now () in
+      expect_committed "independent" (Platform.await platform c);
+      let independent_done = Des.Proc.now () -. t0 in
+      expect_committed "first conflicting" (Platform.await platform a);
+      expect_committed "second conflicting" (Platform.await platform b);
+      let conflicting_done = Des.Proc.now () -. t0 in
+      check bool_c "independent did not wait for the deferred head" true
+        (independent_done < conflicting_done))
+
+let test_e2e_controller_failover_no_loss () =
+  with_platform ~horizon:900. (fun platform _inv ->
+      (* A stream of transactions; the lead controller dies mid-stream. *)
+      let early =
+        List.init 3 (fun i ->
+            Platform.submit platform ~proc:"spawnVM"
+              ~args:(spawn_args (Printf.sprintf "f%d" i)))
+      in
+      let leader = Platform.await_leader_controller platform in
+      let leader_index =
+        match
+          Array.to_list (Platform.controllers platform)
+          |> List.mapi (fun i c -> (i, c))
+          |> List.find_opt (fun (_, c) -> c == leader)
+        with
+        | Some (i, _) -> i
+        | None -> Alcotest.fail "leader not found"
+      in
+      Des.Proc.sleep 2.;
+      Platform.kill_controller platform leader_index;
+      (* Submit more while the fail-over is in progress. *)
+      let late =
+        List.init 3 (fun i ->
+            Platform.submit platform ~proc:"spawnVM"
+              ~args:(spawn_args (Printf.sprintf "g%d" i)))
+      in
+      List.iteri
+        (fun i id ->
+          expect_committed (Printf.sprintf "early %d" i)
+            (Platform.await platform id))
+        early;
+      List.iteri
+        (fun i id ->
+          expect_committed (Printf.sprintf "late %d" i)
+            (Platform.await platform id))
+        late;
+      let new_leader = Platform.await_leader_controller platform in
+      check bool_c "leadership moved" true (new_leader != leader))
+
+let test_e2e_reload_refuses_violating_state () =
+  with_platform (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      (* Out-of-band, the hypervisor ends up overcommitted: 2 x 8 GB VMs on
+         an 8 GB host.  Reload must refuse to adopt a state that violates
+         the memory constraint (paper §4). *)
+      Devices.Compute.preload_vm compute0 ~name:"oob1" ~image:"x.img"
+        ~mem_mb:8192 ~state:`Running;
+      Devices.Compute.preload_vm compute0 ~name:"oob2" ~image:"y.img"
+        ~mem_mb:8192 ~state:`Running;
+      Platform.reload platform (Data.Path.v host0);
+      Des.Proc.sleep 5.;
+      check bool_c "violating state not adopted" false
+        (Data.Tree.mem (Platform.logical_tree platform)
+           (Data.Path.v (host0 ^ "/oob1")));
+      (* A single extra VM fits: that reload succeeds. *)
+      Devices.Compute.force_remove_vm compute0 "oob1";
+      Devices.Compute.force_remove_vm compute0 "oob2";
+      Devices.Compute.preload_vm compute0 ~name:"oob3" ~image:"z.img"
+        ~mem_mb:1024 ~state:`Running;
+      Platform.reload platform (Data.Path.v host0);
+      Des.Proc.sleep 5.;
+      check bool_c "legal state adopted" true
+        (Data.Tree.mem (Platform.logical_tree platform)
+           (Data.Path.v (host0 ^ "/oob3"))))
+
+let test_e2e_failover_preserves_quarantine () =
+  with_platform ~horizon:900. (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      let faults = Devices.Device.faults (Devices.Compute.device compute0) in
+      Devices.Fault.fail_next faults ~action:Schema.act_start_vm;
+      Devices.Fault.fail_next faults ~action:Schema.act_remove_vm;
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "q1") with
+       | Txn.Failed _ -> ()
+       | other -> Alcotest.failf "expected failed, got %s" (Txn.state_to_string other));
+      (* Crash the leader: the next leader must still refuse the host. *)
+      let leader = Platform.await_leader_controller platform in
+      let index =
+        let found = ref 0 in
+        Array.iteri
+          (fun i c -> if c == leader then found := i)
+          (Platform.controllers platform);
+        !found
+      in
+      Platform.kill_controller platform index;
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "q2") with
+       | Txn.Aborted reason ->
+         check bool_c "still quarantined after failover" true
+           (Str_contains.contains reason "quarantined")
+       | other ->
+         Alcotest.failf "expected quarantine abort, got %s"
+           (Txn.state_to_string other));
+      (* Reconciliation still lifts it. *)
+      Platform.reload platform (Data.Path.v host0);
+      Platform.reload platform (Data.Path.v storage0);
+      Des.Proc.sleep 5.;
+      expect_committed "after reload"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "q3")))
+
+let suite =
+  [
+    ("xlog: codec roundtrip", `Quick, test_xlog_roundtrip);
+    ("txn: codec roundtrip", `Quick, test_txn_roundtrip);
+    QCheck_alcotest.to_alcotest txn_state_strings_prop;
+    ("proto: codec roundtrip", `Quick, test_proto_roundtrip);
+    ("proto: item key parsing", `Quick, test_seq_of_item_key);
+    ("deque: basic operations", `Quick, test_deque);
+    ("logical: Table 1 spawn log", `Quick, test_table1_spawn_log);
+    ("logical: constraint violation aborts", `Quick, test_simulation_constraint_violation);
+    ("logical: lock inference", `Quick, test_lock_inference);
+    ("logical: rollback restores tree", `Quick, test_logical_rollback_restores_tree);
+    ("logical: irreversible undo fails", `Quick, test_rollback_irreversible_fails);
+    ("logical: migrate hypervisor rule", `Quick, test_migrate_hypervisor_rule);
+    ("constraints: helpers", `Quick, test_constraints_helpers);
+    QCheck_alcotest.to_alcotest rollback_inverse_prop;
+    ("physical: commit and rollback", `Quick, test_physical_execute_commit_and_rollback);
+    ("physical: undo failure", `Quick, test_physical_undo_failure_is_failed);
+    ("recon: repair plan after power cycle", `Quick, test_plan_repair_after_power_cycle);
+    ("e2e: spawn commits, layers consistent", `Quick, test_e2e_spawn_commits);
+    ("e2e: violation aborts before devices", `Quick, test_e2e_violation_aborts_before_devices);
+    ("e2e: physical failure rolls back", `Quick, test_e2e_physical_failure_rolls_back_both_layers);
+    ("e2e: undo failure quarantines; reload recovers", `Quick, test_e2e_undo_failure_quarantines_then_reload_recovers);
+    ("e2e: concurrent spawns respect memory", `Quick, test_e2e_concurrent_spawns_memory_safety);
+    ("e2e: conflicting spawns defer then commit", `Quick, test_e2e_deferred_conflict_then_commit);
+    ("e2e: KILL quarantines; reload recovers", `Quick, test_e2e_kill_signal_quarantines_then_repair);
+    ("e2e: repair after power cycle", `Quick, test_e2e_repair_after_power_cycle);
+    ("e2e: periodic repair detects drift", `Quick, test_e2e_periodic_repair_detects_drift);
+    ("e2e: reload adopts out-of-band change", `Quick, test_e2e_reload_adopts_oob_change);
+    ("e2e: destroy roundtrip", `Quick, test_e2e_destroy_roundtrip);
+    ("e2e: network procedures", `Quick, test_e2e_network_procedures);
+    ("e2e: TERM on queued txn", `Quick, test_e2e_term_on_queued_txn);
+    ("e2e: aggressive scheduling", `Quick, test_e2e_aggressive_scheduling);
+    ("e2e: controller failover loses nothing", `Quick, test_e2e_controller_failover_no_loss);
+    ("e2e: failover preserves quarantine", `Quick, test_e2e_failover_preserves_quarantine);
+    ("e2e: reload refuses violating state", `Quick, test_e2e_reload_refuses_violating_state);
+  ]
+
+let () = Alcotest.run "tropic" [ ("tropic", suite) ]

@@ -1,0 +1,241 @@
+(* Tests for the workload generators and the metrics library. *)
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let float_c = Alcotest.float 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* EC2 trace (Figure 3 statistics) *)
+
+let test_ec2_statistics () =
+  let trace = Workload.Ec2.generate () in
+  let stats = Workload.Ec2.stats trace in
+  check int_c "duration" 3600 (Array.length trace);
+  check int_c "total launches" 8417 stats.Workload.Ec2.total;
+  check (Alcotest.float 0.01) "mean 2.34/s" 2.34 stats.Workload.Ec2.mean_per_second;
+  check int_c "peak rate" 14 stats.Workload.Ec2.peak;
+  check int_c "peak at 0.8h" 2880 stats.Workload.Ec2.peak_at_second;
+  Array.iter (fun c -> if c < 0 then Alcotest.fail "negative count") trace
+
+let test_ec2_deterministic () =
+  let a = Workload.Ec2.generate () and b = Workload.Ec2.generate () in
+  check bool_c "same seed same trace" true (a = b);
+  let c = Workload.Ec2.generate ~seed:99 () in
+  check bool_c "different seed differs" true (a <> c);
+  (* Normalization holds for any seed. *)
+  check int_c "total still exact" 8417 (Workload.Ec2.stats c).Workload.Ec2.total
+
+let test_ec2_burst_shape () =
+  let trace = Workload.Ec2.generate () in
+  let window lo hi =
+    let sum = ref 0 in
+    for t = lo to hi - 1 do
+      sum := !sum + trace.(t)
+    done;
+    float_of_int !sum /. float_of_int (hi - lo)
+  in
+  let baseline = window 0 2000 in
+  let burst = window 2760 3000 in
+  check bool_c "burst well above baseline" true (burst > baseline *. 3.)
+
+let test_ec2_scale () =
+  let trace = Workload.Ec2.generate () in
+  let x3 = Workload.Ec2.scale trace 3 in
+  check int_c "3x total" (3 * 8417) (Workload.Ec2.stats x3).Workload.Ec2.total;
+  check int_c "3x peak" 42 (Workload.Ec2.stats x3).Workload.Ec2.peak
+
+(* ------------------------------------------------------------------ *)
+(* Hosting workload *)
+
+let hosting_config =
+  {
+    Workload.Hosting.default_config with
+    Workload.Hosting.rate_per_second = 2.0;
+    duration_seconds = 500.;
+  }
+
+let ec2_normalized_prop =
+  QCheck.Test.make ~name:"ec2 trace normalized for any seed" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let stats = Workload.Ec2.stats (Workload.Ec2.generate ~seed ()) in
+      stats.Workload.Ec2.total = Workload.Ec2.total_launches
+      && stats.Workload.Ec2.peak = Workload.Ec2.peak_rate
+      && stats.Workload.Ec2.peak_at_second = Workload.Ec2.peak_second)
+
+let test_hosting_mix () =
+  let ops = Workload.Hosting.generate hosting_config in
+  let mix = Workload.Hosting.mix_of ops in
+  check bool_c "has spawns" true (mix.Workload.Hosting.n_spawn > 0);
+  check bool_c "has starts" true (mix.Workload.Hosting.n_start > 0);
+  check bool_c "has stops" true (mix.Workload.Hosting.n_stop > 0);
+  check bool_c "has migrations" true (mix.Workload.Hosting.n_migrate > 0);
+  check bool_c "has destroys" true (mix.Workload.Hosting.n_destroy > 0);
+  (* Spawns dominate with the default weights. *)
+  check bool_c "spawn heaviest" true
+    (mix.Workload.Hosting.n_spawn >= mix.Workload.Hosting.n_migrate)
+
+let test_hosting_times_increase () =
+  let ops = Workload.Hosting.generate hosting_config in
+  let rec increasing = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check bool_c "timestamps sorted" true (increasing ops);
+  List.iter
+    (fun (t, _) ->
+      if t < 0. || t > 500. then Alcotest.fail "timestamp out of range")
+    ops
+
+let test_hosting_migrations_compatible () =
+  let ops = Workload.Hosting.generate hosting_config in
+  List.iter
+    (fun (_, op) ->
+      match op with
+      | Workload.Hosting.Migrate { src; dst; _ } ->
+        check int_c "same hypervisor group"
+          (src mod hosting_config.Workload.Hosting.hypervisor_groups)
+          (dst mod hosting_config.Workload.Hosting.hypervisor_groups)
+      | _ -> ())
+    ops
+
+let test_hosting_submission () =
+  let host_path i = Printf.sprintf "/vmRoot/host%05d" i in
+  let storage_path i = Printf.sprintf "/storageRoot/storage%05d" i in
+  let proc, args =
+    Workload.Hosting.to_submission ~host_path ~storage_path
+      (Workload.Hosting.Spawn { vm = "v"; host = 3; storage = 1; mem_mb = 512 })
+  in
+  check Alcotest.string "proc" "spawnVM" proc;
+  check int_c "arity" 5 (List.length args);
+  let proc2, args2 =
+    Workload.Hosting.to_submission ~host_path ~storage_path
+      (Workload.Hosting.Migrate { vm = "v"; src = 0; dst = 2 })
+  in
+  check Alcotest.string "proc2" "migrateVM" proc2;
+  check int_c "arity2" 3 (List.length args2)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: series, CDF, gauges *)
+
+let test_series_accumulation () =
+  let s = Metrics.Series.create ~bucket:10. ~duration:60. in
+  check int_c "buckets" 6 (Metrics.Series.bucket_count s);
+  Metrics.Series.add s 5.;
+  Metrics.Series.add s 7.;
+  Metrics.Series.add ~v:3. s 15.;
+  Metrics.Series.add s 1000. (* clamped to last bucket *);
+  (match Metrics.Series.rows s with
+   | (0., a) :: (10., b) :: _ ->
+     check float_c "first bucket" 2. a;
+     check float_c "second bucket" 3. b
+   | _ -> Alcotest.fail "rows shape");
+  check float_c "sum" 6. (Metrics.Series.sum s);
+  check float_c "max" 3. (Metrics.Series.max_value s)
+
+let test_series_render () =
+  let s = Metrics.Series.create ~bucket:1. ~duration:2. in
+  Metrics.Series.add s 0.;
+  let text = Metrics.Series.render ~label:"x" s in
+  check bool_c "mentions label" true
+    (String.length text > 0 && String.split_on_char '\n' text <> [])
+
+let test_cdf_quantiles () =
+  let c = Metrics.Cdf.create () in
+  List.iter (Metrics.Cdf.add c) (List.init 100 (fun i -> float_of_int (i + 1)));
+  check int_c "count" 100 (Metrics.Cdf.count c);
+  check float_c "median" 50. (Metrics.Cdf.quantile c 0.5);
+  check float_c "p99" 99. (Metrics.Cdf.quantile c 0.99);
+  check float_c "min" 1. (Metrics.Cdf.min_value c);
+  check float_c "max" 100. (Metrics.Cdf.max_value c);
+  check (Alcotest.float 0.001) "mean" 50.5 (Metrics.Cdf.mean c)
+
+let test_cdf_points_monotone () =
+  let c = Metrics.Cdf.create () in
+  let rng = Random.State.make [| 4 |] in
+  for _ = 1 to 1000 do
+    Metrics.Cdf.add c (Random.State.float rng 10.)
+  done;
+  let pts = Metrics.Cdf.points c in
+  let rec monotone = function
+    | (v1, f1) :: ((v2, f2) :: _ as rest) ->
+      v1 <= v2 && f1 <= f2 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check bool_c "monotone CDF" true (monotone pts);
+  (match List.rev pts with
+   | (_, last_fraction) :: _ -> check float_c "ends at 1" 1. last_fraction
+   | [] -> Alcotest.fail "no points")
+
+let test_cdf_errors () =
+  let c = Metrics.Cdf.create () in
+  (match Metrics.Cdf.quantile c 0.5 with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ());
+  Metrics.Cdf.add c 1.;
+  match Metrics.Cdf.quantile c 1.5 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge_utilization () =
+  let sim = Des.Sim.create () in
+  let st = Des.Station.create sim in
+  (* Jobs keep the station 50% busy: 1 s of work every 2 s. *)
+  ignore
+    (Des.Proc.spawn sim (fun () ->
+         for _ = 1 to 10 do
+           Des.Station.request st ~service:1.0;
+           Des.Proc.sleep 1.0
+         done));
+  let series =
+    Metrics.Gauge.utilization_series sim ~bucket:4. ~duration:20.
+      ~busy:(fun () -> Des.Station.busy_time st)
+  in
+  ignore (Des.Sim.run ~until:21. sim);
+  List.iter
+    (fun (_, u) ->
+      if u < 0.4 || u > 0.6 then
+        Alcotest.failf "utilization %.2f outside [0.4, 0.6]" u)
+    (Metrics.Series.rows series)
+
+let test_gauge_rate () =
+  let sim = Des.Sim.create () in
+  let counter = ref 0. in
+  ignore
+    (Des.Proc.spawn sim (fun () ->
+         for _ = 1 to 100 do
+           Des.Proc.sleep 0.1;
+           counter := !counter +. 1.
+         done));
+  let series =
+    Metrics.Gauge.rate_series sim ~bucket:2. ~duration:10.
+      ~count:(fun () -> !counter)
+  in
+  ignore (Des.Sim.run ~until:11. sim);
+  List.iter
+    (fun (_, r) ->
+      if r < 9. || r > 11. then Alcotest.failf "rate %.2f outside [9, 11]" r)
+    (Metrics.Series.rows series)
+
+let suite =
+  [
+    ("ec2: Figure 3 statistics", `Quick, test_ec2_statistics);
+    ("ec2: deterministic", `Quick, test_ec2_deterministic);
+    ("ec2: burst shape", `Quick, test_ec2_burst_shape);
+    ("ec2: scaling", `Quick, test_ec2_scale);
+    QCheck_alcotest.to_alcotest ec2_normalized_prop;
+    ("hosting: operation mix", `Quick, test_hosting_mix);
+    ("hosting: timestamps", `Quick, test_hosting_times_increase);
+    ("hosting: migrations compatible", `Quick, test_hosting_migrations_compatible);
+    ("hosting: submissions", `Quick, test_hosting_submission);
+    ("series: accumulation", `Quick, test_series_accumulation);
+    ("series: render", `Quick, test_series_render);
+    ("cdf: quantiles", `Quick, test_cdf_quantiles);
+    ("cdf: monotone points", `Quick, test_cdf_points_monotone);
+    ("cdf: errors", `Quick, test_cdf_errors);
+    ("gauge: utilization", `Quick, test_gauge_utilization);
+    ("gauge: rate", `Quick, test_gauge_rate);
+  ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]

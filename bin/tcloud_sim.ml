@@ -3,23 +3,36 @@
 
      dune exec bin/tcloud_sim.exe -- examples/scenarios/demo.scenario
 
-   Exit status is non-zero if the script fails to parse or any `expect`
-   assertion fails, so scenarios double as regression tests. *)
+   Exit status is non-zero if the script fails to parse, any `expect`
+   assertion fails, a transaction aborts or fails with no `expect`
+   acknowledging it, or the logical and physical layers disagree at the
+   end of the run — so scenarios double as regression tests. *)
 
 let () =
   match Array.to_list Sys.argv with
   | [ _; path ] ->
-    (match Experiments.Scenario.run_file path with
+    (match
+       try Experiments.Scenario.run_file path
+       with Sys_error message -> prerr_endline message; exit 2
+     with
      | Error message ->
        prerr_endline ("parse error: " ^ message);
        exit 2
      | Ok outcome ->
        List.iter print_endline outcome.Experiments.Scenario.lines;
        Printf.printf
-         "\n%d transactions, %d failed expectations\n"
+         "\n%d transactions, %d failed expectations, %d unexpected \
+          outcomes, layers consistent: %b\n"
          outcome.Experiments.Scenario.transactions
-         outcome.Experiments.Scenario.failed_expectations;
-       exit (if outcome.Experiments.Scenario.failed_expectations = 0 then 0 else 1))
+         outcome.Experiments.Scenario.failed_expectations
+         outcome.Experiments.Scenario.unexpected_outcomes
+         outcome.Experiments.Scenario.layers_consistent;
+       let healthy =
+         outcome.Experiments.Scenario.failed_expectations = 0
+         && outcome.Experiments.Scenario.unexpected_outcomes = 0
+         && outcome.Experiments.Scenario.layers_consistent
+       in
+       exit (if healthy then 0 else 1))
   | _ ->
     prerr_endline "usage: tcloud_sim <scenario-file>";
     exit 2

@@ -1,5 +1,6 @@
 (* Experiment driver: one subcommand per table/figure of the paper's
-   evaluation, plus the ablations.  `tropic_exp all` runs everything. *)
+   evaluation, the ablations, and the chaos fault-exploration sweep.
+   `tropic_exp all` runs every paper experiment. *)
 
 open Cmdliner
 
@@ -20,6 +21,20 @@ let () =
 let quick_flag =
   let doc = "Shrink the experiment (fewer hosts, shorter trace window)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+(* Every simulation-backed subcommand takes --seed; the default is the
+   experiment's historical seed so plain invocations stay reproducible. *)
+let seed_arg =
+  let doc =
+    "Simulation seed threaded into the discrete-event core (defaults to \
+     the experiment's historical seed)."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+
+let effective_seed ~default seed =
+  let s = Option.value seed ~default in
+  Printf.printf "[effective seed %d]\n%!" s;
+  s
 
 let perf_config quick =
   if quick || Experiments.Common.quick_mode () then
@@ -44,21 +59,27 @@ let multipliers_arg =
   let doc = "Workload multipliers to run (comma-separated)." in
   Arg.(value & opt (list int) [ 1; 2; 3; 4; 5 ] & info [ "multipliers"; "m" ] ~doc)
 
-let fig45_run quick multipliers =
-  Experiments.Perf.print_fig4_fig5 ~multipliers (perf_config quick)
+let fig45_run ?seed quick multipliers =
+  let cfg = perf_config quick in
+  let cfg =
+    { cfg with Experiments.Perf.seed = effective_seed ~default:cfg.Experiments.Perf.seed seed }
+  in
+  Experiments.Perf.print_fig4_fig5 ~multipliers cfg
 
 let fig4_cmd =
+  let run quick multipliers seed = fig45_run ?seed quick multipliers in
   Cmd.v
     (Cmd.info "fig4"
        ~doc:
          "Figures 4 & 5: controller CPU utilization and transaction latency \
           under the 1x-5x EC2 workloads")
-    Term.(const fig45_run $ quick_flag $ multipliers_arg)
+    Term.(const run $ quick_flag $ multipliers_arg $ seed_arg)
 
 let fig5_cmd =
+  let run quick multipliers seed = fig45_run ?seed quick multipliers in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Alias of fig4 (the two figures share one run)")
-    Term.(const fig45_run $ quick_flag $ multipliers_arg)
+    Term.(const run $ quick_flag $ multipliers_arg $ seed_arg)
 
 let safety_cmd =
   let run quick =
@@ -66,58 +87,207 @@ let safety_cmd =
     Experiments.Safety.print (Experiments.Safety.run ~iterations ())
   in
   Cmd.v
-    (Cmd.info "safety" ~doc:"Section 6.2: constraint-checking overhead")
+    (Cmd.info "safety"
+       ~doc:
+         "Section 6.2: constraint-checking overhead (deterministic \
+          micro-benchmark, no simulation seed)")
     Term.(const run $ quick_flag)
 
 let robustness_cmd =
-  let run quick =
+  let run quick seed =
     let iterations = if quick then 2_000 else 20_000 in
     let injections = if quick then 8 else 20 in
+    let seed = effective_seed ~default:Experiments.Robustness.default_seed seed in
     Experiments.Robustness.print
-      (Experiments.Robustness.run ~iterations ~injections ())
+      (Experiments.Robustness.run ~seed ~iterations ~injections ())
   in
   Cmd.v
     (Cmd.info "robustness"
        ~doc:"Section 6.3: rollback overhead under injected errors")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ seed_arg)
 
 let ha_cmd =
   let session =
     let doc = "Controller session timeout (failure-detection time)." in
     Arg.(value & opt float 10. & info [ "session-timeout" ] ~doc)
   in
-  let run session_timeout =
-    Experiments.Ha.print (Experiments.Ha.run ~session_timeout ())
+  let run session_timeout seed =
+    let seed = effective_seed ~default:Experiments.Ha.default_seed seed in
+    Experiments.Ha.print (Experiments.Ha.run ~seed ~session_timeout ())
   in
   Cmd.v
     (Cmd.info "ha" ~doc:"Section 6.4: controller fail-over recovery")
-    Term.(const run $ session)
+    Term.(const run $ session $ seed_arg)
 
 let hosting_cmd =
-  let run quick =
+  let run quick seed =
     let duration = if quick then 120. else 300. in
-    Experiments.Hosting_run.print (Experiments.Hosting_run.run ~duration ())
+    let seed = effective_seed ~default:Experiments.Hosting_run.default_seed seed in
+    Experiments.Hosting_run.print (Experiments.Hosting_run.run ~seed ~duration ())
   in
   Cmd.v
     (Cmd.info "hosting"
        ~doc:"The hosting-provider workload end-to-end on a TCloud deployment")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ seed_arg)
 
 let scale_cmd =
-  let run quick =
+  let run quick seed =
     let host_counts = if quick then [ 500; 2_000 ] else [ 500; 2_000; 8_000 ] in
-    Experiments.Scale.print (Experiments.Scale.run ~host_counts ())
+    let seed = effective_seed ~default:Experiments.Scale.default_seed seed in
+    Experiments.Scale.print (Experiments.Scale.run ~seed ~host_counts ())
   in
   Cmd.v
     (Cmd.info "scale"
        ~doc:"Section 6.1: throughput and memory vs resource count")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ seed_arg)
 
 let ablation_cmd =
-  let run () = Experiments.Ablation.print (Experiments.Ablation.run ()) in
+  let run seed =
+    let seed = effective_seed ~default:Experiments.Ablation.default_seed seed in
+    Experiments.Ablation.print (Experiments.Ablation.run ~seed ())
+  in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Ablations of TROPIC's design choices")
-    Term.(const run $ const ())
+    Term.(const run $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: seed-sweep fault exploration (lib/chaos) *)
+
+let chaos_schedule_names () =
+  String.concat ", "
+    (List.map (fun s -> s.Chaos.Schedule.name) Chaos.Schedule.presets)
+
+let print_chaos_result ~with_trace r =
+  if with_trace then
+    List.iter (fun line -> Printf.printf "  %s\n" line) r.Chaos.Runner.trace;
+  Printf.printf
+    "seed %4d  %-19s %3d committed / %2d aborted / %2d failed, %2d faults, \
+     quiesced at %.0fs\n"
+    r.Chaos.Runner.seed r.Chaos.Runner.schedule r.Chaos.Runner.committed
+    r.Chaos.Runner.aborted r.Chaos.Runner.failed r.Chaos.Runner.injected
+    r.Chaos.Runner.duration;
+  List.iter
+    (fun v -> Printf.printf "  VIOLATION %s\n" (Chaos.Invariant.violation_to_string v))
+    r.Chaos.Runner.violations;
+  if r.Chaos.Runner.violations <> [] then
+    Printf.printf "  reproduce with: %s\n%!" (Chaos.Runner.reproducer r);
+  Printf.printf "%!"
+
+let chaos_run quick seeds first_seed schedule_name build_name replay_seed
+    expect_violations =
+  let build =
+    match Chaos.Runner.build_of_string build_name with
+    | Ok build -> build
+    | Error message -> prerr_endline message; exit 2
+  in
+  let base_config =
+    if quick || Experiments.Common.quick_mode () then Chaos.Runner.quick_config
+    else Chaos.Runner.default_config
+  in
+  let config = { base_config with Chaos.Runner.build } in
+  let schedules =
+    match schedule_name with
+    | None -> Chaos.Schedule.presets
+    | Some name ->
+      (match Chaos.Schedule.find name with
+       | Some s -> [ s ]
+       | None ->
+         Printf.eprintf "unknown schedule %S (have: %s)\n" name
+           (chaos_schedule_names ());
+         exit 2)
+  in
+  let fail_or_ok violations_found =
+    if expect_violations && not violations_found then begin
+      Printf.printf
+        "expected the sweep to find violations, but it found none\n%!";
+      exit 1
+    end;
+    if (not expect_violations) && violations_found then exit 1
+  in
+  match replay_seed with
+  | Some seed ->
+    (* Reproduce one run, with the full injection/transaction trace. *)
+    let schedule =
+      match schedules with
+      | [ s ] -> s
+      | _ ->
+        prerr_endline "replaying a single --seed requires --schedule NAME";
+        exit 2
+    in
+    Printf.printf "chaos replay: build=%s schedule=%s seed=%d\n"
+      (Chaos.Runner.build_to_string build) schedule.Chaos.Schedule.name seed;
+    Printf.printf "%s\n" (Chaos.Schedule.describe schedule);
+    let r = Chaos.Runner.run_one ~trace:true config ~schedule ~seed in
+    print_chaos_result ~with_trace:true r;
+    fail_or_ok (r.Chaos.Runner.violations <> [])
+  | None ->
+    let count = Option.value seeds ~default:(if quick then 10 else 128) in
+    let seed_list = List.init count (fun i -> first_seed + i) in
+    Printf.printf
+      "chaos sweep: build=%s, %d seeds (%d..%d) round-robin over %d \
+       schedules (%s)\n%!"
+      (Chaos.Runner.build_to_string build) count first_seed
+      (first_seed + count - 1) (List.length schedules)
+      (String.concat ", "
+         (List.map (fun s -> s.Chaos.Schedule.name) schedules));
+    let started = Sys.time () in
+    let sweep =
+      Chaos.Runner.sweep config ~schedules ~seeds:seed_list
+        ~progress:(print_chaos_result ~with_trace:false)
+    in
+    let violating = sweep.Chaos.Runner.violating in
+    Printf.printf
+      "\n%d runs, %d with violations (%.1f s wall clock)\n"
+      (List.length sweep.Chaos.Runner.runs)
+      (List.length violating)
+      (Sys.time () -. started);
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Chaos.Runner.reproducer r))
+      violating;
+    Printf.printf "%!";
+    fail_or_ok (violating <> [])
+
+let chaos_cmd =
+  let seeds =
+    let doc = "Number of seeds to sweep (default 128, or 10 with --quick)." in
+    Arg.(value & opt (some int) None & info [ "seeds" ] ~doc)
+  in
+  let first_seed =
+    let doc = "First seed of the sweep." in
+    Arg.(value & opt int 1 & info [ "first-seed" ] ~doc)
+  in
+  let schedule =
+    let doc = "Restrict the sweep to one nemesis schedule." in
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~doc)
+  in
+  let build =
+    let doc = "Build to exercise: stock, no-constraints or no-guard-locks." in
+    Arg.(value & opt string "stock" & info [ "build" ] ~doc)
+  in
+  let replay =
+    let doc =
+      "Replay one seed (requires --schedule) with full event tracing — the \
+       form violation reproducers take."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+  in
+  let expect =
+    let doc =
+      "Invert the exit status: succeed only if the sweep finds at least one \
+       violation (for validating the harness against broken builds)."
+    in
+    Arg.(value & flag & info [ "expect-violations" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault exploration: sweep seeds across nemesis \
+          schedules, checking invariants; non-zero exit on any violation")
+    Term.(
+      const chaos_run $ quick_flag $ seeds $ first_seed $ schedule $ build
+      $ replay $ expect)
+
+(* ------------------------------------------------------------------ *)
 
 let all_cmd =
   let run quick =
@@ -150,7 +320,7 @@ let main =
     (Cmd.info "tropic_exp" ~version:"1.0.0" ~doc)
     [
       table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; safety_cmd; robustness_cmd;
-      ha_cmd; hosting_cmd; scale_cmd; ablation_cmd; all_cmd;
+      ha_cmd; hosting_cmd; scale_cmd; ablation_cmd; chaos_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,191 @@
+type violation = { invariant : string; at : float; detail : string }
+
+let violation_to_string v =
+  Printf.sprintf "[%8.2f] %-22s %s" v.at v.invariant v.detail
+
+(* ------------------------------------------------------------------ *)
+(* Continuous tracker *)
+
+type tracker = {
+  sim : Des.Sim.t;
+  mutable stopped : bool;
+  mutable found : violation list;
+  leaders_by_term : (int, int) Hashtbl.t;  (* coord term -> replica id *)
+  overcommitted : (int, unit) Hashtbl.t;   (* host idx already reported *)
+}
+
+let record tracker invariant detail =
+  tracker.found <-
+    { invariant; at = Des.Sim.now tracker.sim; detail } :: tracker.found
+
+let poll_coord_leadership tracker platform =
+  let ens = Tropic.Platform.coord platform in
+  for i = 0 to Coord.Ensemble.replica_count ens - 1 do
+    if Coord.Ensemble.replica_up ens i then begin
+      let replica = Coord.Ensemble.replica ens i in
+      if Coord.Replica.is_leader replica then begin
+        let term = Coord.Replica.term replica in
+        match Hashtbl.find_opt tracker.leaders_by_term term with
+        | None -> Hashtbl.replace tracker.leaders_by_term term i
+        | Some j when j <> i ->
+          record tracker "one-leader-per-term"
+            (Printf.sprintf "replicas %d and %d both lead term %d" j i term)
+        | Some _ -> ()
+      end
+    end
+  done
+
+let overcommit_violations ?(once = None) computes =
+  let found = ref [] in
+  Array.iteri
+    (fun i (root, compute) ->
+      let used = Devices.Compute.used_mem_mb compute in
+      let capacity = Devices.Compute.mem_mb compute in
+      let already =
+        match once with Some seen -> Hashtbl.mem seen i | None -> false
+      in
+      if used > capacity && not already then begin
+        (match once with Some seen -> Hashtbl.replace seen i () | None -> ());
+        found :=
+          Printf.sprintf "%s holds %d MB of VMs on %d MB of memory"
+            (Data.Path.to_string root) used capacity
+          :: !found
+      end)
+    computes;
+  List.rev !found
+
+let start ?(period = 0.25) ~platform ~computes () =
+  let tracker =
+    {
+      sim = Tropic.Platform.sim platform;
+      stopped = false;
+      found = [];
+      leaders_by_term = Hashtbl.create 16;
+      overcommitted = Hashtbl.create 8;
+    }
+  in
+  ignore
+    (Des.Proc.spawn ~name:"invariant-tracker" tracker.sim (fun () ->
+         while not tracker.stopped do
+           Des.Proc.sleep period;
+           poll_coord_leadership tracker platform;
+           List.iter
+             (record tracker "no-overcommit")
+             (overcommit_violations ~once:(Some tracker.overcommitted) computes)
+         done));
+  tracker
+
+let stop tracker = tracker.stopped <- true
+let tracker_violations tracker = List.rev tracker.found
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence check *)
+
+type vm_fate = { vm : string; host : int; present : bool; running : bool }
+
+let check_quiescence ~platform ~computes ~devices ~txns ~expected ~skip_vm =
+  let at = Des.Sim.now (Tropic.Platform.sim platform) in
+  let found = ref [] in
+  let violation invariant detail =
+    found := { invariant; at; detail } :: !found
+  in
+  (* 1. Nothing lost: every submitted transaction reached a terminal state. *)
+  List.iter
+    (fun (id, state) ->
+      match state with
+      | Some s when Tropic.Txn.is_terminal s -> ()
+      | Some s ->
+        violation "transaction-terminal"
+          (Printf.sprintf "txn %d stuck in %s" id (Tropic.Txn.state_to_string s))
+      | None ->
+        violation "transaction-terminal"
+          (Printf.sprintf "txn %d has no record" id))
+    txns;
+  (* 2. Exactly-once commit effects on the devices. *)
+  let expected_present = Hashtbl.create 64 in
+  List.iter
+    (fun fate -> if fate.present then Hashtbl.replace expected_present fate.vm fate)
+    expected;
+  Array.iteri
+    (fun i (root, compute) ->
+      List.iter
+        (fun vm ->
+          if not (skip_vm vm) then
+            match Hashtbl.find_opt expected_present vm with
+            | None ->
+              violation "exactly-once"
+                (Printf.sprintf "unexpected VM %s on %s" vm
+                   (Data.Path.to_string root))
+            | Some fate when fate.host <> i ->
+              violation "exactly-once"
+                (Printf.sprintf "VM %s found on %s, expected host %d" vm
+                   (Data.Path.to_string root) fate.host)
+            | Some _ -> ())
+        (Devices.Compute.vm_names compute))
+    computes;
+  List.iter
+    (fun fate ->
+      if not (skip_vm fate.vm) then
+        if fate.present then begin
+          let _, compute = computes.(fate.host) in
+          match Devices.Compute.vm_state compute fate.vm with
+          | None ->
+            violation "exactly-once"
+              (Printf.sprintf "committed VM %s missing from host %d" fate.vm
+                 fate.host)
+          | Some state ->
+            let want = if fate.running then `Running else `Stopped in
+            if state <> want then
+              violation "exactly-once"
+                (Printf.sprintf "VM %s is %s, expected %s" fate.vm
+                   (match state with `Running -> "running" | `Stopped -> "stopped")
+                   (if fate.running then "running" else "stopped"))
+        end
+        else
+          Array.iteri
+            (fun i (_, compute) ->
+              if Devices.Compute.vm_state compute fate.vm <> None then
+                violation "exactly-once"
+                  (Printf.sprintf "destroyed VM %s resurrected on host %d"
+                     fate.vm i))
+            computes)
+    expected;
+  (* 3. Capacity: final physical placement respects host memory. *)
+  List.iter (violation "no-overcommit") (overcommit_violations computes);
+  (* 4/5/6 need a leading controller. *)
+  (match Tropic.Platform.leader_controller platform with
+   | None -> violation "leader-election" "no controller leads at quiescence"
+   | Some leader ->
+     List.iter
+       (fun path ->
+         violation "convergence"
+           (Printf.sprintf "%s still quarantined" (Data.Path.to_string path)))
+       (Tropic.Controller.quarantined leader);
+     let tree = Tropic.Controller.tree leader in
+     List.iter
+       (fun device ->
+         let root = Devices.Device.root device in
+         match Data.Tree.subtree tree root with
+         | Error e ->
+           violation "convergence"
+             (Printf.sprintf "%s missing from logical tree: %s"
+                (Data.Path.to_string root)
+                (Data.Tree.error_to_string e))
+         | Ok logical ->
+           if not (Data.Tree.equal logical (Devices.Device.export device)) then
+             violation "convergence"
+               (Printf.sprintf "layers diverge at %s" (Data.Path.to_string root)))
+       devices;
+     let todo = Tropic.Controller.todo_length leader in
+     let inflight = Tropic.Controller.inflight leader in
+     let locks = Tropic.Controller.lock_count leader in
+     if todo > 0 then
+       violation "quiescence-drained"
+         (Printf.sprintf "todo queue still holds %d transactions" todo);
+     if inflight > 0 then
+       violation "quiescence-drained"
+         (Printf.sprintf "%d transactions still in flight" inflight);
+     if locks > 0 then
+       violation "quiescence-drained"
+         (Printf.sprintf "lock table still holds %d entries" locks));
+  List.rev !found

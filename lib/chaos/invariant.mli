@@ -1,0 +1,71 @@
+(** Invariant checkers for chaos runs.
+
+    Two kinds: a {e tracker} process that polls continuously while the
+    simulation runs (for properties that must hold at every instant), and
+    a one-shot {e quiescence} check the runner calls once the workload is
+    terminal and reconciliation has had time to heal the layers.
+
+    Continuous:
+    - [one-leader-per-term]: no two coordination replicas ever lead the
+      same term (the raft election safety property).
+    - [no-overcommit]: the memory placed on a compute host never exceeds
+      its capacity — the paper's headline constraint; devices deliberately
+      do not enforce it physically, only TROPIC's logical layer does.
+
+    At quiescence:
+    - [transaction-terminal]: every submitted transaction reached
+      Committed/Aborted/Failed — nothing lost across fail-overs.
+    - [leader-election]: some controller leads.
+    - [exactly-once]: committed spawn/stop/destroy effects appear on the
+      devices exactly once — the right VM on the right host in the right
+      state, no duplicates, no resurrections, no ghosts.
+    - [no-overcommit]: final-state capacity check, same as above.
+    - [convergence]: no subtree is still quarantined and every device's
+      exported state equals the leader's logical subtree.
+    - [quiescence-drained]: the leader's todo queue, in-flight set and
+      lock table are empty. *)
+
+type violation = { invariant : string; at : float; detail : string }
+
+val violation_to_string : violation -> string
+
+(** {1 Continuous tracker} *)
+
+type tracker
+
+(** [start ?period ~platform ~computes ()] spawns the polling process
+    ([period] defaults to 0.25 s). *)
+val start :
+  ?period:float ->
+  platform:Tropic.Platform.t ->
+  computes:(Data.Path.t * Devices.Compute.t) array ->
+  unit ->
+  tracker
+
+val stop : tracker -> unit
+val tracker_violations : tracker -> violation list
+
+(** {1 Quiescence check} *)
+
+(** Expected terminal fate of one VM, folded by the runner from its
+    committed operations. *)
+type vm_fate = {
+  vm : string;
+  host : int;  (** index into [computes] *)
+  present : bool;  (** spawned and not destroyed *)
+  running : bool;
+}
+
+(** [check_quiescence ~platform ~computes ~devices ~txns ~expected
+    ~skip_vm] — [txns] pairs every submitted transaction id with its
+    final observed state; [skip_vm] excuses VMs whose fate the harness
+    cannot predict (out-of-band removals, write sets of Failed
+    transactions). *)
+val check_quiescence :
+  platform:Tropic.Platform.t ->
+  computes:(Data.Path.t * Devices.Compute.t) array ->
+  devices:Devices.Device.t list ->
+  txns:(int * Tropic.Txn.state option) list ->
+  expected:vm_fate list ->
+  skip_vm:(string -> bool) ->
+  violation list

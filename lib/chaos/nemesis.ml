@@ -1,0 +1,295 @@
+type env = {
+  platform : Tropic.Platform.t;
+  computes : (Data.Path.t * Devices.Compute.t) array;
+  devices : Devices.Device.t list;
+  live_txns : unit -> int list;
+  trace : string -> unit;
+}
+
+type t = {
+  nenv : env;
+  rng : Random.State.t;
+  ctrl_down : bool array;
+  mutable partitioned : bool;
+  mutable fired_count : int;
+  mutable removed : string list;
+}
+
+let fired t = t.fired_count
+let oob_removed t = t.removed
+
+let pick t = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Random.State.int t.rng (List.length xs)))
+
+let inject t message =
+  t.fired_count <- t.fired_count + 1;
+  t.nenv.trace message
+
+let skip t message = t.nenv.trace ("skip: " ^ message)
+
+(* ------------------------------------------------------------------ *)
+(* Actions *)
+
+let up_controllers t =
+  let ups = ref [] in
+  Array.iteri
+    (fun i down -> if not down then ups := i :: !ups)
+    t.ctrl_down;
+  List.rev !ups
+
+let crash_controller t target down_for =
+  let ups = up_controllers t in
+  if List.length ups <= 1 then skip t "last controller standing"
+  else
+    let choice =
+      match target with
+      | Schedule.Leader ->
+        (match Tropic.Platform.leader_index t.nenv.platform with
+         | Some i when not t.ctrl_down.(i) -> Some i
+         | Some _ | None -> None)
+      | Schedule.Random -> pick t ups
+    in
+    match choice with
+    | None -> skip t "no eligible controller"
+    | Some i ->
+      t.ctrl_down.(i) <- true;
+      inject t (Printf.sprintf "crash controller-%d (down %.0fs)" i down_for);
+      Tropic.Platform.kill_controller t.nenv.platform i;
+      Des.Proc.sleep down_for;
+      Tropic.Platform.restart_controller t.nenv.platform i;
+      t.ctrl_down.(i) <- false;
+      t.nenv.trace (Printf.sprintf "restart controller-%d" i)
+
+let live_replicas ens =
+  let n = Coord.Ensemble.replica_count ens in
+  List.filter (Coord.Ensemble.replica_up ens) (List.init n (fun i -> i))
+
+let crash_coord_replica t target down_for =
+  let ens = Tropic.Platform.coord t.nenv.platform in
+  let n = Coord.Ensemble.replica_count ens in
+  let ups = live_replicas ens in
+  if t.partitioned then skip t "coord crash during partition"
+  else if 2 * (List.length ups - 1) <= n then skip t "would break quorum"
+  else
+    let choice =
+      match target with
+      | Schedule.Leader ->
+        (match Coord.Ensemble.leader_id ens with
+         | Some i when Coord.Ensemble.replica_up ens i -> Some i
+         | Some _ | None -> None)
+      | Schedule.Random -> pick t ups
+    in
+    match choice with
+    | None -> skip t "no eligible replica"
+    | Some i ->
+      inject t (Printf.sprintf "crash coord replica %d (down %.0fs)" i down_for);
+      Coord.Ensemble.crash_replica ens i;
+      Des.Proc.sleep down_for;
+      if not (Coord.Ensemble.replica_up ens i) then
+        Coord.Ensemble.restart_replica ens i;
+      t.nenv.trace (Printf.sprintf "restart coord replica %d" i)
+
+let partition_coord_leader t heal_after =
+  let ens = Tropic.Platform.coord t.nenv.platform in
+  let n = Coord.Ensemble.replica_count ens in
+  if t.partitioned then skip t "partition already active"
+  else if List.length (live_replicas ens) < n then
+    skip t "partition while a replica is down"
+  else
+    match Coord.Ensemble.leader_id ens with
+    | None -> skip t "no coordination leader to partition"
+    | Some leader ->
+      let others =
+        List.filter (fun i -> i <> leader) (List.init n (fun i -> i))
+      in
+      t.partitioned <- true;
+      inject t
+        (Printf.sprintf "partition coord leader %d from peers (heal %.0fs)"
+           leader heal_after);
+      let net = Coord.Ensemble.net ens in
+      Des.Net.partition net [ leader ] others;
+      Des.Proc.sleep heal_after;
+      Des.Net.heal net;
+      t.partitioned <- false;
+      t.nenv.trace "heal partition"
+
+let fault_burst t probability lasting =
+  inject t (Printf.sprintf "fault burst p=%.2f for %.0fs" probability lasting);
+  let set p =
+    List.iter
+      (fun device -> Devices.Fault.set_probability (Devices.Device.faults device) p)
+      t.nenv.devices
+  in
+  set probability;
+  Des.Proc.sleep lasting;
+  set 0.;
+  t.nenv.trace "fault burst over"
+
+let random_compute t =
+  let n = Array.length t.nenv.computes in
+  if n = 0 then None else Some t.nenv.computes.(Random.State.int t.rng n)
+
+let fail_next_device_action t action =
+  match random_compute t with
+  | None -> skip t "no compute hosts"
+  | Some (root, compute) ->
+    inject t
+      (Printf.sprintf "arm one-shot %s failure on %s" action
+         (Data.Path.to_string root));
+    Devices.Fault.fail_next
+      (Devices.Device.faults (Devices.Compute.device compute))
+      ~action
+
+let power_cycle_host t =
+  match random_compute t with
+  | None -> skip t "no compute hosts"
+  | Some (root, compute) ->
+    inject t (Printf.sprintf "power-cycle %s" (Data.Path.to_string root));
+    Devices.Compute.power_cycle compute
+
+(* VMs across all hosts currently in [state]. *)
+let vms_in_state t state =
+  Array.fold_left
+    (fun acc (root, compute) ->
+      List.fold_left
+        (fun acc vm ->
+          if Devices.Compute.vm_state compute vm = Some state then
+            (root, compute, vm) :: acc
+          else acc)
+        acc
+        (Devices.Compute.vm_names compute))
+    [] t.nenv.computes
+  |> List.rev
+
+let oob_stop_vm t =
+  match pick t (vms_in_state t `Running) with
+  | None -> skip t "no running VM to stop out-of-band"
+  | Some (root, compute, vm) ->
+    inject t
+      (Printf.sprintf "out-of-band stop of %s on %s" vm
+         (Data.Path.to_string root));
+    Devices.Compute.force_set_vm_state compute vm `Stopped
+
+let oob_remove_vm t =
+  match pick t (vms_in_state t `Stopped) with
+  | None -> skip t "no stopped VM to remove out-of-band"
+  | Some (root, compute, vm) ->
+    inject t
+      (Printf.sprintf "out-of-band removal of %s from %s" vm
+         (Data.Path.to_string root));
+    t.removed <- vm :: t.removed;
+    Devices.Compute.force_remove_vm compute vm
+
+(* Transactions are live for only milliseconds under instant device
+   timing, so sampling a single instant would almost never find one:
+   poll until one appears (or the hunt window closes). *)
+let hunt_live_txn t ~window =
+  let deadline = Des.Proc.now () +. window in
+  let rec go () =
+    match pick t (t.nenv.live_txns ()) with
+    | Some id -> Some id
+    | None ->
+      if Des.Proc.now () +. 0.02 > deadline then None
+      else begin
+        Des.Proc.sleep 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let signal_txn t signal stall =
+  match hunt_live_txn t ~window:15. with
+  | None -> skip t "no live transaction to signal"
+  | Some txn_id ->
+    let name = match signal with `Term -> "TERM" | `Kill -> "KILL" in
+    t.nenv.trace
+      (Printf.sprintf "stalking txn %d (%s after %.1fs stall)" txn_id name
+         stall);
+    Des.Proc.sleep stall;
+    let target =
+      if List.mem txn_id (t.nenv.live_txns ()) then Some txn_id
+      else hunt_live_txn t ~window:3.
+    in
+    match target with
+    | None -> skip t "no live transaction after stall"
+    | Some txn_id ->
+      inject t (Printf.sprintf "%s txn %d" name txn_id);
+      Tropic.Platform.signal t.nenv.platform txn_id
+        (match signal with `Term -> Tropic.Proto.Term | `Kill -> Tropic.Proto.Kill)
+
+let perform t = function
+  | Schedule.Crash_controller { target; down_for } ->
+    crash_controller t target down_for
+  | Schedule.Crash_coord_replica { target; down_for } ->
+    crash_coord_replica t target down_for
+  | Schedule.Partition_coord_leader { heal_after } ->
+    partition_coord_leader t heal_after
+  | Schedule.Fault_burst { probability; lasting } ->
+    fault_burst t probability lasting
+  | Schedule.Fail_next_device_action action -> fail_next_device_action t action
+  | Schedule.Power_cycle_host -> power_cycle_host t
+  | Schedule.Oob_stop_vm -> oob_stop_vm t
+  | Schedule.Oob_remove_vm -> oob_remove_vm t
+  | Schedule.Signal_txn { signal; stall } -> signal_txn t signal stall
+
+(* ------------------------------------------------------------------ *)
+(* Trigger compilation *)
+
+let fire_times t trigger =
+  match trigger with
+  | Schedule.At time -> [ time ]
+  | Schedule.Every { start; period; until } ->
+    if period <= 0. then [ start ]
+    else begin
+      let times = ref [] in
+      let time = ref start in
+      while !time <= until do
+        times := !time :: !times;
+        time := !time +. period
+      done;
+      List.rev !times
+    end
+  | Schedule.Random_window { start; until; count } ->
+    (* Drawn once at install time from the seeded rng: deterministic. *)
+    List.init count (fun _ ->
+        start +. (Random.State.float t.rng (Float.max 0. (until -. start))))
+    |> List.sort compare
+
+let install env schedule =
+  let sim = Tropic.Platform.sim env.platform in
+  let t =
+    {
+      nenv = env;
+      rng = Des.Sim.rng sim;
+      ctrl_down =
+        Array.make (Array.length (Tropic.Platform.controllers env.platform)) false;
+      partitioned = false;
+      fired_count = 0;
+      removed = [];
+    }
+  in
+  List.iteri
+    (fun i { Schedule.trigger; action } ->
+      let times = fire_times t trigger in
+      ignore
+        (Des.Proc.spawn
+           ~name:(Printf.sprintf "nemesis-%s-%d" schedule.Schedule.name i)
+           sim
+           (fun () ->
+             List.iter
+               (fun time ->
+                 let delay = time -. Des.Sim.now sim in
+                 if delay > 0. then Des.Proc.sleep delay;
+                 (* Each firing runs in its own process so a long action
+                    (restart delays, stalls) never pushes later firings. *)
+                 ignore
+                   (Des.Proc.spawn
+                      ~name:
+                        (Printf.sprintf "nemesis-%s-%d@%.0f"
+                           schedule.Schedule.name i time)
+                      sim
+                      (fun () -> perform t action)))
+               times)))
+    schedule.Schedule.steps;
+  t

@@ -1,0 +1,369 @@
+type build = Stock | No_constraints | No_guard_locks
+
+let build_to_string = function
+  | Stock -> "stock"
+  | No_constraints -> "no-constraints"
+  | No_guard_locks -> "no-guard-locks"
+
+let build_of_string = function
+  | "stock" -> Ok Stock
+  | "no-constraints" -> Ok No_constraints
+  | "no-guard-locks" -> Ok No_guard_locks
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown build %S (expected stock, no-constraints or no-guard-locks)"
+         other)
+
+type config = {
+  build : build;
+  hosts : int;
+  txns : int;
+  horizon : float;
+  quiesce_grace : float;
+}
+
+let default_config =
+  { build = Stock; hosts = 8; txns = 40; horizon = 500.; quiesce_grace = 12. }
+
+let quick_config = { default_config with txns = 16; horizon = 400. }
+
+type result = {
+  schedule : string;
+  seed : int;
+  rbuild : build;
+  committed : int;
+  aborted : int;
+  failed : int;
+  injected : int;
+  violations : Invariant.violation list;
+  trace : string list;
+  duration : float;
+}
+
+let reproducer r =
+  Printf.sprintf "tropic_exp chaos --build %s --schedule %s --seed %d"
+    (build_to_string r.rbuild) r.schedule r.seed
+
+(* How often the controller's sweeper compares the layers and repairs. *)
+let repair_interval = 5.0
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic workload.
+
+   Transaction chain [k] spawns VM "cNNN"; every 4th chain targets host 0
+   with an oversized VM (the hot host — under constraints those spawns
+   abort once memory runs out, without constraints they overcommit and
+   the invariant tracker must catch it).  Every 5th chain stops its VM
+   after spawning, every 10th destroys it after stopping. *)
+
+type op_kind = Spawn | Stop | Destroy
+
+type op = { kind : op_kind; op_vm : string; op_host : int }
+
+let chain_plan config k =
+  let hot = k mod 4 = 3 in
+  let host = if hot then 0 else k mod config.hosts in
+  let mem = if hot then 2048 else 512 in
+  let vm = Printf.sprintf "c%03d" k in
+  let stop = k mod 5 = 2 in
+  let destroy = k mod 10 = 2 in
+  (vm, host, mem, stop, destroy)
+
+let storage_hosts = 2
+
+(* ------------------------------------------------------------------ *)
+
+let run_one ?(trace = false) config ~schedule ~seed =
+  let sim = Des.Sim.create ~seed () in
+  let size =
+    {
+      Tcloud.Setup.small with
+      Tcloud.Setup.compute_hosts = config.hosts;
+      storage_hosts;
+      storage_capacity_mb = 5_000_000;
+    }
+  in
+  let inventory = Tcloud.Setup.build ~rng:(Des.Sim.rng sim) size in
+  let env =
+    match config.build with
+    | No_constraints ->
+      (* Same actions and procedures, no logical-layer constraints: the
+         ablation the harness must be able to convict. *)
+      let env = Tropic.Dsl.create_env () in
+      Tcloud.Actions.register_all env;
+      Tcloud.Procs.register_all env;
+      env
+    | Stock | No_guard_locks -> inventory.Tcloud.Setup.env
+  in
+  let controller_config =
+    {
+      Tcloud.Setup.controller_config with
+      Tropic.Controller.repair_interval = Some repair_interval;
+      constraint_guard_locks = config.build <> No_guard_locks;
+    }
+  in
+  let platform =
+    Tropic.Platform.create
+      {
+        Tropic.Platform.default_spec with
+        Tropic.Platform.controllers = 3;
+        workers = 4;
+        mode = Tropic.Platform.Full;
+        coord_replicas = 3;
+        controller_config;
+        (* Generous enough that a healed 8 s partition does not expire
+           live controller sessions behind their backs. *)
+        controller_session_timeout = 5.0;
+        client_slots = 160;
+      }
+      env ~initial_tree:inventory.Tcloud.Setup.tree
+      ~devices:inventory.Tcloud.Setup.devices sim
+  in
+  let trace_buf = ref [] in
+  let tr line =
+    trace_buf := Printf.sprintf "[%8.2f] %s" (Des.Sim.now sim) line :: !trace_buf
+  in
+  let tr_verbose line = if trace then tr line in
+  (* Workload bookkeeping *)
+  let ops = ref [] in (* (txn_id, op), newest first *)
+  let states = Hashtbl.create 64 in (* txn_id -> final state *)
+  let live = Hashtbl.create 16 in
+  let completed = ref 0 in
+  let submit_op op ~proc ~args =
+    let id = Tropic.Platform.submit platform ~proc ~args in
+    ops := (id, op) :: !ops;
+    Hashtbl.replace live id ();
+    tr_verbose
+      (Printf.sprintf "txn %d: %s %s @ host %d" id proc op.op_vm op.op_host);
+    let state = Tropic.Platform.await platform id in
+    Hashtbl.remove live id;
+    Hashtbl.replace states id state;
+    tr_verbose
+      (Printf.sprintf "txn %d: %s" id (Tropic.Txn.state_to_string state));
+    state
+  in
+  for k = 0 to config.txns - 1 do
+    let vm, host, mem, stop, destroy = chain_plan config k in
+    ignore
+      (Des.Proc.spawn ~name:(Printf.sprintf "chain-%d" k) sim (fun () ->
+           Des.Proc.sleep (5.0 +. (0.75 *. float_of_int k));
+           let host_path = Data.Path.to_string (Tcloud.Setup.compute_path host) in
+           let storage_path =
+             Data.Path.to_string
+               (Tcloud.Setup.storage_path (host mod storage_hosts))
+           in
+           let spawned =
+             submit_op { kind = Spawn; op_vm = vm; op_host = host }
+               ~proc:"spawnVM"
+               ~args:
+                 (Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:mem
+                    ~storage:storage_path ~host:host_path)
+           in
+           (if spawned = Tropic.Txn.Committed && stop then
+              let stopped =
+                submit_op { kind = Stop; op_vm = vm; op_host = host }
+                  ~proc:"stopVM"
+                  ~args:(Tcloud.Procs.stop_vm_args ~host:host_path ~vm)
+              in
+              if stopped = Tropic.Txn.Committed && destroy then
+                ignore
+                  (submit_op { kind = Destroy; op_vm = vm; op_host = host }
+                     ~proc:"destroyVM"
+                     ~args:
+                       (Tcloud.Procs.destroy_vm_args ~host:host_path
+                          ~storage:storage_path ~vm)));
+           incr completed))
+  done;
+  (* Nemesis and continuous invariants *)
+  let live_txns () = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
+  let nemesis =
+    Nemesis.install
+      {
+        Nemesis.platform;
+        computes = inventory.Tcloud.Setup.computes;
+        devices = inventory.Tcloud.Setup.devices;
+        live_txns;
+        trace = tr;
+      }
+      schedule
+  in
+  let tracker =
+    Invariant.start ~platform ~computes:inventory.Tcloud.Setup.computes ()
+  in
+  (* Quiescence monitor: wait for the workload and the schedule, give the
+     repair sweeper time, then play operator: [reload] any subtree whose
+     divergence has no repair rule (out-of-band removals), and settle. *)
+  let quiesced = ref false in
+  let final_states = Hashtbl.create 64 in
+  ignore
+    (Des.Proc.spawn ~name:"quiesce-monitor" sim (fun () ->
+         let deadline = config.horizon -. (3. *. config.quiesce_grace) -. 20. in
+         while !completed < config.txns && Des.Sim.now sim < deadline do
+           Des.Proc.sleep 1.0
+         done;
+         let schedule_end = Schedule.end_time schedule +. 10. in
+         if Des.Sim.now sim < schedule_end then
+           Des.Proc.sleep (schedule_end -. Des.Sim.now sim);
+         Des.Proc.sleep config.quiesce_grace;
+         let reload_unrepairable () =
+           let leader = Tropic.Platform.await_leader_controller platform in
+           let tree = Tropic.Controller.tree leader in
+           let reloaded = ref 0 in
+           List.iter
+             (fun device ->
+               let root = Devices.Device.root device in
+               let physical = Devices.Device.export device in
+               match Data.Tree.subtree tree root with
+               | Error _ -> ()
+               | Ok logical ->
+                 if not (Data.Tree.equal logical physical) then begin
+                   let plan =
+                     Tropic.Recon.plan_repair ~rules:Tcloud.Rules.repair_rules
+                       ~at:root ~logical ~physical
+                   in
+                   if plan.Tropic.Recon.unrepaired <> [] then begin
+                     incr reloaded;
+                     tr
+                       (Printf.sprintf "operator reload of %s"
+                          (Data.Path.to_string root));
+                     Tropic.Platform.reload platform root
+                   end
+                 end)
+             inventory.Tcloud.Setup.devices;
+           !reloaded
+         in
+         if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
+         if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
+         (* Authoritative final states, including never-awaited stragglers. *)
+         List.iter
+           (fun (id, _) ->
+             match Hashtbl.find_opt states id with
+             | Some state -> Hashtbl.replace final_states id state
+             | None ->
+               (match Tropic.Platform.txn_state platform id with
+                | Some state -> Hashtbl.replace final_states id state
+                | None -> ()))
+           !ops;
+         quiesced := true));
+  (* Drive the simulation by hand so the run ends at quiescence instead of
+     grinding heartbeats until the horizon. *)
+  while
+    (not !quiesced)
+    && Des.Sim.now sim <= config.horizon
+    && Des.Sim.step sim
+  do
+    ()
+  done;
+  Invariant.stop tracker;
+  (* Evaluate *)
+  let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
+  let txns =
+    List.map (fun (id, _) -> (id, Hashtbl.find_opt final_states id)) ordered_ops
+  in
+  let state_of id = Hashtbl.find_opt final_states id in
+  (* Fold committed operations, in submission order, into per-VM fates. *)
+  let fates = Hashtbl.create 64 in
+  List.iter
+    (fun (id, op) ->
+      if state_of id = Some Tropic.Txn.Committed then
+        match op.kind with
+        | Spawn ->
+          Hashtbl.replace fates op.op_vm
+            {
+              Invariant.vm = op.op_vm;
+              host = op.op_host;
+              present = true;
+              running = true;
+            }
+        | Stop ->
+          (match Hashtbl.find_opt fates op.op_vm with
+           | Some fate -> Hashtbl.replace fates op.op_vm { fate with running = false }
+           | None -> ())
+        | Destroy ->
+          (match Hashtbl.find_opt fates op.op_vm with
+           | Some fate -> Hashtbl.replace fates op.op_vm { fate with present = false }
+           | None -> ()))
+    ordered_ops;
+  let expected = Hashtbl.fold (fun _ fate acc -> fate :: acc) fates [] in
+  (* VMs whose fate the harness cannot predict: removed out-of-band, or
+     touched by a transaction that Failed (cross-layer inconsistency was
+     resolved by adopting the physical state, whatever it was). *)
+  let unpredictable = Hashtbl.create 16 in
+  List.iter (fun vm -> Hashtbl.replace unpredictable vm ()) (Nemesis.oob_removed nemesis);
+  List.iter
+    (fun (id, op) ->
+      match state_of id with
+      | Some (Tropic.Txn.Failed _) -> Hashtbl.replace unpredictable op.op_vm ()
+      | _ -> ())
+    ordered_ops;
+  let skip_vm vm = Hashtbl.mem unpredictable vm in
+  let quiescence_violations =
+    Invariant.check_quiescence ~platform
+      ~computes:inventory.Tcloud.Setup.computes
+      ~devices:inventory.Tcloud.Setup.devices ~txns ~expected ~skip_vm
+  in
+  let crash_violations =
+    List.map
+      (fun (who, exn) ->
+        {
+          Invariant.invariant = "no-process-crash";
+          at = Des.Sim.now sim;
+          detail = Printf.sprintf "%s raised %s" who (Printexc.to_string exn);
+        })
+      (Des.Sim.failures sim)
+  in
+  let horizon_violations =
+    if !quiesced then []
+    else
+      [
+        {
+          Invariant.invariant = "quiescence";
+          at = Des.Sim.now sim;
+          detail =
+            Printf.sprintf "run still active at horizon %.0fs" config.horizon;
+        };
+      ]
+  in
+  let count state =
+    List.fold_left
+      (fun n (id, _) ->
+        match (state_of id, state) with
+        | Some (Tropic.Txn.Committed), `C -> n + 1
+        | Some (Tropic.Txn.Aborted _), `A -> n + 1
+        | Some (Tropic.Txn.Failed _), `F -> n + 1
+        | _ -> n)
+      0 ordered_ops
+  in
+  {
+    schedule = schedule.Schedule.name;
+    seed;
+    rbuild = config.build;
+    committed = count `C;
+    aborted = count `A;
+    failed = count `F;
+    injected = Nemesis.fired nemesis;
+    violations =
+      Invariant.tracker_violations tracker
+      @ quiescence_violations @ crash_violations @ horizon_violations;
+    trace = List.rev !trace_buf;
+    duration = Des.Sim.now sim;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type sweep = { runs : result list; violating : result list }
+
+let sweep ?progress config ~schedules ~seeds =
+  let n = List.length schedules in
+  if n = 0 then invalid_arg "Runner.sweep: no schedules";
+  let runs =
+    List.mapi
+      (fun i seed ->
+        let schedule = List.nth schedules (i mod n) in
+        let result = run_one config ~schedule ~seed in
+        (match progress with Some f -> f result | None -> ());
+        result)
+      seeds
+  in
+  { runs; violating = List.filter (fun r -> r.violations <> []) runs }

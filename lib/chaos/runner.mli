@@ -1,0 +1,68 @@
+(** Seed-sweep fault explorer.
+
+    One {e run} builds a fresh TCloud deployment and TROPIC platform
+    inside a seeded simulation, drives a deterministic mixed workload
+    (spawn / stop / destroy, with a hot host that tempts overcommit),
+    installs a nemesis schedule, waits for quiescence (workload terminal,
+    schedule exhausted, reconciliation given time to heal — including the
+    operator [reload] for unrepairable drift such as out-of-band VM
+    removals), and evaluates every invariant.
+
+    A {e sweep} runs seed × schedule combinations and collects violating
+    runs as one-line reproducers; re-running a reproducer with [~trace]
+    replays the identical fault sequence with full event tracing. *)
+
+(** Which build the harness exercises.  [No_constraints] strips the
+    logical-layer constraints (the ablation that must make the sweep
+    light up); [No_guard_locks] disables the §3.1.3 constraint-guard
+    R-locks only. *)
+type build = Stock | No_constraints | No_guard_locks
+
+val build_to_string : build -> string
+val build_of_string : string -> (build, string) result
+
+type config = {
+  build : build;
+  hosts : int;  (** compute hosts in the deployment *)
+  txns : int;  (** workload transactions (spawn chains) *)
+  horizon : float;  (** hard virtual-time stop *)
+  quiesce_grace : float;  (** settle time between reconciliation waves *)
+}
+
+val default_config : config
+
+(** Smaller workload for smoke tests and [--quick]. *)
+val quick_config : config
+
+type result = {
+  schedule : string;
+  seed : int;
+  rbuild : build;
+  committed : int;
+  aborted : int;
+  failed : int;
+  injected : int;  (** nemesis events actually fired *)
+  violations : Invariant.violation list;
+  trace : string list;  (** injection/progress log, oldest first *)
+  duration : float;  (** virtual seconds to quiescence *)
+}
+
+(** One-line reproducer: the exact CLI invocation that replays this run. *)
+val reproducer : result -> string
+
+val run_one : ?trace:bool -> config -> schedule:Schedule.t -> seed:int -> result
+
+type sweep = {
+  runs : result list;
+  violating : result list;  (** runs with at least one violation *)
+}
+
+(** [sweep ?progress config ~schedules ~seeds] assigns seed [i] to
+    schedule [i mod length schedules] (round-robin), runs each pair, and
+    calls [progress] after every run. *)
+val sweep :
+  ?progress:(result -> unit) ->
+  config ->
+  schedules:Schedule.t list ->
+  seeds:int list ->
+  sweep

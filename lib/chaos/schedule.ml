@@ -1,0 +1,163 @@
+type target = Leader | Random
+
+type action =
+  | Crash_controller of { target : target; down_for : float }
+  | Crash_coord_replica of { target : target; down_for : float }
+  | Partition_coord_leader of { heal_after : float }
+  | Fault_burst of { probability : float; lasting : float }
+  | Fail_next_device_action of string
+  | Power_cycle_host
+  | Oob_stop_vm
+  | Oob_remove_vm
+  | Signal_txn of { signal : [ `Term | `Kill ]; stall : float }
+
+type trigger =
+  | At of float
+  | Every of { start : float; period : float; until : float }
+  | Random_window of { start : float; until : float; count : int }
+
+type step = { trigger : trigger; action : action }
+
+type t = { name : string; steps : step list }
+
+let at time action = { trigger = At time; action }
+
+let every ?(start = 0.) ~period ~until action =
+  { trigger = Every { start; period; until }; action }
+
+let random_window ~start ~until ~count action =
+  { trigger = Random_window { start; until; count }; action }
+
+let target_to_string = function Leader -> "leader" | Random -> "random"
+
+let action_to_string = function
+  | Crash_controller { target; down_for } ->
+    Printf.sprintf "crash-controller(%s, down %.0fs)" (target_to_string target)
+      down_for
+  | Crash_coord_replica { target; down_for } ->
+    Printf.sprintf "crash-coord-replica(%s, down %.0fs)"
+      (target_to_string target) down_for
+  | Partition_coord_leader { heal_after } ->
+    Printf.sprintf "partition-coord-leader(heal after %.0fs)" heal_after
+  | Fault_burst { probability; lasting } ->
+    Printf.sprintf "fault-burst(p=%.2f, %.0fs)" probability lasting
+  | Fail_next_device_action a -> Printf.sprintf "fail-next(%s)" a
+  | Power_cycle_host -> "power-cycle-host"
+  | Oob_stop_vm -> "oob-stop-vm"
+  | Oob_remove_vm -> "oob-remove-vm"
+  | Signal_txn { signal; stall } ->
+    Printf.sprintf "signal(%s after %.1fs stall)"
+      (match signal with `Term -> "TERM" | `Kill -> "KILL")
+      stall
+
+let step_end { trigger; action } =
+  let trigger_end =
+    match trigger with
+    | At time -> time
+    | Every { until; _ } -> until
+    | Random_window { until; _ } -> until
+  in
+  let action_tail =
+    match action with
+    | Crash_controller { down_for; _ } | Crash_coord_replica { down_for; _ } ->
+      down_for
+    | Partition_coord_leader { heal_after } -> heal_after
+    | Fault_burst { lasting; _ } -> lasting
+    | Signal_txn { stall; _ } -> stall
+    | Fail_next_device_action _ | Power_cycle_host | Oob_stop_vm
+    | Oob_remove_vm ->
+      0.
+  in
+  trigger_end +. action_tail
+
+let end_time t = List.fold_left (fun acc s -> Float.max acc (step_end s)) 0. t.steps
+
+let describe t =
+  String.concat "\n"
+    (Printf.sprintf "schedule %s:" t.name
+     :: List.map
+          (fun { trigger; action } ->
+            let when_ =
+              match trigger with
+              | At time -> Printf.sprintf "at %.0fs" time
+              | Every { start; period; until } ->
+                Printf.sprintf "every %.0fs in [%.0f, %.0f]" period start until
+              | Random_window { start; until; count } ->
+                Printf.sprintf "%d at random in [%.0f, %.0f]" count start until
+            in
+            Printf.sprintf "  %-28s %s" when_ (action_to_string action))
+          t.steps)
+
+(* ------------------------------------------------------------------ *)
+(* Presets.  Windows assume the runner's default workload: submissions
+   start after ~5 s (elections settle) and stretch over ~60–120 s. *)
+
+let controller_crashes =
+  {
+    name = "controller-crashes";
+    steps =
+      [
+        every ~start:15. ~period:35. ~until:120.
+          (Crash_controller { target = Leader; down_for = 12. });
+        random_window ~start:20. ~until:110. ~count:2
+          (Crash_controller { target = Random; down_for = 8. });
+      ];
+  }
+
+let coord_faults =
+  {
+    name = "coord-faults";
+    steps =
+      [
+        every ~start:12. ~period:40. ~until:110.
+          (Crash_coord_replica { target = Random; down_for = 10. });
+        at 30. (Partition_coord_leader { heal_after = 8. });
+        at 75. (Partition_coord_leader { heal_after = 6. });
+      ];
+  }
+
+let device_storm =
+  {
+    name = "device-storm";
+    steps =
+      [
+        at 10. (Fault_burst { probability = 0.05; lasting = 25. });
+        random_window ~start:15. ~until:100. ~count:3
+          (Fail_next_device_action "startVM");
+        random_window ~start:25. ~until:100. ~count:2 Power_cycle_host;
+        random_window ~start:30. ~until:105. ~count:3 Oob_stop_vm;
+        random_window ~start:40. ~until:105. ~count:2 Oob_remove_vm;
+      ];
+  }
+
+let signal_storm =
+  {
+    name = "signal-storm";
+    steps =
+      [
+        random_window ~start:8. ~until:100. ~count:4
+          (Signal_txn { signal = `Term; stall = 0.5 });
+        random_window ~start:12. ~until:100. ~count:3
+          (Signal_txn { signal = `Kill; stall = 0.2 });
+      ];
+  }
+
+let mixed =
+  {
+    name = "mixed";
+    steps =
+      [
+        at 18. (Crash_controller { target = Leader; down_for = 10. });
+        at 55. (Crash_coord_replica { target = Random; down_for = 10. });
+        at 35. (Fault_burst { probability = 0.04; lasting = 15. });
+        random_window ~start:20. ~until:100. ~count:2 Oob_stop_vm;
+        random_window ~start:25. ~until:100. ~count:2
+          (Signal_txn { signal = `Term; stall = 0.3 });
+        random_window ~start:30. ~until:95. ~count:1 Power_cycle_host;
+      ];
+  }
+
+let presets =
+  [ controller_crashes; coord_faults; device_storm; signal_storm; mixed ]
+
+let find name = List.find_opt (fun s -> s.name = name) presets

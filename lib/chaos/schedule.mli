@@ -1,0 +1,80 @@
+(** Declarative nemesis schedules.
+
+    A schedule is a named list of steps; each step pairs a {!trigger}
+    (when to fire) with an {!action} (what fault to inject).  Schedules
+    are pure data — {!Nemesis.install} compiles them into DES processes
+    against a live platform, so the same schedule replayed under the same
+    simulation seed injects exactly the same faults at exactly the same
+    virtual times. *)
+
+(** Which instance a controller/replica fault hits. *)
+type target =
+  | Leader  (** whoever currently leads (skipped if nobody does) *)
+  | Random  (** a uniformly random live instance *)
+
+type action =
+  | Crash_controller of { target : target; down_for : float }
+      (** kill a TROPIC controller; restart it [down_for] seconds later *)
+  | Crash_coord_replica of { target : target; down_for : float }
+      (** crash a coordination replica (stable state survives); restarted
+          after [down_for].  Skipped if it would break the quorum. *)
+  | Partition_coord_leader of { heal_after : float }
+      (** cut the coordination leader off from its peers, heal later *)
+  | Fault_burst of { probability : float; lasting : float }
+      (** background device-action failure probability, then back to 0 *)
+  | Fail_next_device_action of string
+      (** arm a one-shot failure of the named action on a random host *)
+  | Power_cycle_host     (** random host: every running VM found stopped *)
+  | Oob_stop_vm          (** stop a random running VM behind TROPIC's back *)
+  | Oob_remove_vm        (** delete a random stopped VM behind TROPIC's back *)
+  | Signal_txn of { signal : [ `Term | `Kill ]; stall : float }
+      (** wait [stall] seconds, then TERM/KILL a random live transaction *)
+
+type trigger =
+  | At of float
+  | Every of { start : float; period : float; until : float }
+  | Random_window of { start : float; until : float; count : int }
+      (** [count] firings at uniformly random times in the window, drawn
+          from the simulation's seeded rng *)
+
+type step = { trigger : trigger; action : action }
+
+type t = { name : string; steps : step list }
+
+(** {1 Step builders} *)
+
+val at : float -> action -> step
+val every : ?start:float -> period:float -> until:float -> action -> step
+val random_window : start:float -> until:float -> count:int -> action -> step
+
+(** {1 Preset schedules (the default sweep grid)} *)
+
+(** Leader-controller crash/restart cycles. *)
+val controller_crashes : t
+
+(** Coordination-service chaos: replica crashes and leader partitions. *)
+val coord_faults : t
+
+(** Device chaos: fault bursts, power cycles, out-of-band mutations. *)
+val device_storm : t
+
+(** Operator signals: TERM and KILL against live transactions. *)
+val signal_storm : t
+
+(** A bit of everything at once. *)
+val mixed : t
+
+(** All of the above, in sweep order. *)
+val presets : t list
+
+(** Look a preset up by name. *)
+val find : string -> t option
+
+val action_to_string : action -> string
+val describe : t -> string
+
+(** Latest virtual time at which the schedule can still be acting
+    (last possible firing plus the action's own tail — restart delays,
+    heal delays, burst durations).  The runner waits this out before its
+    quiescence checks. *)
+val end_time : t -> float

@@ -104,6 +104,7 @@ let is_leader t = t.leading
 let tree t = t.tree
 let stats t = t.st
 let todo_length t = Deque.length t.todo
+let lock_count t = Mglock.lock_count t.locks
 let cpu_busy_time t = Des.Station.busy_time t.cpu
 
 let inflight t =

@@ -74,6 +74,9 @@ val stats : t -> stats
 val todo_length : t -> int
 val inflight : t -> int
 
+(** Number of (path, txn) entries in the lock table — 0 at quiescence. *)
+val lock_count : t -> int
+
 (** Quarantined (inconsistent) subtree roots. *)
 val quarantined : t -> Data.Path.t list
 

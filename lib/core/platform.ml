@@ -28,6 +28,9 @@ let default_spec =
 type t = {
   psim : Des.Sim.t;
   pspec : spec;
+  penv : Dsl.env;
+  pdevices : Physical.device_lookup;
+  pdevice_roots : Data.Path.t list;
   ensemble : Coord.Ensemble.t;
   control : Controller.t array;
   work : Worker.t array;
@@ -116,6 +119,9 @@ let create pspec env ~initial_tree ~devices psim =
     {
       psim;
       pspec;
+      penv = env;
+      pdevices = device_lookup;
+      pdevice_roots = device_roots;
       ensemble;
       control;
       work;
@@ -242,3 +248,28 @@ let reload t path = ignore (enqueue_input t (Proto.Control (Proto.Reload path)))
 let repair t path = ignore (enqueue_input t (Proto.Control (Proto.Repair path)))
 
 let kill_controller t i = Controller.crash t.control.(i)
+
+(* A crashed controller's coordination session is gone for good; a restart
+   is a brand-new controller instance (fresh session, fresh recovery) that
+   keeps the slot and the name — exactly a process supervisor restarting
+   the daemon on the same machine. *)
+let restart_controller t i =
+  let cname = Controller.name t.control.(i) in
+  let client =
+    Coord.Ensemble.connect t.ensemble
+      ~session_timeout:t.pspec.controller_session_timeout ~name:cname ()
+  in
+  let c =
+    Controller.create ~name:cname ~client ~env:t.penv
+      ~config:t.pspec.controller_config ~devices:t.pdevices
+      ~device_roots:t.pdevice_roots ~sim:t.psim
+  in
+  t.control.(i) <- c;
+  Controller.start c
+
+let leader_index t =
+  let found = ref None in
+  Array.iteri
+    (fun i c -> if !found = None && Controller.is_leader c then found := Some i)
+    t.control;
+  !found

@@ -75,6 +75,14 @@ val logical_tree : t -> Data.Tree.t
 (** Crash controller [i] (process death + session loss). *)
 val kill_controller : t -> int -> unit
 
+(** Restart slot [i] after {!kill_controller}: a fresh controller instance
+    (new coordination session) under the same name, which re-joins the
+    election and recovers.  Each restart consumes one client slot. *)
+val restart_controller : t -> int -> unit
+
+(** Index of the currently leading controller, if any. *)
+val leader_index : t -> int option
+
 val coord : t -> Coord.Ensemble.t
 
 (** Sum of controller-CPU busy time (all controllers; only the leader

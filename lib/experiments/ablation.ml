@@ -39,8 +39,8 @@ let spawn_args ~vm ~h ~storage_hosts =
 
 (* Four transactions contend on host 0 ahead of six independent ones: a
    strict FIFO keeps deferring the head and blocks the independents. *)
-let scheduling_run policy =
-  let sim = Des.Sim.create ~seed:71 () in
+let scheduling_run ~seed policy =
+  let sim = Des.Sim.create ~seed () in
   let size =
     { Tcloud.Setup.small with Tcloud.Setup.compute_hosts = 8; storage_hosts = 8 }
   in
@@ -92,9 +92,11 @@ let scheduling_run policy =
       done);
   (!last_commit, Metrics.Cdf.mean latencies)
 
-let scheduling_ablation () =
-  let fifo_makespan, fifo_mean_latency = scheduling_run `Fifo in
-  let aggressive_makespan, aggressive_mean_latency = scheduling_run `Aggressive in
+let scheduling_ablation ~seed () =
+  let fifo_makespan, fifo_mean_latency = scheduling_run ~seed `Fifo in
+  let aggressive_makespan, aggressive_mean_latency =
+    scheduling_run ~seed `Aggressive
+  in
   { fifo_makespan; aggressive_makespan; fifo_mean_latency; aggressive_mean_latency }
 
 (* ------------------------------------------------------------------ *)
@@ -113,8 +115,8 @@ let overcommitted_hosts inv =
       else acc)
     0 inv.Tcloud.Setup.computes
 
-let safety_run ~with_constraints =
-  let sim = Des.Sim.create ~seed:72 () in
+let safety_run ~seed ~with_constraints =
+  let sim = Des.Sim.create ~seed () in
   let size =
     { Tcloud.Setup.small with Tcloud.Setup.storage_capacity_mb = 5_000_000 }
   in
@@ -144,9 +146,9 @@ let safety_run ~with_constraints =
       List.iter (fun id -> ignore (Tropic.Platform.await platform id)) ids);
   (overcommitted_hosts inv, total_device_ops inv)
 
-let safety_ablation () =
-  let with_oc, with_ops = safety_run ~with_constraints:true in
-  let without_oc, without_ops = safety_run ~with_constraints:false in
+let safety_ablation ~seed () =
+  let with_oc, with_ops = safety_run ~seed ~with_constraints:true in
+  let without_oc, without_ops = safety_run ~seed ~with_constraints:false in
   {
     with_constraints_overcommitted_hosts = with_oc;
     with_constraints_device_ops = with_ops;
@@ -157,8 +159,8 @@ let safety_ablation () =
 (* ------------------------------------------------------------------ *)
 (* 3. Checkpointed vs full-replay recovery *)
 
-let recovery_run ~checkpoint_every ~txns =
-  let sim = Des.Sim.create ~seed:73 () in
+let recovery_run ~seed ~checkpoint_every ~txns =
+  let sim = Des.Sim.create ~seed () in
   let size =
     {
       Tcloud.Setup.small with
@@ -216,19 +218,24 @@ let recovery_run ~checkpoint_every ~txns =
       recovery := Des.Proc.now () -. t_kill);
   !recovery
 
-let checkpoint_ablation () =
+let checkpoint_ablation ~seed () =
   let txns = 400 in
   {
     txns_before_crash = txns;
-    recovery_with_checkpoint = recovery_run ~checkpoint_every:(Some 50) ~txns;
-    recovery_without_checkpoint = recovery_run ~checkpoint_every:None ~txns;
+    recovery_with_checkpoint =
+      recovery_run ~seed ~checkpoint_every:(Some 50) ~txns;
+    recovery_without_checkpoint = recovery_run ~seed ~checkpoint_every:None ~txns;
   }
 
-let run () =
+let default_seed = 71
+
+(* The three sub-experiments historically ran on seeds 71/72/73; keep
+   that spacing relative to whatever base seed the caller picks. *)
+let run ?(seed = default_seed) () =
   {
-    scheduling = scheduling_ablation ();
-    safety = safety_ablation ();
-    checkpointing = checkpoint_ablation ();
+    scheduling = scheduling_ablation ~seed ();
+    safety = safety_ablation ~seed:(seed + 1) ();
+    checkpointing = checkpoint_ablation ~seed:(seed + 2) ();
   }
 
 let print r =

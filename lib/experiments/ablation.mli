@@ -36,5 +36,9 @@ type result = {
   checkpointing : checkpoint_result;
 }
 
-val run : unit -> result
+(** Base seed used when [?seed] is not given; the three sub-experiments
+    run on [seed], [seed+1] and [seed+2]. *)
+val default_seed : int
+
+val run : ?seed:int -> unit -> result
 val print : result -> unit

@@ -11,9 +11,12 @@ type result = {
   lost : int;
 }
 
-let run ?(session_timeout = 10.) ?(rate = 2.) ?(kill_at = 60.)
-    ?(duration = 180.) () =
-  let sim = Des.Sim.create ~seed:64 () in
+(* Historical seed of this experiment's runs; --seed overrides it. *)
+let default_seed = 64
+
+let run ?(seed = default_seed) ?(session_timeout = 10.) ?(rate = 2.)
+    ?(kill_at = 60.) ?(duration = 180.) () =
+  let sim = Des.Sim.create ~seed () in
   let size =
     {
       Tcloud.Setup.small with

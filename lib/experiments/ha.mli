@@ -20,8 +20,11 @@ type result = {
   lost : int;                     (** must be 0 *)
 }
 
+(** Simulation seed used when [?seed] is not given. *)
+val default_seed : int
+
 val run :
-  ?session_timeout:float -> ?rate:float -> ?kill_at:float -> ?duration:float ->
-  unit -> result
+  ?seed:int -> ?session_timeout:float -> ?rate:float -> ?kill_at:float ->
+  ?duration:float -> unit -> result
 
 val print : result -> unit

@@ -34,7 +34,9 @@ let layers_consistent platform inv =
           Data.Tree.equal logical (Devices.Device.export device))
       inv.Tcloud.Setup.devices
 
-let run ?(seed = 97) ?(rate = 1.0) ?(duration = 300.) () =
+let default_seed = 97
+
+let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
   let sim = Des.Sim.create ~seed () in
   let size =
     {

@@ -22,5 +22,8 @@ type result = {
           end of the run *)
 }
 
+(** Simulation seed used when [?seed] is not given. *)
+val default_seed : int
+
 val run : ?seed:int -> ?rate:float -> ?duration:float -> unit -> result
 val print : result -> unit

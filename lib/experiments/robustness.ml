@@ -61,8 +61,8 @@ let micro_run iterations =
 (* ------------------------------------------------------------------ *)
 (* End to end: inject faults into the last spawn step on a live platform *)
 
-let e2e_run injections =
-  let sim = Des.Sim.create ~seed:63 () in
+let e2e_run ~seed injections =
+  let sim = Des.Sim.create ~seed () in
   let size =
     { Tcloud.Setup.small with Tcloud.Setup.compute_hosts = 8; storage_hosts = 4 }
   in
@@ -126,8 +126,10 @@ let e2e_run injections =
   in
   { injected = injections; aborted = !aborted; committed = !committed; residue }
 
-let run ?(iterations = 20_000) ?(injections = 20) () =
-  { micro = micro_run iterations; e2e = e2e_run injections }
+let default_seed = 63
+
+let run ?(seed = default_seed) ?(iterations = 20_000) ?(injections = 20) () =
+  { micro = micro_run iterations; e2e = e2e_run ~seed injections }
 
 let print r =
   Common.section "§6.3 Robustness: rollback under injected errors";

@@ -22,5 +22,9 @@ type e2e = {
 
 type result = { micro : micro; e2e : e2e }
 
-val run : ?iterations:int -> ?injections:int -> unit -> result
+(** Simulation seed used when [?seed] is not given (end-to-end part only;
+    the micro-benchmark is deterministic). *)
+val default_seed : int
+
+val run : ?seed:int -> ?iterations:int -> ?injections:int -> unit -> result
 val print : result -> unit

@@ -20,7 +20,7 @@ type result = {
 
 (* Constant offered load against deployments of increasing size: the
    throughput and latency should not depend on the resource count. *)
-let throughput_point ~rate ~duration hosts =
+let throughput_point ~seed ~rate ~duration hosts =
   let cfg =
     {
       Perf.default_config with
@@ -33,7 +33,7 @@ let throughput_point ~rate ~duration hosts =
   in
   (* Replace the EC2 trace with a flat one at [rate]: reuse the perf runner
      by scaling time windows is messy, so drive directly. *)
-  let sim = Des.Sim.create ~seed:(hosts + 5) () in
+  let sim = Des.Sim.create ~seed:(hosts + seed) () in
   let size = Perf.deployment_size cfg in
   let inv = Tcloud.Setup.build size in
   let platform =
@@ -112,9 +112,13 @@ let memory_point hosts =
     bytes_per_resource = float_of_int live /. float_of_int resources;
   }
 
-let run ?(host_counts = [ 500; 2_000; 8_000 ]) ?(rate = 10.) ?(duration = 120.)
-    () =
-  let throughput = List.map (throughput_point ~rate ~duration) host_counts in
+let default_seed = 5
+
+let run ?(seed = default_seed) ?(host_counts = [ 500; 2_000; 8_000 ])
+    ?(rate = 10.) ?(duration = 120.) () =
+  let throughput =
+    List.map (throughput_point ~seed ~rate ~duration) host_counts
+  in
   let memory = List.map memory_point [ 250; 1_000; 4_000 ] in
   let per_resource =
     match List.rev memory with

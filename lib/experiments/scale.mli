@@ -27,5 +27,11 @@ type result = {
   projected_resources_32gb : float;
 }
 
-val run : ?host_counts:int list -> ?rate:float -> ?duration:float -> unit -> result
+(** Base seed used when [?seed] is not given; each throughput point runs
+    on [hosts + seed] so different sizes stay decorrelated. *)
+val default_seed : int
+
+val run :
+  ?seed:int -> ?host_counts:int list -> ?rate:float -> ?duration:float ->
+  unit -> result
 val print : result -> unit

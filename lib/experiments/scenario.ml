@@ -2,6 +2,8 @@ type outcome = {
   lines : string list;
   failed_expectations : int;
   transactions : int;
+  unexpected_outcomes : int;
+  layers_consistent : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -179,10 +181,31 @@ let run_script script =
     let failed_expectations = ref 0 in
     let transactions = ref 0 in
     let last_state = ref None in
+    (* A transaction that aborts or fails is fine when the script says so
+       with a following [expect]; otherwise it counts as unexpected and
+       makes the run (and [tcloud_sim]'s exit status) unhealthy. *)
+    let unexpected_outcomes = ref 0 in
+    let pending_bad = ref None in
+    let flush_pending () =
+      match !pending_bad with
+      | None -> ()
+      | Some (label, state) ->
+        incr unexpected_outcomes;
+        pending_bad := None;
+        emit "UNEXPECTED OUTCOME: %s ended %s with no expect" label
+          (Tropic.Txn.state_to_string state)
+    in
     let txn label proc args =
+      flush_pending ();
       incr transactions;
       let state = Tropic.Platform.run_txn platform ~proc ~args in
       last_state := Some state;
+      (match state with
+       | Tropic.Txn.Aborted _ | Tropic.Txn.Failed _ ->
+         pending_bad := Some (label, state)
+       | Tropic.Txn.Committed | Tropic.Txn.Initialized | Tropic.Txn.Accepted
+       | Tropic.Txn.Deferred | Tropic.Txn.Started ->
+         ());
       emit "%-40s -> %s" label (Tropic.Txn.state_to_string state)
     in
     let interpret = function
@@ -279,6 +302,9 @@ let run_script script =
           s.Tropic.Controller.aborted s.Tropic.Controller.failed
           s.Tropic.Controller.deferrals s.Tropic.Controller.violations
       | Expect wanted ->
+        (* Whatever was expected, the script acknowledged this outcome —
+           a mismatch is already counted as a failed expectation. *)
+        pending_bad := None;
         let ok =
           match !last_state, wanted with
           | Some Tropic.Txn.Committed, `Committed -> true
@@ -299,12 +325,34 @@ let run_script script =
         end
     in
     Common.run_scenario ~horizon:36_000. sim (fun () ->
-        List.iter interpret commands);
+        List.iter interpret commands;
+        flush_pending ());
+    (* End-of-run cross-layer check: every device either matches its
+       logical subtree or is quarantined awaiting reconciliation. *)
+    let layers_consistent =
+      match Tropic.Platform.leader_controller platform with
+      | None -> false
+      | Some leader ->
+        let quarantined = Tropic.Controller.quarantined leader in
+        let tree = Tropic.Controller.tree leader in
+        List.for_all
+          (fun device ->
+            let root = Devices.Device.root device in
+            List.exists (fun q -> Data.Path.is_prefix q root) quarantined
+            ||
+            match Data.Tree.subtree tree root with
+            | Error _ -> false
+            | Ok logical ->
+              Data.Tree.equal logical (Devices.Device.export device))
+          inv.Tcloud.Setup.devices
+    in
     Ok
       {
         lines = List.rev !lines;
         failed_expectations = !failed_expectations;
         transactions = !transactions;
+        unexpected_outcomes = !unexpected_outcomes;
+        layers_consistent;
       }
 
 let run_file path =

@@ -26,6 +26,12 @@ type outcome = {
   lines : string list;   (** transcript, in order *)
   failed_expectations : int;
   transactions : int;
+  unexpected_outcomes : int;
+      (** transactions that ended aborted/failed with no [expect]
+          acknowledging the outcome *)
+  layers_consistent : bool;
+      (** at the end of the run, every device matches its logical subtree
+          or is quarantined awaiting reconciliation *)
 }
 
 (** Parse and execute a scenario.  [Error] is a parse problem (line number

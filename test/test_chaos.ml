@@ -1,0 +1,83 @@
+(* Smoke tests for the chaos fault-exploration subsystem: a small stock
+   sweep must come back clean, the no-constraints ablation must be
+   convicted, and a run must replay bit-identically from its seed. *)
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let config = Chaos.Runner.quick_config
+
+let test_schedule_presets () =
+  check bool_c "at least four presets" true
+    (List.length Chaos.Schedule.presets >= 4);
+  List.iter
+    (fun s ->
+      check bool_c
+        (Printf.sprintf "%s is found by name" s.Chaos.Schedule.name)
+        true
+        (Chaos.Schedule.find s.Chaos.Schedule.name = Some s);
+      check bool_c
+        (Printf.sprintf "%s ends before the quick horizon" s.Chaos.Schedule.name)
+        true
+        (Chaos.Schedule.end_time s < config.Chaos.Runner.horizon))
+    Chaos.Schedule.presets
+
+let test_stock_sweep_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:Chaos.Schedule.presets
+      ~seeds:(List.init 10 (fun i -> i + 1))
+  in
+  check int_c "ten runs" 10 (List.length sweep.Chaos.Runner.runs);
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d (%s): no violations" r.Chaos.Runner.seed
+           r.Chaos.Runner.schedule)
+        0
+        (List.length r.Chaos.Runner.violations);
+      check bool_c
+        (Printf.sprintf "seed %d (%s): workload made progress"
+           r.Chaos.Runner.seed r.Chaos.Runner.schedule)
+        true (r.Chaos.Runner.committed > 0))
+    sweep.Chaos.Runner.runs
+
+let test_no_constraints_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_constraints } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:Chaos.Schedule.presets
+      ~seeds:(List.init 5 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      let line = Chaos.Runner.reproducer r in
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains line "no-constraints");
+      check bool_c "reproducer names the seed" true
+        (Str_contains.contains line (string_of_int r.Chaos.Runner.seed)))
+    sweep.Chaos.Runner.violating
+
+let test_replay_deterministic () =
+  let schedule = List.nth Chaos.Schedule.presets 4 in
+  let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
+  let a = run () and b = run () in
+  check bool_c "identical traces" true (a.Chaos.Runner.trace = b.Chaos.Runner.trace);
+  check bool_c "identical violations" true
+    (List.map Chaos.Invariant.violation_to_string a.Chaos.Runner.violations
+    = List.map Chaos.Invariant.violation_to_string b.Chaos.Runner.violations);
+  check int_c "identical commit count" a.Chaos.Runner.committed
+    b.Chaos.Runner.committed;
+  check int_c "identical fault count" a.Chaos.Runner.injected
+    b.Chaos.Runner.injected
+
+let suite =
+  [
+    ("schedule: presets well-formed", `Quick, test_schedule_presets);
+    ("sweep: stock build is clean", `Slow, test_stock_sweep_clean);
+    ("sweep: no-constraints build convicted", `Slow, test_no_constraints_convicted);
+    ("replay: same seed, same run", `Slow, test_replay_deterministic);
+  ]
+
+let () = Alcotest.run "chaos" [ ("chaos", suite) ]

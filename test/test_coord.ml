@@ -754,6 +754,52 @@ let test_restart_from_snapshot () =
            (Store.children (Replica.store (Ensemble.replica ens victim)) "/cp"));
       Client.close c)
 
+(* The openraft rejoin-bug family: a lagging follower whose gap was
+   compacted away must rejoin via snapshot install — including when it
+   crashes again mid-install and comes back to an even bigger gap. *)
+let test_rejoin_after_compaction_repeated_crashes () =
+  with_compacting_ensemble ~horizon:300. (fun ens ->
+      let c = Ensemble.connect ens ~name:"writer" () in
+      write_n c 10;
+      let leader = Ensemble.await_leader ens in
+      let victim = (leader + 1) mod 3 in
+      Ensemble.crash_replica ens victim;
+      (* Push the survivors far past the victim's log so its entire gap
+         lives only in snapshots. *)
+      write_n ~from:11 c 60;
+      Des.Proc.sleep 1.;
+      check bool_c "gap compacted away on leader" true
+        (Replica.log_base (Ensemble.replica ens leader) > 10);
+      (* First rejoin attempt dies almost immediately — before the
+         snapshot install completes. *)
+      Ensemble.restart_replica ens victim;
+      Des.Proc.sleep 0.05;
+      Ensemble.crash_replica ens victim;
+      (* The cluster keeps committing while the victim is down again, so
+         the second rejoin faces a fresh gap and a newer snapshot. *)
+      write_n ~from:71 c 60;
+      Des.Proc.sleep 1.;
+      Ensemble.restart_replica ens victim;
+      Des.Proc.sleep 5.;
+      let r = Ensemble.replica ens victim in
+      check int_c "victim converged after repeated crashes" 130
+        (List.length (Store.children (Replica.store r) "/cp"));
+      check bool_c "victim adopted a snapshot" true (Replica.has_snapshot r);
+      check bool_c "victim's log base advanced" true (Replica.log_base r > 10);
+      (* The rejoined follower really participates: with the other
+         follower down, it is needed for quorum. *)
+      let leader2 = Ensemble.await_leader ens in
+      let other =
+        List.find (fun i -> i <> leader2 && i <> victim) [ 0; 1; 2 ]
+      in
+      Ensemble.crash_replica ens other;
+      write_n ~from:131 c 5;
+      check int_c "quorum held by the rejoined follower" 135
+        (List.length (Client.get_children c "/cp"));
+      Ensemble.restart_replica ens other;
+      Des.Proc.sleep 2.;
+      Client.close c)
+
 let store_snapshot_roundtrip_prop =
   QCheck.Test.make ~name:"store snapshot codec roundtrip" ~count:100
     store_ops_arbitrary (fun ops ->
@@ -821,6 +867,9 @@ let suite =
     ("compaction: log stays bounded", `Quick, test_compaction_bounds_log);
     ("compaction: snapshot install catch-up", `Quick, test_snapshot_install_catches_up_follower);
     ("compaction: restart from snapshot", `Quick, test_restart_from_snapshot);
+    ( "compaction: rejoin after repeated crashes mid-install",
+      `Quick,
+      test_rejoin_after_compaction_repeated_crashes );
     QCheck_alcotest.to_alcotest store_snapshot_roundtrip_prop;
   ]
 

@@ -315,6 +315,32 @@ let test_scenario_expectation_failure_detected () =
     check int_c "one failed expectation" 1
       outcome.Experiments.Scenario.failed_expectations
 
+let test_scenario_unexpected_outcomes () =
+  (* An abort blessed by `expect aborted` is healthy; one with no expect
+     counts as unexpected (it is what makes tcloud_sim exit non-zero). *)
+  (match
+     Experiments.Scenario.run_script
+       "hosts 2\nspawn a 0\nexpect committed\nspawn big 0 9000\nexpect aborted"
+   with
+  | Error message -> Alcotest.fail message
+  | Ok outcome ->
+    check int_c "blessed abort is not unexpected" 0
+      outcome.Experiments.Scenario.unexpected_outcomes;
+    check bool_c "layers consistent" true
+      outcome.Experiments.Scenario.layers_consistent);
+  match
+    Experiments.Scenario.run_script
+      "hosts 2\nspawn a 0\nspawn big 0 9000\nspawn b 1\nexpect committed"
+  with
+  | Error message -> Alcotest.fail message
+  | Ok outcome ->
+    check int_c "unblessed abort is unexpected" 1
+      outcome.Experiments.Scenario.unexpected_outcomes;
+    check int_c "no failed expectations" 0
+      outcome.Experiments.Scenario.failed_expectations;
+    check bool_c "layers still consistent" true
+      outcome.Experiments.Scenario.layers_consistent
+
 let test_scenario_parse_errors () =
   List.iter
     (fun script ->
@@ -335,6 +361,7 @@ let suite =
     ("whole-run determinism", `Slow, test_whole_run_determinism);
     ("scenario: engine", `Slow, test_scenario_engine);
     ("scenario: failed expectation detected", `Slow, test_scenario_expectation_failure_detected);
+    ("scenario: unexpected outcomes tracked", `Slow, test_scenario_unexpected_outcomes);
     ("scenario: parse errors", `Quick, test_scenario_parse_errors);
   ]
 

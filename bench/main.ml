@@ -5,6 +5,7 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- sched        # contention bench -> BENCH_sched.json
      dune exec bench/main.exe -- table1|fig3|fig4|fig5|safety|robustness|
                                  ha|hosting|scale|ablation
    TROPIC_BENCH_QUICK=1 shrinks the long runs. *)
@@ -100,7 +101,7 @@ let micro_tests () =
            (match Mglock.try_acquire locks ~txn:1 lock_set with
             | Ok () -> ()
             | Error _ -> failwith "unexpected lock conflict");
-           Mglock.release_all locks ~txn:1));
+           ignore (Mglock.release_all locks ~txn:1)));
     (* §2.3: transaction-record persistence codec. *)
     Test.make ~name:"txn-record-encode+decode"
       (Staged.stage (fun () ->
@@ -161,6 +162,133 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Contention micro-benchmark: rescan vs wake-on-release (BENCH_sched.json)
+
+   N transactions over K shared subtrees; each wants a guard R on its
+   subtree root plus W on its own object, so transactions on the same
+   subtree serialize (the R and the object's ancestor IW join to W on the
+   root).  Arrivals are one burst; completions happen in start order.  The
+   "rescan" policy re-attempts every deferred transaction on every
+   completion — the scheduler this PR replaces — while the "wake" policy
+   re-attempts only the waiters [Mglock.release_all] reports.  The metric
+   is [Mglock.acquire_attempts] per committed transaction. *)
+
+type sched_point = {
+  sp_subtrees : int;
+  sp_attempts : int;
+  sp_per_commit : float;
+  sp_wakeups : int;
+  sp_spurious : int;
+}
+
+let sched_lock_set ~subtrees i =
+  let sub = Data.Path.v (Printf.sprintf "/bench/sub%03d" (i mod subtrees)) in
+  [
+    (sub, Mglock.R);
+    (Data.Path.child sub (Printf.sprintf "obj%04d" i), Mglock.W);
+  ]
+
+let run_sched_policy ~wake ~txns:n ~subtrees =
+  let locks = Mglock.create () in
+  let running = Queue.create () in
+  let deferred = ref [] in
+  let wakeups = ref 0 and spurious = ref 0 in
+  let attempt i =
+    match Mglock.try_acquire locks ~txn:i (sched_lock_set ~subtrees i) with
+    | Ok () ->
+      Queue.add i running;
+      true
+    | Error c ->
+      if wake then Mglock.wait locks ~txn:i ~on:c.Mglock.path;
+      false
+  in
+  for i = 1 to n do
+    if not (attempt i) then deferred := i :: !deferred
+  done;
+  deferred := List.rev !deferred;
+  while not (Queue.is_empty running) do
+    let woken = Mglock.release_all locks ~txn:(Queue.pop running) in
+    if wake then begin
+      wakeups := !wakeups + List.length woken;
+      List.iter
+        (fun i ->
+          if attempt i then deferred := List.filter (fun j -> j <> i) !deferred
+          else incr spurious)
+        woken
+    end
+    else deferred := List.filter (fun i -> not (attempt i)) !deferred
+  done;
+  assert (!deferred = []);
+  {
+    sp_subtrees = subtrees;
+    sp_attempts = Mglock.acquire_attempts locks;
+    sp_per_commit = float_of_int (Mglock.acquire_attempts locks) /. float_of_int n;
+    sp_wakeups = !wakeups;
+    sp_spurious = !spurious;
+  }
+
+let run_sched_bench () =
+  let quick = Experiments.Common.quick_mode () in
+  let txns = if quick then 64 else 256 in
+  let levels = [ 2; 8; 16 ] in
+  Experiments.Common.section
+    (Printf.sprintf
+       "Scheduler contention: rescan vs wake-on-release (%d txns)" txns);
+  let points =
+    List.map
+      (fun subtrees ->
+        let rescan = run_sched_policy ~wake:false ~txns ~subtrees in
+        let wake = run_sched_policy ~wake:true ~txns ~subtrees in
+        (rescan, wake))
+      levels
+  in
+  let ratio (rescan, wake) =
+    float_of_int rescan.sp_attempts /. float_of_int wake.sp_attempts
+  in
+  Printf.printf "%10s %12s %20s %18s %10s %10s %8s\n" "subtrees" "txns/subtree"
+    "rescan att/commit" "wake att/commit" "wakeups" "spurious" "ratio";
+  List.iter
+    (fun ((rescan, wake) as pair) ->
+      Printf.printf "%10d %12d %20.2f %18.2f %10d %10d %7.1fx\n"
+        rescan.sp_subtrees
+        (txns / rescan.sp_subtrees)
+        rescan.sp_per_commit wake.sp_per_commit wake.sp_wakeups
+        wake.sp_spurious (ratio pair))
+    points;
+  let best = List.fold_left (fun a b -> if ratio b > ratio a then b else a)
+      (List.hd points) (List.tl points)
+  in
+  let out = "BENCH_sched.json" in
+  let oc = open_out out in
+  let point_json ((rescan, wake) as pair) =
+    Printf.sprintf
+      "    { \"subtrees\": %d, \"txns_per_subtree\": %d,\n\
+      \      \"rescan_attempts\": %d, \"rescan_attempts_per_commit\": %.3f,\n\
+      \      \"wake_attempts\": %d, \"wake_attempts_per_commit\": %.3f,\n\
+      \      \"wakeups\": %d, \"spurious_wakeups\": %d, \"attempts_ratio\": %.3f }"
+      rescan.sp_subtrees (txns / rescan.sp_subtrees) rescan.sp_attempts
+      rescan.sp_per_commit wake.sp_attempts wake.sp_per_commit wake.sp_wakeups
+      wake.sp_spurious (ratio pair)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"sched-contention\",\n\
+    \  \"generated_by\": \"bench/main.exe sched\",\n\
+    \  \"quick\": %b,\n\
+    \  \"txns\": %d,\n\
+    \  \"points\": [\n%s\n  ],\n\
+    \  \"high_contention\": { \"subtrees\": %d, \"attempts_ratio\": %.3f, \
+     \"meets_2x_target\": %b }\n\
+     }\n"
+    quick txns
+    (String.concat ",\n" (List.map point_json points))
+    (fst best).sp_subtrees (ratio best)
+    (ratio best >= 2.);
+  close_out oc;
+  Printf.printf "wrote %s (high-contention attempts ratio %.1fx)\n\n%!" out
+    (ratio best)
+
+(* ------------------------------------------------------------------ *)
 (* Experiment harness entries *)
 
 let quick () = Experiments.Common.quick_mode ()
@@ -202,6 +330,7 @@ let run_ablation () = Experiments.Ablation.print (Experiments.Ablation.run ())
 let run_all () =
   Experiments.Table1.print ();
   run_micro ();
+  run_sched_bench ();
   Experiments.Perf.print_fig3 ();
   run_fig45 ();
   run_safety ();
@@ -215,6 +344,7 @@ let () =
   match Array.to_list Sys.argv with
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; "micro" ] -> run_micro ()
+  | [ _; "sched" ] -> run_sched_bench ()
   | [ _; "table1" ] -> Experiments.Table1.print ()
   | [ _; "fig3" ] -> Experiments.Perf.print_fig3 ()
   | [ _; ("fig4" | "fig5") ] -> run_fig45 ()
@@ -226,5 +356,5 @@ let () =
   | [ _; "ablation" ] -> run_ablation ()
   | _ ->
     prerr_endline
-      "usage: main.exe [all|micro|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
+      "usage: main.exe [all|micro|sched|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
     exit 2

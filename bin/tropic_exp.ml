@@ -162,10 +162,11 @@ let print_chaos_result ~with_trace r =
     List.iter (fun line -> Printf.printf "  %s\n" line) r.Chaos.Runner.trace;
   Printf.printf
     "seed %4d  %-19s %3d committed / %2d aborted / %2d failed, %2d faults, \
-     quiesced at %.0fs\n"
+     quiesced at %.0fs, sched: %d deferrals, %d wakeups (%d spurious)\n"
     r.Chaos.Runner.seed r.Chaos.Runner.schedule r.Chaos.Runner.committed
     r.Chaos.Runner.aborted r.Chaos.Runner.failed r.Chaos.Runner.injected
-    r.Chaos.Runner.duration;
+    r.Chaos.Runner.duration r.Chaos.Runner.deferrals r.Chaos.Runner.wakeups
+    r.Chaos.Runner.spurious_wakeups;
   List.iter
     (fun v -> Printf.printf "  VIOLATION %s\n" (Chaos.Invariant.violation_to_string v))
     r.Chaos.Runner.violations;

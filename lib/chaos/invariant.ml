@@ -187,5 +187,13 @@ let check_quiescence ~platform ~computes ~devices ~txns ~expected ~skip_vm =
          (Printf.sprintf "%d transactions still in flight" inflight);
      if locks > 0 then
        violation "quiescence-drained"
-         (Printf.sprintf "lock table still holds %d entries" locks));
+         (Printf.sprintf "lock table still holds %d entries" locks);
+     let blocked = Tropic.Controller.blocked_length leader in
+     let waiters = Tropic.Controller.waiter_count leader in
+     if blocked > 0 then
+       violation "quiescence-drained"
+         (Printf.sprintf "blocked table still holds %d transactions" blocked);
+     if waiters > 0 then
+       violation "quiescence-drained"
+         (Printf.sprintf "lock table still indexes %d waiters" waiters));
   List.rev !found

@@ -36,6 +36,9 @@ type result = {
   aborted : int;
   failed : int;
   injected : int;
+  deferrals : int;
+  wakeups : int;
+  spurious_wakeups : int;
   violations : Invariant.violation list;
   trace : string list;
   duration : float;
@@ -84,7 +87,13 @@ let run_one ?(trace = false) config ~schedule ~seed =
       storage_capacity_mb = 5_000_000;
     }
   in
-  let inventory = Tcloud.Setup.build ~rng:(Des.Sim.rng sim) size in
+  (* Process timing: device actions take simulated seconds, so chains
+     overlap and conflicting transactions really park in the blocked
+     table (the window the blocked-crash schedule aims its crashes at).
+     Instant timing would serialize the whole workload trivially. *)
+  let inventory =
+    Tcloud.Setup.build ~timing:`Process ~rng:(Des.Sim.rng sim) size
+  in
   let env =
     match config.build with
     | No_constraints ->
@@ -256,6 +265,15 @@ let run_one ?(trace = false) config ~schedule ~seed =
     ()
   done;
   Invariant.stop tracker;
+  (* Scheduler counters of whoever leads at quiescence (controller
+     crash/fail-over resets them with the controller instance). *)
+  let deferrals, wakeups, spurious_wakeups =
+    match Tropic.Platform.leader_controller platform with
+    | Some leader ->
+      let s = Tropic.Controller.stats leader in
+      Tropic.Controller.(s.deferrals, s.wakeups, s.spurious_wakeups)
+    | None -> (0, 0, 0)
+  in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
@@ -343,6 +361,9 @@ let run_one ?(trace = false) config ~schedule ~seed =
     aborted = count `A;
     failed = count `F;
     injected = Nemesis.fired nemesis;
+    deferrals;
+    wakeups;
+    spurious_wakeups;
     violations =
       Invariant.tracker_violations tracker
       @ quiescence_violations @ crash_violations @ horizon_violations;

@@ -42,6 +42,9 @@ type result = {
   aborted : int;
   failed : int;
   injected : int;  (** nemesis events actually fired *)
+  deferrals : int;  (** lock-conflict deferrals seen by the final leader *)
+  wakeups : int;  (** waiters moved blocked→ready by the final leader *)
+  spurious_wakeups : int;  (** woken waiters that conflicted again *)
   violations : Invariant.violation list;
   trace : string list;  (** injection/progress log, oldest first *)
   duration : float;  (** virtual seconds to quiescence *)

@@ -142,6 +142,22 @@ let signal_storm =
       ];
   }
 
+(* Leader crashes timed to land while conflicting transactions sit in the
+   scheduler's blocked table (the hot host keeps it populated from ~8 s
+   on): recovery must re-derive the blocked set from persisted txn
+   records — no transaction lost, none woken twice. *)
+let blocked_crash =
+  {
+    name = "blocked-crash";
+    steps =
+      [
+        at 16. (Crash_controller { target = Leader; down_for = 8. });
+        at 30. (Crash_controller { target = Leader; down_for = 8. });
+        random_window ~start:45. ~until:80. ~count:1
+          (Crash_controller { target = Leader; down_for = 6. });
+      ];
+  }
+
 let mixed =
   {
     name = "mixed";
@@ -158,6 +174,13 @@ let mixed =
   }
 
 let presets =
-  [ controller_crashes; coord_faults; device_storm; signal_storm; mixed ]
+  [
+    controller_crashes;
+    coord_faults;
+    device_storm;
+    signal_storm;
+    blocked_crash;
+    mixed;
+  ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

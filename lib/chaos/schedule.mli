@@ -61,6 +61,12 @@ val device_storm : t
 (** Operator signals: TERM and KILL against live transactions. *)
 val signal_storm : t
 
+(** Leader crashes aimed at the window where conflicting transactions sit
+    in the scheduler's blocked table: the recovered leader must re-derive
+    the blocked set from persisted transaction records, losing no
+    transaction and waking none twice. *)
+val blocked_crash : t
+
 (** A bit of everything at once. *)
 val mixed : t
 

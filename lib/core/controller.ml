@@ -32,6 +32,9 @@ type stats = {
   mutable violations : int;
   mutable repairs : int;
   mutable reloads : int;
+  mutable wakeups : int;
+  mutable spurious_wakeups : int;
+  mutable retries_saved : int;
 }
 
 type t = {
@@ -45,7 +48,7 @@ type t = {
   cpu : Des.Station.t;
   mutable tree : Data.Tree.t;
   locks : Mglock.t;
-  todo : Txn.t Deque.t;
+  sched : Sched.t;
   txns : (int, Txn.t) Hashtbl.t;
   quarantine : (string, unit) Hashtbl.t;
   mutable next_start_seq : int;
@@ -73,7 +76,7 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
     cpu = Des.Station.create ~name:(name ^ ".cpu") sim;
     tree = Data.Tree.empty;
     locks = Mglock.create ();
-    todo = Deque.create ();
+    sched = Sched.create config.scheduling;
     txns = Hashtbl.create 256;
     quarantine = Hashtbl.create 8;
     next_start_seq = 1;
@@ -96,6 +99,9 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
         violations = 0;
         repairs = 0;
         reloads = 0;
+        wakeups = 0;
+        spurious_wakeups = 0;
+        retries_saved = 0;
       };
   }
 
@@ -103,8 +109,10 @@ let name t = t.cname
 let is_leader t = t.leading
 let tree t = t.tree
 let stats t = t.st
-let todo_length t = Deque.length t.todo
+let todo_length t = Sched.length t.sched
+let blocked_length t = Sched.blocked_length t.sched
 let lock_count t = Mglock.lock_count t.locks
+let waiter_count t = Mglock.waiter_count t.locks
 let cpu_busy_time t = Des.Station.busy_time t.cpu
 
 let inflight t =
@@ -165,7 +173,19 @@ let is_quarantined t path =
 (* ------------------------------------------------------------------ *)
 (* Transaction finalization *)
 
-let release_locks t (txn : Txn.t) = Mglock.release_all t.locks ~txn:txn.Txn.id
+(* A completion releases locks and wakes exactly the transactions parked
+   on a released node; everything else stays blocked untouched — this is
+   the O(woken) replacement for the old full-todo rescan.  [retries_saved]
+   counts the blocked transactions a rescan would have re-attempted here
+   for nothing. *)
+let wake_released t woken =
+  let blocked_before = Sched.blocked_length t.sched in
+  let moved = Sched.wake t.sched woken in
+  t.st.wakeups <- t.st.wakeups + moved;
+  t.st.retries_saved <- t.st.retries_saved + (blocked_before - moved)
+
+let release_locks t (txn : Txn.t) =
+  wake_released t (Mglock.release_all t.locks ~txn:txn.Txn.id)
 
 let write_paths (txn : Txn.t) =
   List.filter_map
@@ -245,9 +265,7 @@ let fail_txn t (txn : Txn.t) reason =
 (* ------------------------------------------------------------------ *)
 (* Scheduling (paper §3.1.1) *)
 
-type start_result = [ `Started | `Finished | `Conflict ]
-
-let try_start t (txn : Txn.t) : start_result =
+let try_start t (txn : Txn.t) : Sched.attempt =
   match
     Logical.simulate ~guard_locks:t.cfg.constraint_guard_locks t.env
       ~tree:t.tree ~proc:txn.Txn.proc ~args:txn.Txn.args
@@ -269,9 +287,12 @@ let try_start t (txn : Txn.t) : start_result =
     end
     else begin
       match Mglock.try_acquire t.locks ~txn:txn.Txn.id locks with
-      | Error _conflict ->
+      | Error conflict ->
         txn.Txn.state <- Txn.Deferred;
         t.st.deferrals <- t.st.deferrals + 1;
+        (* Park on the node the conflict arose at: the holder's release of
+           that node is the wake-up call. *)
+        Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path;
         `Conflict
       | Ok () ->
         txn.Txn.state <- Txn.Started;
@@ -288,32 +309,8 @@ let try_start t (txn : Txn.t) : start_result =
     end
 
 let schedule t =
-  match t.cfg.scheduling with
-  | `Fifo ->
-    (* Strict FIFO: a deferred transaction returns to the head and blocks
-       the queue until a completion frees its locks. *)
-    let rec loop () =
-      match Deque.pop_front t.todo with
-      | None -> ()
-      | Some txn ->
-        (match try_start t txn with
-         | `Started | `Finished -> loop ()
-         | `Conflict -> Deque.push_front t.todo txn)
-    in
-    loop ()
-  | `Aggressive ->
-    (* Try every queued transaction once, keeping the relative order of the
-       still-deferred ones (the paper's "more sophisticated policy"). *)
-    let rec loop still_deferred =
-      match Deque.pop_front t.todo with
-      | None ->
-        List.iter (Deque.push_back t.todo) (List.rev still_deferred)
-      | Some txn ->
-        (match try_start t txn with
-         | `Started | `Finished -> loop still_deferred
-         | `Conflict -> loop (txn :: still_deferred))
-    in
-    loop []
+  Sched.drain t.sched ~attempt:(try_start t) ~on_spurious:(fun _ ->
+      t.st.spurious_wakeups <- t.st.spurious_wakeups + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Input processing *)
@@ -329,16 +326,15 @@ let accept_request t ~txn_id ~proc ~args =
   if txn_id <= t.max_request_seq || Hashtbl.mem t.txns txn_id then false
   else begin
     t.max_request_seq <- txn_id;
-    let was_empty = Deque.is_empty t.todo in
     let txn =
       Txn.make ~id:txn_id ~proc ~args ~submitted_at:(Des.Sim.now t.sim)
     in
     txn.Txn.state <- Txn.Accepted;
     persist t txn;
     Hashtbl.replace t.txns txn_id txn;
-    Deque.push_back t.todo txn;
+    let was_idle = Sched.submit t.sched txn in
     t.st.accepted <- t.st.accepted + 1;
-    was_empty
+    was_idle
   end
 
 let handle_result t ~txn_id ~outcome =
@@ -366,8 +362,11 @@ let handle_signal t ~txn_id signal =
   | Some txn ->
     (match txn.Txn.state with
      | Txn.Accepted | Txn.Deferred ->
-       (* Not yet started: drop from the queue, nothing to roll back. *)
-       ignore (Deque.remove t.todo (fun (q : Txn.t) -> q.Txn.id = txn_id));
+       (* Not yet started: drop from the scheduler (and the lock manager's
+          waiter index, if it was parked), nothing to roll back. *)
+       (match Sched.remove t.sched txn_id with
+        | `Blocked -> Mglock.cancel_wait t.locks ~txn:txn_id
+        | `Ready | `Absent -> ());
        finish t txn
          (Txn.Aborted
             (Printf.sprintf "signal %s before start" (Proto.signal_to_string signal)));
@@ -416,7 +415,8 @@ let handle_reload t path =
            m "%s: reload of %a deferred (locked)" t.cname Data.Path.pp path)
      | Ok () ->
        Fun.protect
-         ~finally:(fun () -> Mglock.release_all t.locks ~txn:owner)
+         ~finally:(fun () ->
+           wake_released t (Mglock.release_all t.locks ~txn:owner))
          (fun () ->
            let physical = Devices.Device.export device in
            match Data.Tree.replace_subtree t.tree path physical with
@@ -572,8 +572,11 @@ let recover t =
        | Some _ | None -> ());
       match txn.Txn.state with
       | Txn.Accepted | Txn.Deferred ->
+        (* Re-derive the blocked set rather than persist it: the txn goes
+           back to the ready queue and the first post-recovery drain either
+           starts it or re-parks it on its (rebuilt) conflict. *)
         Hashtbl.replace t.txns txn.Txn.id txn;
-        Deque.push_back t.todo txn
+        ignore (Sched.submit t.sched txn)
       | Txn.Started ->
         Hashtbl.replace t.txns txn.Txn.id txn;
         (match Mglock.try_acquire t.locks ~txn:txn.Txn.id txn.Txn.locks with
@@ -619,7 +622,7 @@ let recover t =
     (Coord.Client.get_children t.client "/tropic/signals");
   Log.info (fun m ->
       m "%s: recovered: %d records, todo=%d, inflight=%d, tree=%d nodes"
-        t.cname (List.length records) (Deque.length t.todo) (inflight t)
+        t.cname (List.length records) (Sched.length t.sched) (inflight t)
         (Data.Tree.size t.tree))
 
 (* ------------------------------------------------------------------ *)

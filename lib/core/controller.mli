@@ -43,6 +43,13 @@ type stats = {
   mutable violations : int;      (** constraint-violation aborts *)
   mutable repairs : int;         (** repair steps executed *)
   mutable reloads : int;
+  mutable wakeups : int;
+      (** blocked txns re-readied because a released lock unparked them *)
+  mutable spurious_wakeups : int;
+      (** wakeups whose re-attempt conflicted again (re-parked) *)
+  mutable retries_saved : int;
+      (** blocked txns a per-completion rescan would have re-attempted but
+          wake-on-release left sleeping *)
 }
 
 type t
@@ -71,11 +78,22 @@ val is_leader : t -> bool
 val tree : t -> Data.Tree.t
 
 val stats : t -> stats
+
+(** Scheduled-but-not-started transactions: ready + blocked (the
+    refactored todoQ length). *)
 val todo_length : t -> int
+
+(** Transactions parked in the blocked table — 0 at quiescence. *)
+val blocked_length : t -> int
+
 val inflight : t -> int
 
 (** Number of (path, txn) entries in the lock table — 0 at quiescence. *)
 val lock_count : t -> int
+
+(** Parked waiter registrations in the lock manager — tracks
+    {!blocked_length}; 0 at quiescence. *)
+val waiter_count : t -> int
 
 (** Quarantined (inconsistent) subtree roots. *)
 val quarantined : t -> Data.Path.t list

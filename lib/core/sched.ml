@@ -1,0 +1,99 @@
+type policy = [ `Fifo | `Aggressive ]
+type attempt = [ `Started | `Finished | `Conflict ]
+
+type t = {
+  policy : policy;
+  ready : Txn.t Deque.t;
+  blocked : (int, Txn.t) Hashtbl.t;
+  just_woken : (int, unit) Hashtbl.t; (* woken but not yet re-attempted *)
+}
+
+let create policy =
+  {
+    policy;
+    ready = Deque.create ();
+    blocked = Hashtbl.create 16;
+    just_woken = Hashtbl.create 8;
+  }
+
+let policy t = t.policy
+let ready_length t = Deque.length t.ready
+let blocked_length t = Hashtbl.length t.blocked
+let length t = ready_length t + blocked_length t
+let is_idle t = length t = 0
+
+let blocked_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.blocked [] |> List.sort compare
+
+let submit t txn =
+  let was_idle = is_idle t in
+  Deque.push_back t.ready txn;
+  was_idle
+
+let drain t ~attempt ~on_spurious =
+  let run (txn : Txn.t) =
+    let woken = Hashtbl.mem t.just_woken txn.Txn.id in
+    Hashtbl.remove t.just_woken txn.Txn.id;
+    match attempt txn with
+    | (`Started | `Finished) as r -> r
+    | `Conflict ->
+      if woken then on_spurious txn;
+      Hashtbl.replace t.blocked txn.Txn.id txn;
+      `Conflict
+  in
+  match t.policy with
+  | `Fifo ->
+    (* Strict FIFO: while the head is parked on a conflict nothing behind
+       it runs; the wake that re-readies the head restarts the drain. *)
+    let rec loop () =
+      if Hashtbl.length t.blocked = 0 then
+        match Deque.pop_front t.ready with
+        | None -> ()
+        | Some txn -> (match run txn with `Conflict -> () | _ -> loop ())
+    in
+    loop ()
+  | `Aggressive ->
+    (* Every ready transaction gets one attempt; conflicting ones park
+       individually and the rest keep flowing past them. *)
+    let rec loop () =
+      match Deque.pop_front t.ready with
+      | None -> ()
+      | Some txn ->
+        ignore (run txn);
+        loop ()
+    in
+    loop ()
+
+let wake t ids =
+  (* Woken transactions are older than anything still ready (they parked
+     before it was submitted or drained), so they rejoin at the front, in
+     ascending id = submission order for deterministic fairness. *)
+  let woken =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.blocked id with
+        | None -> None (* already removed (signal) or never parked *)
+        | Some txn ->
+          Hashtbl.remove t.blocked id;
+          Hashtbl.replace t.just_woken id ();
+          Some txn)
+      (List.sort_uniq compare ids)
+  in
+  List.iter (Deque.push_front t.ready) (List.rev woken);
+  List.length woken
+
+let remove t id =
+  match Hashtbl.find_opt t.blocked id with
+  | Some _ ->
+    Hashtbl.remove t.blocked id;
+    Hashtbl.remove t.just_woken id;
+    `Blocked
+  | None ->
+    Hashtbl.remove t.just_woken id;
+    if Deque.remove t.ready (fun (q : Txn.t) -> q.Txn.id = id) > 0 then `Ready
+    else `Absent
+
+let to_list t =
+  Deque.to_list t.ready
+  @ (Hashtbl.fold (fun _ txn acc -> txn :: acc) t.blocked []
+     |> List.sort (fun (a : Txn.t) b -> compare a.Txn.id b.Txn.id))

@@ -1,0 +1,70 @@
+(** Conflict-driven transaction scheduler (paper §3.1.1, refactored).
+
+    The paper's todoQ is split into an explicit {e ready} queue and a
+    {e blocked} table.  A transaction that hits a lock conflict moves to
+    the blocked table (its waiter registration lives in {!Mglock}); when a
+    completing transaction releases locks, only the waiters
+    {!Mglock.release_all} reports are moved back to the ready queue —
+    turning the per-completion retry cost from O(deferred × locks) rescans
+    into O(woken) re-attempts.
+
+    Both of the paper's policies are preserved:
+    - [`Fifo]: strict submission order — while the queue head is blocked
+      nothing behind it runs, so at most one transaction is ever parked.
+    - [`Aggressive]: ready transactions flow past blocked ones; each
+      conflicting transaction parks individually.
+
+    Wake order is deterministic: woken transactions rejoin the {e front}
+    of the ready queue in ascending txn id (= submission) order, so a
+    long-deferred transaction is always retried before anything newer —
+    the defer-don't-block no-deadlock argument and FIFO fairness carry
+    over from the rescan implementation unchanged. *)
+
+type policy = [ `Fifo | `Aggressive ]
+
+(** Outcome of one admission attempt, reported by the controller callback:
+    [`Started] (locks granted, handed to the physical layer), [`Finished]
+    (terminal without starting — constraint violation, quarantine),
+    [`Conflict] (locks refused; the callback has already parked the txn in
+    the lock manager's waiter index via {!Mglock.wait}). *)
+type attempt = [ `Started | `Finished | `Conflict ]
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+(** Enqueue a newly accepted transaction at the back of the ready queue.
+    Returns [true] when the scheduler was idle (no ready, no blocked) —
+    per §3.1.1, the only arrival that triggers an immediate drain. *)
+val submit : t -> Txn.t -> bool
+
+(** Run ready transactions through [attempt] until the queue is empty (or,
+    under [`Fifo], until the head blocks).  [on_spurious] is called for a
+    woken transaction whose re-attempt conflicts again. *)
+val drain :
+  t -> attempt:(Txn.t -> attempt) -> on_spurious:(Txn.t -> unit) -> unit
+
+(** Move the given blocked transactions back to the ready queue (front,
+    ascending id order).  Ids that are not blocked — signalled away, or
+    internal lock owners — are ignored.  Returns how many actually moved. *)
+val wake : t -> int list -> int
+
+(** Drop a transaction wherever it sits (signal-before-start path).
+    The caller is responsible for {!Mglock.cancel_wait} when the result is
+    [`Blocked]. *)
+val remove : t -> int -> [ `Ready | `Blocked | `Absent ]
+
+val ready_length : t -> int
+val blocked_length : t -> int
+
+(** ready + blocked — the refactored equivalent of the old todoQ length. *)
+val length : t -> int
+
+val is_idle : t -> bool
+
+(** Blocked txn ids, ascending. *)
+val blocked_ids : t -> int list
+
+(** Ready transactions in queue order, then blocked ones by id. *)
+val to_list : t -> Txn.t list

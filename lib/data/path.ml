@@ -60,6 +60,59 @@ let ancestors p =
   List.rev (go [] p)
 
 let append p q = p @ q
+
+module Id = struct
+  type path = t
+
+  type id = {
+    uid : int;
+    path : path;
+    parent : id option;
+    ancestors : id list; (* nearest (parent) first, ending with the root *)
+  }
+
+  (* One global interning table: nodes are identified by (parent uid,
+     segment), so interning a path walks its segments from the root and
+     each step is a single small-key hash lookup.  The table only ever
+     grows, but it is bounded by the number of distinct paths the process
+     locks — the same order as the resource tree itself. *)
+  let table : (int * string, id) Hashtbl.t = Hashtbl.create 1024
+  let next_uid = ref 1
+
+  let root =
+    { uid = 0; path = []; parent = None; ancestors = [] }
+
+  let intern p =
+    let step node seg =
+      match Hashtbl.find_opt table (node.uid, seg) with
+      | Some child -> child
+      | None ->
+        let uid = !next_uid in
+        incr next_uid;
+        let child =
+          {
+            uid;
+            path = node.path @ [ seg ];
+            parent = Some node;
+            ancestors = node :: node.ancestors;
+          }
+        in
+        Hashtbl.replace table (node.uid, seg) child;
+        child
+    in
+    List.fold_left step root p
+
+  let path node = node.path
+  let uid node = node.uid
+  let equal a b = a.uid = b.uid
+  let compare a b = Int.compare a.uid b.uid
+  let hash node = node.uid
+  let parent node = node.parent
+  let ancestors node = node.ancestors
+  let pp fmt node = pp fmt node.path
+  let interned_count () = Hashtbl.length table + 1
+end
+
 let to_sexp p = Sexp.Atom (to_string p)
 
 let of_sexp sexp =

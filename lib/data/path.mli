@@ -43,5 +43,46 @@ val ancestors : t -> t list
 (** [append p q] concatenates [q]'s segments under [p]. *)
 val append : t -> t -> t
 
+(** Interned path handles.
+
+    [intern] hash-conses a path into a process-global table and returns a
+    small handle with O(1) [equal]/[hash]/[compare] and a pre-computed
+    ancestor chain — built for hot lock-table keys, where structural
+    comparison of segment lists dominated.  Handles for equal paths are
+    physically equal.  The table only grows; its size is bounded by the
+    number of distinct paths interned (the same order as the resource
+    tree), and [compare] orders handles by interning time, which is
+    deterministic for a deterministic workload — use {!Path.compare} on
+    {!path} when path order matters. *)
+module Id : sig
+  type id
+
+  (** Intern a path; O(depth), one hash lookup per segment. *)
+  val intern : t -> id
+
+  (** The path this handle stands for (no copy). *)
+  val path : id -> t
+
+  (** Dense small-int identity, unique per distinct path. *)
+  val uid : id -> int
+
+  val equal : id -> id -> bool
+  val compare : id -> id -> int
+  val hash : id -> int
+  val root : id
+
+  (** [parent id] is [None] for the root; O(1). *)
+  val parent : id -> id option
+
+  (** Strict ancestors, nearest (parent) first, ending with the root;
+      cached at interning time, O(1). *)
+  val ancestors : id -> id list
+
+  val pp : Format.formatter -> id -> unit
+
+  (** Number of distinct paths interned so far (including the root). *)
+  val interned_count : unit -> int
+end
+
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> (t, string) result

@@ -5,6 +5,8 @@ type scheduling_result = {
   aggressive_makespan : float;
   fifo_mean_latency : float;
   aggressive_mean_latency : float;
+  fifo_sched : Common.sched_counters;
+  aggressive_sched : Common.sched_counters;
 }
 
 type safety_result = {
@@ -90,14 +92,23 @@ let scheduling_run ~seed policy =
       while Metrics.Cdf.count latencies < 10 do
         Des.Proc.sleep 0.5
       done);
-  (!last_commit, Metrics.Cdf.mean latencies)
+  (!last_commit, Metrics.Cdf.mean latencies, Common.sched_counters platform)
 
 let scheduling_ablation ~seed () =
-  let fifo_makespan, fifo_mean_latency = scheduling_run ~seed `Fifo in
-  let aggressive_makespan, aggressive_mean_latency =
+  let fifo_makespan, fifo_mean_latency, fifo_sched =
+    scheduling_run ~seed `Fifo
+  in
+  let aggressive_makespan, aggressive_mean_latency, aggressive_sched =
     scheduling_run ~seed `Aggressive
   in
-  { fifo_makespan; aggressive_makespan; fifo_mean_latency; aggressive_mean_latency }
+  {
+    fifo_makespan;
+    aggressive_makespan;
+    fifo_mean_latency;
+    aggressive_mean_latency;
+    fifo_sched;
+    aggressive_sched;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* 2. Logical-first safety vs device-only execution *)
@@ -241,9 +252,11 @@ let run ?(seed = default_seed) () =
 let print r =
   Common.section "Ablation 1: FIFO vs aggressive scheduling (hot head-of-line)";
   Printf.printf
-    "FIFO:       makespan %.2f s, mean latency %.2f s\nAggressive: makespan %.2f s, mean latency %.2f s\n"
+    "FIFO:       makespan %.2f s, mean latency %.2f s  (%s)\nAggressive: makespan %.2f s, mean latency %.2f s  (%s)\n"
     r.scheduling.fifo_makespan r.scheduling.fifo_mean_latency
-    r.scheduling.aggressive_makespan r.scheduling.aggressive_mean_latency;
+    (Common.sched_summary r.scheduling.fifo_sched)
+    r.scheduling.aggressive_makespan r.scheduling.aggressive_mean_latency
+    (Common.sched_summary r.scheduling.aggressive_sched);
   Common.section "Ablation 2: logical-first safety vs device-only execution";
   Printf.printf
     "with constraints:    %d overcommitted hosts, %d device ops\nwithout constraints: %d overcommitted hosts, %d device ops\n"

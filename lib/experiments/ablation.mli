@@ -15,6 +15,8 @@ type scheduling_result = {
   aggressive_makespan : float;
   fifo_mean_latency : float;
   aggressive_mean_latency : float;
+  fifo_sched : Common.sched_counters;
+  aggressive_sched : Common.sched_counters;
 }
 
 type safety_result = {

@@ -24,3 +24,43 @@ let quick_mode () =
   match Sys.getenv_opt "TROPIC_BENCH_QUICK" with
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
+
+type sched_counters = {
+  sc_committed : int;
+  sc_deferrals : int;
+  sc_wakeups : int;
+  sc_spurious : int;
+  sc_retries_saved : int;
+}
+
+let zero_sched_counters =
+  {
+    sc_committed = 0;
+    sc_deferrals = 0;
+    sc_wakeups = 0;
+    sc_spurious = 0;
+    sc_retries_saved = 0;
+  }
+
+let sched_counters platform =
+  match Tropic.Platform.leader_controller platform with
+  | None -> zero_sched_counters
+  | Some c ->
+    let st = Tropic.Controller.stats c in
+    {
+      sc_committed = st.Tropic.Controller.committed;
+      sc_deferrals = st.Tropic.Controller.deferrals;
+      sc_wakeups = st.Tropic.Controller.wakeups;
+      sc_spurious = st.Tropic.Controller.spurious_wakeups;
+      sc_retries_saved = st.Tropic.Controller.retries_saved;
+    }
+
+let sched_summary c =
+  let per_commit =
+    if c.sc_committed = 0 then 0.
+    else float_of_int c.sc_deferrals /. float_of_int c.sc_committed
+  in
+  Printf.sprintf
+    "sched: deferrals/commit %.3f (%d/%d), wakeups %d (%d spurious), retries saved %d"
+    per_commit c.sc_deferrals c.sc_committed c.sc_wakeups c.sc_spurious
+    c.sc_retries_saved

@@ -16,3 +16,23 @@ val section : string -> unit
 (** TROPIC_BENCH_QUICK=1 shrinks the big experiments (documented per
     experiment). *)
 val quick_mode : unit -> bool
+
+(** Scheduler counters snapshotted from a platform's leader controller at
+    the end of a run — the wake-on-release observability every experiment
+    summary line carries. *)
+type sched_counters = {
+  sc_committed : int;
+  sc_deferrals : int;  (** lock-conflict deferments *)
+  sc_wakeups : int;  (** blocked txns re-readied by a lock release *)
+  sc_spurious : int;  (** wakeups that conflicted again *)
+  sc_retries_saved : int;  (** rescan attempts avoided *)
+}
+
+val zero_sched_counters : sched_counters
+
+(** Leader's counters, or {!zero_sched_counters} when no controller leads
+    (e.g. after an unhealed crash). *)
+val sched_counters : Tropic.Platform.t -> sched_counters
+
+(** One-line human summary: deferrals per committed txn + wakeup counters. *)
+val sched_summary : sched_counters -> string

@@ -9,6 +9,7 @@ type result = {
   committed : int;
   aborted : int;
   lost : int;
+  sched : Common.sched_counters;
 }
 
 (* Historical seed of this experiment's runs; --seed overrides it. *)
@@ -113,6 +114,7 @@ let run ?(seed = default_seed) ?(session_timeout = 10.) ?(rate = 2.)
     committed = !committed;
     aborted = !aborted;
     lost = !submitted - !committed - !aborted;
+    sched = Common.sched_counters platform;
   }
 
 let print r =
@@ -123,5 +125,6 @@ let print r =
   Printf.printf
     "transactions flowing again after %.2f s (paper: within 12.5 s)\n"
     r.recovery_seconds;
-  Printf.printf "submitted=%d committed=%d aborted=%d lost=%d (paper: 0 lost)\n%!"
-    r.submitted r.committed r.aborted r.lost
+  Printf.printf "submitted=%d committed=%d aborted=%d lost=%d (paper: 0 lost)\n"
+    r.submitted r.committed r.aborted r.lost;
+  Printf.printf "%s\n%!" (Common.sched_summary r.sched)

@@ -18,6 +18,7 @@ type result = {
   committed : int;
   aborted : int;
   lost : int;                     (** must be 0 *)
+  sched : Common.sched_counters;  (** surviving leader's wake counters *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

@@ -13,6 +13,7 @@ type result = {
   deferrals : int;
   violations : int;
   layers_consistent : bool;
+  sched : Common.sched_counters;
 }
 
 let op_names = [ "spawnVM"; "startVM"; "stopVM"; "migrateVM"; "destroyVM" ]
@@ -126,6 +127,7 @@ let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
     deferrals = controller_stats.Tropic.Controller.deferrals;
     violations = controller_stats.Tropic.Controller.violations;
     layers_consistent = layers_consistent platform inv;
+    sched = Common.sched_counters platform;
   }
 
 let print r =
@@ -145,5 +147,6 @@ let print r =
         s.committed s.aborted (q 0.5) (q 0.95))
     r.ops;
   Printf.printf
-    "lock-conflict deferrals: %d; constraint violations: %d; layers consistent at end: %b\n%!"
-    r.deferrals r.violations r.layers_consistent
+    "lock-conflict deferrals: %d; constraint violations: %d; layers consistent at end: %b\n"
+    r.deferrals r.violations r.layers_consistent;
+  Printf.printf "%s\n%!" (Common.sched_summary r.sched)

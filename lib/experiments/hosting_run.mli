@@ -20,6 +20,7 @@ type result = {
   layers_consistent : bool;
       (** every non-quarantined device equals its logical subtree at the
           end of the run *)
+  sched : Common.sched_counters;  (** leader's wake-on-release counters *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

@@ -41,6 +41,7 @@ type result = {
   latency : Metrics.Cdf.t;
   sim_events : int;
   wall_seconds : float;
+  sched : Common.sched_counters;
 }
 
 (* The paper's logical-only deployment (§5, §6.1): 8 VM slots per host,
@@ -149,6 +150,7 @@ let run cfg =
     latency;
     sim_events = Des.Sim.executed sim;
     wall_seconds;
+    sched = Common.sched_counters platform;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -191,7 +193,8 @@ let print_result r =
     (Metrics.Cdf.max_value r.latency)
     (100. *. Metrics.Series.max_value r.cpu_util)
     (100. *. Metrics.Series.max_value r.coord_util)
-    r.sim_events r.wall_seconds
+    r.sim_events r.wall_seconds;
+  Printf.printf "    %s\n%!" (Common.sched_summary r.sched)
 
 let print_fig4_fig5 ?(multipliers = [ 1; 2; 3; 4; 5 ]) cfg =
   Common.section

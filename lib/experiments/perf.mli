@@ -35,6 +35,7 @@ type result = {
   latency : Metrics.Cdf.t;
   sim_events : int;
   wall_seconds : float;
+  sched : Common.sched_counters;  (** leader's wake-on-release counters *)
 }
 
 val run : config -> result

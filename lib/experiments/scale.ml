@@ -4,6 +4,7 @@ type throughput_point = {
   committed : int;
   throughput_per_s : float;
   median_latency : float;
+  sched : Common.sched_counters;
 }
 
 type memory_point = {
@@ -83,6 +84,7 @@ let throughput_point ~seed ~rate ~duration hosts =
     median_latency =
       (if Metrics.Cdf.count latency = 0 then Float.nan
        else Metrics.Cdf.quantile latency 0.5);
+    sched = Common.sched_counters platform;
   }
 
 let live_bytes () =
@@ -136,8 +138,9 @@ let print r =
   List.iter
     (fun p ->
       Printf.printf
-        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s\n"
-        p.hosts p.offered p.committed p.throughput_per_s p.median_latency)
+        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s  %s\n"
+        p.hosts p.offered p.committed p.throughput_per_s p.median_latency
+        (Common.sched_summary p.sched))
     r.throughput;
   List.iter
     (fun m ->

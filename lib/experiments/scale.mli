@@ -13,6 +13,7 @@ type throughput_point = {
   committed : int;
   throughput_per_s : float;
   median_latency : float;
+  sched : Common.sched_counters;  (** leader's wake-on-release counters *)
 }
 
 type memory_point = {

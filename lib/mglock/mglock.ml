@@ -1,4 +1,5 @@
 module Path = Data.Path
+module Id = Data.Path.Id
 
 type mode = R | W | IR | IW
 
@@ -33,48 +34,82 @@ let pp_conflict fmt c =
   Format.fprintf fmt "%a: txn %d holds %a, wanted %a" Path.pp c.path c.holder
     pp_mode c.held pp_mode c.wanted
 
-module Pmap = Map.Make (Path)
 module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
 
-type t = {
-  mutable by_path : mode Imap.t Pmap.t;  (* path -> txn -> mode *)
-  mutable by_txn : Path.t list Imap.t;   (* txn -> paths it locks *)
+(* One entry per interned tree node that currently carries holders or
+   waiters.  Holder maps stay as small immutable maps so snapshots
+   (holders/held_by) and deterministic txn-id iteration come for free. *)
+type entry = {
+  node : Id.id;
+  mutable eholders : mode Imap.t; (* txn -> mode *)
+  mutable waiters : Iset.t; (* txns deferred on a conflict at this node *)
 }
 
-let create () = { by_path = Pmap.empty; by_txn = Imap.empty }
+type t = {
+  entries : (int, entry) Hashtbl.t; (* Id.uid -> entry *)
+  by_txn : (int, Id.id list) Hashtbl.t; (* txn -> nodes it locks *)
+  waiting : (int, Id.id) Hashtbl.t; (* waiter txn -> node it waits on *)
+  mutable attempts : int; (* cumulative try_acquire calls *)
+}
+
+let create () =
+  {
+    entries = Hashtbl.create 64;
+    by_txn = Hashtbl.create 64;
+    waiting = Hashtbl.create 16;
+    attempts = 0;
+  }
+
+let find_entry t node = Hashtbl.find_opt t.entries (Id.uid node)
+
+let find_or_create_entry t node =
+  match find_entry t node with
+  | Some e -> e
+  | None ->
+    let e = { node; eholders = Imap.empty; waiters = Iset.empty } in
+    Hashtbl.replace t.entries (Id.uid node) e;
+    e
+
+let drop_entry_if_empty t e =
+  if Imap.is_empty e.eholders && Iset.is_empty e.waiters then
+    Hashtbl.remove t.entries (Id.uid e.node)
 
 (* The full requirement implied by a request: each requested lock plus
-   intention locks on all ancestors, merged per path with [join]. *)
+   intention locks on all ancestors, merged per node with [join].  Returned
+   in path order so the "first conflict" reported is deterministic. *)
 let requirements locks =
-  List.fold_left
-    (fun acc (path, mode) ->
-      let add acc path mode =
-        Pmap.update path
-          (function None -> Some mode | Some m -> Some (join m mode))
-          acc
-      in
-      let acc = add acc path mode in
-      List.fold_left
-        (fun acc ancestor -> add acc ancestor (intention mode))
-        acc (Path.ancestors path))
-    Pmap.empty locks
+  let tbl = Hashtbl.create 16 in
+  let add node mode =
+    match Hashtbl.find_opt tbl (Id.uid node) with
+    | None -> Hashtbl.replace tbl (Id.uid node) (node, mode)
+    | Some (_, m) -> Hashtbl.replace tbl (Id.uid node) (node, join m mode)
+  in
+  List.iter
+    (fun (path, mode) ->
+      let node = Id.intern path in
+      add node mode;
+      List.iter (fun anc -> add anc (intention mode)) (Id.ancestors node))
+    locks;
+  Hashtbl.fold (fun _ nm acc -> nm :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Path.compare (Id.path a) (Id.path b))
 
-let find_conflict t ~txn wanted_by_path =
-  Pmap.fold
-    (fun path wanted found ->
+let find_conflict t ~txn wanted =
+  List.fold_left
+    (fun found (node, mode) ->
       match found with
       | Some _ -> found
       | None ->
-        (match Pmap.find_opt path t.by_path with
+        (match find_entry t node with
          | None -> None
-         | Some holders ->
+         | Some e ->
            (* An upgrade must be checked at the strength it will actually be
               stored at: the join of what the txn already holds with what it
               now wants (e.g. held R + wanted IW stores W). *)
            let effective =
-             match Imap.find_opt txn holders with
-             | None -> wanted
-             | Some own -> join own wanted
+             match Imap.find_opt txn e.eholders with
+             | None -> mode
+             | Some own -> join own mode
            in
            Imap.fold
              (fun holder held found ->
@@ -82,73 +117,104 @@ let find_conflict t ~txn wanted_by_path =
                | Some _ -> found
                | None ->
                  if holder <> txn && not (compatible held effective) then
-                   Some { path; wanted = effective; holder; held }
+                   Some
+                     { path = Id.path node; wanted = effective; holder; held }
                  else None)
-             holders None))
-    wanted_by_path None
+             e.eholders None))
+    None wanted
 
 let try_acquire t ~txn locks =
+  t.attempts <- t.attempts + 1;
   let wanted = requirements locks in
   match find_conflict t ~txn wanted with
   | Some conflict -> Error conflict
   | None ->
     let newly_locked = ref [] in
-    t.by_path <-
-      Pmap.fold
-        (fun path mode by_path ->
-          Pmap.update path
-            (fun holders ->
-              let holders = Option.value holders ~default:Imap.empty in
-              if not (Imap.mem txn holders) then
-                newly_locked := path :: !newly_locked;
-              Some
-                (Imap.update txn
-                   (function
-                     | None -> Some mode
-                     | Some held -> Some (join held mode))
-                   holders))
-            by_path)
-        wanted t.by_path;
-    t.by_txn <-
-      Imap.update txn
-        (fun paths ->
-          Some (List.rev_append !newly_locked (Option.value paths ~default:[])))
-        t.by_txn;
+    List.iter
+      (fun (node, mode) ->
+        let e = find_or_create_entry t node in
+        if not (Imap.mem txn e.eholders) then
+          newly_locked := node :: !newly_locked;
+        e.eholders <-
+          Imap.update txn
+            (function None -> Some mode | Some held -> Some (join held mode))
+            e.eholders)
+      wanted;
+    (match !newly_locked with
+     | [] -> ()
+     | nodes ->
+       let prev = Option.value (Hashtbl.find_opt t.by_txn txn) ~default:[] in
+       Hashtbl.replace t.by_txn txn (List.rev_append nodes prev));
     Ok ()
 
-let release_all t ~txn =
-  match Imap.find_opt txn t.by_txn with
+let cancel_wait t ~txn =
+  match Hashtbl.find_opt t.waiting txn with
   | None -> ()
-  | Some paths ->
-    t.by_txn <- Imap.remove txn t.by_txn;
-    t.by_path <-
-      List.fold_left
-        (fun by_path path ->
-          Pmap.update path
-            (function
-              | None -> None
-              | Some holders ->
-                let holders = Imap.remove txn holders in
-                if Imap.is_empty holders then None else Some holders)
-            by_path)
-        t.by_path paths
+  | Some node ->
+    Hashtbl.remove t.waiting txn;
+    (match find_entry t node with
+     | None -> ()
+     | Some e ->
+       e.waiters <- Iset.remove txn e.waiters;
+       drop_entry_if_empty t e)
+
+let wait t ~txn ~on =
+  cancel_wait t ~txn;
+  let node = Id.intern on in
+  let e = find_or_create_entry t node in
+  e.waiters <- Iset.add txn e.waiters;
+  Hashtbl.replace t.waiting txn node
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some nodes ->
+    Hashtbl.remove t.by_txn txn;
+    let woken = ref Iset.empty in
+    List.iter
+      (fun node ->
+        match find_entry t node with
+        | None -> ()
+        | Some e ->
+          e.eholders <- Imap.remove txn e.eholders;
+          (* Waking every waiter parked on a released node is the sound
+             over-approximation: a waiter may still conflict with a
+             remaining holder (a spurious wakeup, it re-parks), but no
+             grantable waiter is ever left sleeping. *)
+          if not (Iset.is_empty e.waiters) then begin
+            woken := Iset.union !woken e.waiters;
+            Iset.iter (fun w -> Hashtbl.remove t.waiting w) e.waiters;
+            e.waiters <- Iset.empty
+          end;
+          drop_entry_if_empty t e)
+      nodes;
+    Iset.elements !woken
+
+let waiting_on t ~txn =
+  Option.map (fun node -> Id.path node) (Hashtbl.find_opt t.waiting txn)
+
+let waiter_count t = Hashtbl.length t.waiting
 
 let holders t path =
-  match Pmap.find_opt path t.by_path with
+  match find_entry t (Id.intern path) with
   | None -> []
-  | Some holders -> Imap.bindings holders
+  | Some e -> Imap.bindings e.eholders
 
 let held_by t ~txn =
-  match Imap.find_opt txn t.by_txn with
+  match Hashtbl.find_opt t.by_txn txn with
   | None -> []
-  | Some paths ->
-    paths
-    |> List.filter_map (fun path ->
-           match Pmap.find_opt path t.by_path with
+  | Some nodes ->
+    nodes
+    |> List.filter_map (fun node ->
+           match find_entry t node with
            | None -> None
-           | Some holders ->
-             Option.map (fun mode -> (path, mode)) (Imap.find_opt txn holders))
+           | Some e ->
+             Option.map
+               (fun mode -> (Id.path node, mode))
+               (Imap.find_opt txn e.eholders))
     |> List.sort (fun (a, _) (b, _) -> Path.compare a b)
 
 let lock_count t =
-  Pmap.fold (fun _ holders acc -> acc + Imap.cardinal holders) t.by_path 0
+  Hashtbl.fold (fun _ e acc -> acc + Imap.cardinal e.eholders) t.entries 0
+
+let acquire_attempts t = t.attempts

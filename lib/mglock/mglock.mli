@@ -9,7 +9,16 @@
     granted atomically or refused with the first conflict, leaving the table
     untouched.  Combined with the scheduler's defer-and-retry policy this
     rules out deadlocks — a transaction never holds some locks while waiting
-    for others. *)
+    for others.
+
+    The table is keyed by interned paths ({!Data.Path.Id}), and it doubles
+    as the scheduler's wake-up index: a deferred transaction parks on the
+    node its conflict arose at ({!wait}), and {!release_all} returns every
+    parked transaction whose node the releasing transaction held — the set
+    that may now be grantable.  Wakeups over-approximate (a woken waiter can
+    still conflict with a remaining holder and re-park), but never
+    under-approximate: a waiter's node always has at least one conflicting
+    holder, and every holder eventually releases. *)
 
 type mode = R | W | IR | IW
 
@@ -50,8 +59,27 @@ val create : unit -> t
 val try_acquire :
   t -> txn:int -> (Data.Path.t * mode) list -> (unit, conflict) result
 
-(** Release everything held by [txn]. *)
-val release_all : t -> txn:int -> unit
+(** [wait t ~txn ~on] parks [txn] on the node its conflict arose at (the
+    [path] field of the refused {!conflict}).  A transaction waits on at
+    most one node; a second call re-parks it.  Precondition: some other
+    transaction currently holds a conflicting lock on [on] — parking on an
+    unheld node would never be woken. *)
+val wait : t -> txn:int -> on:Data.Path.t -> unit
+
+(** Drop [txn]'s waiter registration, if any (signal/abort paths). *)
+val cancel_wait : t -> txn:int -> unit
+
+(** Release everything held by [txn]; returns the ids of transactions that
+    were parked on a node [txn] held — deduplicated, ascending, and removed
+    from the waiters index.  The caller must re-attempt (and possibly
+    re-park) each of them. *)
+val release_all : t -> txn:int -> int list
+
+(** The node [txn] is parked on, if any. *)
+val waiting_on : t -> txn:int -> Data.Path.t option
+
+(** Number of parked transactions — 0 at quiescence. *)
+val waiter_count : t -> int
 
 (** Transactions holding a lock on exactly this path, with their modes. *)
 val holders : t -> Data.Path.t -> (int * mode) list
@@ -61,3 +89,7 @@ val held_by : t -> txn:int -> (Data.Path.t * mode) list
 
 (** Number of (path, txn) lock entries in the table. *)
 val lock_count : t -> int
+
+(** Cumulative {!try_acquire} calls on this table — the contention
+    benchmark's cost metric. *)
+val acquire_attempts : t -> int

@@ -66,6 +66,52 @@ let test_intention () =
   check bool_c "IR->IR" true (Mglock.intention Mglock.IR = Mglock.IR);
   check bool_c "IW->IW" true (Mglock.intention Mglock.IW = Mglock.IW)
 
+(* The semantic order on modes: a is at most as strong as b iff everything
+   a conflicts with, b conflicts with too.  [join] must be the least upper
+   bound of this order, and [intention] must be monotone w.r.t. it. *)
+let conflict_set m = List.filter (fun c -> not (Mglock.compatible m c)) all_modes
+
+let leq a b =
+  List.for_all (fun c -> List.mem c (conflict_set b)) (conflict_set a)
+
+let test_join_is_lub () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = Mglock.join a b in
+          let name fmt =
+            Printf.sprintf fmt (Mglock.mode_to_string a)
+              (Mglock.mode_to_string b)
+          in
+          check bool_c (name "join %s %s is an upper bound of the left arg")
+            true (leq a j);
+          check bool_c (name "join %s %s is an upper bound of the right arg")
+            true (leq b j);
+          List.iter
+            (fun m ->
+              if leq a m && leq b m then
+                check bool_c
+                  (name "join %s %s is least among upper bounds")
+                  true (leq j m))
+            all_modes)
+        all_modes)
+    all_modes
+
+let test_intention_monotone () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if leq a b then
+            check bool_c
+              (Printf.sprintf "intention monotone on %s <= %s"
+                 (Mglock.mode_to_string a) (Mglock.mode_to_string b))
+              true
+              (leq (Mglock.intention a) (Mglock.intention b)))
+        all_modes)
+    all_modes
+
 let acquire_ok t ~txn locks =
   match Mglock.try_acquire t ~txn locks with
   | Ok () -> ()
@@ -114,13 +160,35 @@ let test_concurrent_reads () =
   acquire_ok t ~txn:2 [ p "/a/b", Mglock.R ];
   acquire_ok t ~txn:3 [ p "/a", Mglock.R ]
 
+(* A full observable snapshot of the table: holders of every probe path
+   plus held_by of every probe txn.  A refused acquire must leave this
+   exactly unchanged — not just the entry count. *)
+let snapshot t paths txns =
+  ( List.map
+      (fun path ->
+        ( Data.Path.to_string path,
+          List.map
+            (fun (txn, m) -> (txn, Mglock.mode_to_string m))
+            (Mglock.holders t path) ))
+      paths,
+    List.map
+      (fun txn ->
+        ( txn,
+          List.map
+            (fun (path, m) ->
+              (Data.Path.to_string path, Mglock.mode_to_string m))
+            (Mglock.held_by t ~txn) ))
+      txns )
+
 let test_all_or_nothing () =
   let t = Mglock.create () in
   acquire_ok t ~txn:1 [ p "/x", Mglock.W ];
-  let before = Mglock.lock_count t in
+  let probe_paths = List.map p [ "/"; "/x"; "/free" ] in
+  let before = snapshot t probe_paths [ 1; 2 ] in
   (* txn 2 wants /free (would succeed) and /x (conflicts): nothing granted. *)
   let _ = acquire_conflict t ~txn:2 [ p "/free", Mglock.W; p "/x", Mglock.W ] in
-  check int_c "table unchanged" before (Mglock.lock_count t);
+  check bool_c "holders and held_by exactly unchanged" true
+    (before = snapshot t probe_paths [ 1; 2 ]);
   check (Alcotest.list (Alcotest.pair Alcotest.pass Alcotest.pass))
     "txn2 holds nothing" [] (Mglock.held_by t ~txn:2)
 
@@ -146,14 +214,75 @@ let test_release_unblocks () =
   let t = Mglock.create () in
   acquire_ok t ~txn:1 [ p "/a/b", Mglock.W ];
   let _ = acquire_conflict t ~txn:2 [ p "/a/b", Mglock.W ] in
-  Mglock.release_all t ~txn:1;
+  ignore (Mglock.release_all t ~txn:1);
   check int_c "empty table" 0 (Mglock.lock_count t);
   acquire_ok t ~txn:2 [ p "/a/b", Mglock.W ]
 
 let test_release_unknown_txn () =
   let t = Mglock.create () in
-  Mglock.release_all t ~txn:42;
+  check (Alcotest.list int_c) "nothing woken" []
+    (Mglock.release_all t ~txn:42);
   check int_c "still empty" 0 (Mglock.lock_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Wake-on-release: the waiters index *)
+
+let test_release_wakes_waiters () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a/b", Mglock.W ];
+  let c2 = acquire_conflict t ~txn:2 [ p "/a/b", Mglock.W ] in
+  Mglock.wait t ~txn:2 ~on:c2.Mglock.path;
+  let c3 = acquire_conflict t ~txn:3 [ p "/a", Mglock.W ] in
+  Mglock.wait t ~txn:3 ~on:c3.Mglock.path;
+  check int_c "two parked" 2 (Mglock.waiter_count t);
+  check bool_c "txn2 parked on its conflict node" true
+    (Mglock.waiting_on t ~txn:2 = Some c2.Mglock.path);
+  (* txn 1 held both conflict nodes (/a/b and the IW ancestor /a), so the
+     release wakes both waiters, ascending and deduplicated. *)
+  check (Alcotest.list int_c) "both woken" [ 2; 3 ]
+    (Mglock.release_all t ~txn:1);
+  check int_c "waiters index drained" 0 (Mglock.waiter_count t);
+  check bool_c "txn2 no longer parked" true (Mglock.waiting_on t ~txn:2 = None)
+
+let test_release_wakes_only_held_nodes () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.W ];
+  acquire_ok t ~txn:2 [ p "/e", Mglock.W ];
+  let c3 = acquire_conflict t ~txn:3 [ p "/e", Mglock.W ] in
+  Mglock.wait t ~txn:3 ~on:c3.Mglock.path;
+  (* txn 1 never held /e: its release must not wake txn 3. *)
+  check (Alcotest.list int_c) "unrelated release wakes nobody" []
+    (Mglock.release_all t ~txn:1);
+  check int_c "txn3 still parked" 1 (Mglock.waiter_count t);
+  check (Alcotest.list int_c) "the right release wakes it" [ 3 ]
+    (Mglock.release_all t ~txn:2)
+
+let test_spurious_wakeup_reparks () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.R ];
+  acquire_ok t ~txn:2 [ p "/a", Mglock.R ];
+  let c3 = acquire_conflict t ~txn:3 [ p "/a", Mglock.W ] in
+  Mglock.wait t ~txn:3 ~on:c3.Mglock.path;
+  (* First reader leaves: txn 3 is woken but still conflicts with the
+     second reader — the spurious case; it re-parks and the second release
+     wakes it again. *)
+  check (Alcotest.list int_c) "woken by first reader" [ 3 ]
+    (Mglock.release_all t ~txn:1);
+  let c3' = acquire_conflict t ~txn:3 [ p "/a", Mglock.W ] in
+  Mglock.wait t ~txn:3 ~on:c3'.Mglock.path;
+  check (Alcotest.list int_c) "woken by second reader" [ 3 ]
+    (Mglock.release_all t ~txn:2);
+  acquire_ok t ~txn:3 [ p "/a", Mglock.W ]
+
+let test_cancel_wait () =
+  let t = Mglock.create () in
+  acquire_ok t ~txn:1 [ p "/a", Mglock.W ];
+  let c2 = acquire_conflict t ~txn:2 [ p "/a", Mglock.W ] in
+  Mglock.wait t ~txn:2 ~on:c2.Mglock.path;
+  Mglock.cancel_wait t ~txn:2;
+  check int_c "no waiters left" 0 (Mglock.waiter_count t);
+  check (Alcotest.list int_c) "cancelled waiter not woken" []
+    (Mglock.release_all t ~txn:1)
 
 let test_holders () =
   let t = Mglock.create () in
@@ -234,7 +363,7 @@ let lock_safety_prop =
               | Error _ ->
                 if Mglock.lock_count t <> before then
                   QCheck.Test.fail_report "failed acquire mutated table")
-           | Release txn -> Mglock.release_all t ~txn);
+           | Release txn -> ignore (Mglock.release_all t ~txn));
           table_invariant t all_paths)
         ops)
 
@@ -250,7 +379,7 @@ let intention_coverage_prop =
            | Acquire (txn, locks) ->
              let locks = List.map (fun (s, m) -> (p s, m)) locks in
              ignore (Mglock.try_acquire t ~txn locks)
-           | Release txn -> Mglock.release_all t ~txn);
+           | Release txn -> ignore (Mglock.release_all t ~txn));
           List.for_all
             (fun txn ->
               let held = Mglock.held_by t ~txn in
@@ -276,17 +405,41 @@ let release_clears_prop =
           | Acquire (txn, locks) ->
             let locks = List.map (fun (s, m) -> (p s, m)) locks in
             ignore (Mglock.try_acquire t ~txn locks)
-          | Release txn -> Mglock.release_all t ~txn)
+          | Release txn -> ignore (Mglock.release_all t ~txn))
         ops;
-      List.iter (fun txn -> Mglock.release_all t ~txn) [ 1; 2; 3; 4; 5 ];
+      List.iter (fun txn -> ignore (Mglock.release_all t ~txn)) [ 1; 2; 3; 4; 5 ];
       Mglock.lock_count t = 0)
+
+(* A refused acquire must leave the full observable state — holders of
+   every path and held_by of every txn — exactly unchanged, whatever
+   history precedes it. *)
+let refused_acquire_unchanged_prop =
+  QCheck.Test.make ~name:"refused try_acquire leaves holders/held_by unchanged"
+    ~count:300 ops_arbitrary (fun ops ->
+      let t = Mglock.create () in
+      let txns = [ 1; 2; 3; 4; 5 ] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Acquire (txn, locks) ->
+            let locks = List.map (fun (s, m) -> (p s, m)) locks in
+            let before = snapshot t all_paths txns in
+            (match Mglock.try_acquire t ~txn locks with
+             | Ok () -> true
+             | Error _ -> before = snapshot t all_paths txns)
+          | Release txn ->
+            ignore (Mglock.release_all t ~txn);
+            true)
+        ops)
 
 let suite =
   [
     ("compatibility matrix", `Quick, test_compat_matrix);
     ("compatibility symmetric", `Quick, test_compat_symmetric);
     ("join lattice", `Quick, test_join_lattice);
+    ("join is a least upper bound", `Quick, test_join_is_lub);
     ("intention modes", `Quick, test_intention);
+    ("intention monotone", `Quick, test_intention_monotone);
     ("ancestors get intention locks", `Quick, test_ancestors_get_intention_locks);
     ("sibling writes allowed", `Quick, test_sibling_writes_allowed);
     ("write blocks descendant read", `Quick, test_write_blocks_descendant_read);
@@ -297,10 +450,15 @@ let suite =
     ("upgrade blocked by other reader", `Quick, test_upgrade_blocked_by_other_reader);
     ("release unblocks", `Quick, test_release_unblocks);
     ("release unknown txn", `Quick, test_release_unknown_txn);
+    ("release wakes waiters", `Quick, test_release_wakes_waiters);
+    ("release wakes only held nodes", `Quick, test_release_wakes_only_held_nodes);
+    ("spurious wakeup re-parks", `Quick, test_spurious_wakeup_reparks);
+    ("cancel wait", `Quick, test_cancel_wait);
     ("holders", `Quick, test_holders);
     QCheck_alcotest.to_alcotest lock_safety_prop;
     QCheck_alcotest.to_alcotest intention_coverage_prop;
     QCheck_alcotest.to_alcotest release_clears_prop;
+    QCheck_alcotest.to_alcotest refused_acquire_unchanged_prop;
   ]
 
 let () = Alcotest.run "mglock" [ ("mglock", suite) ]

@@ -778,6 +778,101 @@ let test_e2e_aggressive_scheduling () =
       check bool_c "independent did not wait for the deferred head" true
         (independent_done < conflicting_done))
 
+(* Scheduling-policy platforms: logical-only mode with a fixed 2 s
+   execution time, so commit order is purely a scheduling artifact. *)
+let sched_spec policy =
+  {
+    quick_spec with
+    Platform.mode = Platform.Logical_only 2.0;
+    controller_config =
+      {
+        Tcloud.Setup.controller_config with
+        Controller.scheduling = policy;
+      };
+  }
+
+(* Small VMs so the host's memory never aborts anything: every txn in
+   these tests conflicts on host0's lock, nothing else. *)
+let small_hot_args vm =
+  Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:512
+    ~storage:storage0 ~host:host0
+
+(* Submit a spawn and record its commit time from a watcher process. *)
+let submit_timed platform commit_times awaiting vm =
+  incr awaiting;
+  let id = Platform.submit platform ~proc:"spawnVM" ~args:(small_hot_args vm) in
+  ignore
+    (Des.Proc.spawn ~name:("await-" ^ vm) (Platform.sim platform) (fun () ->
+         expect_committed vm (Platform.await platform id);
+         Hashtbl.replace commit_times vm (Des.Proc.now ());
+         decr awaiting));
+  id
+
+let test_e2e_aggressive_no_starvation () =
+  (* Regression: under sustained aggressive scheduling on a hot subtree,
+     a long-deferred transaction must not starve.  The victim parks
+     behind a holder; rivals keep arriving while it waits.  Wake-on-
+     release re-queues woken waiters at the FRONT in ascending txn-id
+     order, so the victim beats every rival that arrived after it. *)
+  with_platform ~spec:(sched_spec `Aggressive) ~seed:23 (fun platform _inv ->
+      ignore (Platform.await_leader_controller platform);
+      Des.Proc.sleep 1.;
+      let commit_times = Hashtbl.create 16 in
+      let awaiting = ref 0 in
+      let submit = submit_timed platform commit_times awaiting in
+      ignore (submit "holder");
+      Des.Proc.sleep 0.5;
+      (* The victim defers behind the holder... *)
+      ignore (submit "victim");
+      (* ...while rivals keep hammering the same host. *)
+      let rivals = 6 in
+      for k = 0 to rivals - 1 do
+        Des.Proc.sleep 0.4;
+        ignore (submit (Printf.sprintf "rival%d" k))
+      done;
+      while !awaiting > 0 do
+        Des.Proc.sleep 0.5
+      done;
+      let t vm = Hashtbl.find commit_times vm in
+      for k = 0 to rivals - 1 do
+        check bool_c
+          (Printf.sprintf "victim committed before rival%d" k)
+          true
+          (t "victim" < t (Printf.sprintf "rival%d" k))
+      done;
+      (* Bounded deferrals: parking + spurious re-parks are at most
+         quadratic in the conflicting set; a starvation loop would blow
+         far past this. *)
+      let n = rivals + 2 in
+      let leader = Platform.await_leader_controller platform in
+      let deferrals = (Controller.stats leader).Controller.deferrals in
+      check bool_c
+        (Printf.sprintf "deferrals bounded (%d <= %d)" deferrals (n * n))
+        true
+        (deferrals <= n * n))
+
+let test_e2e_fifo_preserves_submission_order () =
+  (* Conflicting transactions under FIFO commit in submission order:
+     wake-on-release must not let a later arrival overtake the head. *)
+  with_platform ~spec:(sched_spec `Fifo) ~seed:29 (fun platform _inv ->
+      ignore (Platform.await_leader_controller platform);
+      Des.Proc.sleep 1.;
+      let commit_times = Hashtbl.create 16 in
+      let awaiting = ref 0 in
+      let submit = submit_timed platform commit_times awaiting in
+      let n = 5 in
+      let vms = List.init n (Printf.sprintf "fifo%d") in
+      List.iter (fun vm -> ignore (submit vm)) vms;
+      while !awaiting > 0 do
+        Des.Proc.sleep 0.5
+      done;
+      let times = List.map (Hashtbl.find commit_times) vms in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      check bool_c "commit order = submission order" true (ascending times))
+
 let test_e2e_controller_failover_no_loss () =
   with_platform ~horizon:900. (fun platform _inv ->
       (* A stream of transactions; the lead controller dies mid-stream. *)
@@ -909,6 +1004,8 @@ let suite =
     ("e2e: network procedures", `Quick, test_e2e_network_procedures);
     ("e2e: TERM on queued txn", `Quick, test_e2e_term_on_queued_txn);
     ("e2e: aggressive scheduling", `Quick, test_e2e_aggressive_scheduling);
+    ("e2e: aggressive hot subtree does not starve", `Quick, test_e2e_aggressive_no_starvation);
+    ("e2e: FIFO preserves submission order", `Quick, test_e2e_fifo_preserves_submission_order);
     ("e2e: controller failover loses nothing", `Quick, test_e2e_controller_failover_no_loss);
     ("e2e: failover preserves quarantine", `Quick, test_e2e_failover_preserves_quarantine);
     ("e2e: reload refuses violating state", `Quick, test_e2e_reload_refuses_violating_state);

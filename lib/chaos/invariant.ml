@@ -12,6 +12,9 @@ type tracker = {
   mutable found : violation list;
   leaders_by_term : (int, int) Hashtbl.t;  (* coord term -> replica id *)
   overcommitted : (int, unit) Hashtbl.t;   (* host idx already reported *)
+  stall_budget : float option;
+  first_started : (int, float) Hashtbl.t;  (* txn id -> first seen Started *)
+  stuck_reported : (int, unit) Hashtbl.t;
 }
 
 let record tracker invariant detail =
@@ -35,6 +38,44 @@ let poll_coord_leadership tracker platform =
     end
   done
 
+(* A transaction may be Started for a long time legitimately (phyQ
+   queueing, retries, fail-overs), but past the stall budget it is stuck:
+   it holds its write locks, so everything conflicting is wedged behind
+   it.  Tracks the first time each id is seen Started on whoever leads;
+   ids that leave Started are forgiven (recovery re-Starting an id keeps
+   its original clock — the locks were held the whole time). *)
+let poll_stuck_locks tracker platform =
+  match tracker.stall_budget with
+  | None -> ()
+  | Some budget ->
+    (match Tropic.Platform.leader_controller platform with
+     | None -> ()
+     | Some leader ->
+       let started = Tropic.Controller.started_txns leader in
+       let now = Des.Sim.now tracker.sim in
+       let live = Hashtbl.create 16 in
+       List.iter (fun id -> Hashtbl.replace live id ()) started;
+       let gone =
+         Hashtbl.fold
+           (fun id _ acc -> if Hashtbl.mem live id then acc else id :: acc)
+           tracker.first_started []
+       in
+       List.iter (Hashtbl.remove tracker.first_started) gone;
+       List.iter
+         (fun id ->
+           match Hashtbl.find_opt tracker.first_started id with
+           | None -> Hashtbl.replace tracker.first_started id now
+           | Some since ->
+             if now -. since > budget && not (Hashtbl.mem tracker.stuck_reported id)
+             then begin
+               Hashtbl.replace tracker.stuck_reported id ();
+               record tracker "stuck-lock"
+                 (Printf.sprintf
+                    "txn %d in flight (locks held) for %.0fs, budget %.0fs" id
+                    (now -. since) budget)
+             end)
+         started)
+
 let overcommit_violations ?(once = None) computes =
   let found = ref [] in
   Array.iteri
@@ -54,7 +95,7 @@ let overcommit_violations ?(once = None) computes =
     computes;
   List.rev !found
 
-let start ?(period = 0.25) ~platform ~computes () =
+let start ?(period = 0.25) ?stall_budget ~platform ~computes () =
   let tracker =
     {
       sim = Tropic.Platform.sim platform;
@@ -62,6 +103,9 @@ let start ?(period = 0.25) ~platform ~computes () =
       found = [];
       leaders_by_term = Hashtbl.create 16;
       overcommitted = Hashtbl.create 8;
+      stall_budget;
+      first_started = Hashtbl.create 16;
+      stuck_reported = Hashtbl.create 8;
     }
   in
   ignore
@@ -69,6 +113,7 @@ let start ?(period = 0.25) ~platform ~computes () =
          while not tracker.stopped do
            Des.Proc.sleep period;
            poll_coord_leadership tracker platform;
+           poll_stuck_locks tracker platform;
            List.iter
              (record tracker "no-overcommit")
              (overcommit_violations ~once:(Some tracker.overcommitted) computes)

@@ -11,6 +11,10 @@
     - [no-overcommit]: the memory placed on a compute host never exceeds
       its capacity — the paper's headline constraint; devices deliberately
       do not enforce it physically, only TROPIC's logical layer does.
+    - [stuck-lock] (only with [~stall_budget]): no transaction stays in
+      flight — write locks held — longer than the budget.  The robustness
+      layer (retries, per-action deadlines, watchdog escalation) exists
+      precisely to bound this; the no-watchdog ablation makes it fire.
 
     At quiescence:
     - [transaction-terminal]: every submitted transaction reached
@@ -33,10 +37,13 @@ val violation_to_string : violation -> string
 
 type tracker
 
-(** [start ?period ~platform ~computes ()] spawns the polling process
-    ([period] defaults to 0.25 s). *)
+(** [start ?period ?stall_budget ~platform ~computes ()] spawns the
+    polling process ([period] defaults to 0.25 s).  [stall_budget]
+    (seconds a transaction may stay in flight) enables the [stuck-lock]
+    check. *)
 val start :
   ?period:float ->
+  ?stall_budget:float ->
   platform:Tropic.Platform.t ->
   computes:(Data.Path.t * Devices.Compute.t) array ->
   unit ->

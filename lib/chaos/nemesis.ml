@@ -10,6 +10,7 @@ type t = {
   nenv : env;
   rng : Random.State.t;
   ctrl_down : bool array;
+  worker_down : bool array;
   mutable partitioned : bool;
   mutable fired_count : int;
   mutable removed : string list;
@@ -118,7 +119,12 @@ let fault_burst t probability lasting =
   inject t (Printf.sprintf "fault burst p=%.2f for %.0fs" probability lasting);
   let set p =
     List.iter
-      (fun device -> Devices.Fault.set_probability (Devices.Device.faults device) p)
+      (fun device ->
+        match
+          Devices.Fault.set_probability (Devices.Device.faults device) p
+        with
+        | Ok () -> ()
+        | Error reason -> t.nenv.trace ("fault burst rejected: " ^ reason))
       t.nenv.devices
   in
   set probability;
@@ -140,6 +146,56 @@ let fail_next_device_action t action =
     Devices.Fault.fail_next
       (Devices.Device.faults (Devices.Compute.device compute))
       ~action
+
+(* The device kind whose dispatcher implements [action] — a hang must be
+   aimed at a device that will actually run it, or the plan is inert. *)
+let kind_of_action action =
+  let storage =
+    Devices.Schema.
+      [ act_clone_image; act_remove_image; act_export_image; act_unexport_image ]
+  and switch =
+    Devices.Schema.[ act_create_vlan; act_remove_vlan; act_add_port; act_remove_port ]
+  in
+  if List.mem action storage then Devices.Schema.storage_host_kind
+  else if List.mem action switch then Devices.Schema.switch_kind
+  else Devices.Schema.vm_host_kind
+
+(* Arm the hang on one random device of the matching kind (arming every
+   device would multiply each schedule step into one hang per device —
+   and at a ~30 s deadline rescue each, a storm of them outlasts any
+   reasonable quiescence horizon). *)
+let hang_next_device_action t action =
+  let eligible =
+    List.filter
+      (fun d -> Devices.Device.kind d = kind_of_action action)
+      t.nenv.devices
+  in
+  match pick t eligible with
+  | None -> skip t (Printf.sprintf "no device runs %s" action)
+  | Some device ->
+    inject t
+      (Printf.sprintf "arm one-shot %s hang on %s" action
+         (Data.Path.to_string (Devices.Device.root device)));
+    Devices.Fault.hang_next (Devices.Device.faults device) ~action
+
+let up_workers t =
+  let ups = ref [] in
+  Array.iteri
+    (fun i down -> if not down then ups := i :: !ups)
+    t.worker_down;
+  List.rev !ups
+
+let crash_worker t down_for =
+  match pick t (up_workers t) with
+  | None -> skip t "no worker standing"
+  | Some i ->
+    t.worker_down.(i) <- true;
+    inject t (Printf.sprintf "crash worker-%d (down %.0fs)" i down_for);
+    Tropic.Platform.kill_worker t.nenv.platform i;
+    Des.Proc.sleep down_for;
+    Tropic.Platform.restart_worker t.nenv.platform i;
+    t.worker_down.(i) <- false;
+    t.nenv.trace (Printf.sprintf "restart worker-%d" i)
 
 let power_cycle_host t =
   match random_compute t with
@@ -228,6 +284,8 @@ let perform t = function
   | Schedule.Fault_burst { probability; lasting } ->
     fault_burst t probability lasting
   | Schedule.Fail_next_device_action action -> fail_next_device_action t action
+  | Schedule.Hang_next_device_action action -> hang_next_device_action t action
+  | Schedule.Crash_worker { down_for } -> crash_worker t down_for
   | Schedule.Power_cycle_host -> power_cycle_host t
   | Schedule.Oob_stop_vm -> oob_stop_vm t
   | Schedule.Oob_remove_vm -> oob_remove_vm t
@@ -264,6 +322,8 @@ let install env schedule =
       rng = Des.Sim.rng sim;
       ctrl_down =
         Array.make (Array.length (Tropic.Platform.controllers env.platform)) false;
+      worker_down =
+        Array.make (Array.length (Tropic.Platform.workers env.platform)) false;
       partitioned = false;
       fired_count = 0;
       removed = [];

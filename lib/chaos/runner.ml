@@ -1,18 +1,21 @@
-type build = Stock | No_constraints | No_guard_locks
+type build = Stock | No_constraints | No_guard_locks | No_watchdog
 
 let build_to_string = function
   | Stock -> "stock"
   | No_constraints -> "no-constraints"
   | No_guard_locks -> "no-guard-locks"
+  | No_watchdog -> "no-watchdog"
 
 let build_of_string = function
   | "stock" -> Ok Stock
   | "no-constraints" -> Ok No_constraints
   | "no-guard-locks" -> Ok No_guard_locks
+  | "no-watchdog" -> Ok No_watchdog
   | other ->
     Error
       (Printf.sprintf
-         "unknown build %S (expected stock, no-constraints or no-guard-locks)"
+         "unknown build %S (expected stock, no-constraints, no-guard-locks or \
+          no-watchdog)"
          other)
 
 type config = {
@@ -39,6 +42,11 @@ type result = {
   deferrals : int;
   wakeups : int;
   spurious_wakeups : int;
+  retries : int;
+  transient_failures : int;
+  timeouts : int;
+  auto_terms : int;
+  auto_kills : int;
   violations : Invariant.violation list;
   trace : string list;
   duration : float;
@@ -50,6 +58,25 @@ let reproducer r =
 
 (* How often the controller's sweeper compares the layers and repairs. *)
 let repair_interval = 5.0
+
+(* Watchdog tuned for this harness: a Started transaction can sit in phyQ
+   for tens of seconds behind 4 busy workers, so the flat slack must cover
+   queueing on top of the per-log latency estimate.  Deadline for a
+   spawnVM log lands around 105 s — far past honest queueing, far before
+   the stall budget below. *)
+let watchdog_config =
+  {
+    Tropic.Watchdog.default_config with
+    Tropic.Watchdog.latency_factor = 6.;
+    slack = 60.;
+    term_grace = 15.;
+    kill_grace = 15.;
+  }
+
+(* Stuck-lock conviction threshold for the continuous invariant: past the
+   watchdog's worst-case rescue (deadline + both graces + signal
+   processing), well before the horizon. *)
+let stall_budget = 240.0
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic workload.
@@ -103,13 +130,20 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Actions.register_all env;
       Tcloud.Procs.register_all env;
       env
-    | Stock | No_guard_locks -> inventory.Tcloud.Setup.env
+    | Stock | No_guard_locks | No_watchdog -> inventory.Tcloud.Setup.env
   in
+  (* No_watchdog strips the whole robustness layer — watchdog AND the
+     workers' retry/deadline policy.  Leaving deadlines on would rescue
+     hung invocations anyway and hide exactly the stalls the ablation is
+     meant to exhibit. *)
+  let robust = config.build <> No_watchdog in
   let controller_config =
     {
       Tcloud.Setup.controller_config with
       Tropic.Controller.repair_interval = Some repair_interval;
       constraint_guard_locks = config.build <> No_guard_locks;
+      watchdog =
+        (if robust then watchdog_config else Tropic.Watchdog.disabled);
     }
   in
   let platform =
@@ -125,6 +159,9 @@ let run_one ?(trace = false) config ~schedule ~seed =
            live controller sessions behind their backs. *)
         controller_session_timeout = 5.0;
         client_slots = 160;
+        worker_retry =
+          (if robust then Tropic.Physical.default_retry
+           else Tropic.Physical.no_retry);
       }
       env ~initial_tree:inventory.Tcloud.Setup.tree
       ~devices:inventory.Tcloud.Setup.devices sim
@@ -198,7 +235,8 @@ let run_one ?(trace = false) config ~schedule ~seed =
       schedule
   in
   let tracker =
-    Invariant.start ~platform ~computes:inventory.Tcloud.Setup.computes ()
+    Invariant.start ~stall_budget ~platform
+      ~computes:inventory.Tcloud.Setup.computes ()
   in
   (* Quiescence monitor: wait for the workload and the schedule, give the
      repair sweeper time, then play operator: [reload] any subtree whose
@@ -267,12 +305,15 @@ let run_one ?(trace = false) config ~schedule ~seed =
   Invariant.stop tracker;
   (* Scheduler counters of whoever leads at quiescence (controller
      crash/fail-over resets them with the controller instance). *)
-  let deferrals, wakeups, spurious_wakeups =
+  let ( deferrals, wakeups, spurious_wakeups, retries, transient_failures,
+        timeouts, auto_terms, auto_kills ) =
     match Tropic.Platform.leader_controller platform with
     | Some leader ->
       let s = Tropic.Controller.stats leader in
-      Tropic.Controller.(s.deferrals, s.wakeups, s.spurious_wakeups)
-    | None -> (0, 0, 0)
+      Tropic.Controller.
+        ( s.deferrals, s.wakeups, s.spurious_wakeups, s.exec_retries,
+          s.transient_failures, s.timeouts, s.auto_terms, s.auto_kills )
+    | None -> (0, 0, 0, 0, 0, 0, 0, 0)
   in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
@@ -364,6 +405,11 @@ let run_one ?(trace = false) config ~schedule ~seed =
     deferrals;
     wakeups;
     spurious_wakeups;
+    retries;
+    transient_failures;
+    timeouts;
+    auto_terms;
+    auto_kills;
     violations =
       Invariant.tracker_violations tracker
       @ quiescence_violations @ crash_violations @ horizon_violations;

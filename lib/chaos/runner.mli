@@ -15,8 +15,11 @@
 (** Which build the harness exercises.  [No_constraints] strips the
     logical-layer constraints (the ablation that must make the sweep
     light up); [No_guard_locks] disables the §3.1.3 constraint-guard
-    R-locks only. *)
-type build = Stock | No_constraints | No_guard_locks
+    R-locks only; [No_watchdog] strips the robustness layer — stall
+    watchdog, per-action deadlines and transient-error retries — so
+    hang/crash schedules leave transactions wedged with their locks
+    held. *)
+type build = Stock | No_constraints | No_guard_locks | No_watchdog
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result
@@ -45,6 +48,11 @@ type result = {
   deferrals : int;  (** lock-conflict deferrals seen by the final leader *)
   wakeups : int;  (** waiters moved blocked→ready by the final leader *)
   spurious_wakeups : int;  (** woken waiters that conflicted again *)
+  retries : int;  (** physical retry attempts (final leader's tally) *)
+  transient_failures : int;  (** transient device errors workers saw *)
+  timeouts : int;  (** per-action deadline expiries *)
+  auto_terms : int;  (** TERMs the watchdog issued *)
+  auto_kills : int;  (** KILLs the watchdog issued *)
   violations : Invariant.violation list;
   trace : string list;  (** injection/progress log, oldest first *)
   duration : float;  (** virtual seconds to quiescence *)

@@ -6,6 +6,8 @@ type action =
   | Partition_coord_leader of { heal_after : float }
   | Fault_burst of { probability : float; lasting : float }
   | Fail_next_device_action of string
+  | Hang_next_device_action of string
+  | Crash_worker of { down_for : float }
   | Power_cycle_host
   | Oob_stop_vm
   | Oob_remove_vm
@@ -42,6 +44,9 @@ let action_to_string = function
   | Fault_burst { probability; lasting } ->
     Printf.sprintf "fault-burst(p=%.2f, %.0fs)" probability lasting
   | Fail_next_device_action a -> Printf.sprintf "fail-next(%s)" a
+  | Hang_next_device_action a -> Printf.sprintf "hang-next(%s)" a
+  | Crash_worker { down_for } ->
+    Printf.sprintf "crash-worker(down %.0fs)" down_for
   | Power_cycle_host -> "power-cycle-host"
   | Oob_stop_vm -> "oob-stop-vm"
   | Oob_remove_vm -> "oob-remove-vm"
@@ -64,8 +69,9 @@ let step_end { trigger; action } =
     | Partition_coord_leader { heal_after } -> heal_after
     | Fault_burst { lasting; _ } -> lasting
     | Signal_txn { stall; _ } -> stall
-    | Fail_next_device_action _ | Power_cycle_host | Oob_stop_vm
-    | Oob_remove_vm ->
+    | Crash_worker { down_for } -> down_for
+    | Fail_next_device_action _ | Hang_next_device_action _ | Power_cycle_host
+    | Oob_stop_vm | Oob_remove_vm ->
       0.
   in
   trigger_end +. action_tail
@@ -173,6 +179,27 @@ let mixed =
       ];
   }
 
+(* The robustness gauntlet: hangs on the slow actions, transient-error
+   bursts, and worker crashes mid-execution.  With retries + per-action
+   deadlines + the watchdog every seed must quiesce cleanly; without them
+   (the no-watchdog build) hung/abandoned transactions hold their locks
+   forever.  Appended last so preset indices stay stable. *)
+let hang_storm =
+  {
+    name = "hang-storm";
+    steps =
+      [
+        random_window ~start:10. ~until:90. ~count:3
+          (Hang_next_device_action "startVM");
+        random_window ~start:15. ~until:95. ~count:2
+          (Hang_next_device_action "cloneImage");
+        at 20. (Fault_burst { probability = 0.08; lasting = 20. });
+        at 60. (Fault_burst { probability = 0.05; lasting = 15. });
+        random_window ~start:25. ~until:85. ~count:2
+          (Crash_worker { down_for = 15. });
+      ];
+  }
+
 let presets =
   [
     controller_crashes;
@@ -181,6 +208,7 @@ let presets =
     signal_storm;
     blocked_crash;
     mixed;
+    hang_storm;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

@@ -24,6 +24,12 @@ type action =
       (** background device-action failure probability, then back to 0 *)
   | Fail_next_device_action of string
       (** arm a one-shot failure of the named action on a random host *)
+  | Hang_next_device_action of string
+      (** arm a one-shot hang of the named action on a random device: the
+          invocation never returns until the invoking process is killed *)
+  | Crash_worker of { down_for : float }
+      (** kill a random worker (abandoning any in-flight execution);
+          restart it [down_for] seconds later *)
   | Power_cycle_host     (** random host: every running VM found stopped *)
   | Oob_stop_vm          (** stop a random running VM behind TROPIC's back *)
   | Oob_remove_vm        (** delete a random stopped VM behind TROPIC's back *)
@@ -69,6 +75,11 @@ val blocked_crash : t
 
 (** A bit of everything at once. *)
 val mixed : t
+
+(** The robustness gauntlet: device hangs on the slow actions, transient
+    fault bursts, and worker crashes mid-execution.  Clean only when the
+    retry/deadline/watchdog layer is on. *)
+val hang_storm : t
 
 (** All of the above, in sweep order. *)
 val presets : t list

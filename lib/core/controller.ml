@@ -10,6 +10,7 @@ type config = {
   repair_rules : Recon.rule list;
   constraint_guard_locks : bool;
   repair_interval : float option;
+  watchdog : Watchdog.config;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     repair_rules = [];
     constraint_guard_locks = true;
     repair_interval = None;
+    watchdog = Watchdog.disabled;
   }
 
 type stats = {
@@ -35,6 +37,13 @@ type stats = {
   mutable wakeups : int;
   mutable spurious_wakeups : int;
   mutable retries_saved : int;
+  mutable terms : int;
+  mutable kills : int;
+  mutable auto_terms : int;
+  mutable auto_kills : int;
+  mutable exec_retries : int;
+  mutable transient_failures : int;
+  mutable timeouts : int;
 }
 
 type t = {
@@ -58,6 +67,7 @@ type t = {
   mutable prune_candidates : string list; (* terminal record keys *)
   signaled : (int, unit) Hashtbl.t; (* txns with a pending signal key *)
   mutable max_request_seq : int; (* highest request item seq processed *)
+  watchdog : Watchdog.t;
   mutable leading : bool;
   mutable stopped : bool;
   mutable procs : Des.Proc.t list;
@@ -86,6 +96,7 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
     prune_candidates = [];
     signaled = Hashtbl.create 8;
     max_request_seq = 0;
+    watchdog = Watchdog.create config.watchdog;
     leading = false;
     stopped = false;
     procs = [];
@@ -102,6 +113,13 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
         wakeups = 0;
         spurious_wakeups = 0;
         retries_saved = 0;
+        terms = 0;
+        kills = 0;
+        auto_terms = 0;
+        auto_kills = 0;
+        exec_retries = 0;
+        transient_failures = 0;
+        timeouts = 0;
       };
   }
 
@@ -119,6 +137,13 @@ let inflight t =
   Hashtbl.fold
     (fun _ (txn : Txn.t) n -> if txn.Txn.state = Txn.Started then n + 1 else n)
     t.txns 0
+
+let started_txns t =
+  Hashtbl.fold
+    (fun id (txn : Txn.t) acc ->
+      if txn.Txn.state = Txn.Started then id :: acc else acc)
+    t.txns []
+  |> List.sort compare
 
 let quarantined t =
   Hashtbl.fold
@@ -337,11 +362,18 @@ let accept_request t ~txn_id ~proc ~args =
     was_idle
   end
 
-let handle_result t ~txn_id ~outcome =
+let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
   match Hashtbl.find_opt t.txns txn_id with
   | None -> () (* unknown or already finalized by a previous leader *)
   | Some txn ->
     if txn.Txn.state = Txn.Started then begin
+      (* Accumulate the worker's robustness counters only on the first
+         (effective) delivery; redeliveries after a leader crash would
+         double-count otherwise. *)
+      t.st.exec_retries <- t.st.exec_retries + exec.Proto.retries;
+      t.st.transient_failures <-
+        t.st.transient_failures + exec.Proto.transient_failures;
+      t.st.timeouts <- t.st.timeouts + exec.Proto.timeouts;
       (match outcome with
        | Proto.Phy_committed -> commit_txn t txn
        | Proto.Phy_aborted reason -> abort_txn t txn reason
@@ -360,6 +392,12 @@ let handle_signal t ~txn_id signal =
   match Hashtbl.find_opt t.txns txn_id with
   | None -> ()
   | Some txn ->
+    (match txn.Txn.state with
+     | Txn.Accepted | Txn.Deferred | Txn.Started ->
+       (match signal with
+        | Proto.Term -> t.st.terms <- t.st.terms + 1
+        | Proto.Kill -> t.st.kills <- t.st.kills + 1)
+     | Txn.Initialized | Txn.Committed | Txn.Aborted _ | Txn.Failed _ -> ());
     (match txn.Txn.state with
      | Txn.Accepted | Txn.Deferred ->
        (* Not yet started: drop from the scheduler (and the lock manager's
@@ -461,10 +499,10 @@ let handle_repair t path =
              | Ok () ->
                t.st.repairs <- t.st.repairs + 1;
                true
-             | Error reason ->
+             | Error err ->
                Log.err (fun m ->
                    m "%s: repair step %a failed: %s" t.cname Recon.pp_step step
-                     reason);
+                     (Devices.Device.error_to_string err));
                false)
            plan.Recon.steps
        in
@@ -641,8 +679,8 @@ let process_item t ~key ~payload =
      | Error reason ->
        Log.err (fun m -> m "%s: %s" t.cname reason);
        false)
-  | Ok (Proto.Result { txn_id; outcome }) ->
-    handle_result t ~txn_id ~outcome;
+  | Ok (Proto.Result { txn_id; outcome; exec }) ->
+    handle_result t ~txn_id ~outcome ~exec;
     true
   | Ok (Proto.Control (Proto.Reload path)) ->
     handle_reload t path;
@@ -711,6 +749,46 @@ let spawn_repair_sweeper t interval =
   t.procs <-
     Des.Proc.spawn ~name:(t.cname ^ ".repair") t.sim sweeper :: t.procs
 
+(* The watchdog automates §4's operator (see Watchdog): periodically scan
+   the in-flight transactions and escalate TERM → KILL on the overdue ones.
+   Signals are injected as ordinary inputQ control items so they serialize
+   with transaction processing (and survive into the next leader's replay
+   if this one dies mid-escalation). *)
+let spawn_watchdog t =
+  let started () =
+    Hashtbl.fold
+      (fun id (txn : Txn.t) acc ->
+        if txn.Txn.state = Txn.Started then (id, txn.Txn.log) :: acc else acc)
+      t.txns []
+  in
+  let signal txn_id signal =
+    (match signal with
+     | Proto.Term -> t.st.auto_terms <- t.st.auto_terms + 1
+     | Proto.Kill -> t.st.auto_kills <- t.st.auto_kills + 1);
+    Log.info (fun m ->
+        m "%s: watchdog %s txn %d" t.cname (Proto.signal_to_string signal)
+          txn_id);
+    ignore
+      (Coord.Recipes.enqueue t.client ~queue:Proto.input_queue
+         (Proto.input_to_string (Proto.Control (Proto.Signal (txn_id, signal)))))
+  in
+  let loop () =
+    while not t.stopped do
+      Des.Proc.sleep t.cfg.watchdog.Watchdog.poll_interval;
+      if t.leading && not t.stopped then begin
+        let sts = started () in
+        Log.debug (fun m ->
+            m "%s: watchdog scan at %.2f: started=[%s]" t.cname
+              (Des.Sim.now t.sim)
+              (String.concat ","
+                 (List.map (fun (id, _) -> string_of_int id) sts)));
+        Watchdog.scan t.watchdog ~now:(Des.Sim.now t.sim) ~started:sts ~signal
+      end
+    done
+  in
+  t.procs <-
+    Des.Proc.spawn ~name:(t.cname ^ ".watchdog") t.sim loop :: t.procs
+
 let run t () =
   let member =
     Coord.Recipes.join_election t.client ~election:Proto.election_path
@@ -723,6 +801,7 @@ let run t () =
   (match t.cfg.repair_interval with
    | Some interval -> spawn_repair_sweeper t interval
    | None -> ());
+  if t.cfg.watchdog.Watchdog.enabled then spawn_watchdog t;
   recover t;
   schedule t;
   while not t.stopped do

@@ -30,6 +30,9 @@ type config = {
       (** §4: how often the leader compares the two layers and repairs
           drift (also re-attempting quarantined subtrees); [None] leaves
           reconciliation to the operator *)
+  watchdog : Watchdog.config;
+      (** leader-side stall watchdog (TERM → KILL escalation on overdue
+          in-flight transactions); {!Watchdog.disabled} by default *)
 }
 
 val default_config : config
@@ -50,6 +53,15 @@ type stats = {
   mutable retries_saved : int;
       (** blocked txns a per-completion rescan would have re-attempted but
           wake-on-release left sleeping *)
+  mutable terms : int;     (** TERM signals handled (operator + watchdog) *)
+  mutable kills : int;     (** KILL signals handled (operator + watchdog) *)
+  mutable auto_terms : int;  (** TERMs issued by the watchdog *)
+  mutable auto_kills : int;  (** KILLs issued by the watchdog *)
+  mutable exec_retries : int;
+      (** physical-layer retry attempts, summed over worker reports *)
+  mutable transient_failures : int;
+      (** transient device errors observed by workers *)
+  mutable timeouts : int;  (** per-action deadline expiries *)
 }
 
 type t
@@ -87,6 +99,9 @@ val todo_length : t -> int
 val blocked_length : t -> int
 
 val inflight : t -> int
+
+(** Ids of the in-flight (Started) transactions, ascending. *)
+val started_txns : t -> int list
 
 (** Number of (path, txn) entries in the lock table — 0 at quiescence. *)
 val lock_count : t -> int

@@ -1,6 +1,55 @@
 type device_lookup = Data.Path.t -> Devices.Device.t option
 type signal_check = unit -> [ `Go | `Term | `Kill ]
 
+type retry_policy = {
+  max_attempts : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_cap : float;
+  jitter : float;
+  deadline : float option;
+}
+
+let no_retry =
+  {
+    max_attempts = 1;
+    backoff_base = 0.;
+    backoff_factor = 2.;
+    backoff_cap = 0.;
+    jitter = 0.;
+    deadline = None;
+  }
+
+let default_retry =
+  {
+    max_attempts = 4;
+    backoff_base = 0.5;
+    backoff_factor = 2.;
+    backoff_cap = 8.;
+    jitter = 0.5;
+    deadline = Some 30.;
+  }
+
+type counters = {
+  mutable retries : int;
+  mutable transient_failures : int;
+  mutable timeouts : int;
+}
+
+let fresh_counters () = { retries = 0; transient_failures = 0; timeouts = 0 }
+
+let backoff_nominal policy n =
+  let n = max 1 n in
+  Float.min policy.backoff_cap
+    (policy.backoff_base *. (policy.backoff_factor ** float_of_int (n - 1)))
+
+let backoff_delay policy ?rng n =
+  let nominal = backoff_nominal policy n in
+  match rng with
+  | Some rng when policy.jitter > 0. ->
+    nominal *. (1. +. Des.Dist.uniform rng ~lo:(-.policy.jitter) ~hi:policy.jitter)
+  | _ -> nominal
+
 let lookup_of_list devices =
   let table = Hashtbl.create (max 16 (List.length devices)) in
   List.iter
@@ -24,13 +73,90 @@ let invoke_record ~devices (record : Xlog.record) ~action ~args =
   match devices record.Xlog.path with
   | None ->
     Error
-      (Printf.sprintf "no device for %s"
-         (Data.Path.to_string record.Xlog.path))
+      {
+        Devices.Device.reason =
+          Printf.sprintf "no device for %s"
+            (Data.Path.to_string record.Xlog.path);
+        transient = false;
+      }
   | Some device -> Devices.Device.invoke device ~action ~args
 
+(* Run one invocation under the policy's per-action deadline.  The
+   invocation runs in a child process so a hung device parks the child,
+   not the worker: on timeout the child is killed (unwinding the hang)
+   and the attempt is reported as a retryable timeout.  Requires [sim];
+   without it the invocation runs inline with no deadline. *)
+let invoke_deadline ~devices ~sim ~deadline ~counters (record : Xlog.record)
+    ~action ~args =
+  match sim, deadline with
+  | Some sim, Some limit ->
+    let reply = Des.Channel.create ~name:"phy-deadline" () in
+    let child =
+      Des.Proc.spawn ~name:(Printf.sprintf "phy-action:%s" action) sim
+        (fun () ->
+          Des.Channel.send reply (invoke_record ~devices record ~action ~args))
+    in
+    (match Des.Channel.recv_timeout reply ~timeout:limit with
+     | Some result -> result
+     | None ->
+       Des.Proc.kill child;
+       (match counters with
+        | Some c -> c.timeouts <- c.timeouts + 1
+        | None -> ());
+       Error
+         {
+           Devices.Device.reason =
+             Printf.sprintf "action %s exceeded %.1fs deadline" action limit;
+           transient = true;
+         })
+  | _ -> invoke_record ~devices record ~action ~args
+
+(* Outcome of one logical action after retries: success, a definitive
+   failure (permanent error or attempts exhausted), or an operator signal
+   observed while backing off. *)
+type attempt_outcome =
+  | A_ok
+  | A_error of string
+  | A_signal of [ `Term | `Kill ]
+
+let invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~check_signal
+    (record : Xlog.record) ~action ~args =
+  let count f = match counters with Some c -> f c | None -> () in
+  let rec attempt n =
+    match
+      invoke_deadline ~devices ~sim ~deadline:policy.deadline ~counters record
+        ~action ~args
+    with
+    | Ok () -> A_ok
+    | Error err ->
+      if err.Devices.Device.transient then
+        count (fun c -> c.transient_failures <- c.transient_failures + 1);
+      if err.Devices.Device.transient && n < policy.max_attempts then begin
+        count (fun c -> c.retries <- c.retries + 1);
+        (* Backing off takes simulated time only when we have a clock to
+           sleep on; instant-timing unit tests retry immediately. *)
+        (match sim with
+         | Some _ -> Des.Proc.sleep (backoff_delay policy ?rng n)
+         | None -> ());
+        match check_signal () with
+        | `Go -> attempt (n + 1)
+        | (`Term | `Kill) as s -> A_signal s
+      end
+      else
+        A_error
+          (if n > 1 then
+             Printf.sprintf "%s (after %d attempts)"
+               err.Devices.Device.reason n
+           else err.Devices.Device.reason)
+  in
+  attempt 1
+
 (* Undo the given (already executed) records, newest first.  Returns the
-   index of the first record whose undo failed, if any. *)
-let undo_executed ~devices executed =
+   index of the first record whose undo failed, if any.  Undos ignore
+   operator signals (they already serve a Term) but keep the retry policy
+   and deadline, so a transient blip or hang during rollback does not
+   convert a clean abort into a Failed transaction. *)
+let undo_executed ~devices ?(policy = no_retry) ?rng ?sim ?counters executed =
   let rec go = function
     | [] -> Ok ()
     | (record : Xlog.record) :: rest ->
@@ -38,15 +164,18 @@ let undo_executed ~devices executed =
        | None -> Error (record.Xlog.index, "irreversible action")
        | Some undo_action ->
          (match
-            invoke_record ~devices record ~action:undo_action
-              ~args:record.Xlog.undo_args
+            invoke_with_retry ~devices ~policy ~rng ~sim ~counters
+              ~check_signal:(fun () -> `Go)
+              record ~action:undo_action ~args:record.Xlog.undo_args
           with
-          | Ok () -> go rest
-          | Error reason -> Error (record.Xlog.index, reason)))
+          | A_ok -> go rest
+          | A_error reason -> Error (record.Xlog.index, reason)
+          | A_signal _ -> assert false))
   in
   go executed
 
-let execute ~devices ?(check_signal = fun () -> `Go) log =
+let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
+    ?sim ?counters log =
   (* [executed] accumulates completed records, newest first. *)
   let rec run executed = function
     | [] -> Proto.Phy_committed
@@ -56,16 +185,19 @@ let execute ~devices ?(check_signal = fun () -> `Go) log =
        | `Term -> roll_back executed "terminated by operator"
        | `Go ->
          (match
-            invoke_record ~devices record ~action:record.Xlog.action
+            invoke_with_retry ~devices ~policy ~rng ~sim ~counters
+              ~check_signal record ~action:record.Xlog.action
               ~args:record.Xlog.args
           with
-          | Ok () -> run (record :: executed) rest
-          | Error reason ->
+          | A_ok -> run (record :: executed) rest
+          | A_signal `Kill -> Proto.Phy_failed "killed by operator"
+          | A_signal `Term -> roll_back executed "terminated by operator"
+          | A_error reason ->
             roll_back executed
               (Printf.sprintf "action #%d %s: %s" record.Xlog.index
                  record.Xlog.action reason)))
   and roll_back executed reason =
-    match undo_executed ~devices executed with
+    match undo_executed ~devices ~policy ?rng ?sim ?counters executed with
     | Ok () -> Proto.Phy_aborted reason
     | Error (index, undo_reason) ->
       Proto.Phy_failed

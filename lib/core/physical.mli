@@ -4,18 +4,74 @@
 
     If an undo itself fails, undoing stops (undos may have temporal
     dependencies — paper footnote 2) and the transaction is failed,
-    leaving a cross-layer inconsistency for reconciliation to repair. *)
+    leaving a cross-layer inconsistency for reconciliation to repair.
+
+    On top of the replay loop sits a per-action robustness policy:
+    transient errors (offline devices, injected blips, deadline
+    timeouts) are retried in place — bounded attempts, exponential
+    backoff with deterministic jitter drawn from the sim rng — before
+    the action is declared failed and rollback starts; and each
+    invocation runs under a deadline so a hung device surfaces as a
+    retryable timeout instead of blocking the worker forever. *)
 
 (** Resolve the device owning a resource path (exact root or ancestor). *)
 type device_lookup = Data.Path.t -> Devices.Device.t option
 
-(** Consulted between actions; [`Term] stops with a graceful undo roll
-    back, [`Kill] stops immediately leaving physical state as-is. *)
+(** Consulted between actions (and between retry attempts); [`Term] stops
+    with a graceful undo roll back, [`Kill] stops immediately leaving
+    physical state as-is. *)
 type signal_check = unit -> [ `Go | `Term | `Kill ]
 
+(** Per-action robustness policy.  An action is attempted up to
+    [max_attempts] times; attempt [n+1] happens after a backoff of
+    [min backoff_cap (backoff_base * backoff_factor^(n-1))] scaled by a
+    uniform jitter in [1 ± jitter].  Each attempt is bounded by
+    [deadline] simulated seconds (requires executing inside a DES
+    process with [~sim]); expiry kills the invocation and counts as a
+    transient timeout. *)
+type retry_policy = {
+  max_attempts : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_cap : float;
+  jitter : float;
+  deadline : float option;
+}
+
+(** Single attempt, no deadline: the pre-robustness behaviour. *)
+val no_retry : retry_policy
+
+(** 4 attempts, 0.5s base doubling to an 8s cap, ±50% jitter, 30s
+    per-action deadline. *)
+val default_retry : retry_policy
+
+(** Nominal (jitter-free) backoff before retry [n] (first retry is 1). *)
+val backoff_nominal : retry_policy -> int -> float
+
+(** Jittered backoff before retry [n]; deterministic given [rng]. *)
+val backoff_delay : retry_policy -> ?rng:Random.State.t -> int -> float
+
+(** Robustness counters, accumulated across one or more [execute] calls. *)
+type counters = {
+  mutable retries : int;
+  mutable transient_failures : int;
+  mutable timeouts : int;
+}
+
+val fresh_counters : unit -> counters
+
+(** [execute ~devices log] replays [log].  [policy] defaults to
+    {!no_retry}; pass [~sim] (and normally [~rng] from the same sim) to
+    enable deadlines and timed backoff — without it, retries are
+    immediate and deadlines are ignored.  [counters], when given, is
+    incremented in place. *)
 val execute :
   devices:device_lookup ->
   ?check_signal:signal_check ->
+  ?policy:retry_policy ->
+  ?rng:Random.State.t ->
+  ?sim:Des.Sim.t ->
+  ?counters:counters ->
   Xlog.t ->
   Proto.outcome
 

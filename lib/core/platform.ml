@@ -10,6 +10,7 @@ type spec = {
   controller_session_timeout : float;
   submit_clients : int;
   client_slots : int;
+  worker_retry : Physical.retry_policy;
 }
 
 let default_spec =
@@ -23,6 +24,7 @@ let default_spec =
     controller_session_timeout = 10.0;
     submit_clients = 4;
     client_slots = 64;
+    worker_retry = Physical.no_retry;
   }
 
 type t = {
@@ -107,8 +109,8 @@ let create pspec env ~initial_tree ~devices psim =
     Array.init pspec.workers (fun i ->
         let wname = Printf.sprintf "worker-%d" i in
         let client = Coord.Ensemble.connect ensemble ~name:wname () in
-        Worker.create ~name:wname ~client ~mode:(worker_mode pspec.mode)
-          ~devices:device_lookup ~sim:psim)
+        Worker.create ~retry:pspec.worker_retry ~name:wname ~client
+          ~mode:(worker_mode pspec.mode) ~devices:device_lookup ~sim:psim ())
   in
   let submitters =
     Array.init pspec.submit_clients (fun i ->
@@ -266,6 +268,21 @@ let restart_controller t i =
   in
   t.control.(i) <- c;
   Controller.start c
+
+let kill_worker t i = Worker.crash t.work.(i)
+
+(* Same supervisor model as [restart_controller]: the replacement worker is
+   a fresh instance (new session — the old ephemeral executing markers die
+   with the crashed session) under the same name and slot. *)
+let restart_worker t i =
+  let wname = Worker.name t.work.(i) in
+  let client = Coord.Ensemble.connect t.ensemble ~name:wname () in
+  let w =
+    Worker.create ~retry:t.pspec.worker_retry ~name:wname ~client
+      ~mode:(worker_mode t.pspec.mode) ~devices:t.pdevices ~sim:t.psim ()
+  in
+  t.work.(i) <- w;
+  Worker.start w
 
 let leader_index t =
   let found = ref None in

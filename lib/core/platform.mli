@@ -21,6 +21,8 @@ type spec = {
       (** failure-detection time for controller fail-over (§6.4) *)
   submit_clients : int;  (** client sessions the harness submits through *)
   client_slots : int;    (** coordination-service session slots *)
+  worker_retry : Physical.retry_policy;
+      (** per-action robustness policy every worker executes under *)
 }
 
 val default_spec : spec
@@ -79,6 +81,15 @@ val kill_controller : t -> int -> unit
     (new coordination session) under the same name, which re-joins the
     election and recovers.  Each restart consumes one client slot. *)
 val restart_controller : t -> int -> unit
+
+(** Crash worker [i] (process death + session loss: its ephemeral
+    executing marker disappears, any in-flight execution is abandoned). *)
+val kill_worker : t -> int -> unit
+
+(** Restart slot [i] after {!kill_worker}: a fresh worker instance (new
+    coordination session) under the same name.  Each restart consumes one
+    client slot. *)
+val restart_worker : t -> int -> unit
 
 (** Index of the currently leading controller, if any. *)
 val leader_index : t -> int option

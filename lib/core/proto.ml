@@ -22,9 +22,13 @@ let pp_outcome fmt = function
   | Phy_aborted reason -> Format.fprintf fmt "aborted (%s)" reason
   | Phy_failed reason -> Format.fprintf fmt "failed (%s)" reason
 
+type exec_stats = { retries : int; transient_failures : int; timeouts : int }
+
+let no_exec_stats = { retries = 0; transient_failures = 0; timeouts = 0 }
+
 type input_item =
   | Request of { proc : string; args : Data.Value.t list }
-  | Result of { txn_id : int; outcome : outcome }
+  | Result of { txn_id : int; outcome : outcome; exec : exec_stats }
   | Control of control
 
 let outcome_to_sexp =
@@ -48,8 +52,11 @@ let to_sexp item =
   | Request { proc; args } ->
     List
       [ Atom "request"; Atom proc; List (List.map Data.Value.to_sexp args) ]
-  | Result { txn_id; outcome } ->
-    List [ Atom "result"; of_int txn_id; outcome_to_sexp outcome ]
+  | Result { txn_id; outcome; exec } ->
+    List
+      [ Atom "result"; of_int txn_id; outcome_to_sexp outcome;
+        of_int exec.retries; of_int exec.transient_failures;
+        of_int exec.timeouts ]
   | Control (Reload path) ->
     List [ Atom "control"; Atom "reload"; Data.Path.to_sexp path ]
   | Control (Repair path) ->
@@ -74,10 +81,23 @@ let of_sexp sexp =
       |> Result.map List.rev
     in
     Ok (Request { proc; args })
+  (* Pre-robustness form: no exec counters. *)
   | Data.Sexp.List [ Data.Sexp.Atom "result"; txn_id; outcome ] ->
     let* txn_id = Data.Sexp.to_int txn_id in
     let* outcome = outcome_of_sexp outcome in
-    Ok (Result { txn_id; outcome })
+    Ok (Result { txn_id; outcome; exec = no_exec_stats })
+  | Data.Sexp.List
+      [ Data.Sexp.Atom "result"; txn_id; outcome; retries; transient; timeouts
+      ] ->
+    let* txn_id = Data.Sexp.to_int txn_id in
+    let* outcome = outcome_of_sexp outcome in
+    let* retries = Data.Sexp.to_int retries in
+    let* transient_failures = Data.Sexp.to_int transient in
+    let* timeouts = Data.Sexp.to_int timeouts in
+    Ok
+      (Result
+         { txn_id; outcome;
+           exec = { retries; transient_failures; timeouts } })
   | Data.Sexp.List [ Data.Sexp.Atom "control"; Data.Sexp.Atom "reload"; path ] ->
     let* path = Data.Path.of_sexp path in
     Ok (Control (Reload path))

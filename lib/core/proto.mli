@@ -22,9 +22,16 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+(** Physical-layer robustness counters a worker accumulated while
+    executing one transaction (retried attempts, transient device
+    errors observed, per-action deadline expiries). *)
+type exec_stats = { retries : int; transient_failures : int; timeouts : int }
+
+val no_exec_stats : exec_stats
+
 type input_item =
   | Request of { proc : string; args : Data.Value.t list }
-  | Result of { txn_id : int; outcome : outcome }
+  | Result of { txn_id : int; outcome : outcome; exec : exec_stats }
   | Control of control
 
 val input_to_string : input_item -> string

@@ -10,19 +10,21 @@ type t = {
   mode : mode;
   devices : Physical.device_lookup;
   sim : Des.Sim.t;
+  retry : Physical.retry_policy;
   mutable stopped : bool;
   mutable procs : Des.Proc.t list;
   mutable n_executed : int;
   mutable n_committed : int;
 }
 
-let create ~name ~client ~mode ~devices ~sim =
+let create ?(retry = Physical.no_retry) ~name ~client ~mode ~devices ~sim () =
   {
     wname = name;
     client;
     mode;
     devices;
     sim;
+    retry;
     stopped = false;
     procs = [];
     n_executed = 0;
@@ -52,6 +54,7 @@ let execute_txn w txn_id =
      | Ok txn ->
        if txn.Txn.state <> Txn.Started then None
        else begin
+         let counters = Physical.fresh_counters () in
          let outcome =
            match w.mode with
            | Logical_only delay ->
@@ -60,12 +63,20 @@ let execute_txn w txn_id =
            | Full ->
              Physical.execute ~devices:w.devices
                ~check_signal:(check_signal w txn_id)
+               ~policy:w.retry ~rng:(Des.Sim.rng w.sim) ~sim:w.sim ~counters
                txn.Txn.log
          in
          w.n_executed <- w.n_executed + 1;
          if outcome = Proto.Phy_committed then
            w.n_committed <- w.n_committed + 1;
-         Some outcome
+         let exec =
+           {
+             Proto.retries = counters.Physical.retries;
+             transient_failures = counters.Physical.transient_failures;
+             timeouts = counters.Physical.timeouts;
+           }
+         in
+         Some (outcome, exec)
        end)
 
 (* Take protocol: claim with an ephemeral executing-marker before deleting
@@ -87,10 +98,11 @@ let take_and_run w (key, payload) =
            | Some _ | None -> ())
         | Ok () ->
           (match execute_txn w txn_id with
-           | Some outcome ->
+           | Some (outcome, exec) ->
              ignore
                (Coord.Recipes.enqueue w.client ~queue:Proto.input_queue
-                  (Proto.input_to_string (Proto.Result { txn_id; outcome })))
+                  (Proto.input_to_string
+                     (Proto.Result { txn_id; outcome; exec })))
            | None -> ());
           ignore (Coord.Client.delete w.client ~key:marker ())))
 

@@ -14,12 +14,16 @@ type mode =
 
 type t
 
+(** [retry] (default {!Physical.no_retry}) is the per-action robustness
+    policy applied to every log replayed by this worker. *)
 val create :
+  ?retry:Physical.retry_policy ->
   name:string ->
   client:Coord.Client.t ->
   mode:mode ->
   devices:Physical.device_lookup ->
   sim:Des.Sim.t ->
+  unit ->
   t
 
 val start : t -> unit

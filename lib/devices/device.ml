@@ -1,5 +1,13 @@
 type timing = [ `Process | `Instant ]
 
+type error = { reason : string; transient : bool }
+
+let error_to_string e =
+  if e.transient then "transient: " ^ e.reason else e.reason
+
+let permanent reason = { reason; transient = false }
+let transient reason = { reason; transient = true }
+
 type t = {
   droot : Data.Path.t;
   dkind : string;
@@ -53,18 +61,32 @@ let default_latency action =
   else if String.equal action Schema.act_stop_vm then 1.0
   else 0.2
 
+(* Park the calling process forever: the injected-hang behaviour.  Only a
+   kill (worker crash, or the physical layer's per-action deadline) ever
+   resumes it — with [Des.Proc.Killed], which unwinds the caller. *)
+let hang_forever () = Des.Proc.suspend (fun _proc _resumer () -> ())
+
 let invoke d ~action ~args =
   d.op_count <- d.op_count + 1;
   let result =
     if not d.is_online then
-      Error (Printf.sprintf "device %s is offline" (Data.Path.to_string d.droot))
+      (* Power loss is an availability blip, the canonical transient error. *)
+      Error
+        (transient
+           (Printf.sprintf "device %s is offline" (Data.Path.to_string d.droot)))
     else begin
       (match d.timing with
        | `Process -> Des.Proc.sleep (d.latency action)
        | `Instant -> ());
       match Fault.check d.fault_injector ~rng:d.rng ~action with
-      | Error _ as e -> e
-      | Ok () -> d.dispatch ~action ~args
+      | Fault.Hang ->
+        d.failure_count <- d.failure_count + 1;
+        hang_forever ()
+      | Fault.Fail (severity, reason) ->
+        Error { reason; transient = severity = Fault.Transient }
+      | Fault.Pass ->
+        (* Precondition violations are permanent: retrying cannot help. *)
+        Result.map_error permanent (d.dispatch ~action ~args)
     end
   in
   (match result with

@@ -12,6 +12,14 @@ type t
     returns immediately (unit tests, logical-only mode). *)
 type timing = [ `Process | `Instant ]
 
+(** Classified invocation failure.  [transient] errors (offline device,
+    injected transient fault) may be retried in place by the physical
+    layer; permanent errors (precondition violations, injected permanent
+    faults) warrant rollback. *)
+type error = { reason : string; transient : bool }
+
+val error_to_string : error -> string
+
 (** [make] is used by the concrete device modules, not by clients. *)
 val make :
   root:Data.Path.t ->
@@ -29,9 +37,11 @@ val root : t -> Data.Path.t
 val kind : t -> string
 
 (** Execute one action against the device.  Sequence: online check,
-    latency, fault injection, precondition check + state change. *)
+    latency, fault injection, precondition check + state change.  An
+    injected hang parks the calling process forever (it only unwinds if
+    the process is killed). *)
 val invoke :
-  t -> action:string -> args:Data.Value.t list -> (unit, string) result
+  t -> action:string -> args:Data.Value.t list -> (unit, error) result
 
 (** Snapshot of the device's physical state as a data-model node. *)
 val export : t -> Data.Tree.node

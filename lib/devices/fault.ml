@@ -1,44 +1,87 @@
-type plan = Next of int | Always
+type severity = Transient | Permanent
+
+let severity_to_string = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
+type verdict = Pass | Fail of severity * string | Hang
+
+type plan =
+  | Fail_next of int * severity
+  | Fail_always of severity
+  | Hang_next of int
 
 type t = {
   plans : (string, plan) Hashtbl.t;
   mutable probability : float;
   mutable injected_count : int;
+  mutable hang_count : int;
 }
 
-let create () = { plans = Hashtbl.create 8; probability = 0.; injected_count = 0 }
+let create () =
+  { plans = Hashtbl.create 8; probability = 0.; injected_count = 0; hang_count = 0 }
 
-let fail_next ?(count = 1) t ~action =
-  if count > 0 then Hashtbl.replace t.plans action (Next count)
+let fail_next ?(count = 1) ?(severity = Permanent) t ~action =
+  if count > 0 then Hashtbl.replace t.plans action (Fail_next (count, severity))
 
-let fail_always t ~action = Hashtbl.replace t.plans action Always
+let fail_always ?(severity = Permanent) t ~action =
+  Hashtbl.replace t.plans action (Fail_always severity)
+
+let hang_next ?(count = 1) t ~action =
+  if count > 0 then Hashtbl.replace t.plans action (Hang_next count)
+
 let clear t ~action = Hashtbl.remove t.plans action
 
 let clear_all t =
   Hashtbl.reset t.plans;
   t.probability <- 0.
 
-let set_probability t p = t.probability <- p
+(* Clamped to [0,1]; NaN has no sensible clamp and is rejected. *)
+let set_probability t p =
+  if Float.is_nan p then Error "fault probability is NaN"
+  else begin
+    t.probability <- Float.min 1. (Float.max 0. p);
+    Ok ()
+  end
+
+let probability t = t.probability
 
 let check t ~rng ~action =
   let planned =
     match Hashtbl.find_opt t.plans action with
-    | Some (Next 1) ->
+    | Some (Fail_next (1, severity)) ->
       Hashtbl.remove t.plans action;
-      true
-    | Some (Next n) ->
-      Hashtbl.replace t.plans action (Next (n - 1));
-      true
-    | Some Always -> true
-    | None -> false
+      Some (`Fail severity)
+    | Some (Fail_next (n, severity)) ->
+      Hashtbl.replace t.plans action (Fail_next (n - 1, severity));
+      Some (`Fail severity)
+    | Some (Fail_always severity) -> Some (`Fail severity)
+    | Some (Hang_next 1) ->
+      Hashtbl.remove t.plans action;
+      Some `Hang
+    | Some (Hang_next n) ->
+      Hashtbl.replace t.plans action (Hang_next (n - 1));
+      Some `Hang
+    | None -> None
   in
-  let random =
-    t.probability > 0. && Des.Dist.flip rng ~p:t.probability
-  in
-  if planned || random then begin
+  match planned with
+  | Some `Hang ->
     t.injected_count <- t.injected_count + 1;
-    Error (Printf.sprintf "injected fault in %s" action)
-  end
-  else Ok ()
+    t.hang_count <- t.hang_count + 1;
+    Hang
+  | Some (`Fail severity) ->
+    t.injected_count <- t.injected_count + 1;
+    Fail
+      ( severity,
+        Printf.sprintf "injected %s fault in %s"
+          (severity_to_string severity) action )
+  | None ->
+    (* Background random failures model environmental blips: transient. *)
+    if t.probability > 0. && Des.Dist.flip rng ~p:t.probability then begin
+      t.injected_count <- t.injected_count + 1;
+      Fail (Transient, Printf.sprintf "injected transient fault in %s" action)
+    end
+    else Pass
 
 let injected t = t.injected_count
+let hangs t = t.hang_count

@@ -7,6 +7,8 @@ type scheduling_result = {
   aggressive_mean_latency : float;
   fifo_sched : Common.sched_counters;
   aggressive_sched : Common.sched_counters;
+  fifo_robust : Common.robust_counters;
+  aggressive_robust : Common.robust_counters;
 }
 
 type safety_result = {
@@ -92,13 +94,19 @@ let scheduling_run ~seed policy =
       while Metrics.Cdf.count latencies < 10 do
         Des.Proc.sleep 0.5
       done);
-  (!last_commit, Metrics.Cdf.mean latencies, Common.sched_counters platform)
+  ( !last_commit,
+    Metrics.Cdf.mean latencies,
+    Common.sched_counters platform,
+    Common.robust_counters platform )
 
 let scheduling_ablation ~seed () =
-  let fifo_makespan, fifo_mean_latency, fifo_sched =
+  let fifo_makespan, fifo_mean_latency, fifo_sched, fifo_robust =
     scheduling_run ~seed `Fifo
   in
-  let aggressive_makespan, aggressive_mean_latency, aggressive_sched =
+  let ( aggressive_makespan,
+        aggressive_mean_latency,
+        aggressive_sched,
+        aggressive_robust ) =
     scheduling_run ~seed `Aggressive
   in
   {
@@ -108,6 +116,8 @@ let scheduling_ablation ~seed () =
     aggressive_mean_latency;
     fifo_sched;
     aggressive_sched;
+    fifo_robust;
+    aggressive_robust;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -252,11 +262,13 @@ let run ?(seed = default_seed) () =
 let print r =
   Common.section "Ablation 1: FIFO vs aggressive scheduling (hot head-of-line)";
   Printf.printf
-    "FIFO:       makespan %.2f s, mean latency %.2f s  (%s)\nAggressive: makespan %.2f s, mean latency %.2f s  (%s)\n"
+    "FIFO:       makespan %.2f s, mean latency %.2f s  (%s | %s)\nAggressive: makespan %.2f s, mean latency %.2f s  (%s | %s)\n"
     r.scheduling.fifo_makespan r.scheduling.fifo_mean_latency
     (Common.sched_summary r.scheduling.fifo_sched)
+    (Common.robust_summary r.scheduling.fifo_robust)
     r.scheduling.aggressive_makespan r.scheduling.aggressive_mean_latency
-    (Common.sched_summary r.scheduling.aggressive_sched);
+    (Common.sched_summary r.scheduling.aggressive_sched)
+    (Common.robust_summary r.scheduling.aggressive_robust);
   Common.section "Ablation 2: logical-first safety vs device-only execution";
   Printf.printf
     "with constraints:    %d overcommitted hosts, %d device ops\nwithout constraints: %d overcommitted hosts, %d device ops\n"

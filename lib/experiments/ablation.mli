@@ -17,6 +17,8 @@ type scheduling_result = {
   aggressive_mean_latency : float;
   fifo_sched : Common.sched_counters;
   aggressive_sched : Common.sched_counters;
+  fifo_robust : Common.robust_counters;
+  aggressive_robust : Common.robust_counters;
 }
 
 type safety_result = {

@@ -55,6 +55,49 @@ let sched_counters platform =
       sc_retries_saved = st.Tropic.Controller.retries_saved;
     }
 
+type robust_counters = {
+  rc_retries : int;
+  rc_transient : int;
+  rc_timeouts : int;
+  rc_terms : int;
+  rc_kills : int;
+  rc_auto_terms : int;
+  rc_auto_kills : int;
+}
+
+let zero_robust_counters =
+  {
+    rc_retries = 0;
+    rc_transient = 0;
+    rc_timeouts = 0;
+    rc_terms = 0;
+    rc_kills = 0;
+    rc_auto_terms = 0;
+    rc_auto_kills = 0;
+  }
+
+let robust_counters platform =
+  match Tropic.Platform.leader_controller platform with
+  | None -> zero_robust_counters
+  | Some c ->
+    let st = Tropic.Controller.stats c in
+    {
+      rc_retries = st.Tropic.Controller.exec_retries;
+      rc_transient = st.Tropic.Controller.transient_failures;
+      rc_timeouts = st.Tropic.Controller.timeouts;
+      rc_terms = st.Tropic.Controller.terms;
+      rc_kills = st.Tropic.Controller.kills;
+      rc_auto_terms = st.Tropic.Controller.auto_terms;
+      rc_auto_kills = st.Tropic.Controller.auto_kills;
+    }
+
+let robust_summary c =
+  Printf.sprintf
+    "robust: retries %d (%d transient, %d timeouts), signals %d TERM / %d \
+     KILL (watchdog %d/%d)"
+    c.rc_retries c.rc_transient c.rc_timeouts c.rc_terms c.rc_kills
+    c.rc_auto_terms c.rc_auto_kills
+
 let sched_summary c =
   let per_commit =
     if c.sc_committed = 0 then 0.

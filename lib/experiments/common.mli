@@ -36,3 +36,24 @@ val sched_counters : Tropic.Platform.t -> sched_counters
 
 (** One-line human summary: deferrals per committed txn + wakeup counters. *)
 val sched_summary : sched_counters -> string
+
+(** Robustness counters snapshotted from a platform's leader controller:
+    physical retry/timeout activity and operator-signal traffic. *)
+type robust_counters = {
+  rc_retries : int;  (** physical retry attempts *)
+  rc_transient : int;  (** transient device errors workers observed *)
+  rc_timeouts : int;  (** per-action deadline expiries *)
+  rc_terms : int;  (** TERM signals handled *)
+  rc_kills : int;  (** KILL signals handled *)
+  rc_auto_terms : int;  (** TERMs issued by the watchdog *)
+  rc_auto_kills : int;  (** KILLs issued by the watchdog *)
+}
+
+val zero_robust_counters : robust_counters
+
+(** Leader's counters, or {!zero_robust_counters} when no controller
+    leads. *)
+val robust_counters : Tropic.Platform.t -> robust_counters
+
+(** One-line human summary of retry/timeout/signal activity. *)
+val robust_summary : robust_counters -> string

@@ -10,6 +10,7 @@ type result = {
   aborted : int;
   lost : int;
   sched : Common.sched_counters;
+  robust : Common.robust_counters;
 }
 
 (* Historical seed of this experiment's runs; --seed overrides it. *)
@@ -115,6 +116,7 @@ let run ?(seed = default_seed) ?(session_timeout = 10.) ?(rate = 2.)
     aborted = !aborted;
     lost = !submitted - !committed - !aborted;
     sched = Common.sched_counters platform;
+    robust = Common.robust_counters platform;
   }
 
 let print r =
@@ -127,4 +129,5 @@ let print r =
     r.recovery_seconds;
   Printf.printf "submitted=%d committed=%d aborted=%d lost=%d (paper: 0 lost)\n"
     r.submitted r.committed r.aborted r.lost;
-  Printf.printf "%s\n%!" (Common.sched_summary r.sched)
+  Printf.printf "%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust)

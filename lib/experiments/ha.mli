@@ -19,6 +19,8 @@ type result = {
   aborted : int;
   lost : int;                     (** must be 0 *)
   sched : Common.sched_counters;  (** surviving leader's wake counters *)
+  robust : Common.robust_counters;
+      (** surviving leader's retry/timeout/signal tallies *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

@@ -14,6 +14,7 @@ type result = {
   violations : int;
   layers_consistent : bool;
   sched : Common.sched_counters;
+  robust : Common.robust_counters;
 }
 
 let op_names = [ "spawnVM"; "startVM"; "stopVM"; "migrateVM"; "destroyVM" ]
@@ -128,6 +129,7 @@ let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
     violations = controller_stats.Tropic.Controller.violations;
     layers_consistent = layers_consistent platform inv;
     sched = Common.sched_counters platform;
+    robust = Common.robust_counters platform;
   }
 
 let print r =
@@ -149,4 +151,5 @@ let print r =
   Printf.printf
     "lock-conflict deferrals: %d; constraint violations: %d; layers consistent at end: %b\n"
     r.deferrals r.violations r.layers_consistent;
-  Printf.printf "%s\n%!" (Common.sched_summary r.sched)
+  Printf.printf "%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust)

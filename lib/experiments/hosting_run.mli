@@ -21,6 +21,7 @@ type result = {
       (** every non-quarantined device equals its logical subtree at the
           end of the run *)
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
+  robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

@@ -42,6 +42,7 @@ type result = {
   sim_events : int;
   wall_seconds : float;
   sched : Common.sched_counters;
+  robust : Common.robust_counters;
 }
 
 (* The paper's logical-only deployment (§5, §6.1): 8 VM slots per host,
@@ -151,6 +152,7 @@ let run cfg =
     sim_events = Des.Sim.executed sim;
     wall_seconds;
     sched = Common.sched_counters platform;
+    robust = Common.robust_counters platform;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -194,7 +196,8 @@ let print_result r =
     (100. *. Metrics.Series.max_value r.cpu_util)
     (100. *. Metrics.Series.max_value r.coord_util)
     r.sim_events r.wall_seconds;
-  Printf.printf "    %s\n%!" (Common.sched_summary r.sched)
+  Printf.printf "    %s\n    %s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust)
 
 let print_fig4_fig5 ?(multipliers = [ 1; 2; 3; 4; 5 ]) cfg =
   Common.section

@@ -36,6 +36,7 @@ type result = {
   sim_events : int;
   wall_seconds : float;
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
+  robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
 }
 
 val run : config -> result

@@ -5,6 +5,7 @@ type throughput_point = {
   throughput_per_s : float;
   median_latency : float;
   sched : Common.sched_counters;
+  robust : Common.robust_counters;
 }
 
 type memory_point = {
@@ -85,6 +86,7 @@ let throughput_point ~seed ~rate ~duration hosts =
       (if Metrics.Cdf.count latency = 0 then Float.nan
        else Metrics.Cdf.quantile latency 0.5);
     sched = Common.sched_counters platform;
+    robust = Common.robust_counters platform;
   }
 
 let live_bytes () =
@@ -138,9 +140,10 @@ let print r =
   List.iter
     (fun p ->
       Printf.printf
-        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s  %s\n"
+        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s  %s | %s\n"
         p.hosts p.offered p.committed p.throughput_per_s p.median_latency
-        (Common.sched_summary p.sched))
+        (Common.sched_summary p.sched)
+        (Common.robust_summary p.robust))
     r.throughput;
   List.iter
     (fun m ->

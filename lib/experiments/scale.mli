@@ -14,6 +14,7 @@ type throughput_point = {
   throughput_per_s : float;
   median_latency : float;
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
+  robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
 }
 
 type memory_point = {

@@ -59,6 +59,53 @@ let test_no_constraints_convicted () =
         (Str_contains.contains line (string_of_int r.Chaos.Runner.seed)))
     sweep.Chaos.Runner.violating
 
+let hang_storm =
+  match Chaos.Schedule.find "hang-storm" with
+  | Some s -> s
+  | None -> Alcotest.fail "hang-storm preset missing"
+
+(* With the robustness layer on, hung device invocations and crashed
+   workers are rescued (deadline/retry below the watchdog, TERM→KILL
+   above it): the sweep stays clean and the watchdog counters show it
+   actually fired on at least one seed. *)
+let test_hang_storm_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ hang_storm ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations))
+    sweep.Chaos.Runner.runs;
+  let rescued =
+    List.exists
+      (fun r ->
+        r.Chaos.Runner.auto_terms > 0 || r.Chaos.Runner.timeouts > 0
+        || r.Chaos.Runner.retries > 0)
+      sweep.Chaos.Runner.runs
+  in
+  check bool_c "robustness layer exercised on some seed" true rescued
+
+(* Stripping the watchdog (and the workers' retry/deadline policy) leaves
+   hang-storm transactions wedged with their locks held: the stuck-lock /
+   quiescence invariants must convict. *)
+let test_no_watchdog_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_watchdog } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ hang_storm ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "no-watchdog"))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -77,6 +124,8 @@ let suite =
     ("schedule: presets well-formed", `Quick, test_schedule_presets);
     ("sweep: stock build is clean", `Slow, test_stock_sweep_clean);
     ("sweep: no-constraints build convicted", `Slow, test_no_constraints_convicted);
+    ("sweep: hang-storm clean with watchdog", `Slow, test_hang_storm_clean);
+    ("sweep: no-watchdog build convicted", `Slow, test_no_watchdog_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 

@@ -18,11 +18,26 @@ let vm_state_c =
 
 let ok what = function
   | Ok () -> ()
-  | Error msg -> Alcotest.failf "%s: %s" what msg
+  | Error e -> Alcotest.failf "%s: %s" what (Device.error_to_string e)
 
 let err what = function
   | Ok () -> Alcotest.failf "%s: expected an error" what
   | Error _ -> ()
+
+let pass what = function
+  | Fault.Pass -> ()
+  | Fault.Fail (_, msg) -> Alcotest.failf "%s: injected %s" what msg
+  | Fault.Hang -> Alcotest.failf "%s: injected hang" what
+
+let fail_verdict what = function
+  | Fault.Pass -> Alcotest.failf "%s: expected an injected fault" what
+  | Fault.Fail _ -> ()
+  | Fault.Hang -> Alcotest.failf "%s: expected a failure, got a hang" what
+
+let set_probability f p =
+  match Fault.set_probability f p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "set_probability: %s" msg
 
 let mk_compute () =
   Compute.create ~root:(Data.Path.v "/vmRoot/h1") ~mem_mb:8192
@@ -122,19 +137,82 @@ let test_fault_always_and_clear () =
   let f = Fault.create () in
   let rng = Random.State.make [| 1 |] in
   Fault.fail_always f ~action:"op";
-  err "1st" (Fault.check f ~rng ~action:"op");
-  err "2nd" (Fault.check f ~rng ~action:"op");
-  ok "other action fine" (Fault.check f ~rng ~action:"other");
+  fail_verdict "1st" (Fault.check f ~rng ~action:"op");
+  fail_verdict "2nd" (Fault.check f ~rng ~action:"op");
+  pass "other action fine" (Fault.check f ~rng ~action:"other");
   Fault.clear f ~action:"op";
-  ok "cleared" (Fault.check f ~rng ~action:"op")
+  pass "cleared" (Fault.check f ~rng ~action:"op")
 
 let test_fault_probability () =
   let f = Fault.create () in
   let rng = Random.State.make [| 5 |] in
-  Fault.set_probability f 1.0;
-  err "p=1 always fails" (Fault.check f ~rng ~action:"x");
-  Fault.set_probability f 0.;
-  ok "p=0 never fails" (Fault.check f ~rng ~action:"x")
+  set_probability f 1.0;
+  fail_verdict "p=1 always fails" (Fault.check f ~rng ~action:"x");
+  set_probability f 0.;
+  pass "p=0 never fails" (Fault.check f ~rng ~action:"x")
+
+let test_fault_probability_clamp () =
+  let f = Fault.create () in
+  set_probability f 3.7;
+  check (Alcotest.float 1e-9) "clamped high" 1.0 (Fault.probability f);
+  set_probability f (-0.5);
+  check (Alcotest.float 1e-9) "clamped low" 0.0 (Fault.probability f);
+  (match Fault.set_probability f Float.nan with
+   | Ok () -> Alcotest.fail "NaN probability accepted"
+   | Error _ -> ());
+  check (Alcotest.float 1e-9) "NaN left probability unchanged" 0.0
+    (Fault.probability f)
+
+let test_fault_severity () =
+  let f = Fault.create () in
+  let rng = Random.State.make [| 2 |] in
+  Fault.fail_next f ~severity:Fault.Transient ~action:"op";
+  (match Fault.check f ~rng ~action:"op" with
+   | Fault.Fail (Fault.Transient, _) -> ()
+   | _ -> Alcotest.fail "expected a transient injected fault");
+  Fault.fail_next f ~action:"op";
+  (match Fault.check f ~rng ~action:"op" with
+   | Fault.Fail (Fault.Permanent, _) -> ()
+   | _ -> Alcotest.fail "planned faults default to permanent");
+  (* Background (probability-driven) faults are always transient. *)
+  set_probability f 1.0;
+  (match Fault.check f ~rng ~action:"op" with
+   | Fault.Fail (Fault.Transient, _) -> ()
+   | _ -> Alcotest.fail "background faults must be transient")
+
+let test_fault_hang_next () =
+  let f = Fault.create () in
+  let rng = Random.State.make [| 3 |] in
+  Fault.hang_next f ~action:"op";
+  (match Fault.check f ~rng ~action:"op" with
+   | Fault.Hang -> ()
+   | _ -> Alcotest.fail "expected a hang verdict");
+  pass "one-shot" (Fault.check f ~rng ~action:"op");
+  check int_c "hang counted" 1 (Fault.hangs f)
+
+(* A hang plan makes [Device.invoke] suspend forever: the invoking
+   process never resumes, and the simulation drains without it. *)
+let test_device_hang_in_sim () =
+  let sim = Des.Sim.create () in
+  let host =
+    Compute.create ~timing:`Process
+      ~latency:(fun _ -> 1.0)
+      ~rng:(Des.Sim.rng sim)
+      ~root:(Data.Path.v "/vmRoot/h1") ~mem_mb:1024 ~hypervisor:"xen" ()
+  in
+  let d = Compute.device host in
+  Fault.hang_next (Device.faults d) ~action:Schema.act_import_image;
+  let finished = ref false in
+  ignore
+    (Des.Proc.spawn ~name:"hung" sim (fun () ->
+         ignore (invoke d ~action:Schema.act_import_image ~args:[ v_str "a" ]);
+         finished := true));
+  ignore (Des.Sim.run sim);
+  check bool_c "invocation never returned" false !finished;
+  check int_c "hang counted" 1 (Fault.hangs (Device.faults d));
+  (* The plan was consumed: a retry would pass. *)
+  let rng = Random.State.make [| 4 |] in
+  pass "plan consumed" (Fault.check (Device.faults d) ~rng ~action:Schema.act_import_image)
 
 let test_device_latency_in_sim () =
   let sim = Des.Sim.create () in
@@ -241,6 +319,10 @@ let suite =
     ("device: fault injection", `Quick, test_fault_injection);
     ("fault: always and clear", `Quick, test_fault_always_and_clear);
     ("fault: probability", `Quick, test_fault_probability);
+    ("fault: probability clamp and NaN", `Quick, test_fault_probability_clamp);
+    ("fault: severity classification", `Quick, test_fault_severity);
+    ("fault: hang_next", `Quick, test_fault_hang_next);
+    ("device: hang in sim", `Quick, test_device_hang_in_sim);
     ("device: latency in sim", `Quick, test_device_latency_in_sim);
     ("storage: clone/export", `Quick, test_storage_clone_export);
     ("storage: preconditions", `Quick, test_storage_preconditions);

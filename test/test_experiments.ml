@@ -82,8 +82,13 @@ let run_hosting_mix ~seed ~fault_probability =
   if fault_probability > 0. then
     List.iter
       (fun device ->
-        Devices.Fault.set_probability (Devices.Device.faults device)
-          fault_probability)
+        match
+          Devices.Fault.set_probability
+            (Devices.Device.faults device)
+            fault_probability
+        with
+        | Ok () -> ()
+        | Error msg -> failwith msg)
       inv.Tcloud.Setup.devices;
   let platform =
     Tropic.Platform.create

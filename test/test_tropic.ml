@@ -86,9 +86,16 @@ let test_proto_roundtrip () =
   let items =
     [
       Proto.Request { proc = "spawnVM"; args = [ v_str "vm1"; Data.Value.Int 3 ] };
-      Proto.Result { txn_id = 9; outcome = Proto.Phy_committed };
-      Proto.Result { txn_id = 9; outcome = Proto.Phy_aborted "disk on fire" };
-      Proto.Result { txn_id = 9; outcome = Proto.Phy_failed "undo broke" };
+      Proto.Result
+        { txn_id = 9; outcome = Proto.Phy_committed; exec = Proto.no_exec_stats };
+      Proto.Result
+        {
+          txn_id = 9;
+          outcome = Proto.Phy_aborted "disk on fire";
+          exec = { Proto.retries = 3; transient_failures = 2; timeouts = 1 };
+        };
+      Proto.Result
+        { txn_id = 9; outcome = Proto.Phy_failed "undo broke"; exec = Proto.no_exec_stats };
       Proto.Control (Proto.Reload (Data.Path.v host0));
       Proto.Control (Proto.Repair (Data.Path.v host0));
       Proto.Control (Proto.Signal (4, Proto.Term));
@@ -432,7 +439,7 @@ let test_plan_repair_after_power_cycle () =
           ~action:step.Recon.action ~args:step.Recon.args
       with
       | Ok () -> ()
-      | Error reason -> Alcotest.fail reason)
+      | Error e -> Alcotest.fail (Devices.Device.error_to_string e))
     plan.Recon.steps;
   check (Alcotest.option vm_state_c) "running again" (Some `Running)
     (Devices.Compute.vm_state compute0 "vm1")
@@ -971,6 +978,153 @@ let test_e2e_failover_preserves_quarantine () =
       expect_committed "after reload"
         (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "q3")))
 
+(* ------------------------------------------------------------------ *)
+(* Robustness: retry backoff, deadlines, stall watchdog *)
+
+(* Nominal (jitter-free) backoff is non-decreasing in the attempt number
+   and never exceeds the cap. *)
+let backoff_bounded_prop =
+  let gen =
+    QCheck.Gen.(
+      quad (float_range 0.01 10.) (float_range 1. 4.) (float_range 0.01 100.)
+        (int_range 1 20))
+  in
+  QCheck.Test.make ~name:"backoff monotone and bounded by cap" ~count:300
+    (QCheck.make gen) (fun (base, factor, cap, attempts) ->
+      let policy =
+        {
+          Physical.no_retry with
+          Physical.max_attempts = attempts + 1;
+          backoff_base = base;
+          backoff_factor = factor;
+          backoff_cap = cap;
+        }
+      in
+      let rec go prev n =
+        if n > attempts then true
+        else
+          let d = Physical.backoff_nominal policy n in
+          if d < prev -. 1e-9 then
+            QCheck.Test.fail_reportf "retry %d: %.4f < previous %.4f" n d prev
+          else if d > cap +. 1e-9 then
+            QCheck.Test.fail_reportf "retry %d: %.4f above cap %.4f" n d cap
+          else go d (n + 1)
+      in
+      go 0. 1)
+
+(* With the default ±50% jitter, every delay lands in
+   [nominal/2, 3*nominal/2]; seeds pinned so a regression reproduces. *)
+let test_backoff_jitter_within_bounds () =
+  let policy = Physical.default_retry in
+  let j = policy.Physical.jitter in
+  check bool_c "default jitter is 50%" true (j = 0.5);
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      for n = 1 to 50 do
+        let nominal = Physical.backoff_nominal policy n in
+        let d = Physical.backoff_delay policy ~rng n in
+        let lo = nominal *. (1. -. j) and hi = nominal *. (1. +. j) in
+        if d < lo -. 1e-9 || d > hi +. 1e-9 then
+          Alcotest.failf "seed %d, retry %d: delay %.4f outside [%.4f, %.4f]"
+            seed n d lo hi
+      done)
+    [ 1; 7; 42; 1337 ]
+
+(* A transient device error is retried in place by the worker: the
+   transaction still commits, and the retry shows up in the leader's
+   counters (carried home on the Result message). *)
+let test_e2e_transient_fault_retried () =
+  let spec = { quick_spec with Platform.worker_retry = Physical.default_retry } in
+  with_platform ~spec (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Fault.fail_next
+        (Devices.Device.faults (Devices.Compute.device compute0))
+        ~severity:Devices.Fault.Transient ~action:Schema.act_start_vm;
+      expect_committed "spawn survives a transient fault"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "rt1"));
+      let st = Controller.stats (Platform.await_leader_controller platform) in
+      check bool_c "retry counted" true (st.Controller.exec_retries > 0);
+      check bool_c "transient failure counted" true
+        (st.Controller.transient_failures > 0))
+
+(* A hung device invocation is killed by the per-action deadline, counted
+   as a (transient) timeout, and the retry commits the transaction. *)
+let test_e2e_hang_rescued_by_deadline () =
+  let spec =
+    {
+      quick_spec with
+      Platform.worker_retry =
+        { Physical.default_retry with Physical.deadline = Some 10. };
+    }
+  in
+  with_platform ~spec (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Fault.hang_next
+        (Devices.Device.faults (Devices.Compute.device compute0))
+        ~action:Schema.act_start_vm;
+      expect_committed "spawn survives a hung invocation"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "hg1"));
+      let st = Controller.stats (Platform.await_leader_controller platform) in
+      check bool_c "deadline expiry counted" true (st.Controller.timeouts > 0))
+
+(* Regression: a worker crash mid-transaction strands the txn — the phyQ
+   item is gone and no Result will ever arrive.  The watchdog must escalate
+   TERM (ignored, the worker is dead) → KILL, failing the transaction,
+   releasing its locks and draining the waiter it was blocking; after the
+   operator heals the quarantine the platform is fully usable. *)
+let test_e2e_worker_crash_rescued_by_watchdog () =
+  let spec =
+    {
+      quick_spec with
+      Platform.controller_config =
+        {
+          Tcloud.Setup.controller_config with
+          Controller.watchdog =
+            {
+              Watchdog.default_config with
+              Watchdog.latency_factor = 1.0;
+              slack = 2.;
+              term_grace = 3.;
+              kill_grace = 3.;
+              poll_interval = 0.5;
+            };
+        };
+    }
+  in
+  with_platform ~spec (fun platform _inv ->
+      let a = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "wd1") in
+      (* Let txn A reach the physical layer (cloneImage takes 4 s), then
+         crash both workers: A is now abandoned mid-execution. *)
+      Des.Proc.sleep 6.;
+      Platform.kill_worker platform 0;
+      Platform.kill_worker platform 1;
+      (* B conflicts on the same host and parks in the blocked table. *)
+      let b = Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "wd2") in
+      (match Platform.await platform a with
+       | Txn.Failed _ -> ()
+       | other ->
+         Alcotest.failf "abandoned txn: expected failed, got %s"
+           (Txn.state_to_string other));
+      (* A's locks were released, so B drains out of the blocked table —
+         to an abort, because the KILL quarantined the subtree. *)
+      (match Platform.await platform b with
+       | Txn.Aborted _ -> ()
+       | other ->
+         Alcotest.failf "blocked txn: expected abort, got %s"
+           (Txn.state_to_string other));
+      let st = Controller.stats (Platform.await_leader_controller platform) in
+      check bool_c "watchdog TERMed" true (st.Controller.auto_terms > 0);
+      check bool_c "watchdog KILLed" true (st.Controller.auto_kills > 0);
+      (* Operator heals: fresh workers, reload the quarantined subtrees. *)
+      Platform.restart_worker platform 0;
+      Platform.restart_worker platform 1;
+      Platform.reload platform (Data.Path.v host0);
+      Platform.reload platform (Data.Path.v storage0);
+      Des.Proc.sleep 5.;
+      expect_committed "platform usable after rescue"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "wd3")))
+
 let suite =
   [
     ("xlog: codec roundtrip", `Quick, test_xlog_roundtrip);
@@ -1009,6 +1163,11 @@ let suite =
     ("e2e: controller failover loses nothing", `Quick, test_e2e_controller_failover_no_loss);
     ("e2e: failover preserves quarantine", `Quick, test_e2e_failover_preserves_quarantine);
     ("e2e: reload refuses violating state", `Quick, test_e2e_reload_refuses_violating_state);
+    QCheck_alcotest.to_alcotest backoff_bounded_prop;
+    ("robust: jittered backoff within bounds", `Quick, test_backoff_jitter_within_bounds);
+    ("robust: transient fault retried", `Quick, test_e2e_transient_fault_retried);
+    ("robust: hang rescued by deadline", `Quick, test_e2e_hang_rescued_by_deadline);
+    ("robust: worker crash rescued by watchdog", `Quick, test_e2e_worker_crash_rescued_by_watchdog);
   ]
 
 let () = Alcotest.run "tropic" [ ("tropic", suite) ]

@@ -6,6 +6,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- sched        # contention bench -> BENCH_sched.json
+     dune exec bench/main.exe -- overload     # shed-vs-queue -> BENCH_overload.json
      dune exec bench/main.exe -- table1|fig3|fig4|fig5|safety|robustness|
                                  ha|hosting|scale|ablation
    TROPIC_BENCH_QUICK=1 shrinks the long runs. *)
@@ -289,6 +290,133 @@ let run_sched_bench () =
     (ratio best)
 
 (* ------------------------------------------------------------------ *)
+(* Overload micro-benchmark: shed vs queue (BENCH_overload.json)
+
+   A single deterministic worker fed faster than it serves — the storm
+   regime admission control exists for.  Requests arrive every
+   [arrival_gap] and take [service] to process, FIFO.  The "queue"
+   policy admits everything, so sojourn time grows linearly for as long
+   as the storm lasts; the "shed" policy fast-aborts arrivals once the
+   queue hits the high watermark and resumes below the low one, trading
+   a bounded p99 for explicit `Overload aborts.  The metric is the
+   latency tail of the requests actually served. *)
+
+type overload_point = {
+  ov_mode : string;
+  ov_served : int;
+  ov_shed : int;
+  ov_p50 : float;
+  ov_p90 : float;
+  ov_p99 : float;
+  ov_max : float;
+}
+
+let run_overload_policy ~shed ~requests ~arrival_gap ~service ~high ~low =
+  let cdf = Metrics.Cdf.create () in
+  let pending = Queue.create () in (* completion times of admitted, FIFO *)
+  let sheds = ref 0 in
+  let shedding = ref false in
+  let last_done = ref 0. in
+  for i = 0 to requests - 1 do
+    let arrival = float_of_int i *. arrival_gap in
+    while (not (Queue.is_empty pending)) && Queue.peek pending <= arrival do
+      ignore (Queue.pop pending)
+    done;
+    let depth = Queue.length pending in
+    let admit =
+      if not shed then true
+      else if !shedding then
+        if depth <= low then begin
+          shedding := false;
+          true
+        end
+        else false
+      else if depth >= high then begin
+        shedding := true;
+        false
+      end
+      else true
+    in
+    if admit then begin
+      let start = Float.max arrival !last_done in
+      let finish = start +. service in
+      last_done := finish;
+      Queue.add finish pending;
+      Metrics.Cdf.add cdf (finish -. arrival)
+    end
+    else incr sheds
+  done;
+  {
+    ov_mode = (if shed then "shed" else "queue");
+    ov_served = Metrics.Cdf.count cdf;
+    ov_shed = !sheds;
+    ov_p50 = Metrics.Cdf.quantile cdf 0.5;
+    ov_p90 = Metrics.Cdf.quantile cdf 0.9;
+    ov_p99 = Metrics.Cdf.quantile cdf 0.99;
+    ov_max = Metrics.Cdf.max_value cdf;
+  }
+
+let run_overload_bench () =
+  let quick = Experiments.Common.quick_mode () in
+  let requests = if quick then 500 else 2_000 in
+  (* 25% overload: arrivals every 0.8 s, service 1 s.  Watermarks match
+     the chaos harness's admission config (high 48, low 32). *)
+  let arrival_gap = 0.8 and service = 1.0 in
+  let high = 48 and low = 32 in
+  Experiments.Common.section
+    (Printf.sprintf
+       "Overload: shed vs queue (%d requests, arrivals %.1fx service rate)"
+       requests (service /. arrival_gap));
+  let queue_pt =
+    run_overload_policy ~shed:false ~requests ~arrival_gap ~service ~high ~low
+  in
+  let shed_pt =
+    run_overload_policy ~shed:true ~requests ~arrival_gap ~service ~high ~low
+  in
+  Printf.printf "%8s %8s %8s %10s %10s %10s %10s\n" "mode" "served" "shed"
+    "p50" "p90" "p99" "max";
+  List.iter
+    (fun p ->
+      Printf.printf "%8s %8d %8d %9.1fs %9.1fs %9.1fs %9.1fs\n" p.ov_mode
+        p.ov_served p.ov_shed p.ov_p50 p.ov_p90 p.ov_p99 p.ov_max)
+    [ queue_pt; shed_pt ];
+  (* Shedding keeps the tail near the high watermark's worth of service
+     time; queueing lets it grow with the storm. *)
+  let p99_bound = float_of_int (high + 1) *. service in
+  let bounded_p99 =
+    shed_pt.ov_p99 <= p99_bound && shed_pt.ov_p99 < queue_pt.ov_p99
+  in
+  let out = "BENCH_overload.json" in
+  let oc = open_out out in
+  let point_json p =
+    Printf.sprintf
+      "    { \"mode\": %S, \"served\": %d, \"shed\": %d,\n\
+      \      \"p50_s\": %.3f, \"p90_s\": %.3f, \"p99_s\": %.3f, \"max_s\": \
+       %.3f }"
+      p.ov_mode p.ov_served p.ov_shed p.ov_p50 p.ov_p90 p.ov_p99 p.ov_max
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"overload-shed-vs-queue\",\n\
+    \  \"generated_by\": \"bench/main.exe overload\",\n\
+    \  \"quick\": %b,\n\
+    \  \"requests\": %d,\n\
+    \  \"arrival_gap_s\": %.3f,\n\
+    \  \"service_s\": %.3f,\n\
+    \  \"queue_high\": %d,\n\
+    \  \"queue_low\": %d,\n\
+    \  \"modes\": [\n%s\n  ],\n\
+    \  \"headline\": { \"shed_p99_s\": %.3f, \"queue_p99_s\": %.3f, \
+     \"p99_bound_s\": %.3f, \"bounded_p99\": %b }\n\
+     }\n"
+    quick requests arrival_gap service high low
+    (String.concat ",\n" (List.map point_json [ queue_pt; shed_pt ]))
+    shed_pt.ov_p99 queue_pt.ov_p99 p99_bound bounded_p99;
+  close_out oc;
+  Printf.printf "wrote %s (shed p99 %.1fs vs queue p99 %.1fs, bounded: %b)\n\n%!"
+    out shed_pt.ov_p99 queue_pt.ov_p99 bounded_p99
+
+(* ------------------------------------------------------------------ *)
 (* Experiment harness entries *)
 
 let quick () = Experiments.Common.quick_mode ()
@@ -331,6 +459,7 @@ let run_all () =
   Experiments.Table1.print ();
   run_micro ();
   run_sched_bench ();
+  run_overload_bench ();
   Experiments.Perf.print_fig3 ();
   run_fig45 ();
   run_safety ();
@@ -345,6 +474,7 @@ let () =
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; "micro" ] -> run_micro ()
   | [ _; "sched" ] -> run_sched_bench ()
+  | [ _; "overload" ] -> run_overload_bench ()
   | [ _; "table1" ] -> Experiments.Table1.print ()
   | [ _; "fig3" ] -> Experiments.Perf.print_fig3 ()
   | [ _; ("fig4" | "fig5") ] -> run_fig45 ()
@@ -356,5 +486,5 @@ let () =
   | [ _; "ablation" ] -> run_ablation ()
   | _ ->
     prerr_endline
-      "usage: main.exe [all|micro|sched|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
+      "usage: main.exe [all|micro|sched|overload|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
     exit 2

@@ -6,7 +6,9 @@
    Exit status is non-zero if the script fails to parse, any `expect`
    assertion fails, a transaction aborts or fails with no `expect`
    acknowledging it, or the logical and physical layers disagree at the
-   end of the run — so scenarios double as regression tests. *)
+   end of the run — so scenarios double as regression tests.  Admission
+   overload aborts are the expected face of load shedding and never make
+   the exit status unhealthy. *)
 
 let () =
   match Array.to_list Sys.argv with

@@ -164,13 +164,15 @@ let print_chaos_result ~with_trace r =
     "seed %4d  %-19s %3d committed / %2d aborted / %2d failed, %2d faults, \
      quiesced at %.0fs, sched: %d deferrals, %d wakeups (%d spurious), \
      robust: %d retries (%d transient, %d timeouts), watchdog %d TERM / %d \
-     KILL\n"
+     KILL, shed %d, breaker %d trips / %d probes / %d closes\n"
     r.Chaos.Runner.seed r.Chaos.Runner.schedule r.Chaos.Runner.committed
     r.Chaos.Runner.aborted r.Chaos.Runner.failed r.Chaos.Runner.injected
     r.Chaos.Runner.duration r.Chaos.Runner.deferrals r.Chaos.Runner.wakeups
     r.Chaos.Runner.spurious_wakeups r.Chaos.Runner.retries
     r.Chaos.Runner.transient_failures r.Chaos.Runner.timeouts
-    r.Chaos.Runner.auto_terms r.Chaos.Runner.auto_kills;
+    r.Chaos.Runner.auto_terms r.Chaos.Runner.auto_kills r.Chaos.Runner.sheds
+    r.Chaos.Runner.breaker_trips r.Chaos.Runner.breaker_probes
+    r.Chaos.Runner.breaker_closes;
   List.iter
     (fun v -> Printf.printf "  VIOLATION %s\n" (Chaos.Invariant.violation_to_string v))
     r.Chaos.Runner.violations;
@@ -267,8 +269,8 @@ let chaos_cmd =
   in
   let build =
     let doc =
-      "Build to exercise: stock, no-constraints, no-guard-locks or \
-       no-watchdog."
+      "Build to exercise: stock, no-constraints, no-guard-locks, \
+       no-watchdog or no-breaker."
     in
     Arg.(value & opt string "stock" & info [ "build" ] ~doc)
   in

@@ -15,6 +15,8 @@ type tracker = {
   stall_budget : float option;
   first_started : (int, float) Hashtbl.t;  (* txn id -> first seen Started *)
   stuck_reported : (int, unit) Hashtbl.t;
+  queue_budget : int option;
+  mutable queue_reported : bool;
 }
 
 let record tracker invariant detail =
@@ -76,6 +78,26 @@ let poll_stuck_locks tracker platform =
              end)
          started)
 
+(* Admission control exists to bound the controller's pending queue; past
+   the budget the platform is queueing unboundedly under load it should
+   shed.  Reported once per run — a storm would otherwise drown the
+   violation list in one line per poll. *)
+let poll_bounded_queue tracker platform =
+  match tracker.queue_budget with
+  | None -> ()
+  | Some budget ->
+    if not tracker.queue_reported then (
+      match Tropic.Platform.leader_controller platform with
+      | None -> ()
+      | Some leader ->
+        let pending = Tropic.Controller.todo_length leader in
+        if pending > budget then begin
+          tracker.queue_reported <- true;
+          record tracker "bounded-queue"
+            (Printf.sprintf "%d transactions pending, budget %d" pending
+               budget)
+        end)
+
 let overcommit_violations ?(once = None) computes =
   let found = ref [] in
   Array.iteri
@@ -95,7 +117,7 @@ let overcommit_violations ?(once = None) computes =
     computes;
   List.rev !found
 
-let start ?(period = 0.25) ?stall_budget ~platform ~computes () =
+let start ?(period = 0.25) ?stall_budget ?queue_budget ~platform ~computes () =
   let tracker =
     {
       sim = Tropic.Platform.sim platform;
@@ -106,6 +128,8 @@ let start ?(period = 0.25) ?stall_budget ~platform ~computes () =
       stall_budget;
       first_started = Hashtbl.create 16;
       stuck_reported = Hashtbl.create 8;
+      queue_budget;
+      queue_reported = false;
     }
   in
   ignore
@@ -114,6 +138,7 @@ let start ?(period = 0.25) ?stall_budget ~platform ~computes () =
            Des.Proc.sleep period;
            poll_coord_leadership tracker platform;
            poll_stuck_locks tracker platform;
+           poll_bounded_queue tracker platform;
            List.iter
              (record tracker "no-overcommit")
              (overcommit_violations ~once:(Some tracker.overcommitted) computes)

@@ -15,6 +15,11 @@
       flight — write locks held — longer than the budget.  The robustness
       layer (retries, per-action deadlines, watchdog escalation) exists
       precisely to bound this; the no-watchdog ablation makes it fire.
+    - [bounded-queue] (only with [~queue_budget]): the leader's pending
+      (ready + blocked) queue never exceeds the budget.  Admission
+      control's watermarks exist precisely to bound this; the no-breaker
+      ablation under a request storm makes it fire.  Reported once per
+      run.
 
     At quiescence:
     - [transaction-terminal]: every submitted transaction reached
@@ -37,13 +42,15 @@ val violation_to_string : violation -> string
 
 type tracker
 
-(** [start ?period ?stall_budget ~platform ~computes ()] spawns the
-    polling process ([period] defaults to 0.25 s).  [stall_budget]
-    (seconds a transaction may stay in flight) enables the [stuck-lock]
-    check. *)
+(** [start ?period ?stall_budget ?queue_budget ~platform ~computes ()]
+    spawns the polling process ([period] defaults to 0.25 s).
+    [stall_budget] (seconds a transaction may stay in flight) enables the
+    [stuck-lock] check; [queue_budget] (max pending transactions on the
+    leader) enables the [bounded-queue] check. *)
 val start :
   ?period:float ->
   ?stall_budget:float ->
+  ?queue_budget:int ->
   platform:Tropic.Platform.t ->
   computes:(Data.Path.t * Devices.Compute.t) array ->
   unit ->

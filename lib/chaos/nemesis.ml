@@ -14,10 +14,12 @@ type t = {
   mutable partitioned : bool;
   mutable fired_count : int;
   mutable removed : string list;
+  mutable storm_submitted : string list; (* storm VM names, newest first *)
 }
 
 let fired t = t.fired_count
 let oob_removed t = t.removed
+let storm_vms t = t.storm_submitted
 
 let pick t = function
   | [] -> None
@@ -274,6 +276,57 @@ let signal_txn t signal stall =
       Tropic.Platform.signal t.nenv.platform txn_id
         (match signal with `Term -> Tropic.Proto.Term | `Kill -> Tropic.Proto.Kill)
 
+(* Flap a specific host between healthy and always-failing: probability
+   1.0 makes every device action fail transiently (retries engage, then
+   exhaust), 0.0 restores it — the pattern health scoring must recognise
+   and fence off. *)
+let flap_device t host up_for down_for cycles =
+  if host < 0 || host >= Array.length t.nenv.computes then
+    skip t (Printf.sprintf "no compute host %d to flap" host)
+  else begin
+    let root, compute = t.nenv.computes.(host) in
+    let faults = Devices.Device.faults (Devices.Compute.device compute) in
+    inject t
+      (Printf.sprintf "flap %s: %d cycles of %.0fs up / %.0fs down"
+         (Data.Path.to_string root) cycles up_for down_for);
+    let set p =
+      match Devices.Fault.set_probability faults p with
+      | Ok () -> ()
+      | Error reason -> t.nenv.trace ("flap rejected: " ^ reason)
+    in
+    for _ = 1 to cycles do
+      Des.Proc.sleep up_for;
+      set 1.0;
+      Des.Proc.sleep down_for;
+      set 0.
+    done;
+    t.nenv.trace "flap over"
+  end
+
+(* Fire-and-forget request flood against the flappable hot host: nobody
+   awaits these, so under admission control the excess is shed with the
+   fast overload abort while the accepted ones drain normally. *)
+let request_storm t count gap =
+  if Array.length t.nenv.computes = 0 then skip t "no compute hosts"
+  else begin
+    let root, _ = t.nenv.computes.(0) in
+    inject t
+      (Printf.sprintf "request storm: %d spawns on %s, %.2fs apart" count
+         (Data.Path.to_string root) gap);
+    for i = 1 to count do
+      let vm = Printf.sprintf "storm%03d" i in
+      t.storm_submitted <- vm :: t.storm_submitted;
+      ignore
+        (Tropic.Platform.submit t.nenv.platform ~proc:"spawnVM"
+           ~args:
+             (Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:256
+                ~storage:(Data.Path.to_string (Tcloud.Setup.storage_path 0))
+                ~host:(Data.Path.to_string root)));
+      Des.Proc.sleep gap
+    done;
+    t.nenv.trace "storm submitted"
+  end
+
 let perform t = function
   | Schedule.Crash_controller { target; down_for } ->
     crash_controller t target down_for
@@ -290,6 +343,9 @@ let perform t = function
   | Schedule.Oob_stop_vm -> oob_stop_vm t
   | Schedule.Oob_remove_vm -> oob_remove_vm t
   | Schedule.Signal_txn { signal; stall } -> signal_txn t signal stall
+  | Schedule.Flap_device { host; up_for; down_for; cycles } ->
+    flap_device t host up_for down_for cycles
+  | Schedule.Request_storm { count; gap } -> request_storm t count gap
 
 (* ------------------------------------------------------------------ *)
 (* Trigger compilation *)
@@ -327,6 +383,7 @@ let install env schedule =
       partitioned = false;
       fired_count = 0;
       removed = [];
+      storm_submitted = [];
     }
   in
   List.iteri

@@ -29,3 +29,8 @@ val fired : t -> int
 (** Names of VMs deleted behind TROPIC's back ([Oob_remove_vm]); the
     invariant checker must not expect them to be present. *)
 val oob_removed : t -> string list
+
+(** VM names submitted by [Request_storm] firings.  Fire-and-forget: the
+    harness never awaits them, so their fate (committed, shed, aborted on
+    capacity) is unpredictable and the quiescence check must skip them. *)
+val storm_vms : t -> string list

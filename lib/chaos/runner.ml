@@ -1,21 +1,23 @@
-type build = Stock | No_constraints | No_guard_locks | No_watchdog
+type build = Stock | No_constraints | No_guard_locks | No_watchdog | No_breaker
 
 let build_to_string = function
   | Stock -> "stock"
   | No_constraints -> "no-constraints"
   | No_guard_locks -> "no-guard-locks"
   | No_watchdog -> "no-watchdog"
+  | No_breaker -> "no-breaker"
 
 let build_of_string = function
   | "stock" -> Ok Stock
   | "no-constraints" -> Ok No_constraints
   | "no-guard-locks" -> Ok No_guard_locks
   | "no-watchdog" -> Ok No_watchdog
+  | "no-breaker" -> Ok No_breaker
   | other ->
     Error
       (Printf.sprintf
-         "unknown build %S (expected stock, no-constraints, no-guard-locks or \
-          no-watchdog)"
+         "unknown build %S (expected stock, no-constraints, no-guard-locks, \
+          no-watchdog or no-breaker)"
          other)
 
 type config = {
@@ -47,6 +49,10 @@ type result = {
   timeouts : int;
   auto_terms : int;
   auto_kills : int;
+  sheds : int;
+  breaker_trips : int;
+  breaker_probes : int;
+  breaker_closes : int;
   violations : Invariant.violation list;
   trace : string list;
   duration : float;
@@ -77,6 +83,29 @@ let watchdog_config =
    watchdog's worst-case rescue (deadline + both graces + signal
    processing), well before the horizon. *)
 let stall_budget = 240.0
+
+(* Health scoring tuned for the flap cadence: two clean failures on a
+   root push the combined score past the threshold, and the cooldown is
+   long enough that the canary usually lands in a healthy up-phase after
+   a couple of re-trips.  latency_ref sits past the watchdog deadline so
+   honest queueing never trips a breaker on its own. *)
+let health_config =
+  {
+    Tropic.Health.default_config with
+    Tropic.Health.alpha = 0.4;
+    trip_threshold = 0.6;
+    cooldown = 20.;
+    latency_ref = 150.;
+    poll_interval = 1.0;
+  }
+
+(* Admission watermarks: shed at 48 pending, resume at 32.  The
+   bounded-queue budget sits above the high watermark — with shedding on,
+   the pending count cannot legitimately reach it. *)
+let admission_watermarks =
+  { Tropic.Health.queue_high = Some 48; queue_low = 32 }
+
+let queue_budget = 64
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic workload.
@@ -130,13 +159,18 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Actions.register_all env;
       Tcloud.Procs.register_all env;
       env
-    | Stock | No_guard_locks | No_watchdog -> inventory.Tcloud.Setup.env
+    | Stock | No_guard_locks | No_watchdog | No_breaker ->
+      inventory.Tcloud.Setup.env
   in
   (* No_watchdog strips the whole robustness layer — watchdog AND the
      workers' retry/deadline policy.  Leaving deadlines on would rescue
      hung invocations anyway and hide exactly the stalls the ablation is
-     meant to exhibit. *)
+     meant to exhibit.  No_breaker strips only the overload layer —
+     health scoring, breakers and admission control — keeping the
+     watchdog and retries, so the flap-storm conviction isolates exactly
+     what the breakers buy. *)
   let robust = config.build <> No_watchdog in
+  let breaker = config.build <> No_breaker in
   let controller_config =
     {
       Tcloud.Setup.controller_config with
@@ -144,6 +178,9 @@ let run_one ?(trace = false) config ~schedule ~seed =
       constraint_guard_locks = config.build <> No_guard_locks;
       watchdog =
         (if robust then watchdog_config else Tropic.Watchdog.disabled);
+      health = (if breaker then health_config else Tropic.Health.disabled);
+      admission =
+        (if breaker then admission_watermarks else Tropic.Health.no_admission);
     }
   in
   let platform =
@@ -158,7 +195,8 @@ let run_one ?(trace = false) config ~schedule ~seed =
         (* Generous enough that a healed 8 s partition does not expire
            live controller sessions behind their backs. *)
         controller_session_timeout = 5.0;
-        client_slots = 160;
+        (* Room for the workload chains plus a 90-txn request storm. *)
+        client_slots = 256;
         worker_retry =
           (if robust then Tropic.Physical.default_retry
            else Tropic.Physical.no_retry);
@@ -235,7 +273,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
       schedule
   in
   let tracker =
-    Invariant.start ~stall_budget ~platform
+    Invariant.start ~stall_budget ~queue_budget ~platform
       ~computes:inventory.Tcloud.Setup.computes ()
   in
   (* Quiescence monitor: wait for the workload and the schedule, give the
@@ -306,14 +344,16 @@ let run_one ?(trace = false) config ~schedule ~seed =
   (* Scheduler counters of whoever leads at quiescence (controller
      crash/fail-over resets them with the controller instance). *)
   let ( deferrals, wakeups, spurious_wakeups, retries, transient_failures,
-        timeouts, auto_terms, auto_kills ) =
+        timeouts, auto_terms, auto_kills, sheds, breaker_trips, breaker_probes,
+        breaker_closes ) =
     match Tropic.Platform.leader_controller platform with
     | Some leader ->
       let s = Tropic.Controller.stats leader in
       Tropic.Controller.
         ( s.deferrals, s.wakeups, s.spurious_wakeups, s.exec_retries,
-          s.transient_failures, s.timeouts, s.auto_terms, s.auto_kills )
-    | None -> (0, 0, 0, 0, 0, 0, 0, 0)
+          s.transient_failures, s.timeouts, s.auto_terms, s.auto_kills,
+          s.sheds, s.breaker_trips, s.breaker_probes, s.breaker_closes )
+    | None -> (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
   in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
@@ -350,6 +390,10 @@ let run_one ?(trace = false) config ~schedule ~seed =
      resolved by adopting the physical state, whatever it was). *)
   let unpredictable = Hashtbl.create 16 in
   List.iter (fun vm -> Hashtbl.replace unpredictable vm ()) (Nemesis.oob_removed nemesis);
+  (* Storm submissions are never awaited; whether each one committed,
+     was shed, or aborted on capacity depends on timing the harness does
+     not model. *)
+  List.iter (fun vm -> Hashtbl.replace unpredictable vm ()) (Nemesis.storm_vms nemesis);
   List.iter
     (fun (id, op) ->
       match state_of id with
@@ -410,6 +454,10 @@ let run_one ?(trace = false) config ~schedule ~seed =
     timeouts;
     auto_terms;
     auto_kills;
+    sheds;
+    breaker_trips;
+    breaker_probes;
+    breaker_closes;
     violations =
       Invariant.tracker_violations tracker
       @ quiescence_violations @ crash_violations @ horizon_violations;

@@ -18,8 +18,11 @@
     R-locks only; [No_watchdog] strips the robustness layer — stall
     watchdog, per-action deadlines and transient-error retries — so
     hang/crash schedules leave transactions wedged with their locks
-    held. *)
-type build = Stock | No_constraints | No_guard_locks | No_watchdog
+    held; [No_breaker] strips the overload layer — device health
+    scoring, circuit breakers and admission control — so a flap-storm
+    schedule queues unboundedly behind the flapping host and trips the
+    [bounded-queue] invariant. *)
+type build = Stock | No_constraints | No_guard_locks | No_watchdog | No_breaker
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result
@@ -53,6 +56,10 @@ type result = {
   timeouts : int;  (** per-action deadline expiries *)
   auto_terms : int;  (** TERMs the watchdog issued *)
   auto_kills : int;  (** KILLs the watchdog issued *)
+  sheds : int;  (** requests fast-aborted by admission control *)
+  breaker_trips : int;  (** breaker [Closed]/[Half_open] -> [Tripped] *)
+  breaker_probes : int;  (** canary transactions admitted half-open *)
+  breaker_closes : int;  (** probe successes that re-closed a breaker *)
   violations : Invariant.violation list;
   trace : string list;  (** injection/progress log, oldest first *)
   duration : float;  (** virtual seconds to quiescence *)

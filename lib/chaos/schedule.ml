@@ -12,6 +12,8 @@ type action =
   | Oob_stop_vm
   | Oob_remove_vm
   | Signal_txn of { signal : [ `Term | `Kill ]; stall : float }
+  | Flap_device of { host : int; up_for : float; down_for : float; cycles : int }
+  | Request_storm of { count : int; gap : float }
 
 type trigger =
   | At of float
@@ -54,6 +56,11 @@ let action_to_string = function
     Printf.sprintf "signal(%s after %.1fs stall)"
       (match signal with `Term -> "TERM" | `Kill -> "KILL")
       stall
+  | Flap_device { host; up_for; down_for; cycles } ->
+    Printf.sprintf "flap-device(host%d, %d cycles of %.0fs up / %.0fs down)"
+      host cycles up_for down_for
+  | Request_storm { count; gap } ->
+    Printf.sprintf "request-storm(%d spawns, %.2fs gap)" count gap
 
 let step_end { trigger; action } =
   let trigger_end =
@@ -70,6 +77,9 @@ let step_end { trigger; action } =
     | Fault_burst { lasting; _ } -> lasting
     | Signal_txn { stall; _ } -> stall
     | Crash_worker { down_for } -> down_for
+    | Flap_device { up_for; down_for; cycles; _ } ->
+      float_of_int cycles *. (up_for +. down_for)
+    | Request_storm { count; gap } -> float_of_int count *. gap
     | Fail_next_device_action _ | Hang_next_device_action _ | Power_cycle_host
     | Oob_stop_vm | Oob_remove_vm ->
       0.
@@ -200,6 +210,24 @@ let hang_storm =
       ];
   }
 
+(* The overload gauntlet: the workload's hot host flaps between dead and
+   healthy on a short period while a fire-and-forget request storm floods
+   the controller.  With health scoring + breakers the flapping subtree is
+   fenced off at admission and the watermarks shed the excess, so the
+   pending queue stays bounded; the no-breaker build lets the storm pile
+   up behind the flap-wedged FIFO head and the bounded-queue invariant
+   convicts it.  Appended last so preset indices stay stable. *)
+let flap_storm =
+  {
+    name = "flap-storm";
+    steps =
+      [
+        at 10.
+          (Flap_device { host = 0; up_for = 6.; down_for = 6.; cycles = 8 });
+        at 18. (Request_storm { count = 90; gap = 0.08 });
+      ];
+  }
+
 let presets =
   [
     controller_crashes;
@@ -209,6 +237,7 @@ let presets =
     blocked_crash;
     mixed;
     hang_storm;
+    flap_storm;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

@@ -35,6 +35,12 @@ type action =
   | Oob_remove_vm        (** delete a random stopped VM behind TROPIC's back *)
   | Signal_txn of { signal : [ `Term | `Kill ]; stall : float }
       (** wait [stall] seconds, then TERM/KILL a random live transaction *)
+  | Flap_device of { host : int; up_for : float; down_for : float; cycles : int }
+      (** alternate compute host [host] between healthy and
+          always-failing-transiently, [cycles] times *)
+  | Request_storm of { count : int; gap : float }
+      (** fire-and-forget burst of [count] small spawnVM requests against
+          the flappable hot host, one every [gap] seconds *)
 
 type trigger =
   | At of float
@@ -80,6 +86,12 @@ val mixed : t
     fault bursts, and worker crashes mid-execution.  Clean only when the
     retry/deadline/watchdog layer is on. *)
 val hang_storm : t
+
+(** The overload gauntlet: the hot host flaps between dead and healthy
+    while a request storm floods the controller.  Clean only with health
+    scoring + circuit breakers + admission control; the no-breaker build
+    trips the bounded-queue invariant. *)
+val flap_storm : t
 
 (** All of the above, in sweep order. *)
 val presets : t list

@@ -11,6 +11,8 @@ type config = {
   constraint_guard_locks : bool;
   repair_interval : float option;
   watchdog : Watchdog.config;
+  health : Health.config;
+  admission : Health.admission;
 }
 
 let default_config =
@@ -23,6 +25,8 @@ let default_config =
     constraint_guard_locks = true;
     repair_interval = None;
     watchdog = Watchdog.disabled;
+    health = Health.disabled;
+    admission = Health.no_admission;
   }
 
 type stats = {
@@ -44,6 +48,11 @@ type stats = {
   mutable exec_retries : int;
   mutable transient_failures : int;
   mutable timeouts : int;
+  mutable sheds : int;
+  mutable breaker_deferrals : int;
+  mutable breaker_trips : int;
+  mutable breaker_probes : int;
+  mutable breaker_closes : int;
 }
 
 type t = {
@@ -68,6 +77,13 @@ type t = {
   signaled : (int, unit) Hashtbl.t; (* txns with a pending signal key *)
   mutable max_request_seq : int; (* highest request item seq processed *)
   watchdog : Watchdog.t;
+  health : Health.t;
+  breaker_parked : (int, Data.Path.t list) Hashtbl.t;
+      (* txns deferred at admission by a tripped breaker, with the device
+         roots they were gated on *)
+  started_at : (int, float) Hashtbl.t; (* Started time, for latency scores *)
+  mutable shedding : bool; (* admission watermark hysteresis *)
+  mutable wake_pending : bool; (* health monitor woke parked txns *)
   mutable leading : bool;
   mutable stopped : bool;
   mutable procs : Des.Proc.t list;
@@ -97,6 +113,11 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
     signaled = Hashtbl.create 8;
     max_request_seq = 0;
     watchdog = Watchdog.create config.watchdog;
+    health = Health.create config.health;
+    breaker_parked = Hashtbl.create 8;
+    started_at = Hashtbl.create 32;
+    shedding = false;
+    wake_pending = false;
     leading = false;
     stopped = false;
     procs = [];
@@ -120,13 +141,28 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
         exec_retries = 0;
         transient_failures = 0;
         timeouts = 0;
+        sheds = 0;
+        breaker_deferrals = 0;
+        breaker_trips = 0;
+        breaker_probes = 0;
+        breaker_closes = 0;
       };
   }
 
 let name t = t.cname
 let is_leader t = t.leading
 let tree t = t.tree
-let stats t = t.st
+
+(* The breaker counters live in Health; mirror them into the stats record
+   so one struct carries everything into experiment summaries. *)
+let refresh_breaker_stats t =
+  t.st.breaker_trips <- Health.trips t.health;
+  t.st.breaker_probes <- Health.probes t.health;
+  t.st.breaker_closes <- Health.closes t.health
+
+let stats t =
+  refresh_breaker_stats t;
+  t.st
 let todo_length t = Sched.length t.sched
 let blocked_length t = Sched.blocked_length t.sched
 let lock_count t = Mglock.lock_count t.locks
@@ -216,6 +252,16 @@ let write_paths (txn : Txn.t) =
   List.filter_map
     (fun (path, mode) -> if mode = Mglock.W then Some path else None)
     txn.Txn.locks
+
+(* Device roots under a lock set's write paths — the granularity at which
+   health is scored and breakers trip. *)
+let write_roots t locks =
+  List.filter_map
+    (fun (path, mode) ->
+      if mode = Mglock.W then Option.map Devices.Device.root (t.devices path)
+      else None)
+    locks
+  |> List.sort_uniq Data.Path.compare
 
 (* Quiescent checkpoint: when nothing is physically in flight, the logical
    tree contains exactly the committed state, so it can serve as the replay
@@ -311,29 +357,58 @@ let try_start t (txn : Txn.t) : Sched.attempt =
       `Finished
     end
     else begin
-      match Mglock.try_acquire t.locks ~txn:txn.Txn.id locks with
-      | Error conflict ->
+      (* Circuit breakers gate admission to the device subtrees the write
+         set touches — before lock acquisition or hardware contact.  A
+         tripped subtree parks the transaction in the scheduler's blocked
+         table (no Mglock waiter: the health monitor, not a lock release,
+         wakes it once the breaker ages out). *)
+      Hashtbl.remove t.breaker_parked txn.Txn.id;
+      let now = Des.Sim.now t.sim in
+      let gates =
+        List.map
+          (fun root -> (root, Health.gate t.health ~now ~root))
+          (write_roots t locks)
+      in
+      refresh_breaker_stats t;
+      if List.exists (fun (_, g) -> g = `Defer) gates then begin
         txn.Txn.state <- Txn.Deferred;
-        t.st.deferrals <- t.st.deferrals + 1;
-        (* Park on the node the conflict arose at: the holder's release of
-           that node is the wake-up call. *)
-        Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path;
+        t.st.breaker_deferrals <- t.st.breaker_deferrals + 1;
+        Hashtbl.replace t.breaker_parked txn.Txn.id (List.map fst gates);
         `Conflict
-      | Ok () ->
-        txn.Txn.state <- Txn.Started;
-        txn.Txn.log <- log;
-        txn.Txn.locks <- locks;
-        txn.Txn.start_seq <- Some t.next_start_seq;
-        t.next_start_seq <- t.next_start_seq + 1;
-        persist t txn;
-        t.tree <- new_tree;
-        ignore
-          (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
-             (string_of_int txn.Txn.id));
-        `Started
+      end
+      else begin
+        match Mglock.try_acquire t.locks ~txn:txn.Txn.id locks with
+        | Error conflict ->
+          txn.Txn.state <- Txn.Deferred;
+          t.st.deferrals <- t.st.deferrals + 1;
+          (* Park on the node the conflict arose at: the holder's release of
+             that node is the wake-up call. *)
+          Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path;
+          `Conflict
+        | Ok () ->
+          List.iter
+            (fun (root, g) ->
+              if g = `Probe then
+                Health.begin_probe t.health ~now ~root ~txn:txn.Txn.id)
+            gates;
+          refresh_breaker_stats t;
+          Hashtbl.replace t.started_at txn.Txn.id now;
+          txn.Txn.state <- Txn.Started;
+          txn.Txn.log <- log;
+          txn.Txn.locks <- locks;
+          txn.Txn.start_seq <- Some t.next_start_seq;
+          t.next_start_seq <- t.next_start_seq + 1;
+          persist t txn;
+          t.tree <- new_tree;
+          ignore
+            (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
+               (string_of_int txn.Txn.id));
+          `Started
+      end
     end
 
 let schedule t =
+  t.wake_pending <- false;
   Sched.drain t.sched ~attempt:(try_start t) ~on_spurious:(fun _ ->
       t.st.spurious_wakeups <- t.st.spurious_wakeups + 1)
 
@@ -354,12 +429,43 @@ let accept_request t ~txn_id ~proc ~args =
     let txn =
       Txn.make ~id:txn_id ~proc ~args ~submitted_at:(Des.Sim.now t.sim)
     in
-    txn.Txn.state <- Txn.Accepted;
-    persist t txn;
     Hashtbl.replace t.txns txn_id txn;
-    let was_idle = Sched.submit t.sched txn in
     t.st.accepted <- t.st.accepted + 1;
-    was_idle
+    (* Admission control: once the pending queue reaches the high
+       watermark, shed new arrivals with a fast overload abort — no locks,
+       no hardware — until it drains back to the low watermark
+       (hysteresis), so admission latency stays bounded under storms. *)
+    let pending = Sched.length t.sched in
+    let shed =
+      match t.cfg.admission.Health.queue_high with
+      | None -> false
+      | Some high ->
+        if t.shedding then
+          if pending <= t.cfg.admission.Health.queue_low then begin
+            t.shedding <- false;
+            false
+          end
+          else true
+        else if pending >= high then begin
+          t.shedding <- true;
+          Log.info (fun m ->
+              m "%s: admission shedding on (pending=%d >= high=%d)" t.cname
+                pending high);
+          true
+        end
+        else false
+    in
+    if shed then begin
+      finish t txn (Txn.Aborted Txn.overload_reason);
+      t.st.aborted <- t.st.aborted + 1;
+      t.st.sheds <- t.st.sheds + 1;
+      false
+    end
+    else begin
+      txn.Txn.state <- Txn.Accepted;
+      persist t txn;
+      Sched.submit t.sched txn
+    end
   end
 
 let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
@@ -374,6 +480,28 @@ let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
       t.st.transient_failures <-
         t.st.transient_failures + exec.Proto.transient_failures;
       t.st.timeouts <- t.st.timeouts + exec.Proto.timeouts;
+      (* Health scoring: fold the outcome into the written device roots.
+         Operator-signaled transactions are excluded — their abort says
+         nothing about device health — but must still release a canary
+         claim they may hold. *)
+      let now = Des.Sim.now t.sim in
+      let latency =
+        match Hashtbl.find_opt t.started_at txn_id with
+        | Some s -> now -. s
+        | None -> 0.
+      in
+      Hashtbl.remove t.started_at txn_id;
+      if Hashtbl.mem t.signaled txn_id then
+        Health.forget_probe t.health ~txn:txn_id
+      else
+        List.iter
+          (fun root ->
+            Health.observe t.health ~now ~root ~txn:txn_id
+              ~ok:(outcome = Proto.Phy_committed)
+              ~retries:exec.Proto.retries ~timeouts:exec.Proto.timeouts
+              ~latency)
+          (write_roots t txn.Txn.locks);
+      refresh_breaker_stats t;
       (match outcome with
        | Proto.Phy_committed -> commit_txn t txn
        | Proto.Phy_aborted reason -> abort_txn t txn reason
@@ -405,6 +533,7 @@ let handle_signal t ~txn_id signal =
        (match Sched.remove t.sched txn_id with
         | `Blocked -> Mglock.cancel_wait t.locks ~txn:txn_id
         | `Ready | `Absent -> ());
+       Hashtbl.remove t.breaker_parked txn_id;
        finish t txn
          (Txn.Aborted
             (Printf.sprintf "signal %s before start" (Proto.signal_to_string signal)));
@@ -431,6 +560,8 @@ let handle_signal t ~txn_id signal =
            | Error undo_reason ->
              finish t txn (Txn.Failed ("killed by operator; " ^ undo_reason)));
           release_locks t txn;
+          Health.forget_probe t.health ~txn:txn_id;
+          Hashtbl.remove t.started_at txn_id;
           t.st.failed <- t.st.failed + 1)
      | Txn.Initialized | Txn.Committed | Txn.Aborted _ | Txn.Failed _ -> ())
 
@@ -789,6 +920,45 @@ let spawn_watchdog t =
   t.procs <-
     Des.Proc.spawn ~name:(t.cname ^ ".watchdog") t.sim loop :: t.procs
 
+(* Breaker-parked transactions sit in the scheduler's blocked table with no
+   lock waiter entry, so no release ever wakes them; this monitor re-gates
+   them periodically and moves the admissible ones back to the ready queue
+   (gate is also what ages Tripped breakers into Half_open).  The main loop
+   notices [wake_pending] on its next iteration and drains. *)
+let spawn_health_monitor t =
+  let loop () =
+    while not t.stopped do
+      Des.Proc.sleep t.cfg.health.Health.poll_interval;
+      if t.leading && (not t.stopped) && Hashtbl.length t.breaker_parked > 0
+      then begin
+        let now = Des.Sim.now t.sim in
+        let eligible =
+          Hashtbl.fold
+            (fun id roots acc ->
+              if
+                List.for_all
+                  (fun root -> Health.gate t.health ~now ~root <> `Defer)
+                  roots
+              then id :: acc
+              else acc)
+            t.breaker_parked []
+          |> List.sort compare
+        in
+        refresh_breaker_stats t;
+        if eligible <> [] then begin
+          List.iter (Hashtbl.remove t.breaker_parked) eligible;
+          ignore (Sched.wake t.sched eligible);
+          t.wake_pending <- true;
+          Log.info (fun m ->
+              m "%s: breaker released %d parked txn(s)" t.cname
+                (List.length eligible))
+        end
+      end
+    done
+  in
+  t.procs <-
+    Des.Proc.spawn ~name:(t.cname ^ ".health") t.sim loop :: t.procs
+
 let run t () =
   let member =
     Coord.Recipes.join_election t.client ~election:Proto.election_path
@@ -802,15 +972,17 @@ let run t () =
    | Some interval -> spawn_repair_sweeper t interval
    | None -> ());
   if t.cfg.watchdog.Watchdog.enabled then spawn_watchdog t;
+  if t.cfg.health.Health.enabled then spawn_health_monitor t;
   recover t;
   schedule t;
   while not t.stopped do
+    if t.wake_pending then schedule t;
     match next_item t with
     | None -> ()
     | Some (key, payload) ->
       let need_schedule = process_item t ~key ~payload in
       ignore (Coord.Client.delete t.client ~key ());
-      if need_schedule then schedule t
+      if need_schedule || t.wake_pending then schedule t
   done
 
 let start t =

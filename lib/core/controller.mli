@@ -33,6 +33,14 @@ type config = {
   watchdog : Watchdog.config;
       (** leader-side stall watchdog (TERM → KILL escalation on overdue
           in-flight transactions); {!Watchdog.disabled} by default *)
+  health : Health.config;
+      (** per-device EWMA health scoring and circuit breakers; tripped
+          subtrees defer writers at admission, before lock acquisition.
+          {!Health.disabled} by default *)
+  admission : Health.admission;
+      (** pending-queue watermarks: at [queue_high] new arrivals are shed
+          with the fast [Txn.overload_reason] abort until the queue drains
+          to [queue_low]; {!Health.no_admission} by default *)
 }
 
 val default_config : config
@@ -62,6 +70,14 @@ type stats = {
   mutable transient_failures : int;
       (** transient device errors observed by workers *)
   mutable timeouts : int;  (** per-action deadline expiries *)
+  mutable sheds : int;
+      (** arrivals aborted by admission control ([Txn.overload_reason]) *)
+  mutable breaker_deferrals : int;
+      (** admission attempts parked because a written subtree's breaker
+          was open *)
+  mutable breaker_trips : int;    (** → Tripped transitions *)
+  mutable breaker_probes : int;   (** canary transactions dispatched *)
+  mutable breaker_closes : int;   (** canary successes re-closing a breaker *)
 }
 
 type t

@@ -1,0 +1,103 @@
+(** Per-device health scoring and circuit breaking.
+
+    The physical layer already reports per-transaction execution stats
+    (retries / transient failures / timeouts) through [Proto.Result]; the
+    health tracker folds them — together with the commit outcome and the
+    observed latency — into three EWMA scores per device subtree, each
+    kept in [0, 1]:
+
+    - failure: 1 on a physical abort/failure, ½ on a commit that needed
+      retries, 0 on a clean commit;
+    - timeout: 1 when any action hit its deadline, 0 otherwise;
+    - latency: observed latency clamped against [latency_ref].
+
+    The combined score is the max of the three.  When it crosses
+    [trip_threshold] the subtree's circuit breaker trips:
+
+    {v Closed --score >= threshold--> Tripped --cooldown--> Half_open
+       Half_open --canary commits--> Closed (scores reset)
+       Half_open --canary fails / probe lost--> Tripped v}
+
+    While Tripped, {!gate} answers [`Defer] so the controller parks
+    transactions that write under the subtree {e before} lock acquisition
+    or hardware contact.  Once the cooldown elapses the breaker moves to
+    Half_open and admits exactly one canary transaction ([`Probe]); its
+    outcome decides whether the breaker closes or re-trips.  A canary
+    that never reports back (lost with a crashed worker) is given one
+    cooldown before the breaker re-trips and later re-probes.
+
+    All timestamps are simulation time; the tracker itself has no clock,
+    callers pass [~now]. *)
+
+type breaker_state = Closed | Tripped | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+type config = {
+  enabled : bool;
+  alpha : float;  (** EWMA weight of the newest sample, in (0, 1] *)
+  trip_threshold : float;  (** combined score that trips the breaker *)
+  cooldown : float;  (** seconds Tripped must age before Half_open *)
+  latency_ref : float;  (** latency mapping to score 1.0, seconds *)
+  poll_interval : float;  (** health-monitor wake period, seconds *)
+}
+
+(** Enabled; alpha 0.35, threshold 0.6, cooldown 20s, latency_ref 120s,
+    poll 1s. *)
+val default_config : config
+
+val disabled : config
+
+(** Admission-control watermarks for the controller's pending queue.
+    [queue_high = Some h] sheds new arrivals once the pending count
+    reaches [h]; shedding stays on (hysteresis) until the count drains
+    back to [queue_low]. *)
+type admission = { queue_high : int option; queue_low : int }
+
+val no_admission : admission
+
+type t
+
+val create : config -> t
+
+(** Admission decision for one device root.  [`Admit] — breaker closed
+    (or tracking disabled); [`Probe] — breaker half-open with the canary
+    slot free, the caller may start this transaction as the probe;
+    [`Defer] — breaker tripped (or a canary is already out), park the
+    transaction.  Calling [gate] is what ages Tripped into Half_open and
+    re-trips a breaker whose canary was lost. *)
+val gate : t -> now:float -> root:Data.Path.t -> [ `Admit | `Probe | `Defer ]
+
+(** Claim the half-open canary slot for [txn].  No-op unless the breaker
+    is Half_open with no outstanding probe. *)
+val begin_probe : t -> now:float -> root:Data.Path.t -> txn:int -> unit
+
+(** Feed one finished transaction's outcome into the scores and the
+    breaker state machine.  [ok] means physically committed.  A Tripped
+    breaker only updates scores — it never changes state here (only
+    {!gate} can age it out).  If [txn] is the outstanding canary, the
+    breaker closes on success (scores reset) and re-trips on failure. *)
+val observe :
+  t ->
+  now:float ->
+  root:Data.Path.t ->
+  txn:int ->
+  ok:bool ->
+  retries:int ->
+  timeouts:int ->
+  latency:float ->
+  unit
+
+(** Drop [txn]'s canary claim without a verdict (operator KILL): frees
+    the probe slot so the next {!gate} can send another canary. *)
+val forget_probe : t -> txn:int -> unit
+
+(** Combined score (max of the three EWMAs); 0 for untracked roots. *)
+val score : t -> root:Data.Path.t -> float
+
+val state_of : t -> root:Data.Path.t -> breaker_state
+val trips : t -> int  (** Closed/Half_open → Tripped transitions *)
+
+val probes : t -> int  (** canary slots claimed *)
+
+val closes : t -> int  (** Half_open → Closed transitions *)

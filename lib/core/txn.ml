@@ -39,6 +39,12 @@ let state_of_string s =
 
 let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
 
+let overload_reason = "overload: admission queue full"
+
+let is_overload = function
+  | Aborted reason -> reason = overload_reason
+  | Initialized | Accepted | Deferred | Started | Committed | Failed _ -> false
+
 let is_terminal = function
   | Committed | Aborted _ | Failed _ -> true
   | Initialized | Accepted | Deferred | Started -> false

@@ -21,6 +21,14 @@ val pp_state : Format.formatter -> state -> unit
 (** Terminal states are [Committed], [Aborted] and [Failed]. *)
 val is_terminal : state -> bool
 
+(** Canonical reason string for transactions shed by admission control
+    (the fast overload abort — no locks taken, no hardware touched). *)
+val overload_reason : string
+
+(** True for [Aborted overload_reason]: an expected load-shedding
+    outcome, not an orchestration failure. *)
+val is_overload : state -> bool
+
 type t = {
   id : int;
   proc : string;                     (** stored procedure name *)

@@ -63,6 +63,11 @@ type robust_counters = {
   rc_kills : int;
   rc_auto_terms : int;
   rc_auto_kills : int;
+  rc_sheds : int;
+  rc_breaker_deferrals : int;
+  rc_breaker_trips : int;
+  rc_breaker_probes : int;
+  rc_breaker_closes : int;
 }
 
 let zero_robust_counters =
@@ -74,6 +79,11 @@ let zero_robust_counters =
     rc_kills = 0;
     rc_auto_terms = 0;
     rc_auto_kills = 0;
+    rc_sheds = 0;
+    rc_breaker_deferrals = 0;
+    rc_breaker_trips = 0;
+    rc_breaker_probes = 0;
+    rc_breaker_closes = 0;
   }
 
 let robust_counters platform =
@@ -89,14 +99,21 @@ let robust_counters platform =
       rc_kills = st.Tropic.Controller.kills;
       rc_auto_terms = st.Tropic.Controller.auto_terms;
       rc_auto_kills = st.Tropic.Controller.auto_kills;
+      rc_sheds = st.Tropic.Controller.sheds;
+      rc_breaker_deferrals = st.Tropic.Controller.breaker_deferrals;
+      rc_breaker_trips = st.Tropic.Controller.breaker_trips;
+      rc_breaker_probes = st.Tropic.Controller.breaker_probes;
+      rc_breaker_closes = st.Tropic.Controller.breaker_closes;
     }
 
 let robust_summary c =
   Printf.sprintf
     "robust: retries %d (%d transient, %d timeouts), signals %d TERM / %d \
-     KILL (watchdog %d/%d)"
+     KILL (watchdog %d/%d), shed %d, breaker %d trips / %d probes / %d \
+     closes (%d deferred)"
     c.rc_retries c.rc_transient c.rc_timeouts c.rc_terms c.rc_kills
-    c.rc_auto_terms c.rc_auto_kills
+    c.rc_auto_terms c.rc_auto_kills c.rc_sheds c.rc_breaker_trips
+    c.rc_breaker_probes c.rc_breaker_closes c.rc_breaker_deferrals
 
 let sched_summary c =
   let per_commit =

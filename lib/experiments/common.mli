@@ -47,6 +47,11 @@ type robust_counters = {
   rc_kills : int;  (** KILL signals handled *)
   rc_auto_terms : int;  (** TERMs issued by the watchdog *)
   rc_auto_kills : int;  (** KILLs issued by the watchdog *)
+  rc_sheds : int;  (** arrivals shed by admission control *)
+  rc_breaker_deferrals : int;  (** txns parked by an open breaker *)
+  rc_breaker_trips : int;  (** breaker → Tripped transitions *)
+  rc_breaker_probes : int;  (** canary transactions dispatched *)
+  rc_breaker_closes : int;  (** canaries that re-closed a breaker *)
 }
 
 val zero_robust_counters : robust_counters

@@ -14,6 +14,8 @@ type header = {
   mutable storage : int;
   mutable seed : int;
   mutable full_mode : bool;
+  mutable admission_high : int option;
+  mutable admission_low : int;
 }
 
 type command =
@@ -32,7 +34,8 @@ type command =
   | Reload of int
   | Show of int
   | Stats
-  | Expect of [ `Committed | `Aborted | `Failed ]
+  | Storm of int * int
+  | Expect of [ `Committed | `Aborted | `Overload | `Failed ]
 
 let parse_line header line_number line =
   let fail message =
@@ -65,6 +68,16 @@ let parse_line header line_number line =
   | [ "mode"; "full" ] ->
     header.full_mode <- true;
     Ok None
+  | [ "admission"; high; low ] ->
+    let* high = int_of high "admission high watermark" in
+    let* low = int_of low "admission low watermark" in
+    if high < 1 || low < 0 || low >= high then
+      fail "admission wants 0 <= low < high"
+    else begin
+      header.admission_high <- Some high;
+      header.admission_low <- low;
+      Ok None
+    end
   | [ "mode"; "logical" ] ->
     header.full_mode <- false;
     Ok None
@@ -117,13 +130,27 @@ let parse_line header line_number line =
     let* host = int_of host "host" in
     Ok (Some (Show host))
   | [ "stats" ] -> Ok (Some Stats)
+  | [ "storm"; count; host ] ->
+    let* count = int_of count "storm count" in
+    let* host = int_of host "host" in
+    Ok (Some (Storm (count, host)))
   | [ "expect"; "committed" ] -> Ok (Some (Expect `Committed))
   | [ "expect"; "aborted" ] -> Ok (Some (Expect `Aborted))
+  | [ "expect"; "overload" ] -> Ok (Some (Expect `Overload))
   | [ "expect"; "failed" ] -> Ok (Some (Expect `Failed))
   | word :: _ -> fail ("unknown command " ^ word)
 
 let parse script =
-  let header = { hosts = 8; storage = 2; seed = 1; full_mode = true } in
+  let header =
+    {
+      hosts = 8;
+      storage = 2;
+      seed = 1;
+      full_mode = true;
+      admission_high = None;
+      admission_low = 0;
+    }
+  in
   let rec go line_number acc = function
     | [] -> Ok (header, List.rev acc)
     | line :: rest ->
@@ -166,7 +193,15 @@ let run_script script =
             (if header.full_mode then Tropic.Platform.Full
              else Tropic.Platform.Logical_only 0.01);
           workers = 4;
-          controller_config = Tcloud.Setup.controller_config;
+          controller_config =
+            {
+              Tcloud.Setup.controller_config with
+              Tropic.Controller.admission =
+                {
+                  Tropic.Health.queue_high = header.admission_high;
+                  queue_low = header.admission_low;
+                };
+            };
           controller_session_timeout = 5.0;
         }
         inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
@@ -201,6 +236,10 @@ let run_script script =
       let state = Tropic.Platform.run_txn platform ~proc ~args in
       last_state := Some state;
       (match state with
+       | Tropic.Txn.Aborted _ when Tropic.Txn.is_overload state ->
+         (* Load shedding is the platform protecting itself, not an
+            orchestration failure: expected even with no [expect]. *)
+         ()
        | Tropic.Txn.Aborted _ | Tropic.Txn.Failed _ ->
          pending_bad := Some (label, state)
        | Tropic.Txn.Committed | Tropic.Txn.Initialized | Tropic.Txn.Accepted
@@ -297,10 +336,26 @@ let run_script script =
         let c = Tropic.Platform.await_leader_controller platform in
         let s = Tropic.Controller.stats c in
         emit
-          "stats: accepted=%d committed=%d aborted=%d failed=%d deferrals=%d violations=%d"
+          "stats: accepted=%d committed=%d aborted=%d failed=%d deferrals=%d \
+           violations=%d sheds=%d breaker=%d/%d/%d"
           s.Tropic.Controller.accepted s.Tropic.Controller.committed
           s.Tropic.Controller.aborted s.Tropic.Controller.failed
           s.Tropic.Controller.deferrals s.Tropic.Controller.violations
+          s.Tropic.Controller.sheds s.Tropic.Controller.breaker_trips
+          s.Tropic.Controller.breaker_probes s.Tropic.Controller.breaker_closes
+      | Storm (count, host) ->
+        (* Fire-and-forget burst: flood the controller without awaiting, so
+           a following awaited command observes admission control. *)
+        for i = 1 to count do
+          ignore
+            (Tropic.Platform.submit platform ~proc:"spawnVM"
+               ~args:
+                 (Tcloud.Procs.spawn_vm_args
+                    ~vm:(Printf.sprintf "storm%d" i)
+                    ~template:"base.img" ~mem_mb:256
+                    ~storage:(storage_for host) ~host:(host_path host)))
+        done;
+        emit "storm: %d spawns submitted to host%d" count host
       | Expect wanted ->
         (* Whatever was expected, the script acknowledged this outcome —
            a mismatch is already counted as a failed expectation. *)
@@ -309,6 +364,7 @@ let run_script script =
           match !last_state, wanted with
           | Some Tropic.Txn.Committed, `Committed -> true
           | Some (Tropic.Txn.Aborted _), `Aborted -> true
+          | Some s, `Overload -> Tropic.Txn.is_overload s
           | Some (Tropic.Txn.Failed _), `Failed -> true
           | Some _, (`Committed | `Aborted | `Failed) | None, _ -> false
         in
@@ -318,6 +374,7 @@ let run_script script =
             (match wanted with
              | `Committed -> "committed"
              | `Aborted -> "aborted"
+             | `Overload -> "overload-aborted"
              | `Failed -> "failed")
             (match !last_state with
              | Some s -> Tropic.Txn.state_to_string s

@@ -10,6 +10,7 @@
 
     {v
     hosts N | storage N | seed N | mode full|logical   (header, optional)
+    admission HIGH LOW          (shed arrivals at HIGH pending, resume at LOW)
     spawn VM HOST [MEM_MB]      start VM HOST     stop VM HOST
     migrate VM SRC DST          destroy VM HOST
     vlan-create SWITCH ID NAME  vlan-attach SWITCH ID VM
@@ -17,10 +18,14 @@
     fail-next HOST ACTION       kill-leader
     repair HOST                 reload HOST
     show HOST                   stats
-    expect committed|aborted|failed
+    storm COUNT HOST            (fire-and-forget burst of small spawns)
+    expect committed|aborted|overload|failed
     v}
 
-    [expect] asserts the outcome of the most recent transaction. *)
+    [expect] asserts the outcome of the most recent transaction
+    ([overload] matches only the admission-control shed abort).  A shed
+    transaction never counts as an unexpected outcome even without an
+    [expect] — load shedding is the platform protecting itself. *)
 
 type outcome = {
   lines : string list;   (** transcript, in order *)

@@ -24,11 +24,13 @@ let mean t =
   else List.fold_left ( +. ) 0. t.samples /. float_of_int t.n
 
 let quantile t q =
-  if t.n = 0 then invalid_arg "Cdf.quantile: empty";
   if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q out of range";
-  let a = ensure_sorted t in
-  let idx = int_of_float (q *. float_of_int (t.n - 1)) in
-  a.(idx)
+  if t.n = 0 then 0.
+  else begin
+    let a = ensure_sorted t in
+    let idx = int_of_float (q *. float_of_int (t.n - 1)) in
+    a.(idx)
+  end
 
 let min_value t = quantile t 0.
 let max_value t = quantile t 1.

@@ -7,11 +7,16 @@ val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float
 
-(** [quantile t q] with [q] in [0, 1]; 0.5 is the median.
-    @raise Invalid_argument on an empty recorder or out-of-range [q]. *)
+(** [quantile t q] with [q] in [0, 1]; 0.5 is the median.  An empty
+    recorder answers 0 (a placeholder, so summaries survive runs where
+    load shedding leaves zero commits).
+    @raise Invalid_argument on an out-of-range [q]. *)
 val quantile : t -> float -> float
 
+(** 0 on an empty recorder, like {!quantile}. *)
 val min_value : t -> float
+
+(** 0 on an empty recorder, like {!quantile}. *)
 val max_value : t -> float
 
 (** CDF support points [(value, fraction_le)], one per sample, thinned to

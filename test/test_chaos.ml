@@ -106,6 +106,50 @@ let test_no_watchdog_convicted () =
         (Str_contains.contains (Chaos.Runner.reproducer r) "no-watchdog"))
     sweep.Chaos.Runner.violating
 
+let flap_storm =
+  match Chaos.Schedule.find "flap-storm" with
+  | Some s -> s
+  | None -> Alcotest.fail "flap-storm preset missing"
+
+(* With the overload layer on, the flapping host trips its breaker and
+   the request storm is shed at the watermarks: the sweep stays clean and
+   the shed/breaker counters show the layer actually engaged. *)
+let test_flap_storm_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ flap_storm ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations))
+    sweep.Chaos.Runner.runs;
+  let engaged =
+    List.exists
+      (fun r -> r.Chaos.Runner.sheds > 0 || r.Chaos.Runner.breaker_trips > 0)
+      sweep.Chaos.Runner.runs
+  in
+  check bool_c "overload layer exercised on some seed" true engaged
+
+(* Stripping health scoring, breakers and admission control lets the
+   storm queue unboundedly behind the flapping host: the bounded-queue
+   invariant must convict. *)
+let test_no_breaker_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_breaker } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ flap_storm ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "no-breaker"))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -126,6 +170,8 @@ let suite =
     ("sweep: no-constraints build convicted", `Slow, test_no_constraints_convicted);
     ("sweep: hang-storm clean with watchdog", `Slow, test_hang_storm_clean);
     ("sweep: no-watchdog build convicted", `Slow, test_no_watchdog_convicted);
+    ("sweep: flap-storm clean with breakers", `Slow, test_flap_storm_clean);
+    ("sweep: no-breaker build convicted", `Slow, test_no_breaker_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 

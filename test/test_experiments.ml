@@ -346,13 +346,40 @@ let test_scenario_unexpected_outcomes () =
     check bool_c "layers still consistent" true
       outcome.Experiments.Scenario.layers_consistent
 
+(* Admission control in a script: a fire-and-forget storm fills the
+   pending queue, so the next awaited spawn is shed with the overload
+   abort.  Regression for the tcloud_sim exit status: a shed transaction
+   is the platform protecting itself, so it never counts as an
+   unexpected outcome — blessed or not. *)
+let test_scenario_overload_shedding () =
+  let script =
+    String.concat "\n"
+      [
+        "hosts 2"; "mode full"; "seed 7"; "admission 3 2";
+        "storm 10 0";
+        "spawn extra 0";  (* unblessed: shed must not be unexpected *)
+        "spawn probe 0"; "expect overload";
+        "stats";
+      ]
+  in
+  match Experiments.Scenario.run_script script with
+  | Error message -> Alcotest.fail message
+  | Ok outcome ->
+    check int_c "overload expectation holds" 0
+      outcome.Experiments.Scenario.failed_expectations;
+    check int_c "shed aborts are never unexpected" 0
+      outcome.Experiments.Scenario.unexpected_outcomes;
+    check bool_c "layers consistent after the storm" true
+      outcome.Experiments.Scenario.layers_consistent
+
 let test_scenario_parse_errors () =
   List.iter
     (fun script ->
       match Experiments.Scenario.run_script script with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected parse error for %S" script)
-    [ "frobnicate"; "spawn onlyvm"; "sleep minus"; "hosts many" ]
+    [ "frobnicate"; "spawn onlyvm"; "sleep minus"; "hosts many";
+      "admission 2 5"; "storm ten 0"; "expect sideways" ]
 
 let suite =
   [
@@ -367,6 +394,7 @@ let suite =
     ("scenario: engine", `Slow, test_scenario_engine);
     ("scenario: failed expectation detected", `Slow, test_scenario_expectation_failure_detected);
     ("scenario: unexpected outcomes tracked", `Slow, test_scenario_unexpected_outcomes);
+    ("scenario: overload shedding", `Slow, test_scenario_overload_shedding);
     ("scenario: parse errors", `Quick, test_scenario_parse_errors);
   ]
 

@@ -1125,6 +1125,189 @@ let test_e2e_worker_crash_rescued_by_watchdog () =
       expect_committed "platform usable after rescue"
         (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "wd3")))
 
+(* ------------------------------------------------------------------ *)
+(* Overload: health scoring, circuit breakers, admission control *)
+
+(* Random op sequences against one breaker; after every op:
+   - the combined score stays in [0, 1];
+   - Tripped is only left through [gate], and never before the cooldown;
+   - at most one canary is outstanding while Half_open. *)
+let breaker_fsm_prop =
+  let cfg =
+    {
+      Health.default_config with
+      Health.alpha = 0.5;
+      trip_threshold = 0.6;
+      cooldown = 10.;
+      latency_ref = 10.;
+    }
+  in
+  let gen =
+    QCheck.Gen.(list_size (int_range 5 80) (pair (int_bound 5) (float_range 0.5 6.)))
+  in
+  QCheck.Test.make ~name:"health breaker FSM invariants" ~count:300
+    (QCheck.make gen) (fun ops ->
+      let h = Health.create cfg in
+      let root = Data.Path.v host0 in
+      let now = ref 0. in
+      let next_txn = ref 0 in
+      let outstanding = ref None in
+      let tripped_since = ref None in
+      let invariants ~via_gate =
+        let s = Health.score h ~root in
+        if s < 0. || s > 1. then
+          QCheck.Test.fail_reportf "score %.3f outside [0, 1]" s;
+        match (Health.state_of h ~root, !tripped_since) with
+        | Health.Tripped, None -> tripped_since := Some !now
+        | Health.Tripped, Some _ -> ()
+        | (Health.Closed | Health.Half_open), Some since ->
+          if !now -. since < cfg.Health.cooldown -. 1e-9 then
+            QCheck.Test.fail_reportf
+              "left Tripped after %.2fs, cooldown is %.2fs" (!now -. since)
+              cfg.Health.cooldown;
+          if not via_gate then
+            QCheck.Test.fail_report "left Tripped without a gate call";
+          tripped_since := None
+        | (Health.Closed | Health.Half_open), None -> ()
+      in
+      List.iter
+        (fun (op, dt) ->
+          let via_gate = ref false in
+          (match op with
+           | 0 -> now := !now +. dt (* time passes *)
+           | 1 ->
+             via_gate := true;
+             ignore (Health.gate h ~now:!now ~root)
+           | 2 ->
+             (* Try to claim the canary slot with a fresh txn. *)
+             incr next_txn;
+             let before = Health.probes h in
+             Health.begin_probe h ~now:!now ~root ~txn:!next_txn;
+             if Health.probes h > before then begin
+               if !outstanding <> None then
+                 QCheck.Test.fail_report
+                   "second canary admitted while one is outstanding";
+               outstanding := Some !next_txn
+             end
+           | 3 | 4 ->
+             (* Observe an outcome — for the outstanding canary when there
+                is one, else for an unrelated transaction. *)
+             let txn, is_probe =
+               match !outstanding with
+               | Some t -> (t, true)
+               | None ->
+                 incr next_txn;
+                 (!next_txn, false)
+             in
+             let ok = op = 3 in
+             Health.observe h ~now:!now ~root ~txn ~ok
+               ~retries:(if ok then 0 else 2)
+               ~timeouts:(if ok then 0 else 1)
+               ~latency:(if ok then 0.5 else 30.);
+             if is_probe then outstanding := None
+           | _ ->
+             (match !outstanding with
+              | Some t ->
+                Health.forget_probe h ~txn:t;
+                outstanding := None
+              | None -> ()));
+          invariants ~via_gate:!via_gate)
+        ops;
+      true)
+
+(* Admission control under a storm: with watermarks high=4 / low=2 a
+   burst of conflicting spawns sheds the overflow with a fast
+   `Overload abort, while the admitted prefix still commits. *)
+let test_e2e_admission_sheds_overload () =
+  let spec =
+    {
+      quick_spec with
+      Platform.controller_config =
+        {
+          Tcloud.Setup.controller_config with
+          Controller.admission = { Health.queue_high = Some 4; queue_low = 2 };
+        };
+    }
+  in
+  with_platform ~spec (fun platform _inv ->
+      let ids =
+        List.init 12 (fun i ->
+            Platform.submit platform ~proc:"spawnVM"
+              ~args:(spawn_args (Printf.sprintf "ov%02d" i)))
+      in
+      let states = List.map (Platform.await platform) ids in
+      let committed =
+        List.length (List.filter (fun s -> s = Txn.Committed) states)
+      in
+      let overloads =
+        List.length (List.filter Txn.is_overload states)
+      in
+      check bool_c "some commits" true (committed >= 1);
+      check bool_c "some overload aborts" true (overloads >= 1);
+      let st = Controller.stats (Platform.await_leader_controller platform) in
+      check bool_c "sheds counted" true (st.Controller.sheds >= overloads);
+      (* Hysteresis drained the queue, so a late arrival is admitted. *)
+      expect_committed "post-storm spawn"
+        (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "ov-late")))
+
+(* Breaker end-to-end: a host that fails everything trips its breaker;
+   transactions writing under it are deferred (not failed) while Tripped;
+   once the device heals, the cooldown canary commits and the breaker
+   closes, releasing the parked transaction. *)
+let test_e2e_breaker_trips_then_canary_reopens () =
+  let spec =
+    {
+      quick_spec with
+      Platform.worker_retry =
+        { Physical.default_retry with Physical.max_attempts = 2 };
+      Platform.controller_config =
+        {
+          Tcloud.Setup.controller_config with
+          Controller.health =
+            {
+              Health.default_config with
+              Health.alpha = 0.9;
+              trip_threshold = 0.6;
+              cooldown = 15.;
+              poll_interval = 1.0;
+            };
+        };
+    }
+  in
+  with_platform ~spec (fun platform inv ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      let faults = Devices.Device.faults (Devices.Compute.device compute0) in
+      (match Devices.Fault.set_probability faults 1.0 with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      (* Every action on host 0 fails: the first spawn aborts on rollback
+         and its failure sample (alpha 0.9) trips the breaker. *)
+      (match Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "cb1") with
+       | Txn.Aborted _ | Txn.Failed _ -> ()
+       | other ->
+         Alcotest.failf "expected abort under faults, got %s"
+           (Txn.state_to_string other));
+      let leader = Platform.await_leader_controller platform in
+      let st = Controller.stats leader in
+      check bool_c "breaker tripped" true (st.Controller.breaker_trips >= 1);
+      (* A transaction submitted while Tripped parks at admission. *)
+      let parked =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "cb2")
+      in
+      Des.Proc.sleep 5.;
+      check bool_c "parked txn deferred, not finished" true
+        (st.Controller.breaker_deferrals >= 1);
+      (* Heal the device; after the cooldown the canary commits, closes
+         the breaker and the parked transaction drains. *)
+      (match Devices.Fault.set_probability faults 0.0 with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      expect_committed "parked txn commits after reopen"
+        (Platform.await platform parked);
+      let st = Controller.stats leader in
+      check bool_c "canary probed" true (st.Controller.breaker_probes >= 1);
+      check bool_c "breaker closed" true (st.Controller.breaker_closes >= 1))
+
 let suite =
   [
     ("xlog: codec roundtrip", `Quick, test_xlog_roundtrip);
@@ -1168,6 +1351,9 @@ let suite =
     ("robust: transient fault retried", `Quick, test_e2e_transient_fault_retried);
     ("robust: hang rescued by deadline", `Quick, test_e2e_hang_rescued_by_deadline);
     ("robust: worker crash rescued by watchdog", `Quick, test_e2e_worker_crash_rescued_by_watchdog);
+    QCheck_alcotest.to_alcotest breaker_fsm_prop;
+    ("overload: admission sheds under storm", `Quick, test_e2e_admission_sheds_overload);
+    ("overload: breaker trips then canary reopens", `Quick, test_e2e_breaker_trips_then_canary_reopens);
   ]
 
 let () = Alcotest.run "tropic" [ ("tropic", suite) ]

@@ -170,13 +170,25 @@ let test_cdf_points_monotone () =
 
 let test_cdf_errors () =
   let c = Metrics.Cdf.create () in
-  (match Metrics.Cdf.quantile c 0.5 with
+  (* Out-of-range q raises even on an empty recorder. *)
+  (match Metrics.Cdf.quantile c 1.5 with
    | _ -> Alcotest.fail "expected Invalid_argument"
    | exception Invalid_argument _ -> ());
   Metrics.Cdf.add c 1.;
   match Metrics.Cdf.quantile c 1.5 with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+(* An empty recorder answers placeholder zeros instead of raising, so a
+   summary survives a run where load shedding leaves zero commits. *)
+let test_cdf_empty_placeholder () =
+  let c = Metrics.Cdf.create () in
+  check float_c "median" 0. (Metrics.Cdf.quantile c 0.5);
+  check float_c "p99" 0. (Metrics.Cdf.quantile c 0.99);
+  check float_c "min" 0. (Metrics.Cdf.min_value c);
+  check float_c "max" 0. (Metrics.Cdf.max_value c);
+  check bool_c "render does not raise" true
+    (String.length (Metrics.Cdf.render ~label:"empty" c) > 0)
 
 let test_gauge_utilization () =
   let sim = Des.Sim.create () in
@@ -234,6 +246,7 @@ let suite =
     ("cdf: quantiles", `Quick, test_cdf_quantiles);
     ("cdf: monotone points", `Quick, test_cdf_points_monotone);
     ("cdf: errors", `Quick, test_cdf_errors);
+    ("cdf: empty recorder placeholders", `Quick, test_cdf_empty_placeholder);
     ("gauge: utilization", `Quick, test_gauge_utilization);
     ("gauge: rate", `Quick, test_gauge_rate);
   ]

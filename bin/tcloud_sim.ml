@@ -2,39 +2,61 @@
    simulated deployment.
 
      dune exec bin/tcloud_sim.exe -- examples/scenarios/demo.scenario
+     dune exec bin/tcloud_sim.exe -- --trace out.json demo.scenario
 
    Exit status is non-zero if the script fails to parse, any `expect`
    assertion fails, a transaction aborts or fails with no `expect`
-   acknowledging it, or the logical and physical layers disagree at the
-   end of the run — so scenarios double as regression tests.  Admission
-   overload aborts are the expected face of load shedding and never make
-   the exit status unhealthy. *)
+   acknowledging it, the logical and physical layers disagree at the end
+   of the run, or (with --trace) the recorded span tree violates a
+   lifecycle invariant — so scenarios double as regression tests.
+   Admission overload aborts are the expected face of load shedding and
+   never make the exit status unhealthy. *)
+
+let usage () =
+  prerr_endline "usage: tcloud_sim [--trace FILE] <scenario-file>";
+  exit 2
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _; path ] ->
-    (match
-       try Experiments.Scenario.run_file path
-       with Sys_error message -> prerr_endline message; exit 2
-     with
-     | Error message ->
-       prerr_endline ("parse error: " ^ message);
-       exit 2
-     | Ok outcome ->
-       List.iter print_endline outcome.Experiments.Scenario.lines;
-       Printf.printf
-         "\n%d transactions, %d failed expectations, %d unexpected \
-          outcomes, layers consistent: %b\n"
-         outcome.Experiments.Scenario.transactions
-         outcome.Experiments.Scenario.failed_expectations
-         outcome.Experiments.Scenario.unexpected_outcomes
-         outcome.Experiments.Scenario.layers_consistent;
-       let healthy =
-         outcome.Experiments.Scenario.failed_expectations = 0
-         && outcome.Experiments.Scenario.unexpected_outcomes = 0
-         && outcome.Experiments.Scenario.layers_consistent
-       in
-       exit (if healthy then 0 else 1))
-  | _ ->
-    prerr_endline "usage: tcloud_sim <scenario-file>";
+  let trace_file, path =
+    match Array.to_list Sys.argv with
+    | [ _; path ] -> (None, path)
+    | [ _; "--trace"; file; path ] | [ _; path; "--trace"; file ] ->
+      (Some file, path)
+    | _ -> usage ()
+  in
+  match
+    try Experiments.Scenario.run_file ~record_trace:(trace_file <> None) path
+    with Sys_error message -> prerr_endline message; exit 2
+  with
+  | Error message ->
+    prerr_endline ("parse error: " ^ message);
     exit 2
+  | Ok outcome ->
+    List.iter print_endline outcome.Experiments.Scenario.lines;
+    Printf.printf
+      "\n%d transactions, %d failed expectations, %d unexpected \
+       outcomes, layers consistent: %b\n"
+      outcome.Experiments.Scenario.transactions
+      outcome.Experiments.Scenario.failed_expectations
+      outcome.Experiments.Scenario.unexpected_outcomes
+      outcome.Experiments.Scenario.layers_consistent;
+    let trace_errors =
+      match trace_file, outcome.Experiments.Scenario.trace with
+      | Some file, Some tracer ->
+        let errors = Experiments.Common.dump_trace tracer ~file in
+        Printf.printf "trace: %d spans -> %s, %d invariant violations\n"
+          (Trace.span_count tracer) file (List.length errors);
+        List.iter
+          (fun e ->
+            Printf.printf "  TRACE VIOLATION %s\n" (Trace.Check.error_to_string e))
+          errors;
+        List.length errors
+      | _ -> 0
+    in
+    let healthy =
+      outcome.Experiments.Scenario.failed_expectations = 0
+      && outcome.Experiments.Scenario.unexpected_outcomes = 0
+      && outcome.Experiments.Scenario.layers_consistent
+      && trace_errors = 0
+    in
+    exit (if healthy then 0 else 1)

@@ -119,16 +119,44 @@ let ha_cmd =
     (Cmd.info "ha" ~doc:"Section 6.4: controller fail-over recovery")
     Term.(const run $ session $ seed_arg)
 
+let trace_arg =
+  let doc =
+    "Record a per-transaction span trace of the run, write it to $(docv) \
+     in Chrome trace-event JSON (load in about://tracing or Perfetto), and \
+     validate its lifecycle invariants (non-zero exit on violation)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+(* Write + validate the span dump a --trace run recorded; exits 1 when the
+   recorder saw a lifecycle-invariant violation. *)
+let finish_trace trace_file tracer =
+  match trace_file, tracer with
+  | Some file, Some tracer ->
+    let errors = Experiments.Common.dump_trace tracer ~file in
+    Printf.printf "trace: %d spans -> %s, %d invariant violations\n%!"
+      (Trace.span_count tracer) file (List.length errors);
+    List.iter
+      (fun e ->
+        Printf.printf "  TRACE VIOLATION %s\n%!" (Trace.Check.error_to_string e))
+      errors;
+    if errors <> [] then exit 1
+  | Some _, None | None, _ -> ()
+
 let hosting_cmd =
-  let run quick seed =
+  let run quick seed trace_file =
     let duration = if quick then 120. else 300. in
     let seed = effective_seed ~default:Experiments.Hosting_run.default_seed seed in
-    Experiments.Hosting_run.print (Experiments.Hosting_run.run ~seed ~duration ())
+    let result =
+      Experiments.Hosting_run.run ~seed ~duration
+        ~record_trace:(trace_file <> None) ()
+    in
+    Experiments.Hosting_run.print result;
+    finish_trace trace_file result.Experiments.Hosting_run.trace
   in
   Cmd.v
     (Cmd.info "hosting"
        ~doc:"The hosting-provider workload end-to-end on a TCloud deployment")
-    Term.(const run $ quick_flag $ seed_arg)
+    Term.(const run $ quick_flag $ seed_arg $ trace_arg)
 
 let scale_cmd =
   let run quick seed =
@@ -173,6 +201,18 @@ let print_chaos_result ~with_trace r =
     r.Chaos.Runner.auto_terms r.Chaos.Runner.auto_kills r.Chaos.Runner.sheds
     r.Chaos.Runner.breaker_trips r.Chaos.Runner.breaker_probes
     r.Chaos.Runner.breaker_closes;
+  if with_trace then begin
+    Printf.printf "  %s\n" r.Chaos.Runner.phases;
+    let dump = r.Chaos.Runner.span_dump in
+    let cap = 400 in
+    let shown = List.filteri (fun i _ -> i < cap) dump in
+    if shown <> [] then begin
+      Printf.printf "  span dump (%d spans/events):\n" (List.length dump);
+      List.iter (fun line -> Printf.printf "    %s\n" line) shown;
+      if List.length dump > cap then
+        Printf.printf "    ... %d more\n" (List.length dump - cap)
+    end
+  end;
   List.iter
     (fun v -> Printf.printf "  VIOLATION %s\n" (Chaos.Invariant.violation_to_string v))
     r.Chaos.Runner.violations;

@@ -149,6 +149,20 @@ let stop tracker = tracker.stopped <- true
 let tracker_violations tracker = List.rev tracker.found
 
 (* ------------------------------------------------------------------ *)
+(* Trace lifecycle check *)
+
+let check_trace ~at tracer =
+  List.map
+    (fun e ->
+      {
+        invariant = "trace-" ^ e.Trace.Check.check;
+        at;
+        detail =
+          Printf.sprintf "txn %d: %s" e.Trace.Check.ctxn e.Trace.Check.detail;
+      })
+    (Trace.Check.validate tracer)
+
+(* ------------------------------------------------------------------ *)
 (* Quiescence check *)
 
 type vm_fate = { vm : string; host : int; present : bool; running : bool }

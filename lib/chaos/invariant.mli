@@ -59,6 +59,14 @@ val start :
 val stop : tracker -> unit
 val tracker_violations : tracker -> violation list
 
+(** {1 Trace lifecycle check}
+
+    Runs {!Trace.Check.validate} over the span tree the platform recorded
+    and maps each error to a [trace-*] violation (e.g.
+    [trace-committed-no-undo], [trace-undo-order]).  Only meaningful at
+    quiescence: live transactions legitimately hold open spans. *)
+val check_trace : at:float -> Trace.t -> violation list
+
 (** {1 Quiescence check} *)
 
 (** Expected terminal fate of one VM, folded by the runner from its

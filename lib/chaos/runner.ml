@@ -55,6 +55,8 @@ type result = {
   breaker_closes : int;
   violations : Invariant.violation list;
   trace : string list;
+  phases : string;
+  span_dump : string list;
   duration : float;
 }
 
@@ -135,6 +137,11 @@ let storage_hosts = 2
 
 let run_one ?(trace = false) config ~schedule ~seed =
   let sim = Des.Sim.create ~seed () in
+  (* Span recorder: always on, so every violating seed carries its span
+     tree (the reproducer replays it as a dump) and the lifecycle
+     invariants below get checked on all 128 sweep runs, not just
+     replays. *)
+  let tracer = Trace.create ~sim () in
   let size =
     {
       Tcloud.Setup.small with
@@ -200,6 +207,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
         worker_retry =
           (if robust then Tropic.Physical.default_retry
            else Tropic.Physical.no_retry);
+        trace = Some tracer;
       }
       env ~initial_tree:inventory.Tcloud.Setup.tree
       ~devices:inventory.Tcloud.Setup.devices sim
@@ -355,6 +363,20 @@ let run_one ?(trace = false) config ~schedule ~seed =
           s.sheds, s.breaker_trips, s.breaker_probes, s.breaker_closes )
     | None -> (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
   in
+  let phases =
+    match Tropic.Platform.leader_controller platform with
+    | Some leader ->
+      Tropic.Controller.phase_summary (Tropic.Controller.stats leader)
+    | None ->
+      "phases[p50/p99 s]: simulate n/a, lock-wait n/a, replay n/a, undo n/a"
+  in
+  (* Lifecycle invariants over the recorded span tree — only meaningful
+     once quiesced: live transactions legitimately hold open spans, and a
+     non-quiescent run already reports the [quiescence] violation. *)
+  let trace_violations =
+    if !quiesced then Invariant.check_trace ~at:(Des.Sim.now sim) tracer
+    else []
+  in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
@@ -460,8 +482,11 @@ let run_one ?(trace = false) config ~schedule ~seed =
     breaker_closes;
     violations =
       Invariant.tracker_violations tracker
-      @ quiescence_violations @ crash_violations @ horizon_violations;
+      @ quiescence_violations @ crash_violations @ horizon_violations
+      @ trace_violations;
     trace = List.rev !trace_buf;
+    phases;
+    span_dump = (if trace then Trace.to_normalized_lines tracer else []);
     duration = Des.Sim.now sim;
   }
 

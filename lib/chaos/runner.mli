@@ -61,7 +61,13 @@ type result = {
   breaker_probes : int;  (** canary transactions admitted half-open *)
   breaker_closes : int;  (** probe successes that re-closed a breaker *)
   violations : Invariant.violation list;
+      (** includes [trace-*] lifecycle violations from
+          {!Invariant.check_trace} when the run quiesced *)
   trace : string list;  (** injection/progress log, oldest first *)
+  phases : string;  (** final leader's per-phase p50/p99 breakdown *)
+  span_dump : string list;
+      (** normalized span-tree dump of the run (only with [~trace:true],
+          i.e. when replaying a reproducer); empty otherwise *)
   duration : float;  (** virtual seconds to quiescence *)
 }
 

@@ -53,7 +53,23 @@ type stats = {
   mutable breaker_trips : int;
   mutable breaker_probes : int;
   mutable breaker_closes : int;
+  (* Per-phase latency recorders (sim seconds).  Fed from direct
+     measurements — simulate and lock-wait controller-side, replay and
+     undo from the worker's exec stats — so they work with no trace
+     attached. *)
+  simulate_lat : Metrics.Cdf.t;
+  lock_wait_lat : Metrics.Cdf.t;
+  replay_lat : Metrics.Cdf.t;
+  undo_lat : Metrics.Cdf.t;
 }
+
+(* "p50/p99" per phase, or n/a for phases no transaction crossed. *)
+let phase_summary st =
+  let pair cdf = Metrics.Cdf.quantile_pair cdf ~p:0.99 in
+  Printf.sprintf
+    "phases[p50/p99 s]: simulate %s, lock-wait %s, replay %s, undo %s"
+    (pair st.simulate_lat) (pair st.lock_wait_lat) (pair st.replay_lat)
+    (pair st.undo_lat)
 
 type t = {
   cname : string;
@@ -82,6 +98,8 @@ type t = {
       (* txns deferred at admission by a tripped breaker, with the device
          roots they were gated on *)
   started_at : (int, float) Hashtbl.t; (* Started time, for latency scores *)
+  wait_since : (int, float) Hashtbl.t; (* lock-park time, for phase stats *)
+  trace : Trace.t option;
   mutable shedding : bool; (* admission watermark hysteresis *)
   mutable wake_pending : bool; (* health monitor woke parked txns *)
   mutable leading : bool;
@@ -90,7 +108,20 @@ type t = {
   st : stats;
 }
 
-let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
+let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
+    ~sim () =
+  let health = Health.create config.health in
+  (* Surface breaker transitions as trace instants (system lane when no
+     canary transaction is involved). *)
+  (match trace with
+   | None -> ()
+   | Some tr ->
+     Health.set_listener health (fun ev ->
+         Trace.instant tr
+           ~txn:(Option.value ev.Health.txn ~default:0)
+           ~cat:"health" ~name:ev.Health.kind
+           ~attrs:[ ("root", ev.Health.root) ]
+           ()));
   {
     cname = name;
     client;
@@ -113,9 +144,11 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
     signaled = Hashtbl.create 8;
     max_request_seq = 0;
     watchdog = Watchdog.create config.watchdog;
-    health = Health.create config.health;
+    health;
     breaker_parked = Hashtbl.create 8;
     started_at = Hashtbl.create 32;
+    wait_since = Hashtbl.create 32;
+    trace;
     shedding = false;
     wake_pending = false;
     leading = false;
@@ -146,6 +179,10 @@ let create ~name ~client ~env ~config ~devices ~device_roots ~sim =
         breaker_trips = 0;
         breaker_probes = 0;
         breaker_closes = 0;
+        simulate_lat = Metrics.Cdf.create ();
+        lock_wait_lat = Metrics.Cdf.create ();
+        replay_lat = Metrics.Cdf.create ();
+        undo_lat = Metrics.Cdf.create ();
       };
   }
 
@@ -205,6 +242,25 @@ let persist t (txn : Txn.t) =
 let finish t (txn : Txn.t) state =
   txn.Txn.state <- state;
   txn.Txn.finished_at <- Some (Des.Sim.now t.sim);
+  Hashtbl.remove t.wait_since txn.Txn.id;
+  (* Finalization force-closes whatever the transaction still has open
+     (root span, a replay cut short by a kill, a park span), so traces
+     are balanced at quiescence no matter how the txn ended. *)
+  Option.iter
+    (fun tr ->
+      let state_label, reason =
+        match state with
+        | Txn.Committed -> ("committed", "")
+        | Txn.Aborted r -> ("aborted", r)
+        | Txn.Failed r -> ("failed", r)
+        | other -> (Txn.state_to_string other, "")
+      in
+      let attrs =
+        ("state", state_label)
+        :: (if reason = "" then [] else [ ("reason", reason) ])
+      in
+      Trace.close_all tr ~txn:txn.Txn.id ~attrs ())
+    t.trace;
   persist t txn;
   t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
 
@@ -337,12 +393,47 @@ let fail_txn t (txn : Txn.t) reason =
 (* Scheduling (paper §3.1.1) *)
 
 let try_start t (txn : Txn.t) : Sched.attempt =
+  (* A re-attempt closes the park span left open when the txn last
+     blocked, and credits the wait to the lock-wait phase recorder. *)
+  Option.iter
+    (fun tr ->
+      ignore (Trace.end_named tr ~txn:txn.Txn.id ~name:"lock-wait" ());
+      ignore (Trace.end_named tr ~txn:txn.Txn.id ~name:"breaker-park" ()))
+    t.trace;
+  (match Hashtbl.find_opt t.wait_since txn.Txn.id with
+   | Some since ->
+     Hashtbl.remove t.wait_since txn.Txn.id;
+     Metrics.Cdf.add t.st.lock_wait_lat (Des.Sim.now t.sim -. since)
+   | None -> ());
+  let sim_t0 = Des.Sim.now t.sim in
+  let sim_span =
+    Option.map
+      (fun tr ->
+        Trace.begin_span tr ~txn:txn.Txn.id ~cat:"controller" ~name:"simulate"
+          ())
+      t.trace
+  in
+  let end_simulate ~outcome ~actions =
+    Metrics.Cdf.add t.st.simulate_lat (Des.Sim.now t.sim -. sim_t0);
+    match (t.trace, sim_span) with
+    | Some tr, Some sid ->
+      Trace.end_span tr
+        ~attrs:
+          (("outcome", outcome)
+          ::
+          (match actions with
+           | None -> []
+           | Some n -> [ ("actions", string_of_int n) ]))
+        sid
+    | _ -> ()
+  in
   match
     Logical.simulate ~guard_locks:t.cfg.constraint_guard_locks t.env
       ~tree:t.tree ~proc:txn.Txn.proc ~args:txn.Txn.args
   with
   | Error reason ->
     Des.Station.request t.cpu ~service:t.cfg.cpu_per_txn;
+    end_simulate ~outcome:"violation" ~actions:None;
     finish t txn (Txn.Aborted reason);
     t.st.aborted <- t.st.aborted + 1;
     t.st.violations <- t.st.violations + 1;
@@ -351,7 +442,13 @@ let try_start t (txn : Txn.t) : Sched.attempt =
     (* The CPU cost model of logical simulation: base + per-action. *)
     Des.Station.request t.cpu
       ~service:(t.cfg.cpu_per_txn +. (t.cfg.cpu_per_action *. float_of_int actions));
+    end_simulate ~outcome:"ok" ~actions:(Some actions);
     if List.exists (fun (path, _) -> is_quarantined t path) locks then begin
+      Option.iter
+        (fun tr ->
+          Trace.instant tr ~txn:txn.Txn.id ~cat:"controller"
+            ~name:"quarantine-abort" ())
+        t.trace;
       finish t txn (Txn.Aborted "resource quarantined pending reconciliation");
       t.st.aborted <- t.st.aborted + 1;
       `Finished
@@ -374,6 +471,20 @@ let try_start t (txn : Txn.t) : Sched.attempt =
         txn.Txn.state <- Txn.Deferred;
         t.st.breaker_deferrals <- t.st.breaker_deferrals + 1;
         Hashtbl.replace t.breaker_parked txn.Txn.id (List.map fst gates);
+        Option.iter
+          (fun tr ->
+            let roots =
+              List.filter_map
+                (fun (root, g) ->
+                  if g = `Defer then Some (Data.Path.to_string root) else None)
+                gates
+            in
+            ignore
+              (Trace.begin_span tr ~txn:txn.Txn.id ~cat:"health"
+                 ~name:"breaker-park"
+                 ~attrs:[ ("roots", String.concat "," roots) ]
+                 ()))
+          t.trace;
         `Conflict
       end
       else begin
@@ -381,6 +492,19 @@ let try_start t (txn : Txn.t) : Sched.attempt =
         | Error conflict ->
           txn.Txn.state <- Txn.Deferred;
           t.st.deferrals <- t.st.deferrals + 1;
+          Hashtbl.replace t.wait_since txn.Txn.id now;
+          Option.iter
+            (fun tr ->
+              ignore
+                (Trace.begin_span tr ~txn:txn.Txn.id ~cat:"lock"
+                   ~name:"lock-wait"
+                   ~attrs:
+                     [ ("path", Data.Path.to_string conflict.Mglock.path);
+                       ("wanted", Mglock.mode_to_string conflict.Mglock.wanted);
+                       ("holder", string_of_int conflict.Mglock.holder);
+                       ("held", Mglock.mode_to_string conflict.Mglock.held) ]
+                   ()))
+            t.trace;
           (* Park on the node the conflict arose at: the holder's release of
              that node is the wake-up call. *)
           Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path;
@@ -393,6 +517,12 @@ let try_start t (txn : Txn.t) : Sched.attempt =
             gates;
           refresh_breaker_stats t;
           Hashtbl.replace t.started_at txn.Txn.id now;
+          Option.iter
+            (fun tr ->
+              Trace.instant tr ~txn:txn.Txn.id ~cat:"sched" ~name:"started"
+                ~attrs:[ ("start_seq", string_of_int t.next_start_seq) ]
+                ())
+            t.trace;
           txn.Txn.state <- Txn.Started;
           txn.Txn.log <- log;
           txn.Txn.locks <- locks;
@@ -431,6 +561,12 @@ let accept_request t ~txn_id ~proc ~args =
     in
     Hashtbl.replace t.txns txn_id txn;
     t.st.accepted <- t.st.accepted + 1;
+    (* Root span for the whole transaction lifecycle; children auto-parent
+       onto it, and [finish] closes it with the terminal state. *)
+    Option.iter
+      (fun tr ->
+        ignore (Trace.begin_span tr ~txn:txn_id ~cat:"txn" ~name:proc ()))
+      t.trace;
     (* Admission control: once the pending queue reaches the high
        watermark, shed new arrivals with a fast overload abort — no locks,
        no hardware — until it drains back to the low watermark
@@ -456,6 +592,12 @@ let accept_request t ~txn_id ~proc ~args =
         else false
     in
     if shed then begin
+      Option.iter
+        (fun tr ->
+          Trace.instant tr ~txn:txn_id ~cat:"admission" ~name:"shed"
+            ~attrs:[ ("pending", string_of_int pending) ]
+            ())
+        t.trace;
       finish t txn (Txn.Aborted Txn.overload_reason);
       t.st.aborted <- t.st.aborted + 1;
       t.st.sheds <- t.st.sheds + 1;
@@ -463,6 +605,9 @@ let accept_request t ~txn_id ~proc ~args =
     end
     else begin
       txn.Txn.state <- Txn.Accepted;
+      Option.iter
+        (fun tr -> Trace.instant tr ~txn:txn_id ~cat:"sched" ~name:"ready" ())
+        t.trace;
       persist t txn;
       Sched.submit t.sched txn
     end
@@ -480,6 +625,12 @@ let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
       t.st.transient_failures <-
         t.st.transient_failures + exec.Proto.transient_failures;
       t.st.timeouts <- t.st.timeouts + exec.Proto.timeouts;
+      Metrics.Cdf.add t.st.replay_lat exec.Proto.replay_s;
+      (match outcome with
+       | Proto.Phy_aborted _ -> Metrics.Cdf.add t.st.undo_lat exec.Proto.undo_s
+       | Proto.Phy_failed _ when exec.Proto.undo_s > 0. ->
+         Metrics.Cdf.add t.st.undo_lat exec.Proto.undo_s
+       | Proto.Phy_committed | Proto.Phy_failed _ -> ());
       (* Health scoring: fold the outcome into the written device roots.
          Operator-signaled transactions are excluded — their abort says
          nothing about device health — but must still release a canary
@@ -896,6 +1047,13 @@ let spawn_watchdog t =
     (match signal with
      | Proto.Term -> t.st.auto_terms <- t.st.auto_terms + 1
      | Proto.Kill -> t.st.auto_kills <- t.st.auto_kills + 1);
+    Option.iter
+      (fun tr ->
+        Trace.instant tr ~txn:txn_id ~cat:"watchdog"
+          ~name:
+            (match signal with Proto.Term -> "term" | Proto.Kill -> "kill")
+          ())
+      t.trace;
     Log.info (fun m ->
         m "%s: watchdog %s txn %d" t.cname (Proto.signal_to_string signal)
           txn_id);

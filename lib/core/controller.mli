@@ -78,11 +78,26 @@ type stats = {
   mutable breaker_trips : int;    (** → Tripped transitions *)
   mutable breaker_probes : int;   (** canary transactions dispatched *)
   mutable breaker_closes : int;   (** canary successes re-closing a breaker *)
+  simulate_lat : Metrics.Cdf.t;
+      (** per-attempt logical simulation + CPU-model time *)
+  lock_wait_lat : Metrics.Cdf.t;
+      (** park-to-reattempt time of lock-conflict deferments *)
+  replay_lat : Metrics.Cdf.t;  (** worker-reported physical replay time *)
+  undo_lat : Metrics.Cdf.t;
+      (** worker-reported rollback time of aborted replays *)
 }
+
+(** One-line per-phase latency breakdown ("p50/p99" per phase, [n/a] for
+    phases no transaction crossed), appended to experiment summaries. *)
+val phase_summary : stats -> string
 
 type t
 
+(** [trace], when given, records a span tree per transaction (admission,
+    scheduling, lock waits, simulation, watchdog/health escalations); pass
+    the same recorder to the workers for replay/undo spans. *)
 val create :
+  ?trace:Trace.t ->
   name:string ->
   client:Coord.Client.t ->
   env:Dsl.env ->
@@ -90,6 +105,7 @@ val create :
   devices:Physical.device_lookup ->
   device_roots:Data.Path.t list ->
   sim:Des.Sim.t ->
+  unit ->
   t
 
 (** Spawn the controller process (election, recovery, main loop). *)

@@ -30,7 +30,10 @@ type admission = { queue_high : int option; queue_low : int }
 
 let no_admission = { queue_high = None; queue_low = 0 }
 
+type event = { kind : string; root : string; txn : int option }
+
 type entry = {
+  ekey : string; (* root path, for event reporting *)
   mutable state : breaker_state;
   mutable failure : float;
   mutable timeout : float;
@@ -46,9 +49,20 @@ type t = {
   mutable trips : int;
   mutable probes : int;
   mutable closes : int;
+  mutable listener : (event -> unit) option;
 }
 
-let create cfg = { cfg; entries = Hashtbl.create 8; trips = 0; probes = 0; closes = 0 }
+let create cfg =
+  { cfg; entries = Hashtbl.create 8; trips = 0; probes = 0; closes = 0;
+    listener = None }
+
+let set_listener t f = t.listener <- Some f
+
+let emit t kind e ~txn =
+  match t.listener with
+  | None -> ()
+  | Some f -> f { kind; root = e.ekey; txn }
+
 let key root = Data.Path.to_string root
 
 let entry t root =
@@ -58,6 +72,7 @@ let entry t root =
   | None ->
     let e =
       {
+        ekey = k;
         state = Closed;
         failure = 0.;
         timeout = 0.;
@@ -77,7 +92,8 @@ let trip t e ~now =
   e.state <- Tripped;
   e.tripped_at <- now;
   e.probe <- None;
-  t.trips <- t.trips + 1
+  t.trips <- t.trips + 1;
+  emit t "breaker-trip" e ~txn:None
 
 let gate t ~now ~root =
   if not t.cfg.enabled then `Admit
@@ -111,7 +127,8 @@ let begin_probe t ~now ~root ~txn =
     | Half_open, None ->
       e.probe <- Some txn;
       e.probe_at <- now;
-      t.probes <- t.probes + 1
+      t.probes <- t.probes + 1;
+      emit t "breaker-probe" e ~txn:(Some txn)
     | _, _ -> ()
   end
 
@@ -134,7 +151,8 @@ let observe t ~now ~root ~txn ~ok ~retries ~timeouts ~latency =
         e.failure <- 0.;
         e.timeout <- 0.;
         e.latency <- 0.;
-        t.closes <- t.closes + 1
+        t.closes <- t.closes + 1;
+        emit t "breaker-close" e ~txn:(Some txn)
       end
       else trip t e ~now
     end

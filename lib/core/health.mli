@@ -60,6 +60,15 @@ type t
 
 val create : config -> t
 
+(** Breaker transition notification: [kind] is ["breaker-trip"],
+    ["breaker-probe"] or ["breaker-close"]; [root] the subtree's root
+    path; [txn] the canary transaction when one is involved. *)
+type event = { kind : string; root : string; txn : int option }
+
+(** At most one listener; used by the controller to surface breaker
+    transitions into the span trace. *)
+val set_listener : t -> (event -> unit) -> unit
+
 (** Admission decision for one device root.  [`Admit] — breaker closed
     (or tracking disabled); [`Probe] — breaker half-open with the canary
     slot free, the caller may start this transaction as the probe;

@@ -34,9 +34,11 @@ type counters = {
   mutable retries : int;
   mutable transient_failures : int;
   mutable timeouts : int;
+  mutable undo_s : float;
 }
 
-let fresh_counters () = { retries = 0; transient_failures = 0; timeouts = 0 }
+let fresh_counters () =
+  { retries = 0; transient_failures = 0; timeouts = 0; undo_s = 0. }
 
 let backoff_nominal policy n =
   let n = max 1 n in
@@ -119,14 +121,59 @@ type attempt_outcome =
   | A_error of string
   | A_signal of [ `Term | `Kill ]
 
+(* Spans around attempts and backoffs.  [tracer] is the recorder plus the
+   owning transaction id and the worker's lane; spans auto-parent onto
+   the innermost open span of that transaction in the same lane (the
+   worker's replay or undo span). *)
+let trace_span tracer ~cat ~name ~attrs =
+  Option.map
+    (fun (tr, txn, lane) ->
+      (tr, Trace.begin_span tr ~txn ~lane ~cat ~name ~attrs ()))
+    tracer
+
+let trace_end opened ~attrs =
+  Option.iter (fun (tr, sid) -> Trace.end_span tr ~attrs sid) opened
+
+(* A worker kill unwinds straight out of a hung device invocation, so any
+   span open across an invocation must be closed on the way out or it
+   outlives its parent (the replay span, closed by the worker's own
+   unwind handler).  The thunk is expected to close [opened] itself on
+   every normal path; [end_span] is idempotent, so that close wins and
+   the finalizer's [outcome=interrupted] only lands on an unwind. *)
+let protect_span opened f =
+  Fun.protect
+    ~finally:(fun () -> trace_end opened ~attrs:[ ("outcome", "interrupted") ])
+    f
+
 let invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~check_signal
-    (record : Xlog.record) ~action ~args =
+    ~tracer (record : Xlog.record) ~action ~args =
   let count f = match counters with Some c -> f c | None -> () in
   let rec attempt n =
-    match
-      invoke_deadline ~devices ~sim ~deadline:policy.deadline ~counters record
-        ~action ~args
-    with
+    let opened =
+      trace_span tracer ~cat:"physical"
+        ~name:("action:" ^ action)
+        ~attrs:
+          [ ("index", string_of_int record.Xlog.index);
+            ("attempt", string_of_int n) ]
+    in
+    let result =
+      protect_span opened (fun () ->
+          match
+            invoke_deadline ~devices ~sim ~deadline:policy.deadline ~counters
+              record ~action ~args
+          with
+          | Ok () ->
+            trace_end opened ~attrs:[ ("outcome", "ok") ];
+            Ok ()
+          | Error err ->
+            trace_end opened
+              ~attrs:
+                [ ("outcome", "error"); ("reason", err.Devices.Device.reason);
+                  ("transient", string_of_bool err.Devices.Device.transient)
+                ];
+            Error err)
+    in
+    match result with
     | Ok () -> A_ok
     | Error err ->
       if err.Devices.Device.transient then
@@ -136,7 +183,17 @@ let invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~check_signal
         (* Backing off takes simulated time only when we have a clock to
            sleep on; instant-timing unit tests retry immediately. *)
         (match sim with
-         | Some _ -> Des.Proc.sleep (backoff_delay policy ?rng n)
+         | Some _ ->
+           let delay = backoff_delay policy ?rng n in
+           let backoff =
+             trace_span tracer ~cat:"physical" ~name:"backoff"
+               ~attrs:
+                 [ ("attempt", string_of_int n);
+                   ("delay", Printf.sprintf "%.3f" delay) ]
+           in
+           protect_span backoff (fun () ->
+               Des.Proc.sleep delay;
+               trace_end backoff ~attrs:[])
          | None -> ());
         match check_signal () with
         | `Go -> attempt (n + 1)
@@ -156,26 +213,43 @@ let invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~check_signal
    operator signals (they already serve a Term) but keep the retry policy
    and deadline, so a transient blip or hang during rollback does not
    convert a clean abort into a Failed transaction. *)
-let undo_executed ~devices ?(policy = no_retry) ?rng ?sim ?counters executed =
+let undo_executed ~devices ?(policy = no_retry) ?rng ?sim ?counters ?tracer
+    executed =
   let rec go = function
     | [] -> Ok ()
     | (record : Xlog.record) :: rest ->
       (match record.Xlog.undo with
        | None -> Error (record.Xlog.index, "irreversible action")
        | Some undo_action ->
+         let opened =
+           trace_span tracer ~cat:"undo"
+             ~name:("undo:" ^ undo_action)
+             ~attrs:[ ("index", string_of_int record.Xlog.index) ]
+         in
          (match
-            invoke_with_retry ~devices ~policy ~rng ~sim ~counters
-              ~check_signal:(fun () -> `Go)
-              record ~action:undo_action ~args:record.Xlog.undo_args
+            protect_span opened (fun () ->
+                match
+                  invoke_with_retry ~devices ~policy ~rng ~sim ~counters
+                    ~tracer:None
+                    ~check_signal:(fun () -> `Go)
+                    record ~action:undo_action ~args:record.Xlog.undo_args
+                with
+                | A_ok ->
+                  trace_end opened ~attrs:[ ("outcome", "ok") ];
+                  Ok ()
+                | A_error reason ->
+                  trace_end opened
+                    ~attrs:[ ("outcome", "error"); ("reason", reason) ];
+                  Error reason
+                | A_signal _ -> assert false)
           with
-          | A_ok -> go rest
-          | A_error reason -> Error (record.Xlog.index, reason)
-          | A_signal _ -> assert false))
+          | Ok () -> go rest
+          | Error reason -> Error (record.Xlog.index, reason)))
   in
   go executed
 
 let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
-    ?sim ?counters log =
+    ?sim ?counters ?tracer log =
   (* [executed] accumulates completed records, newest first. *)
   let rec run executed = function
     | [] -> Proto.Phy_committed
@@ -185,7 +259,7 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
        | `Term -> roll_back executed "terminated by operator"
        | `Go ->
          (match
-            invoke_with_retry ~devices ~policy ~rng ~sim ~counters
+            invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~tracer
               ~check_signal record ~action:record.Xlog.action
               ~args:record.Xlog.args
           with
@@ -197,10 +271,31 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
               (Printf.sprintf "action #%d %s: %s" record.Xlog.index
                  record.Xlog.action reason)))
   and roll_back executed reason =
-    match undo_executed ~devices ~policy ?rng ?sim ?counters executed with
-    | Ok () -> Proto.Phy_aborted reason
-    | Error (index, undo_reason) ->
-      Proto.Phy_failed
-        (Printf.sprintf "%s; undo #%d failed: %s" reason index undo_reason)
+    let t0 = Option.map Des.Sim.now sim in
+    let opened =
+      trace_span tracer ~cat:"undo" ~name:"undo"
+        ~attrs:
+          [ ("actions", string_of_int (List.length executed));
+            ("cause", reason) ]
+    in
+    protect_span opened (fun () ->
+        let result =
+          undo_executed ~devices ~policy ?rng ?sim ?counters ?tracer executed
+        in
+        (match (t0, sim, counters) with
+         | Some t0, Some sim, Some c ->
+           c.undo_s <- c.undo_s +. (Des.Sim.now sim -. t0)
+         | _ -> ());
+        match result with
+        | Ok () ->
+          trace_end opened ~attrs:[ ("outcome", "ok") ];
+          Proto.Phy_aborted reason
+        | Error (index, undo_reason) ->
+          trace_end opened
+            ~attrs:
+              [ ("outcome", "failed"); ("undo_index", string_of_int index);
+                ("reason", undo_reason) ];
+          Proto.Phy_failed
+            (Printf.sprintf "%s; undo #%d failed: %s" reason index undo_reason))
   in
   run [] log

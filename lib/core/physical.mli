@@ -51,11 +51,14 @@ val backoff_nominal : retry_policy -> int -> float
 (** Jittered backoff before retry [n]; deterministic given [rng]. *)
 val backoff_delay : retry_policy -> ?rng:Random.State.t -> int -> float
 
-(** Robustness counters, accumulated across one or more [execute] calls. *)
+(** Robustness counters, accumulated across one or more [execute] calls.
+    [undo_s] accumulates sim seconds spent rolling back (0 without
+    [~sim]). *)
 type counters = {
   mutable retries : int;
   mutable transient_failures : int;
   mutable timeouts : int;
+  mutable undo_s : float;
 }
 
 val fresh_counters : unit -> counters
@@ -64,7 +67,9 @@ val fresh_counters : unit -> counters
     {!no_retry}; pass [~sim] (and normally [~rng] from the same sim) to
     enable deadlines and timed backoff — without it, retries are
     immediate and deadlines are ignored.  [counters], when given, is
-    incremented in place. *)
+    incremented in place.  [tracer], when given, records per-attempt
+    action spans, backoff spans and undo chains under the given
+    transaction id. *)
 val execute :
   devices:device_lookup ->
   ?check_signal:signal_check ->
@@ -72,6 +77,7 @@ val execute :
   ?rng:Random.State.t ->
   ?sim:Des.Sim.t ->
   ?counters:counters ->
+  ?tracer:Trace.t * int * int ->
   Xlog.t ->
   Proto.outcome
 

@@ -11,6 +11,8 @@ type spec = {
   submit_clients : int;
   client_slots : int;
   worker_retry : Physical.retry_policy;
+  trace : Trace.t option;
+      (* span recorder shared by every controller and worker *)
 }
 
 let default_spec =
@@ -25,6 +27,7 @@ let default_spec =
     submit_clients = 4;
     client_slots = 64;
     worker_retry = Physical.no_retry;
+    trace = None;
   }
 
 type t = {
@@ -101,16 +104,17 @@ let create pspec env ~initial_tree ~devices psim =
           Coord.Ensemble.connect ensemble
             ~session_timeout:pspec.controller_session_timeout ~name:cname ()
         in
-        Controller.create ~name:cname ~client ~env
+        Controller.create ?trace:pspec.trace ~name:cname ~client ~env
           ~config:pspec.controller_config ~devices:device_lookup ~device_roots
-          ~sim:psim)
+          ~sim:psim ())
   in
   let work =
     Array.init pspec.workers (fun i ->
         let wname = Printf.sprintf "worker-%d" i in
         let client = Coord.Ensemble.connect ensemble ~name:wname () in
-        Worker.create ~retry:pspec.worker_retry ~name:wname ~client
-          ~mode:(worker_mode pspec.mode) ~devices:device_lookup ~sim:psim ())
+        Worker.create ~retry:pspec.worker_retry ?trace:pspec.trace ~name:wname
+          ~client ~mode:(worker_mode pspec.mode) ~devices:device_lookup
+          ~sim:psim ())
   in
   let submitters =
     Array.init pspec.submit_clients (fun i ->
@@ -262,9 +266,9 @@ let restart_controller t i =
       ~session_timeout:t.pspec.controller_session_timeout ~name:cname ()
   in
   let c =
-    Controller.create ~name:cname ~client ~env:t.penv
+    Controller.create ?trace:t.pspec.trace ~name:cname ~client ~env:t.penv
       ~config:t.pspec.controller_config ~devices:t.pdevices
-      ~device_roots:t.pdevice_roots ~sim:t.psim
+      ~device_roots:t.pdevice_roots ~sim:t.psim ()
   in
   t.control.(i) <- c;
   Controller.start c
@@ -278,8 +282,9 @@ let restart_worker t i =
   let wname = Worker.name t.work.(i) in
   let client = Coord.Ensemble.connect t.ensemble ~name:wname () in
   let w =
-    Worker.create ~retry:t.pspec.worker_retry ~name:wname ~client
-      ~mode:(worker_mode t.pspec.mode) ~devices:t.pdevices ~sim:t.psim ()
+    Worker.create ~retry:t.pspec.worker_retry ?trace:t.pspec.trace ~name:wname
+      ~client ~mode:(worker_mode t.pspec.mode) ~devices:t.pdevices ~sim:t.psim
+      ()
   in
   t.work.(i) <- w;
   Worker.start w

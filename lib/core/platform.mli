@@ -23,6 +23,9 @@ type spec = {
   client_slots : int;    (** coordination-service session slots *)
   worker_retry : Physical.retry_policy;
       (** per-action robustness policy every worker executes under *)
+  trace : Trace.t option;
+      (** span recorder shared by every controller and worker (including
+          supervisor restarts); [None] disables tracing *)
 }
 
 val default_spec : spec

@@ -22,9 +22,17 @@ let pp_outcome fmt = function
   | Phy_aborted reason -> Format.fprintf fmt "aborted (%s)" reason
   | Phy_failed reason -> Format.fprintf fmt "failed (%s)" reason
 
-type exec_stats = { retries : int; transient_failures : int; timeouts : int }
+type exec_stats = {
+  retries : int;
+  transient_failures : int;
+  timeouts : int;
+  replay_s : float;  (** sim seconds the worker spent replaying the log *)
+  undo_s : float;  (** sim seconds spent rolling back, 0 when none *)
+}
 
-let no_exec_stats = { retries = 0; transient_failures = 0; timeouts = 0 }
+let no_exec_stats =
+  { retries = 0; transient_failures = 0; timeouts = 0; replay_s = 0.;
+    undo_s = 0. }
 
 type input_item =
   | Request of { proc : string; args : Data.Value.t list }
@@ -56,7 +64,8 @@ let to_sexp item =
     List
       [ Atom "result"; of_int txn_id; outcome_to_sexp outcome;
         of_int exec.retries; of_int exec.transient_failures;
-        of_int exec.timeouts ]
+        of_int exec.timeouts; Atom (Printf.sprintf "%.6f" exec.replay_s);
+        Atom (Printf.sprintf "%.6f" exec.undo_s) ]
   | Control (Reload path) ->
     List [ Atom "control"; Atom "reload"; Data.Path.to_sexp path ]
   | Control (Repair path) ->
@@ -86,6 +95,7 @@ let of_sexp sexp =
     let* txn_id = Data.Sexp.to_int txn_id in
     let* outcome = outcome_of_sexp outcome in
     Ok (Result { txn_id; outcome; exec = no_exec_stats })
+  (* PR 3 form: integer exec counters, no phase timings. *)
   | Data.Sexp.List
       [ Data.Sexp.Atom "result"; txn_id; outcome; retries; transient; timeouts
       ] ->
@@ -97,7 +107,28 @@ let of_sexp sexp =
     Ok
       (Result
          { txn_id; outcome;
-           exec = { retries; transient_failures; timeouts } })
+           exec =
+             { no_exec_stats with retries; transient_failures; timeouts } })
+  | Data.Sexp.List
+      [ Data.Sexp.Atom "result"; txn_id; outcome; retries; transient; timeouts;
+        Data.Sexp.Atom replay_s; Data.Sexp.Atom undo_s ] ->
+    let* txn_id = Data.Sexp.to_int txn_id in
+    let* outcome = outcome_of_sexp outcome in
+    let* retries = Data.Sexp.to_int retries in
+    let* transient_failures = Data.Sexp.to_int transient in
+    let* timeouts = Data.Sexp.to_int timeouts in
+    let to_float what s =
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad %s %S" what s)
+    in
+    let* replay_s = to_float "replay_s" replay_s in
+    let* undo_s = to_float "undo_s" undo_s in
+    Ok
+      (Result
+         { txn_id; outcome;
+           exec = { retries; transient_failures; timeouts; replay_s; undo_s }
+         })
   | Data.Sexp.List [ Data.Sexp.Atom "control"; Data.Sexp.Atom "reload"; path ] ->
     let* path = Data.Path.of_sexp path in
     Ok (Control (Reload path))

@@ -24,8 +24,16 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 (** Physical-layer robustness counters a worker accumulated while
     executing one transaction (retried attempts, transient device
-    errors observed, per-action deadline expiries). *)
-type exec_stats = { retries : int; transient_failures : int; timeouts : int }
+    errors observed, per-action deadline expiries), plus phase timings
+    in sim seconds so the controller can build per-phase latency
+    breakdowns without a trace attached. *)
+type exec_stats = {
+  retries : int;
+  transient_failures : int;
+  timeouts : int;
+  replay_s : float;
+  undo_s : float;
+}
 
 val no_exec_stats : exec_stats
 

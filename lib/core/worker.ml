@@ -11,13 +11,15 @@ type t = {
   devices : Physical.device_lookup;
   sim : Des.Sim.t;
   retry : Physical.retry_policy;
+  trace : Trace.t option;
   mutable stopped : bool;
   mutable procs : Des.Proc.t list;
   mutable n_executed : int;
   mutable n_committed : int;
 }
 
-let create ?(retry = Physical.no_retry) ~name ~client ~mode ~devices ~sim () =
+let create ?(retry = Physical.no_retry) ?trace ~name ~client ~mode ~devices
+    ~sim () =
   {
     wname = name;
     client;
@@ -25,6 +27,7 @@ let create ?(retry = Physical.no_retry) ~name ~client ~mode ~devices ~sim () =
     devices;
     sim;
     retry;
+    trace;
     stopped = false;
     procs = [];
     n_executed = 0;
@@ -55,16 +58,60 @@ let execute_txn w txn_id =
        if txn.Txn.state <> Txn.Started then None
        else begin
          let counters = Physical.fresh_counters () in
+         let t0 = Des.Sim.now w.sim in
+         (* Each execution gets a fresh tracer lane: after a fail-over
+            the same transaction can be replayed by two workers at once,
+            and lanes keep their span trees from interleaving. *)
+         let span =
+           Option.map
+             (fun tr ->
+               let lane = Trace.fresh_lane tr in
+               ( lane,
+                 Trace.begin_span tr ~txn:txn_id ~lane ~cat:"physical"
+                   ~name:"replay"
+                   ~attrs:
+                     [ ("worker", w.wname);
+                       ("actions", string_of_int (List.length txn.Txn.log));
+                       ( "mode",
+                         match w.mode with
+                         | Full -> "full"
+                         | Logical_only _ -> "logical" ) ]
+                   () ))
+             w.trace
+         in
+         (* Default outcome covers a kill mid-replay: the span is closed
+            on the unwind (Fun.protect) with outcome "interrupted". *)
+         let outcome_label = ref "interrupted" in
+         let close_span () =
+           match (w.trace, span) with
+           | Some tr, Some (_, sid) ->
+             Trace.end_span tr ~attrs:[ ("outcome", !outcome_label) ] sid
+           | _ -> ()
+         in
          let outcome =
-           match w.mode with
-           | Logical_only delay ->
-             if delay > 0. then Des.Proc.sleep delay;
-             Proto.Phy_committed
-           | Full ->
-             Physical.execute ~devices:w.devices
-               ~check_signal:(check_signal w txn_id)
-               ~policy:w.retry ~rng:(Des.Sim.rng w.sim) ~sim:w.sim ~counters
-               txn.Txn.log
+           Fun.protect ~finally:close_span (fun () ->
+               let o =
+                 match w.mode with
+                 | Logical_only delay ->
+                   if delay > 0. then Des.Proc.sleep delay;
+                   Proto.Phy_committed
+                 | Full ->
+                   Physical.execute ~devices:w.devices
+                     ~check_signal:(check_signal w txn_id)
+                     ~policy:w.retry ~rng:(Des.Sim.rng w.sim) ~sim:w.sim
+                     ~counters
+                     ?tracer:
+                       (match (w.trace, span) with
+                       | Some tr, Some (lane, _) -> Some (tr, txn_id, lane)
+                       | _ -> None)
+                     txn.Txn.log
+               in
+               (outcome_label :=
+                  match o with
+                  | Proto.Phy_committed -> "committed"
+                  | Proto.Phy_aborted _ -> "aborted"
+                  | Proto.Phy_failed _ -> "failed");
+               o)
          in
          w.n_executed <- w.n_executed + 1;
          if outcome = Proto.Phy_committed then
@@ -74,6 +121,8 @@ let execute_txn w txn_id =
              Proto.retries = counters.Physical.retries;
              transient_failures = counters.Physical.transient_failures;
              timeouts = counters.Physical.timeouts;
+             replay_s = Des.Sim.now w.sim -. t0;
+             undo_s = counters.Physical.undo_s;
            }
          in
          Some (outcome, exec)

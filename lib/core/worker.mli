@@ -15,9 +15,12 @@ type mode =
 type t
 
 (** [retry] (default {!Physical.no_retry}) is the per-action robustness
-    policy applied to every log replayed by this worker. *)
+    policy applied to every log replayed by this worker.  [trace], when
+    given, records a replay span (plus per-action/backoff/undo spans in
+    [Full] mode) for every transaction this worker executes. *)
 val create :
   ?retry:Physical.retry_policy ->
+  ?trace:Trace.t ->
   name:string ->
   client:Coord.Client.t ->
   mode:mode ->

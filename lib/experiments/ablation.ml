@@ -9,6 +9,8 @@ type scheduling_result = {
   aggressive_sched : Common.sched_counters;
   fifo_robust : Common.robust_counters;
   aggressive_robust : Common.robust_counters;
+  fifo_phases : string;
+  aggressive_phases : string;
 }
 
 type safety_result = {
@@ -97,16 +99,18 @@ let scheduling_run ~seed policy =
   ( !last_commit,
     Metrics.Cdf.mean latencies,
     Common.sched_counters platform,
-    Common.robust_counters platform )
+    Common.robust_counters platform,
+    Common.phase_summary platform )
 
 let scheduling_ablation ~seed () =
-  let fifo_makespan, fifo_mean_latency, fifo_sched, fifo_robust =
+  let fifo_makespan, fifo_mean_latency, fifo_sched, fifo_robust, fifo_phases =
     scheduling_run ~seed `Fifo
   in
   let ( aggressive_makespan,
         aggressive_mean_latency,
         aggressive_sched,
-        aggressive_robust ) =
+        aggressive_robust,
+        aggressive_phases ) =
     scheduling_run ~seed `Aggressive
   in
   {
@@ -118,6 +122,8 @@ let scheduling_ablation ~seed () =
     aggressive_sched;
     fifo_robust;
     aggressive_robust;
+    fifo_phases;
+    aggressive_phases;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -262,13 +268,15 @@ let run ?(seed = default_seed) () =
 let print r =
   Common.section "Ablation 1: FIFO vs aggressive scheduling (hot head-of-line)";
   Printf.printf
-    "FIFO:       makespan %.2f s, mean latency %.2f s  (%s | %s)\nAggressive: makespan %.2f s, mean latency %.2f s  (%s | %s)\n"
+    "FIFO:       makespan %.2f s, mean latency %.2f s  (%s | %s | %s)\nAggressive: makespan %.2f s, mean latency %.2f s  (%s | %s | %s)\n"
     r.scheduling.fifo_makespan r.scheduling.fifo_mean_latency
     (Common.sched_summary r.scheduling.fifo_sched)
     (Common.robust_summary r.scheduling.fifo_robust)
+    r.scheduling.fifo_phases
     r.scheduling.aggressive_makespan r.scheduling.aggressive_mean_latency
     (Common.sched_summary r.scheduling.aggressive_sched)
-    (Common.robust_summary r.scheduling.aggressive_robust);
+    (Common.robust_summary r.scheduling.aggressive_robust)
+    r.scheduling.aggressive_phases;
   Common.section "Ablation 2: logical-first safety vs device-only execution";
   Printf.printf
     "with constraints:    %d overcommitted hosts, %d device ops\nwithout constraints: %d overcommitted hosts, %d device ops\n"

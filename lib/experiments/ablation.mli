@@ -19,6 +19,8 @@ type scheduling_result = {
   aggressive_sched : Common.sched_counters;
   fifo_robust : Common.robust_counters;
   aggressive_robust : Common.robust_counters;
+  fifo_phases : string;  (** per-phase p50/p99 latency breakdown *)
+  aggressive_phases : string;
 }
 
 type safety_result = {

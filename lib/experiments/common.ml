@@ -115,6 +115,23 @@ let robust_summary c =
     c.rc_auto_terms c.rc_auto_kills c.rc_sheds c.rc_breaker_trips
     c.rc_breaker_probes c.rc_breaker_closes c.rc_breaker_deferrals
 
+(* Per-phase p50/p99 breakdown from the leader's recorders; empty phases
+   print n/a rather than a placeholder 0. *)
+let phase_summary platform =
+  match Tropic.Platform.leader_controller platform with
+  | None ->
+    "phases[p50/p99 s]: simulate n/a, lock-wait n/a, replay n/a, undo n/a"
+  | Some c -> Tropic.Controller.phase_summary (Tropic.Controller.stats c)
+
+(* Shared by the binaries' --trace flags: persist the Chrome-format trace
+   and report any lifecycle-invariant violations the recorder saw. *)
+let dump_trace tracer ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Trace.to_chrome_json tracer));
+  Trace.Check.validate tracer
+
 let sched_summary c =
   let per_commit =
     if c.sc_committed = 0 then 0.

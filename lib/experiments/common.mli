@@ -62,3 +62,12 @@ val robust_counters : Tropic.Platform.t -> robust_counters
 
 (** One-line human summary of retry/timeout/signal activity. *)
 val robust_summary : robust_counters -> string
+
+(** Leader's per-phase latency breakdown ({!Tropic.Controller.phase_summary});
+    phases with no samples print [n/a]. *)
+val phase_summary : Tropic.Platform.t -> string
+
+(** Write [tracer]'s Chrome trace-event JSON to [file] and return the
+    lifecycle-invariant violations {!Trace.Check.validate} found (ideally
+    none). *)
+val dump_trace : Trace.t -> file:string -> Trace.Check.error list

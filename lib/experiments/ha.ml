@@ -11,6 +11,7 @@ type result = {
   lost : int;
   sched : Common.sched_counters;
   robust : Common.robust_counters;
+  phases : string;
 }
 
 (* Historical seed of this experiment's runs; --seed overrides it. *)
@@ -117,6 +118,7 @@ let run ?(seed = default_seed) ?(session_timeout = 10.) ?(rate = 2.)
     lost = !submitted - !committed - !aborted;
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
+    phases = Common.phase_summary platform;
   }
 
 let print r =
@@ -129,5 +131,5 @@ let print r =
     r.recovery_seconds;
   Printf.printf "submitted=%d committed=%d aborted=%d lost=%d (paper: 0 lost)\n"
     r.submitted r.committed r.aborted r.lost;
-  Printf.printf "%s\n%s\n%!" (Common.sched_summary r.sched)
-    (Common.robust_summary r.robust)
+  Printf.printf "%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust) r.phases

@@ -21,6 +21,7 @@ type result = {
   sched : Common.sched_counters;  (** surviving leader's wake counters *)
   robust : Common.robust_counters;
       (** surviving leader's retry/timeout/signal tallies *)
+  phases : string;  (** per-phase p50/p99 latency breakdown *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

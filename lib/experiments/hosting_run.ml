@@ -15,6 +15,8 @@ type result = {
   layers_consistent : bool;
   sched : Common.sched_counters;
   robust : Common.robust_counters;
+  phases : string;
+  trace : Trace.t option;
 }
 
 let op_names = [ "spawnVM"; "startVM"; "stopVM"; "migrateVM"; "destroyVM" ]
@@ -38,8 +40,10 @@ let layers_consistent platform inv =
 
 let default_seed = 97
 
-let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
+let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.)
+    ?(record_trace = false) () =
   let sim = Des.Sim.create ~seed () in
+  let tracer = if record_trace then Some (Trace.create ~sim ()) else None in
   let size =
     {
       Tcloud.Setup.small with
@@ -55,6 +59,7 @@ let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
         Tropic.Platform.default_spec with
         Tropic.Platform.workers = 4;
         controller_config = Tcloud.Setup.controller_config;
+        trace = tracer;
       }
       inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
       ~devices:inv.Tcloud.Setup.devices sim
@@ -130,6 +135,8 @@ let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.) () =
     layers_consistent = layers_consistent platform inv;
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
+    phases = Common.phase_summary platform;
+    trace = tracer;
   }
 
 let print r =
@@ -151,5 +158,5 @@ let print r =
   Printf.printf
     "lock-conflict deferrals: %d; constraint violations: %d; layers consistent at end: %b\n"
     r.deferrals r.violations r.layers_consistent;
-  Printf.printf "%s\n%s\n%!" (Common.sched_summary r.sched)
-    (Common.robust_summary r.robust)
+  Printf.printf "%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust) r.phases

@@ -22,10 +22,20 @@ type result = {
           end of the run *)
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
   robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
+  phases : string;  (** per-phase p50/p99 breakdown (simulate/lock-wait/...) *)
+  trace : Trace.t option;  (** span recorder, when [record_trace] was set *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)
 val default_seed : int
 
-val run : ?seed:int -> ?rate:float -> ?duration:float -> unit -> result
+(** [record_trace] (default false) attaches a span recorder to every
+    controller and worker; the result then carries the trace. *)
+val run :
+  ?seed:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?record_trace:bool ->
+  unit ->
+  result
 val print : result -> unit

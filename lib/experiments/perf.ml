@@ -43,6 +43,7 @@ type result = {
   wall_seconds : float;
   sched : Common.sched_counters;
   robust : Common.robust_counters;
+  phases : string;
 }
 
 (* The paper's logical-only deployment (§5, §6.1): 8 VM slots per host,
@@ -153,6 +154,7 @@ let run cfg =
     wall_seconds;
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
+    phases = Common.phase_summary platform;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -196,8 +198,8 @@ let print_result r =
     (100. *. Metrics.Series.max_value r.cpu_util)
     (100. *. Metrics.Series.max_value r.coord_util)
     r.sim_events r.wall_seconds;
-  Printf.printf "    %s\n    %s\n%!" (Common.sched_summary r.sched)
-    (Common.robust_summary r.robust)
+  Printf.printf "    %s\n    %s\n    %s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust) r.phases
 
 let print_fig4_fig5 ?(multipliers = [ 1; 2; 3; 4; 5 ]) cfg =
   Common.section

@@ -37,6 +37,7 @@ type result = {
   wall_seconds : float;
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
   robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
+  phases : string;  (** per-phase p50/p99 latency breakdown *)
 }
 
 val run : config -> result

@@ -6,6 +6,7 @@ type throughput_point = {
   median_latency : float;
   sched : Common.sched_counters;
   robust : Common.robust_counters;
+  phases : string;
 }
 
 type memory_point = {
@@ -87,6 +88,7 @@ let throughput_point ~seed ~rate ~duration hosts =
        else Metrics.Cdf.quantile latency 0.5);
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
+    phases = Common.phase_summary platform;
   }
 
 let live_bytes () =
@@ -140,10 +142,10 @@ let print r =
   List.iter
     (fun p ->
       Printf.printf
-        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s  %s | %s\n"
+        "hosts=%6d  offered=%d committed=%d  throughput=%.2f txn/s  median=%.3f s  %s | %s | %s\n"
         p.hosts p.offered p.committed p.throughput_per_s p.median_latency
         (Common.sched_summary p.sched)
-        (Common.robust_summary p.robust))
+        (Common.robust_summary p.robust) p.phases)
     r.throughput;
   List.iter
     (fun m ->

@@ -15,6 +15,7 @@ type throughput_point = {
   median_latency : float;
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
   robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
+  phases : string;  (** per-phase p50/p99 latency breakdown *)
 }
 
 type memory_point = {

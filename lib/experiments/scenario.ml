@@ -4,6 +4,7 @@ type outcome = {
   transactions : int;
   unexpected_outcomes : int;
   layers_consistent : bool;
+  trace : Trace.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -167,11 +168,12 @@ let parse script =
 let host_path i = Data.Path.to_string (Tcloud.Setup.compute_path i)
 let switch_path i = Data.Path.to_string (Tcloud.Setup.switch_path i)
 
-let run_script script =
+let run_script ?(record_trace = false) script =
   match parse script with
   | Error _ as e -> e
   | Ok (header, commands) ->
     let sim = Des.Sim.create ~seed:header.seed () in
+    let tracer = if record_trace then Some (Trace.create ~sim ()) else None in
     let size =
       {
         Tcloud.Setup.small with
@@ -203,6 +205,7 @@ let run_script script =
                 };
             };
           controller_session_timeout = 5.0;
+          trace = tracer;
         }
         inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
         ~devices:inv.Tcloud.Setup.devices sim
@@ -342,7 +345,8 @@ let run_script script =
           s.Tropic.Controller.aborted s.Tropic.Controller.failed
           s.Tropic.Controller.deferrals s.Tropic.Controller.violations
           s.Tropic.Controller.sheds s.Tropic.Controller.breaker_trips
-          s.Tropic.Controller.breaker_probes s.Tropic.Controller.breaker_closes
+          s.Tropic.Controller.breaker_probes s.Tropic.Controller.breaker_closes;
+        emit "%s" (Tropic.Controller.phase_summary s)
       | Storm (count, host) ->
         (* Fire-and-forget burst: flood the controller without awaiting, so
            a following awaited command observes admission control. *)
@@ -410,13 +414,14 @@ let run_script script =
         transactions = !transactions;
         unexpected_outcomes = !unexpected_outcomes;
         layers_consistent;
+        trace = tracer;
       }
 
-let run_file path =
+let run_file ?record_trace path =
   let ic = open_in path in
   let script =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  run_script script
+  run_script ?record_trace script

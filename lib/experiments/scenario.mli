@@ -37,12 +37,15 @@ type outcome = {
   layers_consistent : bool;
       (** at the end of the run, every device matches its logical subtree
           or is quarantined awaiting reconciliation *)
+  trace : Trace.t option;
+      (** span recorder for the run when [record_trace] was set *)
 }
 
 (** Parse and execute a scenario.  [Error] is a parse problem (line number
     and message); execution problems surface in the transcript and the
-    [failed_expectations] count. *)
-val run_script : string -> (outcome, string) result
+    [failed_expectations] count.  [record_trace] (default false) attaches a
+    {!Trace.t} to the platform and returns it in the outcome. *)
+val run_script : ?record_trace:bool -> string -> (outcome, string) result
 
 (** Convenience: read a file and {!run_script} it. *)
-val run_file : string -> (outcome, string) result
+val run_file : ?record_trace:bool -> string -> (outcome, string) result

@@ -32,6 +32,15 @@ let quantile t q =
     a.(idx)
   end
 
+let quantile_opt t q =
+  if q < 0. || q > 1. then invalid_arg "Cdf.quantile_opt: q out of range";
+  if t.n = 0 then None else Some (quantile t q)
+
+let quantile_pair t ~p =
+  match (quantile_opt t 0.5, quantile_opt t p) with
+  | Some median, Some high -> Printf.sprintf "%.2f/%.2f" median high
+  | _ -> "n/a"
+
 let min_value t = quantile t 0.
 let max_value t = quantile t 1.
 

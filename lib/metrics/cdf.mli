@@ -13,6 +13,16 @@ val mean : t -> float
     @raise Invalid_argument on an out-of-range [q]. *)
 val quantile : t -> float -> float
 
+(** [quantile_opt t q] is [None] on an empty recorder, [Some (quantile t q)]
+    otherwise.  Prefer this over {!quantile} in summaries so empty phases
+    print "n/a" instead of a misleading 0.0.
+    @raise Invalid_argument on an out-of-range [q]. *)
+val quantile_opt : t -> float -> float option
+
+(** [quantile_pair t ~p] renders ["<p50>/<p>"] with two decimals, or
+    ["n/a"] when the recorder is empty. *)
+val quantile_pair : t -> p:float -> string
+
 (** 0 on an empty recorder, like {!quantile}. *)
 val min_value : t -> float
 

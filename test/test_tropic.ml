@@ -92,7 +92,9 @@ let test_proto_roundtrip () =
         {
           txn_id = 9;
           outcome = Proto.Phy_aborted "disk on fire";
-          exec = { Proto.retries = 3; transient_failures = 2; timeouts = 1 };
+          exec =
+            { Proto.retries = 3; transient_failures = 2; timeouts = 1;
+              replay_s = 12.25; undo_s = 3.5 };
         };
       Proto.Result
         { txn_id = 9; outcome = Proto.Phy_failed "undo broke"; exec = Proto.no_exec_stats };
@@ -1308,6 +1310,136 @@ let test_e2e_breaker_trips_then_canary_reopens () =
       check bool_c "canary probed" true (st.Controller.breaker_probes >= 1);
       check bool_c "breaker closed" true (st.Controller.breaker_closes >= 1))
 
+(* ------------------------------------------------------------------ *)
+(* Per-transaction span tracing (lib/trace) *)
+
+(* Like [with_platform] but with a span recorder attached; [scenario]
+   additionally receives the tracer. *)
+let with_traced_platform ?(spec = quick_spec) ?(size = Tcloud.Setup.small)
+    ?(horizon = 600.) ?(seed = 11) scenario =
+  let sim = Des.Sim.create ~seed () in
+  let tracer = Trace.create ~sim () in
+  let inv = Tcloud.Setup.build ~timing:`Process ~rng:(Des.Sim.rng sim) size in
+  let platform =
+    Platform.create
+      { spec with Platform.trace = Some tracer }
+      inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
+      ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let finished = ref false in
+  ignore
+    (Des.Proc.spawn ~name:"scenario" sim (fun () ->
+         scenario platform inv tracer;
+         finished := true));
+  ignore (Des.Sim.run ~until:horizon sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     Alcotest.failf "process %s crashed: %s" who (Printexc.to_string exn));
+  if not !finished then Alcotest.fail "scenario did not finish before horizon"
+
+let txn_spans tracer id =
+  List.filter (fun s -> s.Trace.txn = id) (Trace.spans tracer)
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let span_named spans name =
+  match List.find_opt (fun s -> s.Trace.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "no %S span" name
+
+let expect_valid_trace tracer =
+  match Trace.Check.validate tracer with
+  | [] -> ()
+  | errors ->
+    Alcotest.failf "trace invariant violations: %s"
+      (String.concat "; " (List.map Trace.Check.error_to_string errors))
+
+let test_trace_commit_lifecycle () =
+  with_traced_platform (fun platform _inv tracer ->
+      let id =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "trc1")
+      in
+      expect_committed "spawnVM" (Platform.await platform id);
+      let spans = txn_spans tracer id in
+      let root = span_named spans "spawnVM" in
+      check (Alcotest.option string_c) "root state" (Some "committed")
+        (Trace.attr root "state");
+      let simulate = span_named spans "simulate" in
+      let replay = span_named spans "replay" in
+      (* Lifecycle order: logical simulation completes before physical
+         replay begins. *)
+      (match simulate.Trace.end_ts with
+       | Some e ->
+         check bool_c "simulate before replay" true
+           (e <= replay.Trace.start_ts)
+       | None -> Alcotest.fail "simulate span still open");
+      check (Alcotest.option string_c) "replay outcome" (Some "committed")
+        (Trace.attr replay "outcome");
+      check bool_c "no undo spans on commit path" true
+        (List.for_all (fun s -> s.Trace.cat <> "undo") spans);
+      expect_valid_trace tracer)
+
+let test_trace_fault_replay_undo_reversed () =
+  with_traced_platform (fun platform inv tracer ->
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      Devices.Fault.fail_next
+        (Devices.Device.faults (Devices.Compute.device compute0))
+        ~action:Schema.act_start_vm;
+      let id =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "trc2")
+      in
+      (match Platform.await platform id with
+       | Txn.Aborted _ -> ()
+       | other ->
+         Alcotest.failf "expected abort, got %s" (Txn.state_to_string other));
+      let spans = txn_spans tracer id in
+      let index_of s =
+        match Option.bind (Trace.attr s "index") int_of_string_opt with
+        | Some i -> i
+        | None -> Alcotest.failf "span %s has no index" s.Trace.name
+      in
+      let ok_actions =
+        List.filter
+          (fun s ->
+            has_prefix "action:" s.Trace.name
+            && Trace.attr s "outcome" = Some "ok")
+          spans
+      in
+      let undo_actions =
+        List.filter (fun s -> has_prefix "undo:" s.Trace.name) spans
+      in
+      check bool_c "some actions replayed" true (ok_actions <> []);
+      check bool_c "undo recorded" true (undo_actions <> []);
+      (* Undo runs in exact reverse order of the ok'd replayed actions. *)
+      check (Alcotest.list int_c) "undo reverses replay"
+        (List.rev (List.map index_of ok_actions))
+        (List.map index_of undo_actions);
+      expect_valid_trace tracer)
+
+let test_trace_lock_wait_names_holder () =
+  with_traced_platform (fun platform _inv tracer ->
+      (* Two spawns sharing host0 + storage0: the second conflicts on the
+         first's W locks and parks until release. *)
+      let a =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "trw1")
+      in
+      let b =
+        Platform.submit platform ~proc:"spawnVM" ~args:(spawn_args "trw2")
+      in
+      expect_committed "first spawn" (Platform.await platform a);
+      expect_committed "second spawn" (Platform.await platform b);
+      let wait = span_named (txn_spans tracer b) "lock-wait" in
+      check (Alcotest.option string_c) "blocking holder named"
+        (Some (string_of_int a))
+        (Trace.attr wait "holder");
+      (match wait.Trace.end_ts with
+       | Some e -> check bool_c "wait ended" true (e >= wait.Trace.start_ts)
+       | None -> Alcotest.fail "lock-wait span still open");
+      expect_valid_trace tracer)
+
 let suite =
   [
     ("xlog: codec roundtrip", `Quick, test_xlog_roundtrip);
@@ -1354,6 +1486,9 @@ let suite =
     QCheck_alcotest.to_alcotest breaker_fsm_prop;
     ("overload: admission sheds under storm", `Quick, test_e2e_admission_sheds_overload);
     ("overload: breaker trips then canary reopens", `Quick, test_e2e_breaker_trips_then_canary_reopens);
+    ("trace: commit lifecycle span order", `Quick, test_trace_commit_lifecycle);
+    ("trace: fault replay undo reversed", `Quick, test_trace_fault_replay_undo_reversed);
+    ("trace: lock-wait names blocking holder", `Quick, test_trace_lock_wait_names_holder);
   ]
 
 let () = Alcotest.run "tropic" [ ("tropic", suite) ]

@@ -4,10 +4,11 @@
      dune exec bin/tcloud_sim.exe -- examples/scenarios/demo.scenario
      dune exec bin/tcloud_sim.exe -- --trace out.json demo.scenario
 
-   Exit status is non-zero if the script fails to parse, any `expect`
-   assertion fails, a transaction aborts or fails with no `expect`
-   acknowledging it, the logical and physical layers disagree at the end
-   of the run, or (with --trace) the recorded span tree violates a
+   Exit status is non-zero if the script fails to parse, any `expect` or
+   `expect-converged` assertion fails, a transaction aborts or fails with
+   no `expect` acknowledging it, a `converge` command is left blocked
+   with residual drift, the logical and physical layers disagree at the
+   end of the run, or (with --trace) the recorded span tree violates a
    lifecycle invariant — so scenarios double as regression tests.
    Admission overload aborts are the expected face of load shedding and
    never make the exit status unhealthy. *)
@@ -35,10 +36,11 @@ let () =
     List.iter print_endline outcome.Experiments.Scenario.lines;
     Printf.printf
       "\n%d transactions, %d failed expectations, %d unexpected \
-       outcomes, layers consistent: %b\n"
+       outcomes, %d blocked convergences, layers consistent: %b\n"
       outcome.Experiments.Scenario.transactions
       outcome.Experiments.Scenario.failed_expectations
       outcome.Experiments.Scenario.unexpected_outcomes
+      outcome.Experiments.Scenario.blocked_convergences
       outcome.Experiments.Scenario.layers_consistent;
     let trace_errors =
       match trace_file, outcome.Experiments.Scenario.trace with
@@ -56,6 +58,7 @@ let () =
     let healthy =
       outcome.Experiments.Scenario.failed_expectations = 0
       && outcome.Experiments.Scenario.unexpected_outcomes = 0
+      && outcome.Experiments.Scenario.blocked_convergences = 0
       && outcome.Experiments.Scenario.layers_consistent
       && trace_errors = 0
     in

@@ -178,6 +178,51 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Ablations of TROPIC's design choices")
     Term.(const run $ seed_arg)
 
+let converge_cmd =
+  let model_arg =
+    let doc =
+      "Converge on the goal model in $(docv) (s-expression, see \
+       lib/plan/model.mli) instead of the built-in two-phase rolling \
+       upgrade.  The deployment stays the built-in one: 4 xen hosts, \
+       2 stopped VMs pre-installed per host."
+    in
+    Arg.(value & opt (some file) None & info [ "model" ] ~doc ~docv:"FILE")
+  in
+  let run quick seed trace_file model_file =
+    let goal =
+      match model_file with
+      | None -> None
+      | Some file ->
+        let ic = open_in file in
+        let contents =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Plan.Model.of_string contents with
+         | Ok model -> Some model
+         | Error message ->
+           Printf.eprintf "%s: %s\n" file message;
+           exit 2)
+    in
+    let seed = effective_seed ~default:Experiments.Converge.default_seed seed in
+    let result =
+      Experiments.Converge.run ~seed ~quick
+        ~record_trace:(trace_file <> None) ?goal ()
+    in
+    Experiments.Converge.print result;
+    finish_trace trace_file result.Experiments.Converge.trace;
+    if not (Experiments.Converge.converged result) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "converge"
+       ~doc:
+         "Goal-state convergence: diff a declarative model against the \
+          logical tree, compile the drift into a dependency-ordered plan \
+          of transactions, and execute it to convergence (non-zero exit \
+          if any phase is left blocked)")
+    Term.(const run $ quick_flag $ seed_arg $ trace_arg $ model_arg)
+
 (* ------------------------------------------------------------------ *)
 (* Chaos: seed-sweep fault exploration (lib/chaos) *)
 
@@ -310,7 +355,7 @@ let chaos_cmd =
   let build =
     let doc =
       "Build to exercise: stock, no-constraints, no-guard-locks, \
-       no-watchdog or no-breaker."
+       no-watchdog, no-breaker or no-plan-deps."
     in
     Arg.(value & opt string "stock" & info [ "build" ] ~doc)
   in
@@ -370,7 +415,8 @@ let main =
     (Cmd.info "tropic_exp" ~version:"1.0.0" ~doc)
     [
       table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; safety_cmd; robustness_cmd;
-      ha_cmd; hosting_cmd; scale_cmd; ablation_cmd; chaos_cmd; all_cmd;
+      ha_cmd; hosting_cmd; scale_cmd; ablation_cmd; converge_cmd; chaos_cmd;
+      all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,10 @@
-type build = Stock | No_constraints | No_guard_locks | No_watchdog | No_breaker
+type build =
+  | Stock
+  | No_constraints
+  | No_guard_locks
+  | No_watchdog
+  | No_breaker
+  | No_plan_deps
 
 let build_to_string = function
   | Stock -> "stock"
@@ -6,6 +12,7 @@ let build_to_string = function
   | No_guard_locks -> "no-guard-locks"
   | No_watchdog -> "no-watchdog"
   | No_breaker -> "no-breaker"
+  | No_plan_deps -> "no-plan-deps"
 
 let build_of_string = function
   | "stock" -> Ok Stock
@@ -13,11 +20,12 @@ let build_of_string = function
   | "no-guard-locks" -> Ok No_guard_locks
   | "no-watchdog" -> Ok No_watchdog
   | "no-breaker" -> Ok No_breaker
+  | "no-plan-deps" -> Ok No_plan_deps
   | other ->
     Error
       (Printf.sprintf
          "unknown build %S (expected stock, no-constraints, no-guard-locks, \
-          no-watchdog or no-breaker)"
+          no-watchdog, no-breaker or no-plan-deps)"
          other)
 
 type config = {
@@ -134,6 +142,69 @@ let chain_plan config k =
 let storage_hosts = 2
 
 (* ------------------------------------------------------------------ *)
+(* Goal-state convergence workload (the plan-crash schedule).
+
+   Two declarative goals, executed in sequence by [Plan.Executor]:
+   populate hosts 0 and 2 (both xen) to the brim — two 4096 MB VMs each —
+   then swap one VM between them.  The swap is the planner's hardest
+   shape: both hosts are full, so the migrations need drain-before-fill
+   capacity edges, which form a cycle the planner breaks with a staging
+   hop through host 4.  The no-plan-deps build drops every edge, so both
+   migrations race straight into full hosts, abort on the memory
+   constraint every round, and the phase livelocks — the plan-converged
+   invariant convicts it.  Leader/worker crashes land mid-plan; the
+   re-diff between rounds makes resumption idempotent, which the
+   exactly-once check verifies against the final goal's placement. *)
+
+let plan_vm name = { Plan.Model.vm_name = name; running = true; mem_mb = 4096 }
+
+let plan_switch =
+  {
+    Plan.Model.switch_index = 0;
+    vlans =
+      [ { Plan.Model.vlan_id = 100; vlan_name = "plan"; ports = [ "p0"; "q0" ] } ];
+  }
+
+let plan_host index vms = { Plan.Model.host_index = index; vms }
+
+let converge_populate_goal =
+  {
+    Plan.Model.hosts =
+      [
+        plan_host 0 [ plan_vm "p0"; plan_vm "p1" ];
+        plan_host 2 [ plan_vm "q0"; plan_vm "q1" ];
+        plan_host 4 [];
+      ];
+    switches = [ plan_switch ];
+  }
+
+let converge_swap_goal =
+  {
+    Plan.Model.hosts =
+      [
+        plan_host 0 [ plan_vm "q0"; plan_vm "p1" ];
+        plan_host 2 [ plan_vm "p0"; plan_vm "q1" ];
+        plan_host 4 [];
+      ];
+    switches = [ plan_switch ];
+  }
+
+(* Expected per-VM placement at quiescence: the last goal, verbatim. *)
+let converge_expected_fates goal =
+  List.concat_map
+    (fun (h : Plan.Model.host_goal) ->
+      List.map
+        (fun (vm : Plan.Model.vm_goal) ->
+          {
+            Invariant.vm = vm.Plan.Model.vm_name;
+            host = h.Plan.Model.host_index;
+            present = true;
+            running = vm.Plan.Model.running;
+          })
+        h.Plan.Model.vms)
+    goal.Plan.Model.hosts
+
+(* ------------------------------------------------------------------ *)
 
 let run_one ?(trace = false) config ~schedule ~seed =
   let sim = Des.Sim.create ~seed () in
@@ -166,7 +237,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Actions.register_all env;
       Tcloud.Procs.register_all env;
       env
-    | Stock | No_guard_locks | No_watchdog | No_breaker ->
+    | Stock | No_guard_locks | No_watchdog | No_breaker | No_plan_deps ->
       inventory.Tcloud.Setup.env
   in
   (* No_watchdog strips the whole robustness layer — watchdog AND the
@@ -235,6 +306,101 @@ let run_one ?(trace = false) config ~schedule ~seed =
       (Printf.sprintf "txn %d: %s" id (Tropic.Txn.state_to_string state));
     state
   in
+  let workload = schedule.Schedule.workload in
+  let workload_target =
+    match workload with
+    | Schedule.Chains -> config.txns
+    | Schedule.Converge -> 1
+  in
+  let plan_reports = ref [] in
+  (* Operator move shared by the quiesce monitor and the converge
+     driver: [reload] every device subtree whose divergence has no
+     repair rule (out-of-band removals, crash-stranded partial effects
+     such as an orphaned cloned image).  Returns how many were
+     reloaded.  Must run inside a simulation process. *)
+  let reload_unrepairable () =
+    let leader = Tropic.Platform.await_leader_controller platform in
+    let tree = Tropic.Controller.tree leader in
+    let reloaded = ref 0 in
+    List.iter
+      (fun device ->
+        let root = Devices.Device.root device in
+        let physical = Devices.Device.export device in
+        match Data.Tree.subtree tree root with
+        | Error _ -> ()
+        | Ok logical ->
+          if not (Data.Tree.equal logical physical) then begin
+            let plan =
+              Tropic.Recon.plan_repair ~rules:Tcloud.Rules.repair_rules
+                ~at:root ~logical ~physical
+            in
+            if plan.Tropic.Recon.unrepaired <> [] then begin
+              incr reloaded;
+              tr
+                (Printf.sprintf "operator reload of %s"
+                   (Data.Path.to_string root));
+              Tropic.Platform.reload platform root
+            end
+          end)
+      inventory.Tcloud.Setup.devices;
+    !reloaded
+  in
+  (match workload with
+   | Schedule.Converge ->
+     ignore
+       (Des.Proc.spawn ~name:"converge-driver" sim (fun () ->
+            Des.Proc.sleep 5.0;
+            let ctx =
+              { Plan.Planner.storage_hosts; template = "base.img" }
+            in
+            (* Generous rounds: crashes can burn several re-plans. *)
+            let econfig =
+              {
+                Plan.Executor.parallelism = 4;
+                max_rounds = 12;
+                round_delay = 2.0;
+              }
+            in
+            let ordered = config.build <> No_plan_deps in
+            (* A worker crash can strand partial effects — an orphaned
+               cloned image, a half-created VM — that no repair rule
+               covers and that make the same plan step abort
+               deterministically on every re-plan.  When a phase blocks,
+               play operator exactly as the quiesce monitor does: reload
+               the drifted subtrees (adopting the stranded artifacts into
+               the logical layer) and converge again; the fresh diff then
+               plans around them.  Only the final attempt per phase
+               counts for the plan-converged invariant. *)
+            let rec attempt phase model tries =
+              let report =
+                Plan.Executor.converge ~config:econfig ~ordered platform
+                  ctx ~model
+              in
+              plan_reports := (phase, report) :: !plan_reports;
+              tr
+                (Printf.sprintf "converge %s: %s" phase
+                   (Plan.Executor.summary report));
+              if report.Plan.Executor.status <> Plan.Executor.Converged
+                 && tries > 0
+              then begin
+                let reloaded = reload_unrepairable () in
+                tr
+                  (Printf.sprintf
+                     "converge %s: blocked; operator reloaded %d \
+                      subtree(s), retrying"
+                     phase reloaded);
+                Des.Proc.sleep config.quiesce_grace;
+                attempt phase model (tries - 1)
+              end
+            in
+            List.iter
+              (fun (phase, model) -> attempt phase model 2)
+              [
+                "populate", converge_populate_goal;
+                "swap", converge_swap_goal;
+              ];
+            incr completed))
+   | Schedule.Chains ->
   for k = 0 to config.txns - 1 do
     let vm, host, mem, stop, destroy = chain_plan config k in
     ignore
@@ -266,7 +432,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
                        (Tcloud.Procs.destroy_vm_args ~host:host_path
                           ~storage:storage_path ~vm)));
            incr completed))
-  done;
+  done);
   (* Nemesis and continuous invariants *)
   let live_txns () = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
   let nemesis =
@@ -292,40 +458,13 @@ let run_one ?(trace = false) config ~schedule ~seed =
   ignore
     (Des.Proc.spawn ~name:"quiesce-monitor" sim (fun () ->
          let deadline = config.horizon -. (3. *. config.quiesce_grace) -. 20. in
-         while !completed < config.txns && Des.Sim.now sim < deadline do
+         while !completed < workload_target && Des.Sim.now sim < deadline do
            Des.Proc.sleep 1.0
          done;
          let schedule_end = Schedule.end_time schedule +. 10. in
          if Des.Sim.now sim < schedule_end then
            Des.Proc.sleep (schedule_end -. Des.Sim.now sim);
          Des.Proc.sleep config.quiesce_grace;
-         let reload_unrepairable () =
-           let leader = Tropic.Platform.await_leader_controller platform in
-           let tree = Tropic.Controller.tree leader in
-           let reloaded = ref 0 in
-           List.iter
-             (fun device ->
-               let root = Devices.Device.root device in
-               let physical = Devices.Device.export device in
-               match Data.Tree.subtree tree root with
-               | Error _ -> ()
-               | Ok logical ->
-                 if not (Data.Tree.equal logical physical) then begin
-                   let plan =
-                     Tropic.Recon.plan_repair ~rules:Tcloud.Rules.repair_rules
-                       ~at:root ~logical ~physical
-                   in
-                   if plan.Tropic.Recon.unrepaired <> [] then begin
-                     incr reloaded;
-                     tr
-                       (Printf.sprintf "operator reload of %s"
-                          (Data.Path.to_string root));
-                     Tropic.Platform.reload platform root
-                   end
-                 end)
-             inventory.Tcloud.Setup.devices;
-           !reloaded
-         in
          if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
          if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
          (* Authoritative final states, including never-awaited stragglers. *)
@@ -338,6 +477,18 @@ let run_one ?(trace = false) config ~schedule ~seed =
                 | Some state -> Hashtbl.replace final_states id state
                 | None -> ()))
            !ops;
+         List.iter
+           (fun (_, report) ->
+             List.iter
+               (fun ex ->
+                 match ex.Plan.Executor.ex_txn with
+                 | None -> ()
+                 | Some id ->
+                   (match Tropic.Platform.txn_state platform id with
+                    | Some state -> Hashtbl.replace final_states id state
+                    | None -> ()))
+               report.Plan.Executor.history)
+           !plan_reports;
          quiesced := true));
   (* Drive the simulation by hand so the run ends at quiescence instead of
      grinding heartbeats until the horizon. *)
@@ -380,7 +531,25 @@ let run_one ?(trace = false) config ~schedule ~seed =
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
-    List.map (fun (id, _) -> (id, Hashtbl.find_opt final_states id)) ordered_ops
+    match workload with
+    | Schedule.Chains ->
+      List.map
+        (fun (id, _) -> (id, Hashtbl.find_opt final_states id))
+        ordered_ops
+    | Schedule.Converge ->
+      (* Every transaction the plan executor submitted, across phases and
+         rounds; states were read off the persisted records at quiescence
+         (the quiesce monitor runs inside the simulation). *)
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (_, report) ->
+             List.filter_map
+               (fun ex ->
+                 match ex.Plan.Executor.ex_txn with
+                 | None -> None
+                 | Some id -> Some (id, Hashtbl.find_opt final_states id))
+               report.Plan.Executor.history)
+           !plan_reports)
   in
   let state_of id = Hashtbl.find_opt final_states id in
   (* Fold committed operations, in submission order, into per-VM fates. *)
@@ -406,7 +575,14 @@ let run_one ?(trace = false) config ~schedule ~seed =
            | Some fate -> Hashtbl.replace fates op.op_vm { fate with present = false }
            | None -> ()))
     ordered_ops;
-  let expected = Hashtbl.fold (fun _ fate acc -> fate :: acc) fates [] in
+  let expected =
+    match workload with
+    | Schedule.Chains -> Hashtbl.fold (fun _ fate acc -> fate :: acc) fates []
+    | Schedule.Converge ->
+      (* The final goal is the authoritative placement — exactly the
+         "no duplicate side-effects across crashes" check. *)
+      converge_expected_fates converge_swap_goal
+  in
   (* VMs whose fate the harness cannot predict: removed out-of-band, or
      touched by a transaction that Failed (cross-layer inconsistency was
      resolved by adopting the physical state, whatever it was). *)
@@ -438,6 +614,33 @@ let run_one ?(trace = false) config ~schedule ~seed =
         })
       (Des.Sim.failures sim)
   in
+  (* Converge workload: every phase must end Converged — a blocked plan
+     means residual drift the executor could not drive out.  Only the
+     final attempt per phase counts: a phase the driver retried after an
+     operator reload is judged by where it ended up, not by the blocked
+     intermediate report. *)
+  let plan_violations =
+    let seen = Hashtbl.create 4 in
+    List.filter_map
+      (fun (phase, report) ->
+        (* [plan_reports] is newest-first: the first report per phase
+           is the final attempt. *)
+        if Hashtbl.mem seen phase then None
+        else begin
+          Hashtbl.add seen phase ();
+          if report.Plan.Executor.status = Plan.Executor.Converged then None
+          else
+            Some
+              {
+                Invariant.invariant = "plan-converged";
+                at = Des.Sim.now sim;
+                detail =
+                  Printf.sprintf "%s: %s" phase (Plan.Executor.summary report);
+              }
+        end)
+      !plan_reports
+    |> List.rev
+  in
   let horizon_violations =
     if !quiesced then []
     else
@@ -452,13 +655,13 @@ let run_one ?(trace = false) config ~schedule ~seed =
   in
   let count state =
     List.fold_left
-      (fun n (id, _) ->
-        match (state_of id, state) with
+      (fun n (_, s) ->
+        match (s, state) with
         | Some (Tropic.Txn.Committed), `C -> n + 1
         | Some (Tropic.Txn.Aborted _), `A -> n + 1
         | Some (Tropic.Txn.Failed _), `F -> n + 1
         | _ -> n)
-      0 ordered_ops
+      0 txns
   in
   {
     schedule = schedule.Schedule.name;
@@ -482,8 +685,8 @@ let run_one ?(trace = false) config ~schedule ~seed =
     breaker_closes;
     violations =
       Invariant.tracker_violations tracker
-      @ quiescence_violations @ crash_violations @ horizon_violations
-      @ trace_violations;
+      @ quiescence_violations @ crash_violations @ plan_violations
+      @ horizon_violations @ trace_violations;
     trace = List.rev !trace_buf;
     phases;
     span_dump = (if trace then Trace.to_normalized_lines tracer else []);

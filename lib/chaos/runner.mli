@@ -21,8 +21,17 @@
     held; [No_breaker] strips the overload layer — device health
     scoring, circuit breakers and admission control — so a flap-storm
     schedule queues unboundedly behind the flapping host and trips the
-    [bounded-queue] invariant. *)
-type build = Stock | No_constraints | No_guard_locks | No_watchdog | No_breaker
+    [bounded-queue] invariant; [No_plan_deps] compiles goal-state plans
+    with every dependency edge dropped ({!Plan.Planner.compile}
+    [~ordered:false]), so the plan-crash schedule's capacity swap
+    livelocks and trips the [plan-converged] invariant. *)
+type build =
+  | Stock
+  | No_constraints
+  | No_guard_locks
+  | No_watchdog
+  | No_breaker
+  | No_plan_deps
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result

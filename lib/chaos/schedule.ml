@@ -22,7 +22,9 @@ type trigger =
 
 type step = { trigger : trigger; action : action }
 
-type t = { name : string; steps : step list }
+type workload = Chains | Converge
+
+type t = { name : string; workload : workload; steps : step list }
 
 let at time action = { trigger = At time; action }
 
@@ -111,6 +113,7 @@ let describe t =
 let controller_crashes =
   {
     name = "controller-crashes";
+    workload = Chains;
     steps =
       [
         every ~start:15. ~period:35. ~until:120.
@@ -123,6 +126,7 @@ let controller_crashes =
 let coord_faults =
   {
     name = "coord-faults";
+    workload = Chains;
     steps =
       [
         every ~start:12. ~period:40. ~until:110.
@@ -135,6 +139,7 @@ let coord_faults =
 let device_storm =
   {
     name = "device-storm";
+    workload = Chains;
     steps =
       [
         at 10. (Fault_burst { probability = 0.05; lasting = 25. });
@@ -149,6 +154,7 @@ let device_storm =
 let signal_storm =
   {
     name = "signal-storm";
+    workload = Chains;
     steps =
       [
         random_window ~start:8. ~until:100. ~count:4
@@ -165,6 +171,7 @@ let signal_storm =
 let blocked_crash =
   {
     name = "blocked-crash";
+    workload = Chains;
     steps =
       [
         at 16. (Crash_controller { target = Leader; down_for = 8. });
@@ -177,6 +184,7 @@ let blocked_crash =
 let mixed =
   {
     name = "mixed";
+    workload = Chains;
     steps =
       [
         at 18. (Crash_controller { target = Leader; down_for = 10. });
@@ -197,6 +205,7 @@ let mixed =
 let hang_storm =
   {
     name = "hang-storm";
+    workload = Chains;
     steps =
       [
         random_window ~start:10. ~until:90. ~count:3
@@ -220,11 +229,34 @@ let hang_storm =
 let flap_storm =
   {
     name = "flap-storm";
+    workload = Chains;
     steps =
       [
         at 10.
           (Flap_device { host = 0; up_for = 6.; down_for = 6.; cycles = 8 });
         at 18. (Request_storm { count = 90; gap = 0.08 });
+      ];
+  }
+
+(* The goal-state gauntlet: the converge workload drives the planner's
+   hardest shape (a VM swap between two full hosts, resolved through a
+   staging hop) while the leader and a worker crash mid-plan.  The
+   executor must resume after fail-over and still converge exactly — no
+   VM duplicated, lost, or left on the wrong host.  The no-plan-deps
+   build compiles plans with every dependency edge dropped, so the swap's
+   migrations race into full hosts and livelock: the plan-converged and
+   exactly-once invariants convict it.  Appended last so preset indices
+   stay stable. *)
+let plan_crash =
+  {
+    name = "plan-crash";
+    workload = Converge;
+    steps =
+      [
+        at 12. (Crash_controller { target = Leader; down_for = 8. });
+        at 24. (Crash_worker { down_for = 10. });
+        random_window ~start:35. ~until:70. ~count:1
+          (Crash_controller { target = Leader; down_for = 6. });
       ];
   }
 
@@ -238,6 +270,7 @@ let presets =
     mixed;
     hang_storm;
     flap_storm;
+    plan_crash;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

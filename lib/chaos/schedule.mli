@@ -51,7 +51,13 @@ type trigger =
 
 type step = { trigger : trigger; action : action }
 
-type t = { name : string; steps : step list }
+(** Which workload the runner drives while the schedule injects faults:
+    the imperative spawn/stop/destroy chains, or the goal-state
+    convergence workload (two {!Plan} goals, the second a capacity swap
+    that needs dependency ordering and a staging hop). *)
+type workload = Chains | Converge
+
+type t = { name : string; workload : workload; steps : step list }
 
 (** {1 Step builders} *)
 
@@ -92,6 +98,12 @@ val hang_storm : t
     scoring + circuit breakers + admission control; the no-breaker build
     trips the bounded-queue invariant. *)
 val flap_storm : t
+
+(** The goal-state gauntlet: leader and worker crashes landing mid-plan
+    while the converge workload runs.  The executor must resume after
+    fail-over and converge exactly; the no-plan-deps build livelocks on
+    the workload's capacity swap and is convicted. *)
+val plan_crash : t
 
 (** All of the above, in sweep order. *)
 val presets : t list

@@ -249,6 +249,14 @@ let run_txn t ~proc ~args =
   let txn_id = submit t ~proc ~args in
   await t txn_id
 
+(* Submit the whole batch before awaiting any of it, so the requests are
+   pipelined through the input queue and the controller can interleave
+   their scheduling — the goal-state executor runs each plan wave this
+   way. *)
+let submit_batch t specs =
+  let ids = List.map (fun (proc, args) -> submit t ~proc ~args) specs in
+  List.map (fun id -> id, await t id) ids
+
 let signal t txn_id s = ignore (enqueue_input t (Proto.Control (Proto.Signal (txn_id, s))))
 let reload t path = ignore (enqueue_input t (Proto.Control (Proto.Reload path)))
 let repair t path = ignore (enqueue_input t (Proto.Control (Proto.Repair path)))
@@ -295,3 +303,37 @@ let leader_index t =
     (fun i c -> if !found = None && Controller.is_leader c then found := Some i)
     t.control;
   !found
+
+type leader_stats = {
+  ls_leader : int option;
+  ls_committed : int;
+  ls_aborted : int;
+  ls_failed : int;
+  ls_sheds : int;
+  ls_todo : int;
+}
+
+let no_leader_stats =
+  {
+    ls_leader = None;
+    ls_committed = 0;
+    ls_aborted = 0;
+    ls_failed = 0;
+    ls_sheds = 0;
+    ls_todo = 0;
+  }
+
+let leader_stats t =
+  match leader_index t with
+  | None -> no_leader_stats
+  | Some i ->
+    let c = t.control.(i) in
+    let st = Controller.stats c in
+    {
+      ls_leader = Some i;
+      ls_committed = st.Controller.committed;
+      ls_aborted = st.Controller.aborted;
+      ls_failed = st.Controller.failed;
+      ls_sheds = st.Controller.sheds;
+      ls_todo = Controller.todo_length c;
+    }

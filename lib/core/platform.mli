@@ -56,6 +56,13 @@ val await : t -> int -> Txn.state
 (** [submit] + [await]. *)
 val run_txn : t -> proc:string -> args:Data.Value.t list -> Txn.state
 
+(** Submit every request of the batch, then await them all — the requests
+    are in flight together, so independent transactions of a plan wave can
+    be scheduled concurrently.  Returns [(txn_id, terminal_state)] in
+    batch order. *)
+val submit_batch :
+  t -> (string * Data.Value.t list) list -> (int * Txn.state) list
+
 (** Current state from the persisted record, if any. *)
 val txn_state : t -> int -> Txn.state option
 
@@ -96,6 +103,20 @@ val restart_worker : t -> int -> unit
 
 (** Index of the currently leading controller, if any. *)
 val leader_index : t -> int option
+
+(** Snapshot of the leading controller's transaction counters — what the
+    goal-state frontend reports next to its convergence result.  All
+    zeroes when no controller is leading. *)
+type leader_stats = {
+  ls_leader : int option;
+  ls_committed : int;
+  ls_aborted : int;
+  ls_failed : int;
+  ls_sheds : int;   (** admission-control sheds *)
+  ls_todo : int;    (** scheduled-but-not-started transactions *)
+}
+
+val leader_stats : t -> leader_stats
 
 val coord : t -> Coord.Ensemble.t
 

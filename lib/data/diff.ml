@@ -25,41 +25,66 @@ let path_of = function
   | Attr_set (p, _, _, _) | Attr_removed (p, _, _) ->
     p
 
+(* The ordering contract (see diff.mli) is enforced structurally: every
+   per-node pass below folds over an [Smap.merge] of the old and new maps,
+   and [Smap.fold] visits keys in ascending name order.  The accumulator is
+   built by prepending and reversed once at the end, so emission order is
+   final order. *)
 let diff ~old_tree ~new_tree =
   let rec go path (old_node : Tree.node) (new_node : Tree.node) acc =
     let acc =
       if String.equal old_node.Tree.kind new_node.Tree.kind then acc
       else Kind_changed (path, old_node.Tree.kind, new_node.Tree.kind) :: acc
     in
-    let acc =
-      Tree.Smap.fold
-        (fun name old_v acc ->
-          match Tree.Smap.find_opt name new_node.Tree.attrs with
-          | None -> Attr_removed (path, name, old_v) :: acc
-          | Some new_v when Value.equal old_v new_v -> acc
-          | Some new_v -> Attr_set (path, name, Some old_v, new_v) :: acc)
-        old_node.Tree.attrs acc
+    let attrs =
+      Tree.Smap.merge
+        (fun _ o n -> Some (o, n))
+        old_node.Tree.attrs new_node.Tree.attrs
     in
     let acc =
       Tree.Smap.fold
-        (fun name new_v acc ->
-          if Tree.Smap.mem name old_node.Tree.attrs then acc
-          else Attr_set (path, name, None, new_v) :: acc)
-        new_node.Tree.attrs acc
+        (fun name pair acc ->
+          match pair with
+          | Some old_v, None -> Attr_removed (path, name, old_v) :: acc
+          | None, Some new_v -> Attr_set (path, name, None, new_v) :: acc
+          | Some old_v, Some new_v when Value.equal old_v new_v -> acc
+          | Some old_v, Some new_v ->
+            Attr_set (path, name, Some old_v, new_v) :: acc
+          | None, None -> acc)
+        attrs acc
     in
-    let acc =
-      Tree.Smap.fold
-        (fun name old_child acc ->
-          let child_path = Path.child path name in
-          match Tree.Smap.find_opt name new_node.Tree.children with
-          | None -> Removed child_path :: acc
-          | Some new_child -> go child_path old_child new_child acc)
-        old_node.Tree.children acc
+    let children =
+      Tree.Smap.merge
+        (fun _ o n -> Some (o, n))
+        old_node.Tree.children new_node.Tree.children
     in
     Tree.Smap.fold
-      (fun name new_child acc ->
-        if Tree.Smap.mem name old_node.Tree.children then acc
-        else Added (Path.child path name, new_child) :: acc)
-      new_node.Tree.children acc
+      (fun name pair acc ->
+        let child_path = Path.child path name in
+        match pair with
+        | Some _, None -> Removed child_path :: acc
+        | None, Some new_child -> Added (child_path, new_child) :: acc
+        | Some old_child, Some new_child -> go child_path old_child new_child acc
+        | None, None -> acc)
+      children acc
   in
   List.rev (go Path.root old_tree new_tree [])
+
+let apply tree = function
+  | Added (p, node) ->
+    (match Tree.insert tree p ~kind:node.Tree.kind () with
+     | Error _ as e -> e
+     | Ok t -> Tree.replace_subtree t p node)
+  | Removed p -> Tree.remove tree p
+  | Kind_changed (p, _, new_kind) ->
+    (match Tree.find tree p with
+     | None -> Error (Tree.Missing p)
+     | Some n -> Tree.replace_subtree tree p { n with Tree.kind = new_kind })
+  | Attr_set (p, name, _, v) -> Tree.set_attr tree p name v
+  | Attr_removed (p, name, _) -> Tree.remove_attr tree p name
+
+let patch tree changes =
+  List.fold_left
+    (fun tree change ->
+      match tree with Error _ as e -> e | Ok t -> apply t change)
+    (Ok tree) changes

@@ -69,10 +69,22 @@ let of_string input =
   let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
   let peek () = if !pos < n then Some input.[!pos] else None in
   let advance () = incr pos in
+  (* [;] starts a comment running to end of line — the atom printer quotes
+     any atom containing [;], so reading back printed output is safe. *)
   let rec skip_ws () =
     match peek () with
     | Some (' ' | '\t' | '\n' | '\r') ->
       advance ();
+      skip_ws ()
+    | Some ';' ->
+      let rec to_eol () =
+        match peek () with
+        | Some '\n' | None -> ()
+        | Some _ ->
+          advance ();
+          to_eol ()
+      in
+      to_eol ();
       skip_ws ()
     | Some _ | None -> ()
   in

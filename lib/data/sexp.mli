@@ -10,7 +10,8 @@ val pp : Format.formatter -> t -> unit
 (** Deterministic single-line rendering; atoms are quoted when needed. *)
 val to_string : t -> string
 
-(** Inverse of {!to_string}; also accepts surrounding whitespace. *)
+(** Inverse of {!to_string}; also accepts surrounding whitespace and [;]
+    line comments (goal files and scenarios annotate themselves). *)
 val of_string : string -> (t, string) result
 
 (** {1 Construction helpers} *)

@@ -3,6 +3,7 @@ type outcome = {
   failed_expectations : int;
   transactions : int;
   unexpected_outcomes : int;
+  blocked_convergences : int;
   layers_consistent : bool;
   trace : Trace.t option;
 }
@@ -36,7 +37,9 @@ type command =
   | Show of int
   | Stats
   | Storm of int * int
+  | Converge of string
   | Expect of [ `Committed | `Aborted | `Overload | `Failed ]
+  | Expect_converged
 
 let parse_line header line_number line =
   let fail message =
@@ -135,6 +138,8 @@ let parse_line header line_number line =
     let* count = int_of count "storm count" in
     let* host = int_of host "host" in
     Ok (Some (Storm (count, host)))
+  | [ "converge"; file ] -> Ok (Some (Converge file))
+  | [ "expect-converged" ] -> Ok (Some Expect_converged)
   | [ "expect"; "committed" ] -> Ok (Some (Expect `Committed))
   | [ "expect"; "aborted" ] -> Ok (Some (Expect `Aborted))
   | [ "expect"; "overload" ] -> Ok (Some (Expect `Overload))
@@ -168,7 +173,7 @@ let parse script =
 let host_path i = Data.Path.to_string (Tcloud.Setup.compute_path i)
 let switch_path i = Data.Path.to_string (Tcloud.Setup.switch_path i)
 
-let run_script ?(record_trace = false) script =
+let run_script ?(record_trace = false) ?(base_dir = ".") script =
   match parse script with
   | Error _ as e -> e
   | Ok (header, commands) ->
@@ -223,6 +228,12 @@ let run_script ?(record_trace = false) script =
        with a following [expect]; otherwise it counts as unexpected and
        makes the run (and [tcloud_sim]'s exit status) unhealthy. *)
     let unexpected_outcomes = ref 0 in
+    (* Goal-state convergence: [converge FILE] drives the platform to the
+       declarative model in FILE (path relative to the scenario file); a
+       run left blocked — residual drift after the executor gave up — is
+       unhealthy on its own, no [expect-converged] needed. *)
+    let blocked_convergences = ref 0 in
+    let last_converge = ref None in
     let pending_bad = ref None in
     let flush_pending () =
       match !pending_bad with
@@ -360,6 +371,66 @@ let run_script ?(record_trace = false) script =
                     ~storage:(storage_for host) ~host:(host_path host)))
         done;
         emit "storm: %d spawns submitted to host%d" count host
+      | Converge file ->
+        flush_pending ();
+        let path =
+          if Filename.is_relative file then Filename.concat base_dir file
+          else file
+        in
+        let contents =
+          try
+            let ic = open_in path in
+            Ok
+              (Fun.protect
+                 ~finally:(fun () -> close_in ic)
+                 (fun () -> really_input_string ic (in_channel_length ic)))
+          with Sys_error message -> Error message
+        in
+        (match Result.bind contents Plan.Model.of_string with
+         | Error message ->
+           incr blocked_convergences;
+           last_converge := None;
+           emit "converge %s: %s" file message
+         | Ok model ->
+           let ctx =
+             {
+               Plan.Planner.storage_hosts = header.storage;
+               template = "base.img";
+             }
+           in
+           let report = Plan.Executor.converge platform ctx ~model in
+           last_converge := Some report;
+           let submitted =
+             List.length
+               (List.filter
+                  (fun ex -> ex.Plan.Executor.ex_txn <> None)
+                  report.Plan.Executor.history)
+           in
+           transactions := !transactions + submitted;
+           if report.Plan.Executor.status <> Plan.Executor.Converged then
+             incr blocked_convergences;
+           emit "converge %-33s -> %s" file (Plan.Executor.summary report);
+           List.iter
+             (fun reason -> emit "  unplannable: %s" reason)
+             report.Plan.Executor.unplannable;
+           List.iter
+             (fun change ->
+               emit "  residual: %s" (Data.Diff.change_to_string change))
+             report.Plan.Executor.residual)
+      | Expect_converged ->
+        let ok =
+          match !last_converge with
+          | Some report ->
+            report.Plan.Executor.status = Plan.Executor.Converged
+          | None -> false
+        in
+        if not ok then begin
+          incr failed_expectations;
+          emit "EXPECTATION FAILED: wanted convergence, %s"
+            (match !last_converge with
+             | Some report -> Plan.Executor.summary report
+             | None -> "no converge has run")
+        end
       | Expect wanted ->
         (* Whatever was expected, the script acknowledged this outcome —
            a mismatch is already counted as a failed expectation. *)
@@ -413,6 +484,7 @@ let run_script ?(record_trace = false) script =
         failed_expectations = !failed_expectations;
         transactions = !transactions;
         unexpected_outcomes = !unexpected_outcomes;
+        blocked_convergences = !blocked_convergences;
         layers_consistent;
         trace = tracer;
       }
@@ -424,4 +496,4 @@ let run_file ?record_trace path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  run_script ?record_trace script
+  run_script ?record_trace ~base_dir:(Filename.dirname path) script

@@ -19,13 +19,21 @@
     repair HOST                 reload HOST
     show HOST                   stats
     storm COUNT HOST            (fire-and-forget burst of small spawns)
+    converge FILE               (drive the platform to the goal model in FILE)
     expect committed|aborted|overload|failed
+    expect-converged
     v}
 
     [expect] asserts the outcome of the most recent transaction
     ([overload] matches only the admission-control shed abort).  A shed
     transaction never counts as an unexpected outcome even without an
-    [expect] — load shedding is the platform protecting itself. *)
+    [expect] — load shedding is the platform protecting itself.
+
+    [converge FILE] parses the {!Plan.Model} goal in [FILE] (resolved
+    relative to the scenario file) and runs {!Plan.Executor.converge};
+    [expect-converged] asserts the most recent [converge] ended
+    [Converged].  A blocked convergence makes the run unhealthy even
+    without the assertion. *)
 
 type outcome = {
   lines : string list;   (** transcript, in order *)
@@ -34,6 +42,9 @@ type outcome = {
   unexpected_outcomes : int;
       (** transactions that ended aborted/failed with no [expect]
           acknowledging the outcome *)
+  blocked_convergences : int;
+      (** [converge] commands that ended blocked (residual drift after
+          bounded re-planning) or whose goal file did not parse *)
   layers_consistent : bool;
       (** at the end of the run, every device matches its logical subtree
           or is quarantined awaiting reconciliation *)
@@ -44,8 +55,10 @@ type outcome = {
 (** Parse and execute a scenario.  [Error] is a parse problem (line number
     and message); execution problems surface in the transcript and the
     [failed_expectations] count.  [record_trace] (default false) attaches a
-    {!Trace.t} to the platform and returns it in the outcome. *)
-val run_script : ?record_trace:bool -> string -> (outcome, string) result
+    {!Trace.t} to the platform and returns it in the outcome.  [base_dir]
+    (default ["."]) anchors relative [converge] goal-file paths. *)
+val run_script :
+  ?record_trace:bool -> ?base_dir:string -> string -> (outcome, string) result
 
 (** Convenience: read a file and {!run_script} it. *)
 val run_file : ?record_trace:bool -> string -> (outcome, string) result

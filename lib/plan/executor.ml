@@ -1,0 +1,233 @@
+module Diff = Data.Diff
+
+type outcome =
+  | Committed
+  | Shed  (** aborted by admission control; retried on the next round *)
+  | Aborted of string
+  | Failed of string
+  | Skipped of string  (** a dependency did not commit this round *)
+
+let outcome_to_string = function
+  | Committed -> "committed"
+  | Shed -> "shed"
+  | Aborted reason -> "aborted: " ^ reason
+  | Failed reason -> "failed: " ^ reason
+  | Skipped reason -> "skipped: " ^ reason
+
+let is_committed = function Committed -> true | _ -> false
+
+type executed = {
+  ex_step : Planner.step;
+  ex_round : int;
+  ex_txn : int option;  (** [None] for skipped steps *)
+  ex_outcome : outcome;
+}
+
+type config = {
+  parallelism : int;  (** concurrent transactions per wave chunk *)
+  max_rounds : int;   (** re-plan attempts before reporting Blocked *)
+  round_delay : float;  (** simulated seconds between rounds *)
+}
+
+let default_config = { parallelism = 4; max_rounds = 8; round_delay = 1.0 }
+
+type status = Converged | Blocked
+
+type report = {
+  status : status;
+  rounds : int;  (** rounds that submitted at least one transaction *)
+  residual : Diff.change list;  (** empty iff [Converged] *)
+  unplannable : string list;
+  history : executed list;  (** chronological, across all rounds *)
+}
+
+let count p report =
+  List.length (List.filter (fun e -> p e.ex_outcome) report.history)
+
+let steps_committed = count is_committed
+let steps_shed = count (function Shed -> true | _ -> false)
+
+let steps_aborted =
+  count (function Aborted _ | Failed _ -> true | _ -> false)
+
+let steps_skipped = count (function Skipped _ -> true | _ -> false)
+
+let summary report =
+  Printf.sprintf
+    "%s after %d round(s): %d committed, %d shed, %d aborted, %d skipped, %d \
+     residual change(s)%s"
+    (match report.status with
+     | Converged -> "converged"
+     | Blocked -> "BLOCKED")
+    report.rounds (steps_committed report) (steps_shed report)
+    (steps_aborted report) (steps_skipped report)
+    (List.length report.residual)
+    (match report.unplannable with
+     | [] -> ""
+     | u -> Printf.sprintf ", %d unplannable" (List.length u))
+
+let outcome_of_state state =
+  if Tropic.Txn.is_overload state then Shed
+  else
+    match state with
+    | Tropic.Txn.Committed -> Committed
+    | Tropic.Txn.Aborted reason -> Aborted reason
+    | Tropic.Txn.Failed reason -> Failed reason
+    | other -> Aborted (Tropic.Txn.state_to_string other)
+
+(* The logical tree lives on the leader; during fail-over there is none —
+   wait for the next election rather than crash mid-plan. *)
+let leader_tree platform =
+  let c = Tropic.Platform.await_leader_controller platform in
+  Tropic.Controller.tree c
+
+(* Execute one compiled plan as dependency waves: a step becomes ready
+   when all its dependencies committed; ready steps are submitted in
+   chunks of [parallelism].  Steps whose dependencies did not commit are
+   skipped (the next round re-plans from the actual tree). *)
+let run_plan config platform (plan : Planner.t) ~round =
+  let outcomes : (int, outcome) Hashtbl.t = Hashtbl.create 16 in
+  let history = ref [] in
+  let record step txn outcome =
+    Hashtbl.replace outcomes step.Planner.step_id outcome;
+    history :=
+      { ex_step = step; ex_round = round; ex_txn = txn; ex_outcome = outcome }
+      :: !history
+  in
+  let committed id =
+    match Hashtbl.find_opt outcomes id with
+    | Some Committed -> true
+    | _ -> false
+  in
+  let rec chunks = function
+    | [] -> ()
+    | steps ->
+      let rec take n = function
+        | [] -> [], []
+        | rest when n = 0 -> [], rest
+        | s :: rest ->
+          let batch, remaining = take (n - 1) rest in
+          s :: batch, remaining
+      in
+      let batch, rest = take config.parallelism steps in
+      let results =
+        Tropic.Platform.submit_batch platform
+          (List.map (fun (s : Planner.step) -> s.Planner.proc, s.Planner.args) batch)
+      in
+      List.iter2
+        (fun step (txn_id, state) ->
+          record step (Some txn_id) (outcome_of_state state))
+        batch results;
+      chunks rest
+  in
+  let rec waves pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let ready, rest =
+        List.partition
+          (fun (s : Planner.step) -> List.for_all committed s.Planner.deps)
+          pending
+      in
+      if ready = [] then
+        List.iter
+          (fun step -> record step None (Skipped "dependency did not commit"))
+          rest
+      else begin
+        chunks ready;
+        waves rest
+      end
+  in
+  waves plan.Planner.steps;
+  List.rev !history
+
+let converge ?(config = default_config) ?(ordered = true) platform ctx ~model
+    =
+  let rec loop round history =
+    let actual = leader_tree platform in
+    match Model.diff model ~actual with
+    | Error e ->
+      {
+        status = Blocked;
+        rounds = round;
+        residual = [];
+        unplannable = [ e ];
+        history = List.rev history;
+      }
+    | Ok [] ->
+      {
+        status = Converged;
+        rounds = round;
+        residual = [];
+        unplannable = [];
+        history = List.rev history;
+      }
+    | Ok residual ->
+      if round >= config.max_rounds then
+        {
+          status = Blocked;
+          rounds = round;
+          residual;
+          unplannable = [];
+          history = List.rev history;
+        }
+      else (
+        match Planner.compile ~ordered ctx model ~actual with
+        | Error e ->
+          {
+            status = Blocked;
+            rounds = round;
+            residual;
+            unplannable = [ e ];
+            history = List.rev history;
+          }
+        | Ok plan when plan.Planner.steps = [] ->
+          {
+            status = Blocked;
+            rounds = round;
+            residual;
+            unplannable = plan.Planner.unplannable;
+            history = List.rev history;
+          }
+        | Ok plan ->
+          let executed = run_plan config platform plan ~round in
+          Des.Proc.sleep config.round_delay;
+          loop (round + 1) (List.rev_append executed history))
+  in
+  loop 0 []
+
+(* Pure variant for property tests: run the plan's steps one at a time
+   through the logical simulator (no platform, no DES), re-planning until
+   convergence.  Aborted steps are dropped for the round, exactly like the
+   live executor skips them; the next round re-plans from the new tree. *)
+let converge_logical ?(max_rounds = 8) env ctx ~model ~tree =
+  let rec loop round tree steps_run =
+    match Model.diff model ~actual:tree with
+    | Error e -> Error ("model: " ^ e)
+    | Ok [] -> Ok (tree, steps_run)
+    | Ok residual ->
+      if round >= max_rounds then
+        Error
+          (Printf.sprintf "blocked after %d rounds; %d residual change(s)"
+             round (List.length residual))
+      else (
+        match Planner.compile ctx model ~actual:tree with
+        | Error e -> Error ("planner: " ^ e)
+        | Ok { Planner.steps = []; unplannable } ->
+          Error
+            (Printf.sprintf "unplannable: %s" (String.concat "; " unplannable))
+        | Ok plan ->
+          let tree', steps_run' =
+            List.fold_left
+              (fun (tree, n) (s : Planner.step) ->
+                match
+                  Tropic.Logical.simulate env ~tree ~proc:s.Planner.proc
+                    ~args:s.Planner.args
+                with
+                | Ok success -> success.Tropic.Logical.new_tree, n + 1
+                | Error _ -> tree, n)
+              (tree, steps_run) plan.Planner.steps
+          in
+          loop (round + 1) tree' steps_run')
+  in
+  loop 0 tree 0

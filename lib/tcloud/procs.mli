@@ -15,6 +15,11 @@ val register_all : Tropic.Dsl.env -> unit
 (** Image name a VM's volume uses: [vm ^ ".img"]. *)
 val image_of_vm : string -> string
 
+(** Switch-port name a VM's NIC attaches under: [vm ^ ".eth0"] — the name
+    [attachVmVlan]/[detachVmVlan] register on the switch, which the
+    goal-state planner must reproduce when diffing port sets. *)
+val vm_port : string -> string
+
 (** {1 Argument builders} *)
 
 val spawn_vm_args :

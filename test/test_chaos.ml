@@ -150,6 +150,51 @@ let test_no_breaker_convicted () =
         (Str_contains.contains (Chaos.Runner.reproducer r) "no-breaker"))
     sweep.Chaos.Runner.violating
 
+let plan_crash =
+  match Chaos.Schedule.find "plan-crash" with
+  | Some s -> s
+  | None -> Alcotest.fail "plan-crash preset missing"
+
+(* Leader and worker crashes landing mid-plan: the executor re-diffs
+   after fail-over and converges both goal phases exactly — including the
+   capacity swap that needs a staging hop — so the sweep stays clean. *)
+let test_plan_crash_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ plan_crash ]
+      ~seeds:(List.init 3 (fun i -> i + 1))
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations);
+      check bool_c
+        (Printf.sprintf "seed %d: plan made progress" r.Chaos.Runner.seed)
+        true (r.Chaos.Runner.committed > 0))
+    sweep.Chaos.Runner.runs
+
+(* Dropping the planner's dependency edges makes the capacity swap
+   livelock (both migrations abort on the memory constraint every round):
+   the plan-converged and exactly-once invariants must convict. *)
+let test_no_plan_deps_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_plan_deps } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ plan_crash ]
+      ~seeds:(List.init 2 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "no-plan-deps");
+      check bool_c "a plan-converged violation is reported" true
+        (List.exists
+           (fun v -> v.Chaos.Invariant.invariant = "plan-converged")
+           r.Chaos.Runner.violations))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -172,6 +217,8 @@ let suite =
     ("sweep: no-watchdog build convicted", `Slow, test_no_watchdog_convicted);
     ("sweep: flap-storm clean with breakers", `Slow, test_flap_storm_clean);
     ("sweep: no-breaker build convicted", `Slow, test_no_breaker_convicted);
+    ("sweep: plan-crash clean with ordered plans", `Slow, test_plan_crash_clean);
+    ("sweep: no-plan-deps build convicted", `Slow, test_no_plan_deps_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 

@@ -51,6 +51,18 @@ let test_sexp_whitespace () =
   check bool_c "tolerates whitespace" true
     (Sexp.equal (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]) parsed)
 
+let test_sexp_comments () =
+  let parsed =
+    ok_or_fail "parse"
+      (Sexp.of_string "; goal file header\n(a ; trailing\n b) ; tail")
+  in
+  check bool_c "comments skipped" true
+    (Sexp.equal (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]) parsed);
+  (* An atom containing ';' is quoted by the printer, so it survives. *)
+  let tricky = Sexp.List [ Sexp.Atom "semi;colon" ] in
+  check bool_c "quoted semicolon roundtrips" true
+    (Sexp.equal tricky (ok_or_fail "re" (Sexp.of_string (Sexp.to_string tricky))))
+
 let test_sexp_assoc () =
   let fields =
     [
@@ -234,6 +246,13 @@ let sample_tree () =
   in
   t
 
+(* Build a tree from (path, kind, attrs) rows, parents listed first. *)
+let tree_of entries =
+  List.fold_left
+    (fun t (path, kind, attrs) ->
+      tree_ok ("insert " ^ path) (Tree.insert t (Path.v path) ~kind ~attrs ()))
+    Tree.empty entries
+
 let test_tree_insert_find () =
   let t = sample_tree () in
   check (Alcotest.option string_c) "kind" (Some "vm")
@@ -383,6 +402,99 @@ let diff_empty_iff_equal_prop =
       let d = Diff.diff ~old_tree:a ~new_tree:b in
       (d = []) = Tree.equal a b)
 
+(* The deterministic ordering contract the goal-state planner (lib/plan)
+   depends on: preorder; per node kind, then attrs by name, then children
+   by name; Added/Removed emitted once at the subtree root. *)
+let test_diff_ordering () =
+  let old_tree =
+    tree_of
+      [
+        "/vmRoot", "vmRoot", [];
+        "/vmRoot/hostA", "vmHost", [ "mem_mb", Value.Int 8192 ];
+        "/vmRoot/hostA/vm1", "vm", [ "state", Value.Str "running" ];
+        "/vmRoot/hostA/vm2", "vm", [ "state", Value.Str "running" ];
+        "/vmRoot/hostB", "vmHost", [];
+      ]
+  in
+  let new_tree =
+    tree_of
+      [
+        "/vmRoot", "vmRoot", [ "zone", Value.Str "z1" ];
+        "/vmRoot/hostA", "vmHost", [];
+        "/vmRoot/hostA/vm1", "vm", [ "state", Value.Str "stopped" ];
+        "/vmRoot/hostA/vm3", "vm", [];
+        "/vmRoot/hostC", "vmHost", [];
+      ]
+  in
+  let rendered =
+    List.map Diff.change_to_string
+      (Diff.diff ~old_tree ~new_tree)
+  in
+  let expect =
+    [
+      (* preorder: /vmRoot's own attr change first *)
+      "~ /vmRoot +zone=\"z1\"";
+      (* then hostA's attr change, then hostA's children in name order *)
+      "~ /vmRoot/hostA -mem_mb (was 8192)";
+      "~ /vmRoot/hostA/vm1 state: \"running\" -> \"stopped\"";
+      "- /vmRoot/hostA/vm2";
+      "+ /vmRoot/hostA/vm3 [vm]";
+      (* then hostA's siblings in name order *)
+      "- /vmRoot/hostB";
+      "+ /vmRoot/hostC [vmHost]";
+    ]
+  in
+  check (Alcotest.list string_c) "deterministic order" expect rendered
+
+let test_diff_patch_roundtrip () =
+  let old_tree = sample_tree () in
+  let new_tree =
+    tree_of
+      [
+        "/vmRoot", "vmRoot", [];
+        "/vmRoot/host1", "vmHost", [ "mem_mb", Value.Int 4096 ];
+        "/vmRoot/host1/vm7", "vm", [ "state", Value.Str "running" ];
+        "/netRoot", "netRoot", [];
+      ]
+  in
+  match Diff.patch old_tree (Diff.diff ~old_tree ~new_tree) with
+  | Ok patched -> check bool_c "patch reaches new tree" true (Tree.equal patched new_tree)
+  | Error e -> Alcotest.fail (Tree.error_to_string e)
+
+(* Folding the diff over the old tree must rebuild the new tree — this is
+   the machine-checkable face of the ordering guarantee (an [Added] whose
+   parent add came later would fail with [No_parent]). *)
+let diff_patch_prop =
+  QCheck.Test.make ~name:"patch old (diff old new) = new" ~count:300
+    (QCheck.pair tree_arbitrary tree_arbitrary)
+    (fun (a, b) ->
+      match Diff.patch a (Diff.diff ~old_tree:a ~new_tree:b) with
+      | Ok patched -> Tree.equal patched b
+      | Error _ -> false)
+
+(* Added/Removed changes each cover a whole subtree: no two adds (or two
+   removes) are ever ancestor-related. *)
+let diff_no_nested_subtree_changes_prop =
+  QCheck.Test.make ~name:"diff adds/removes are never nested" ~count:300
+    (QCheck.pair tree_arbitrary tree_arbitrary)
+    (fun (a, b) ->
+      let changes = Diff.diff ~old_tree:a ~new_tree:b in
+      let adds =
+        List.filter_map (function Diff.Added (p, _) -> Some p | _ -> None) changes
+      in
+      let removes =
+        List.filter_map (function Diff.Removed p -> Some p | _ -> None) changes
+      in
+      let no_nesting paths =
+        List.for_all
+          (fun p ->
+            List.for_all
+              (fun q -> Path.equal p q || not (Path.is_prefix p q))
+              paths)
+          paths
+      in
+      no_nesting adds && no_nesting removes)
+
 
 (* ------------------------------------------------------------------ *)
 (* Model-based property: the tree agrees with a naive reference model
@@ -502,6 +614,7 @@ let suite =
     ("sexp: print/parse cases", `Quick, test_sexp_print_parse);
     ("sexp: parse errors", `Quick, test_sexp_parse_errors);
     ("sexp: whitespace", `Quick, test_sexp_whitespace);
+    ("sexp: line comments", `Quick, test_sexp_comments);
     ("sexp: assoc", `Quick, test_sexp_assoc);
     QCheck_alcotest.to_alcotest sexp_roundtrip_prop;
     QCheck_alcotest.to_alcotest sexp_fuzz_prop;
@@ -524,7 +637,11 @@ let suite =
     QCheck_alcotest.to_alcotest tree_size_prop;
     ("diff: equal trees", `Quick, test_diff_equal_trees);
     ("diff: detects changes", `Quick, test_diff_detects_changes);
+    ("diff: deterministic ordering", `Quick, test_diff_ordering);
+    ("diff: patch roundtrip", `Quick, test_diff_patch_roundtrip);
     QCheck_alcotest.to_alcotest diff_empty_iff_equal_prop;
+    QCheck_alcotest.to_alcotest diff_patch_prop;
+    QCheck_alcotest.to_alcotest diff_no_nested_subtree_changes_prop;
     QCheck_alcotest.to_alcotest tree_model_prop;
   ]
 

@@ -372,6 +372,75 @@ let test_scenario_overload_shedding () =
     check bool_c "layers consistent after the storm" true
       outcome.Experiments.Scenario.layers_consistent
 
+(* Goal-state convergence from a script: `converge FILE` bootstraps the
+   fleet, a second run is a no-op, and `expect-converged` holds. *)
+let with_goal_file contents f =
+  let path = Filename.temp_file "tropic_goal" ".goal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      f path)
+
+let test_scenario_converge () =
+  with_goal_file
+    "(goal (host 0 (vm web0 running 1024) (vm web1 stopped 512))\n\
+    \      (switch 0 (vlan 100 tenantA (port web0))))"
+    (fun goal ->
+      let script =
+        String.concat "\n"
+          [
+            "hosts 2"; "mode full"; "seed 5";
+            "converge " ^ goal; "expect-converged";
+            "converge " ^ goal; "expect-converged";
+          ]
+      in
+      match Experiments.Scenario.run_script script with
+      | Error message -> Alcotest.fail message
+      | Ok outcome ->
+        check int_c "expectations hold" 0
+          outcome.Experiments.Scenario.failed_expectations;
+        check int_c "nothing blocked" 0
+          outcome.Experiments.Scenario.blocked_convergences;
+        (* spawn web0 + spawn web1 + stop web1 + createVlan + attach;
+           the second converge finds no drift and submits nothing. *)
+        check int_c "five transactions, second converge a no-op" 5
+          outcome.Experiments.Scenario.transactions;
+        check bool_c "layers consistent" true
+          outcome.Experiments.Scenario.layers_consistent)
+
+let test_scenario_converge_blocked () =
+  (* A VM bigger than any host can take: every round's spawn aborts on
+     the memory constraint, so the executor gives up and the run counts a
+     blocked convergence (tcloud_sim's non-zero exit). *)
+  with_goal_file "(goal (host 0 (vm whale running 9000)))" (fun goal ->
+      let script =
+        String.concat "\n"
+          [
+            "hosts 2"; "mode full"; "seed 5";
+            "converge " ^ goal; "expect-converged";
+          ]
+      in
+      match Experiments.Scenario.run_script script with
+      | Error message -> Alcotest.fail message
+      | Ok outcome ->
+        check int_c "blocked convergence counted" 1
+          outcome.Experiments.Scenario.blocked_convergences;
+        check int_c "expect-converged fails" 1
+          outcome.Experiments.Scenario.failed_expectations);
+  (* A missing goal file blocks too, without crashing the scenario. *)
+  match
+    Experiments.Scenario.run_script
+      "hosts 2\nconverge /nonexistent/no.goal\nexpect-converged"
+  with
+  | Error message -> Alcotest.fail message
+  | Ok outcome ->
+    check int_c "unreadable goal counts as blocked" 1
+      outcome.Experiments.Scenario.blocked_convergences
+
 let test_scenario_parse_errors () =
   List.iter
     (fun script ->
@@ -395,6 +464,8 @@ let suite =
     ("scenario: failed expectation detected", `Slow, test_scenario_expectation_failure_detected);
     ("scenario: unexpected outcomes tracked", `Slow, test_scenario_unexpected_outcomes);
     ("scenario: overload shedding", `Slow, test_scenario_overload_shedding);
+    ("scenario: converge command", `Slow, test_scenario_converge);
+    ("scenario: blocked convergence", `Slow, test_scenario_converge_blocked);
     ("scenario: parse errors", `Quick, test_scenario_parse_errors);
   ]
 

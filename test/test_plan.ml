@@ -1,0 +1,426 @@
+(* Goal-state planner and executor: planner units (topological order,
+   drain-before-remove, capacity cycles), plus qcheck properties — an
+   executed plan converges (the post-apply diff is empty) and re-planning
+   after convergence is a no-op. *)
+
+module Tree = Data.Tree
+module Path = Data.Path
+module Value = Data.Value
+module Schema = Devices.Schema
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let ctx = { Plan.Planner.storage_hosts = 2; template = "base.img" }
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* ------------------------------------------------------------------ *)
+(* Hand-crafted trees for the pure planner units *)
+
+let vm_node ~running ~mem =
+  Tree.make_node ~kind:Schema.vm_kind
+    ~attrs:
+      [
+        ( Schema.attr_state,
+          Value.Str
+            (if running then Schema.state_running else Schema.state_stopped) );
+        Schema.attr_mem_mb, Value.Int mem;
+      ]
+    ()
+
+let host_node ~hv ~cap vms =
+  Tree.make_node ~kind:Schema.vm_host_kind
+    ~attrs:
+      [
+        Schema.attr_mem_mb, Value.Int cap;
+        Schema.attr_hypervisor, Value.Str hv;
+      ]
+    ~children:
+      (List.map
+         (fun (name, running, mem) -> name, vm_node ~running ~mem)
+         vms)
+    ()
+
+let tree_ok what = function
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%s: %s" what (Tree.error_to_string e)
+
+(* A tree with hosts 0..n-1 (one hypervisor, [cap] MB each) populated per
+   [hosts], e.g. [[ "a", false, 1024 ] ; []] — host0 has a, host1 empty. *)
+let tree_of_hosts ?(cap = 2048) hosts =
+  let tree =
+    tree_ok "vmRoot"
+      (Tree.insert Tree.empty (Path.v "/vmRoot") ~kind:Schema.vm_root_kind ())
+  in
+  List.fold_left
+    (fun (tree, i) vms ->
+      let path = Tcloud.Setup.compute_path i in
+      let tree =
+        tree_ok "host stub" (Tree.insert tree path ~kind:"stub" ())
+      in
+      ( tree_ok "host"
+          (Tree.replace_subtree tree path (host_node ~hv:"xen" ~cap vms)),
+        i + 1 ))
+    (tree, 0) hosts
+  |> fst
+
+let goal hosts switches = { Plan.Model.hosts; switches }
+
+let host i vms =
+  {
+    Plan.Model.host_index = i;
+    vms =
+      List.map
+        (fun (vm_name, running, mem_mb) ->
+          { Plan.Model.vm_name; running; mem_mb })
+        vms;
+  }
+
+let find_step (plan : Plan.Planner.t) pred =
+  match List.find_opt pred plan.Plan.Planner.steps with
+  | Some s -> s
+  | None -> Alcotest.fail "expected step not in plan"
+
+let assert_topological (plan : Plan.Planner.t) =
+  List.iteri
+    (fun i (s : Plan.Planner.step) ->
+      check int_c "ids are positional" i s.Plan.Planner.step_id;
+      List.iter
+        (fun d ->
+          if d >= i then
+            Alcotest.failf "step %d depends on later step %d" i d)
+        s.Plan.Planner.deps)
+    plan.Plan.Planner.steps
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty_diff_empty_plan () =
+  let actual = tree_of_hosts [ [ "a", true, 1024 ]; [] ] in
+  let model = goal [ host 0 [ "a", true, 1024 ]; host 1 [] ] [] in
+  let plan = ok "compile" (Plan.Planner.compile ctx model ~actual) in
+  check int_c "no steps" 0 (List.length plan.Plan.Planner.steps);
+  check int_c "nothing unplannable" 0
+    (List.length plan.Plan.Planner.unplannable)
+
+let test_spawn_attach_order () =
+  let actual = tree_of_hosts [ [] ] in
+  let actual =
+    tree_ok "netRoot"
+      (Tree.insert actual (Path.v "/netRoot") ~kind:Schema.net_root_kind ())
+  in
+  let actual =
+    tree_ok "switch"
+      (Tree.insert actual
+         (Tcloud.Setup.switch_path 0)
+         ~kind:Schema.switch_kind
+         ~attrs:[ Schema.attr_max_vlans, Value.Int 16 ]
+         ())
+  in
+  let model =
+    goal
+      [ host 0 [ "web0", true, 1024 ] ]
+      [
+        {
+          Plan.Model.switch_index = 0;
+          vlans =
+            [ { Plan.Model.vlan_id = 100; vlan_name = "tenantA"; ports = [ "web0" ] } ];
+        };
+      ]
+  in
+  let plan = ok "compile" (Plan.Planner.compile ctx model ~actual) in
+  assert_topological plan;
+  let spawn =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "spawnVM")
+  in
+  let create =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "createVlan")
+  in
+  let attach =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "attachVmVlan")
+  in
+  check bool_c "attach after spawn" true
+    (List.mem spawn.Plan.Planner.step_id attach.Plan.Planner.deps);
+  check bool_c "attach after createVlan" true
+    (List.mem create.Plan.Planner.step_id attach.Plan.Planner.deps)
+
+let test_detach_before_destroy_and_remove_vlan () =
+  let actual = tree_of_hosts [ [ "a", true, 1024 ] ] in
+  let actual =
+    tree_ok "netRoot"
+      (Tree.insert actual (Path.v "/netRoot") ~kind:Schema.net_root_kind ())
+  in
+  let actual =
+    tree_ok "switch"
+      (Tree.insert actual
+         (Tcloud.Setup.switch_path 0)
+         ~kind:Schema.switch_kind
+         ~attrs:[ Schema.attr_max_vlans, Value.Int 16 ]
+         ())
+  in
+  let actual =
+    tree_ok "vlan"
+      (Tree.insert actual
+         (Path.child (Tcloud.Setup.switch_path 0) "vlan0100")
+         ~kind:Schema.vlan_kind
+         ~attrs:
+           [
+             Schema.attr_vlan_name, Value.Str "tenantA";
+             Schema.attr_ports, Value.List [ Value.Str "a.eth0" ];
+           ]
+         ())
+  in
+  (* Goal drops both the vm and the vlan: the detach must precede the
+     destroy and the vlan removal. *)
+  let model =
+    goal [ host 0 [] ] [ { Plan.Model.switch_index = 0; vlans = [] } ]
+  in
+  let plan = ok "compile" (Plan.Planner.compile ctx model ~actual) in
+  assert_topological plan;
+  let detach =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "detachVmVlan")
+  in
+  let destroy =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "destroyVM")
+  in
+  let remove =
+    find_step plan (fun s -> String.equal s.Plan.Planner.proc "removeVlan")
+  in
+  check bool_c "destroy after detach" true
+    (List.mem detach.Plan.Planner.step_id destroy.Plan.Planner.deps);
+  check bool_c "removeVlan after detach" true
+    (List.mem detach.Plan.Planner.step_id remove.Plan.Planner.deps)
+
+let test_capacity_drain_before_fill () =
+  (* host0: a+b (full).  host1: c (half).  Goal moves c to host0 and a,b
+     to host1 — inbound exceeds free on both sides, so the planner must
+     order the drains first. *)
+  let actual =
+    tree_of_hosts [ [ "a", false, 1024; "b", false, 1024 ]; [ "c", false, 1024 ] ]
+  in
+  let model =
+    goal
+      [
+        host 0 [ "c", false, 1024 ];
+        host 1 [ "a", false, 1024; "b", false, 1024 ];
+        host 2 [];
+      ]
+      []
+  in
+  let actual =
+    (* host2 exists, empty — the staging candidate *)
+    let path = Tcloud.Setup.compute_path 2 in
+    let t = tree_ok "host2 stub" (Tree.insert actual path ~kind:"stub" ()) in
+    tree_ok "host2" (Tree.replace_subtree t path (host_node ~hv:"xen" ~cap:2048 []))
+  in
+  let plan = ok "compile" (Plan.Planner.compile ctx model ~actual) in
+  assert_topological plan;
+  check bool_c "has steps" true (List.length plan.Plan.Planner.steps > 0);
+  check int_c "nothing unplannable" 0
+    (List.length plan.Plan.Planner.unplannable);
+  (* every step is a migrate; replay them against a capacity ledger to
+     prove the order never overcommits a host *)
+  let free = Hashtbl.create 4 in
+  Hashtbl.replace free 0 0;
+  Hashtbl.replace free 1 1024;
+  Hashtbl.replace free 2 2048;
+  let host_of s =
+    int_of_string (String.sub (Filename.basename s) 4 5)
+  in
+  List.iter
+    (fun (s : Plan.Planner.step) ->
+      match s.Plan.Planner.proc, s.Plan.Planner.args with
+      | "migrateVM", [ Value.Str src; Value.Str dst; Value.Str _ ] ->
+        let src = host_of src and dst = host_of dst in
+        let dst_free = Hashtbl.find free dst in
+        if dst_free < 1024 then
+          Alcotest.failf "step %s overcommits host%d"
+            (Plan.Planner.step_to_string s) dst;
+        Hashtbl.replace free dst (dst_free - 1024);
+        Hashtbl.replace free src (Hashtbl.find free src + 1024)
+      | proc, _ -> Alcotest.failf "unexpected step %s" proc)
+    plan.Plan.Planner.steps
+
+let test_swap_breaks_cycle_via_staging () =
+  let actual = tree_of_hosts ~cap:1024 [ [ "a", true, 1024 ]; [ "b", true, 1024 ]; [] ] in
+  let model =
+    goal
+      [ host 0 [ "b", true, 1024 ]; host 1 [ "a", true, 1024 ]; host 2 [] ]
+      []
+  in
+  let plan = ok "compile" (Plan.Planner.compile ctx model ~actual) in
+  assert_topological plan;
+  check int_c "three hops" 3 (List.length plan.Plan.Planner.steps);
+  check bool_c "routes through staging host2" true
+    (List.exists
+       (fun (s : Plan.Planner.step) ->
+         Str_contains.contains s.Plan.Planner.label "host00002")
+       plan.Plan.Planner.steps)
+
+let test_no_dependency_ablation_drops_edges () =
+  let actual = tree_of_hosts ~cap:1024 [ [ "a", true, 1024 ]; [ "b", true, 1024 ]; [] ] in
+  let model =
+    goal
+      [ host 0 [ "b", true, 1024 ]; host 1 [ "a", true, 1024 ]; host 2 [] ]
+      []
+  in
+  let plan =
+    ok "compile" (Plan.Planner.compile ~ordered:false ctx model ~actual)
+  in
+  check int_c "raw two migrations, no staging" 2
+    (List.length plan.Plan.Planner.steps);
+  List.iter
+    (fun (s : Plan.Planner.step) ->
+      check int_c "no deps" 0 (List.length s.Plan.Planner.deps))
+    plan.Plan.Planner.steps
+
+(* ------------------------------------------------------------------ *)
+(* Properties over the logical executor (no DES, real procedures) *)
+
+let small_inv = lazy (Tcloud.Setup.build Tcloud.Setup.small)
+
+(* Random goal over hosts 0..3 of the [small] inventory: up to 6 VMs,
+   each placed on a random host, random state, memory in {512, 1024};
+   sometimes a VLAN holding a random subset of them. *)
+let goal_gen =
+  QCheck.Gen.(
+    let* n_vms = int_range 0 6 in
+    let* placements = list_size (return n_vms) (int_range 0 3) in
+    let* runnings = list_size (return n_vms) bool in
+    let* mems = list_size (return n_vms) (oneofl [ 512; 1024 ]) in
+    let vms =
+      List.mapi
+        (fun i (h, (r, m)) -> Printf.sprintf "v%d" i, h, r, m)
+        (List.combine placements (List.combine runnings mems))
+    in
+    let hosts =
+      List.init 4 (fun hidx ->
+          {
+            Plan.Model.host_index = hidx;
+            vms =
+              List.filter_map
+                (fun (name, h, r, m) ->
+                  if h = hidx then
+                    Some { Plan.Model.vm_name = name; running = r; mem_mb = m }
+                  else None)
+                vms;
+          })
+    in
+    let* with_vlan = bool in
+    let* port_mask = list_size (return n_vms) bool in
+    let switches =
+      if with_vlan && n_vms > 0 then
+        [
+          {
+            Plan.Model.switch_index = 0;
+            vlans =
+              [
+                {
+                  Plan.Model.vlan_id = 100;
+                  vlan_name = "tenant";
+                  ports =
+                    List.filter_map
+                      (fun ((name, _, _, _), keep) ->
+                        if keep then Some name else None)
+                      (List.combine vms port_mask);
+                };
+              ];
+          };
+        ]
+      else []
+    in
+    return { Plan.Model.hosts; switches })
+
+let goal_arbitrary =
+  QCheck.make goal_gen ~print:(fun m -> Plan.Model.to_string m)
+
+let converge_twice_prop =
+  QCheck.Test.make ~name:"plan: executed plan converges and is idempotent"
+    ~count:60
+    (QCheck.pair goal_arbitrary goal_arbitrary)
+    (fun (g1, g2) ->
+      let inv = Lazy.force small_inv in
+      let env = inv.Tcloud.Setup.env in
+      (* reach g1 from the pristine inventory, then g2 from g1's state *)
+      let tree1, _ =
+        match
+          Plan.Executor.converge_logical env ctx ~model:g1
+            ~tree:inv.Tcloud.Setup.tree
+        with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "g1 did not converge: %s" e
+      in
+      (match Plan.Model.diff g1 ~actual:tree1 with
+       | Ok [] -> ()
+       | Ok residual ->
+         QCheck.Test.fail_reportf "g1 left %d residual change(s)"
+           (List.length residual)
+       | Error e -> QCheck.Test.fail_reportf "g1 diff: %s" e);
+      let tree2, _ =
+        match Plan.Executor.converge_logical env ctx ~model:g2 ~tree:tree1 with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "g2 did not converge: %s" e
+      in
+      (match Plan.Model.diff g2 ~actual:tree2 with
+       | Ok [] -> ()
+       | Ok residual ->
+         QCheck.Test.fail_reportf "g2 left %d residual change(s)"
+           (List.length residual)
+       | Error e -> QCheck.Test.fail_reportf "g2 diff: %s" e);
+      (* idempotence: a fresh plan over the converged tree is empty *)
+      match Plan.Planner.compile ctx g2 ~actual:tree2 with
+      | Ok plan -> plan.Plan.Planner.steps = []
+      | Error e -> QCheck.Test.fail_reportf "re-plan: %s" e)
+
+let plan_deterministic_prop =
+  QCheck.Test.make ~name:"plan: compilation is deterministic" ~count:40
+    goal_arbitrary
+    (fun g ->
+      let inv = Lazy.force small_inv in
+      let p1 = Plan.Planner.compile ctx g ~actual:inv.Tcloud.Setup.tree in
+      let p2 = Plan.Planner.compile ctx g ~actual:inv.Tcloud.Setup.tree in
+      match p1, p2 with
+      | Ok a, Ok b ->
+        List.equal
+          (fun (x : Plan.Planner.step) (y : Plan.Planner.step) ->
+            x.Plan.Planner.step_id = y.Plan.Planner.step_id
+            && String.equal x.Plan.Planner.proc y.Plan.Planner.proc
+            && List.equal Value.equal x.Plan.Planner.args y.Plan.Planner.args
+            && x.Plan.Planner.deps = y.Plan.Planner.deps)
+          a.Plan.Planner.steps b.Plan.Planner.steps
+      | Error a, Error b -> String.equal a b
+      | _ -> false)
+
+let model_roundtrip_prop =
+  QCheck.Test.make ~name:"plan: model sexp roundtrip" ~count:60 goal_arbitrary
+    (fun g ->
+      match Plan.Model.of_string (Plan.Model.to_string g) with
+      | Ok g' -> Plan.Model.to_string g = Plan.Model.to_string g'
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e)
+
+let suite =
+  [
+    ( "plan",
+      [
+        Alcotest.test_case "empty diff compiles to empty plan" `Quick
+          test_empty_diff_empty_plan;
+        Alcotest.test_case "attach waits for spawn and createVlan" `Quick
+          test_spawn_attach_order;
+        Alcotest.test_case "detach precedes destroy and removeVlan" `Quick
+          test_detach_before_destroy_and_remove_vlan;
+        Alcotest.test_case "capacity edges drain before fill" `Quick
+          test_capacity_drain_before_fill;
+        Alcotest.test_case "swap cycle breaks via staging host" `Quick
+          test_swap_breaks_cycle_via_staging;
+        Alcotest.test_case "no-dependency ablation drops edges" `Quick
+          test_no_dependency_ablation_drops_edges;
+        QCheck_alcotest.to_alcotest converge_twice_prop;
+        QCheck_alcotest.to_alcotest plan_deterministic_prop;
+        QCheck_alcotest.to_alcotest model_roundtrip_prop;
+      ] );
+  ]
+
+let () = Alcotest.run "plan" suite

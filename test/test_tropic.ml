@@ -980,6 +980,76 @@ let test_e2e_failover_preserves_quarantine () =
       expect_committed "after reload"
         (Platform.run_txn platform ~proc:"spawnVM" ~args:(spawn_args "q3")))
 
+(* A goal-state convergence with the lead controller crashing mid-plan:
+   the executor waits out the fail-over, its next round's fresh diff picks
+   up whatever the crash left behind, and the system still reaches the
+   goal exactly.  A second converge against the reached goal must plan
+   nothing (idempotence). *)
+let test_e2e_converge_under_failover () =
+  with_platform ~horizon:900. (fun platform inv ->
+      let goal =
+        {
+          Plan.Model.hosts =
+            [
+              {
+                Plan.Model.host_index = 0;
+                vms =
+                  [
+                    { Plan.Model.vm_name = "cvg0"; running = true; mem_mb = 1024 };
+                    { Plan.Model.vm_name = "cvg1"; running = false; mem_mb = 512 };
+                  ];
+              };
+            ];
+          switches =
+            [
+              {
+                Plan.Model.switch_index = 0;
+                vlans =
+                  [
+                    { Plan.Model.vlan_id = 200; vlan_name = "cvg"; ports = [ "cvg0" ] };
+                  ];
+              };
+            ];
+        }
+      in
+      let ctx = { Plan.Planner.storage_hosts = 2; template = "base.img" } in
+      let leader = Platform.await_leader_controller platform in
+      let leader_index =
+        let found = ref 0 in
+        Array.iteri
+          (fun i c -> if c == leader then found := i)
+          (Platform.controllers platform);
+        !found
+      in
+      ignore
+        (Des.Proc.spawn ~name:"mid-plan-crash" (Platform.sim platform)
+           (fun () ->
+             Des.Proc.sleep 3.;
+             Platform.kill_controller platform leader_index));
+      let report = Plan.Executor.converge platform ctx ~model:goal in
+      check bool_c "converged despite the fail-over" true
+        (report.Plan.Executor.status = Plan.Executor.Converged);
+      check int_c "no residual drift reported" 0
+        (List.length report.Plan.Executor.residual);
+      (* A fresh diff against the leader's tree agrees. *)
+      (match Plan.Model.diff goal ~actual:(Platform.logical_tree platform) with
+       | Ok [] -> ()
+       | Ok changes -> Alcotest.failf "%d residual changes" (List.length changes)
+       | Error e -> Alcotest.fail e);
+      (* The devices agree too. *)
+      let _, compute0 = inv.Tcloud.Setup.computes.(0) in
+      check (Alcotest.option vm_state_c) "cvg0 running" (Some `Running)
+        (Devices.Compute.vm_state compute0 "cvg0");
+      check (Alcotest.option vm_state_c) "cvg1 stopped" (Some `Stopped)
+        (Devices.Compute.vm_state compute0 "cvg1");
+      let new_leader = Platform.await_leader_controller platform in
+      check bool_c "leadership moved" true (new_leader != leader);
+      (* Converging again plans no steps at all. *)
+      let again = Plan.Executor.converge platform ctx ~model:goal in
+      check bool_c "reconverge is a no-op" true
+        (again.Plan.Executor.status = Plan.Executor.Converged
+        && again.Plan.Executor.history = []))
+
 (* ------------------------------------------------------------------ *)
 (* Robustness: retry backoff, deadlines, stall watchdog *)
 
@@ -1477,6 +1547,7 @@ let suite =
     ("e2e: FIFO preserves submission order", `Quick, test_e2e_fifo_preserves_submission_order);
     ("e2e: controller failover loses nothing", `Quick, test_e2e_controller_failover_no_loss);
     ("e2e: failover preserves quarantine", `Quick, test_e2e_failover_preserves_quarantine);
+    ("e2e: converge under failover", `Quick, test_e2e_converge_under_failover);
     ("e2e: reload refuses violating state", `Quick, test_e2e_reload_refuses_violating_state);
     QCheck_alcotest.to_alcotest backoff_bounded_prop;
     ("robust: jittered backoff within bounds", `Quick, test_backoff_jitter_within_bounds);

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- sched        # contention bench -> BENCH_sched.json
      dune exec bench/main.exe -- overload     # shed-vs-queue -> BENCH_overload.json
+     dune exec bench/main.exe -- shard        # shard scaling -> BENCH_shard.json
      dune exec bench/main.exe -- table1|fig3|fig4|fig5|safety|robustness|
                                  ha|hosting|scale|ablation
    TROPIC_BENCH_QUICK=1 shrinks the long runs. *)
@@ -417,6 +418,155 @@ let run_overload_bench () =
     out shed_pt.ov_p99 queue_pt.ov_p99 bounded_p99
 
 (* ------------------------------------------------------------------ *)
+(* Shard-scaling macro-benchmark (BENCH_shard.json)
+
+   The same deployment — H compute hosts, each with one prepopulated VM —
+   run at 1/2/4/8 resource-tree shards, each shard bringing its own
+   controller and worker pool (the per-shard replica-group deployment the
+   sharded platform models).  The workload is strictly single-shard:
+   every host's driver toggles its VM start/stop, and start/stop lock
+   only the host's subtree, so no transaction crosses shards and the
+   measured quantity is pure pipeline parallelism — how committed-txn/s
+   grows as the singleton controller bottleneck is split.  Virtual
+   (simulated) seconds, so the numbers are deterministic. *)
+
+type shard_point = {
+  sh_shards : int;
+  sh_committed : int;
+  sh_failed : int;
+  sh_virtual_s : float;
+  sh_txn_per_s : float;
+}
+
+let run_shard_point ~shards ~hosts ~toggles =
+  let sim = Des.Sim.create ~seed:42 () in
+  let size =
+    {
+      Tcloud.Setup.small with
+      Tcloud.Setup.compute_hosts = hosts;
+      prepopulated_vms_per_host = 1;
+    }
+  in
+  let inv = Tcloud.Setup.build ~timing:`Process ~rng:(Des.Sim.rng sim) size in
+  let spec =
+    {
+      Tropic.Platform.default_spec with
+      Tropic.Platform.controllers = 1;
+      workers = 2;
+      shards;
+      mode = Tropic.Platform.Full;
+      controller_config = Tcloud.Setup.controller_config;
+      trace = None;
+    }
+  in
+  let platform =
+    Tropic.Platform.create spec inv.Tcloud.Setup.env
+      ~initial_tree:inv.Tcloud.Setup.tree ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let committed = ref 0 and failed = ref 0 and live = ref 0 in
+  let elapsed = ref 0. in
+  let driver h () =
+    let host = Data.Path.to_string (Tcloud.Setup.compute_path h) in
+    let vm = Tcloud.Setup.prepop_vm_name ~host:h ~index:0 in
+    let toggle proc args =
+      match Tropic.Platform.run_txn platform ~proc ~args with
+      | Tropic.Txn.Committed -> incr committed
+      | _ -> incr failed
+    in
+    for _ = 1 to toggles do
+      toggle "startVM" (Tcloud.Procs.start_vm_args ~host ~vm);
+      toggle "stopVM" (Tcloud.Procs.stop_vm_args ~host ~vm)
+    done;
+    decr live
+  in
+  ignore
+    (Des.Proc.spawn ~name:"shard-bench" sim (fun () ->
+         for sid = 0 to shards - 1 do
+           ignore (Tropic.Platform.await_shard_leader platform sid)
+         done;
+         let t0 = Des.Sim.now sim in
+         live := hosts;
+         for h = 0 to hosts - 1 do
+           ignore
+             (Des.Proc.spawn ~name:(Printf.sprintf "driver-%d" h) sim (driver h))
+         done;
+         while !live > 0 do
+           Des.Proc.sleep 0.5
+         done;
+         elapsed := Des.Sim.now sim -. t0));
+  ignore (Des.Sim.run ~until:100_000. sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     failwith (Printf.sprintf "%s crashed: %s" who (Printexc.to_string exn)));
+  {
+    sh_shards = shards;
+    sh_committed = !committed;
+    sh_failed = !failed;
+    sh_virtual_s = !elapsed;
+    sh_txn_per_s =
+      (if !elapsed > 0. then float_of_int !committed /. !elapsed else 0.);
+  }
+
+let run_shard_bench () =
+  let quick = Experiments.Common.quick_mode () in
+  let hosts = if quick then 8 else 16 in
+  let toggles = if quick then 2 else 4 in
+  Experiments.Common.section
+    (Printf.sprintf
+       "Shard scaling: committed-txn/s vs shard count (%d hosts, %d toggles \
+        each)"
+       hosts (2 * toggles));
+  let points =
+    List.map
+      (fun shards -> run_shard_point ~shards ~hosts ~toggles)
+      [ 1; 2; 4; 8 ]
+  in
+  let base = (List.hd points).sh_txn_per_s in
+  let speedup p = if base > 0. then p.sh_txn_per_s /. base else 0. in
+  Printf.printf "%8s %12s %10s %14s %10s\n" "shards" "committed" "failed"
+    "virtual s" "txn/s";
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %12d %10d %14.1f %9.2f (%.2fx)\n" p.sh_shards
+        p.sh_committed p.sh_failed p.sh_virtual_s p.sh_txn_per_s (speedup p))
+    points;
+  let rate n = (List.nth points n).sh_txn_per_s in
+  let monotonic_1_to_4 = rate 1 >= rate 0 && rate 2 >= rate 1 in
+  let out = "BENCH_shard.json" in
+  let oc = open_out out in
+  let point_json p =
+    Printf.sprintf
+      "    { \"shards\": %d, \"committed\": %d, \"failed\": %d,\n\
+      \      \"virtual_s\": %.2f, \"txn_per_s\": %.3f, \"speedup\": %.3f }"
+      p.sh_shards p.sh_committed p.sh_failed p.sh_virtual_s p.sh_txn_per_s
+      (speedup p)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"shard-scaling\",\n\
+    \  \"generated_by\": \"bench/main.exe shard\",\n\
+    \  \"quick\": %b,\n\
+    \  \"hosts\": %d,\n\
+    \  \"toggles_per_host\": %d,\n\
+    \  \"points\": [\n%s\n  ],\n\
+    \  \"headline\": { \"speedup_2\": %.3f, \"speedup_4\": %.3f, \
+     \"speedup_8\": %.3f, \"monotonic_1_to_4\": %b }\n\
+     }\n"
+    quick hosts (2 * toggles)
+    (String.concat ",\n" (List.map point_json points))
+    (speedup (List.nth points 1))
+    (speedup (List.nth points 2))
+    (speedup (List.nth points 3))
+    monotonic_1_to_4;
+  close_out oc;
+  Printf.printf "wrote %s (2 shards %.2fx, 4 shards %.2fx, monotonic: %b)\n\n%!"
+    out
+    (speedup (List.nth points 1))
+    (speedup (List.nth points 2))
+    monotonic_1_to_4
+
+(* ------------------------------------------------------------------ *)
 (* Experiment harness entries *)
 
 let quick () = Experiments.Common.quick_mode ()
@@ -460,6 +610,7 @@ let run_all () =
   run_micro ();
   run_sched_bench ();
   run_overload_bench ();
+  run_shard_bench ();
   Experiments.Perf.print_fig3 ();
   run_fig45 ();
   run_safety ();
@@ -475,6 +626,7 @@ let () =
   | [ _; "micro" ] -> run_micro ()
   | [ _; "sched" ] -> run_sched_bench ()
   | [ _; "overload" ] -> run_overload_bench ()
+  | [ _; "shard" ] -> run_shard_bench ()
   | [ _; "table1" ] -> Experiments.Table1.print ()
   | [ _; "fig3" ] -> Experiments.Perf.print_fig3 ()
   | [ _; ("fig4" | "fig5") ] -> run_fig45 ()
@@ -486,5 +638,6 @@ let () =
   | [ _; "ablation" ] -> run_ablation ()
   | _ ->
     prerr_endline
-      "usage: main.exe [all|micro|sched|overload|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
+      "usage: main.exe \
+       [all|micro|sched|overload|shard|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
     exit 2

@@ -246,10 +246,23 @@ let print_chaos_result ~with_trace r =
     r.Chaos.Runner.auto_terms r.Chaos.Runner.auto_kills r.Chaos.Runner.sheds
     r.Chaos.Runner.breaker_trips r.Chaos.Runner.breaker_probes
     r.Chaos.Runner.breaker_closes;
+  if r.Chaos.Runner.shards > 1 then begin
+    Printf.printf "       2pc: %d started / %d committed / %d aborted / %d prepares (%d shards)\n"
+      r.Chaos.Runner.twopc_started r.Chaos.Runner.twopc_committed
+      r.Chaos.Runner.twopc_aborted r.Chaos.Runner.twopc_prepares
+      r.Chaos.Runner.shards;
+    List.iter
+      (fun line -> Printf.printf "       %s\n" line)
+      r.Chaos.Runner.per_shard
+  end;
   if with_trace then begin
     Printf.printf "  %s\n" r.Chaos.Runner.phases;
     let dump = r.Chaos.Runner.span_dump in
-    let cap = 400 in
+    let cap =
+      match Sys.getenv_opt "TROPIC_SPAN_CAP" with
+      | Some s -> (try int_of_string s with _ -> 400)
+      | None -> 400
+    in
     let shown = List.filteri (fun i _ -> i < cap) dump in
     if shown <> [] then begin
       Printf.printf "  span dump (%d spans/events):\n" (List.length dump);
@@ -355,7 +368,7 @@ let chaos_cmd =
   let build =
     let doc =
       "Build to exercise: stock, no-constraints, no-guard-locks, \
-       no-watchdog, no-breaker or no-plan-deps."
+       no-watchdog, no-breaker, no-plan-deps or no-2pc."
     in
     Arg.(value & opt string "stock" & info [ "build" ] ~doc)
   in

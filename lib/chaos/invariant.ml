@@ -50,33 +50,45 @@ let poll_stuck_locks tracker platform =
   match tracker.stall_budget with
   | None -> ()
   | Some budget ->
-    (match Tropic.Platform.leader_controller platform with
-     | None -> ()
-     | Some leader ->
-       let started = Tropic.Controller.started_txns leader in
-       let now = Des.Sim.now tracker.sim in
-       let live = Hashtbl.create 16 in
-       List.iter (fun id -> Hashtbl.replace live id ()) started;
-       let gone =
-         Hashtbl.fold
-           (fun id _ acc -> if Hashtbl.mem live id then acc else id :: acc)
-           tracker.first_started []
-       in
-       List.iter (Hashtbl.remove tracker.first_started) gone;
-       List.iter
-         (fun id ->
-           match Hashtbl.find_opt tracker.first_started id with
-           | None -> Hashtbl.replace tracker.first_started id now
-           | Some since ->
-             if now -. since > budget && not (Hashtbl.mem tracker.stuck_reported id)
-             then begin
-               Hashtbl.replace tracker.stuck_reported id ();
-               record tracker "stuck-lock"
-                 (Printf.sprintf
-                    "txn %d in flight (locks held) for %.0fs, budget %.0fs" id
-                    (now -. since) budget)
-             end)
-         started)
+    (* Observe every shard that currently has a leader; ids owned by a
+       leaderless shard are neither clocked nor forgiven this poll (same
+       blind spot the single-shard tracker has during fail-over). *)
+    let shards = Tropic.Platform.shard_count platform in
+    let observed = Array.make shards false in
+    let started = ref [] in
+    for sid = 0 to shards - 1 do
+      match Tropic.Platform.shard_leader platform sid with
+      | None -> ()
+      | Some leader ->
+        observed.(sid) <- true;
+        started := Tropic.Controller.started_txns leader @ !started
+    done;
+    let started = !started in
+    let now = Des.Sim.now tracker.sim in
+    let live = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace live id ()) started;
+    let gone =
+      Hashtbl.fold
+        (fun id _ acc ->
+          if Hashtbl.mem live id || not observed.(id mod shards) then acc
+          else id :: acc)
+        tracker.first_started []
+    in
+    List.iter (Hashtbl.remove tracker.first_started) gone;
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt tracker.first_started id with
+        | None -> Hashtbl.replace tracker.first_started id now
+        | Some since ->
+          if now -. since > budget && not (Hashtbl.mem tracker.stuck_reported id)
+          then begin
+            Hashtbl.replace tracker.stuck_reported id ();
+            record tracker "stuck-lock"
+              (Printf.sprintf
+                 "txn %d in flight (locks held) for %.0fs, budget %.0fs" id
+                 (now -. since) budget)
+          end)
+      started
 
 (* Admission control exists to bound the controller's pending queue; past
    the budget the platform is queueing unboundedly under load it should
@@ -86,17 +98,22 @@ let poll_bounded_queue tracker platform =
   match tracker.queue_budget with
   | None -> ()
   | Some budget ->
-    if not tracker.queue_reported then (
-      match Tropic.Platform.leader_controller platform with
-      | None -> ()
-      | Some leader ->
-        let pending = Tropic.Controller.todo_length leader in
-        if pending > budget then begin
-          tracker.queue_reported <- true;
-          record tracker "bounded-queue"
-            (Printf.sprintf "%d transactions pending, budget %d" pending
-               budget)
-        end)
+    if not tracker.queue_reported then begin
+      (* Per-shard bound: each shard's admission control sheds on its own
+         queue, so the budget applies to every leader separately. *)
+      for sid = 0 to Tropic.Platform.shard_count platform - 1 do
+        match Tropic.Platform.shard_leader platform sid with
+        | None -> ()
+        | Some leader ->
+          let pending = Tropic.Controller.todo_length leader in
+          if pending > budget && not tracker.queue_reported then begin
+            tracker.queue_reported <- true;
+            record tracker "bounded-queue"
+              (Printf.sprintf "%d transactions pending on shard %d, budget %d"
+                 pending sid budget)
+          end
+      done
+    end
 
 let overcommit_violations ?(once = None) computes =
   let found = ref [] in
@@ -236,48 +253,72 @@ let check_quiescence ~platform ~computes ~devices ~txns ~expected ~skip_vm =
     expected;
   (* 3. Capacity: final physical placement respects host memory. *)
   List.iter (violation "no-overcommit") (overcommit_violations computes);
-  (* 4/5/6 need a leading controller. *)
-  (match Tropic.Platform.leader_controller platform with
-   | None -> violation "leader-election" "no controller leads at quiescence"
-   | Some leader ->
-     List.iter
-       (fun path ->
-         violation "convergence"
-           (Printf.sprintf "%s still quarantined" (Data.Path.to_string path)))
-       (Tropic.Controller.quarantined leader);
-     let tree = Tropic.Controller.tree leader in
-     List.iter
-       (fun device ->
-         let root = Devices.Device.root device in
-         match Data.Tree.subtree tree root with
-         | Error e ->
-           violation "convergence"
-             (Printf.sprintf "%s missing from logical tree: %s"
-                (Data.Path.to_string root)
-                (Data.Tree.error_to_string e))
-         | Ok logical ->
-           if not (Data.Tree.equal logical (Devices.Device.export device)) then
-             violation "convergence"
-               (Printf.sprintf "layers diverge at %s" (Data.Path.to_string root)))
-       devices;
-     let todo = Tropic.Controller.todo_length leader in
-     let inflight = Tropic.Controller.inflight leader in
-     let locks = Tropic.Controller.lock_count leader in
-     if todo > 0 then
-       violation "quiescence-drained"
-         (Printf.sprintf "todo queue still holds %d transactions" todo);
-     if inflight > 0 then
-       violation "quiescence-drained"
-         (Printf.sprintf "%d transactions still in flight" inflight);
-     if locks > 0 then
-       violation "quiescence-drained"
-         (Printf.sprintf "lock table still holds %d entries" locks);
-     let blocked = Tropic.Controller.blocked_length leader in
-     let waiters = Tropic.Controller.waiter_count leader in
-     if blocked > 0 then
-       violation "quiescence-drained"
-         (Printf.sprintf "blocked table still holds %d transactions" blocked);
-     if waiters > 0 then
-       violation "quiescence-drained"
-         (Printf.sprintf "lock table still indexes %d waiters" waiters));
+  (* 4/5/6 need a leading controller — on every shard.  Each device
+     subtree is judged against its owning shard's leader (the copies a
+     shard keeps of foreign subtrees are cosmetic and go stale), and the
+     drained checks apply to every shard's scheduler state. *)
+  let shards = Tropic.Platform.shard_count platform in
+  for sid = 0 to shards - 1 do
+    let where =
+      if shards = 1 then "" else Printf.sprintf " (shard %d)" sid
+    in
+    match Tropic.Platform.shard_leader platform sid with
+    | None ->
+      violation "leader-election"
+        (Printf.sprintf "no controller leads%s at quiescence" where)
+    | Some leader ->
+      List.iter
+        (fun path ->
+          violation "convergence"
+            (Printf.sprintf "%s still quarantined%s" (Data.Path.to_string path)
+               where))
+        (Tropic.Controller.quarantined leader);
+      let tree = Tropic.Controller.tree leader in
+      List.iter
+        (fun device ->
+          let root = Devices.Device.root device in
+          if Tropic.Platform.shard_of_path platform root = sid then
+            match Data.Tree.subtree tree root with
+            | Error e ->
+              violation "convergence"
+                (Printf.sprintf "%s missing from logical tree%s: %s"
+                   (Data.Path.to_string root) where
+                   (Data.Tree.error_to_string e))
+            | Ok logical ->
+              let physical = Devices.Device.export device in
+              if not (Data.Tree.equal logical physical) then begin
+                if Sys.getenv_opt "TROPIC_DIVERGE_DUMP" <> None then
+                  Printf.eprintf
+                    "=== diverge %s ===\n-- logical --\n%s\n-- physical --\n%s\n"
+                    (Data.Path.to_string root) (Data.Tree.to_string logical)
+                    (Data.Tree.to_string physical);
+                violation "convergence"
+                  (Printf.sprintf "layers diverge at %s%s"
+                     (Data.Path.to_string root) where)
+              end)
+        devices;
+      let todo = Tropic.Controller.todo_length leader in
+      let inflight = Tropic.Controller.inflight leader in
+      let locks = Tropic.Controller.lock_count leader in
+      if todo > 0 then
+        violation "quiescence-drained"
+          (Printf.sprintf "todo queue still holds %d transactions%s" todo
+             where);
+      if inflight > 0 then
+        violation "quiescence-drained"
+          (Printf.sprintf "%d transactions still in flight%s" inflight where);
+      if locks > 0 then
+        violation "quiescence-drained"
+          (Printf.sprintf "lock table still holds %d entries%s" locks where);
+      let blocked = Tropic.Controller.blocked_length leader in
+      let waiters = Tropic.Controller.waiter_count leader in
+      if blocked > 0 then
+        violation "quiescence-drained"
+          (Printf.sprintf "blocked table still holds %d transactions%s" blocked
+             where);
+      if waiters > 0 then
+        violation "quiescence-drained"
+          (Printf.sprintf "lock table still indexes %d waiters%s" waiters
+             where)
+  done;
   List.rev !found

@@ -24,15 +24,16 @@
     At quiescence:
     - [transaction-terminal]: every submitted transaction reached
       Committed/Aborted/Failed — nothing lost across fail-overs.
-    - [leader-election]: some controller leads.
+    - [leader-election]: every shard has a leading controller.
     - [exactly-once]: committed spawn/stop/destroy effects appear on the
       devices exactly once — the right VM on the right host in the right
       state, no duplicates, no resurrections, no ghosts.
     - [no-overcommit]: final-state capacity check, same as above.
     - [convergence]: no subtree is still quarantined and every device's
-      exported state equals the leader's logical subtree.
-    - [quiescence-drained]: the leader's todo queue, in-flight set and
-      lock table are empty. *)
+      exported state equals its {e owning} shard leader's logical
+      subtree.
+    - [quiescence-drained]: every shard leader's todo queue, in-flight
+      set and lock table are empty. *)
 
 type violation = { invariant : string; at : float; detail : string }
 

@@ -64,6 +64,36 @@ let crash_controller t target down_for =
       t.ctrl_down.(i) <- false;
       t.nenv.trace (Printf.sprintf "restart controller-%d" i)
 
+(* Same crash/restart cycle as [crash_controller], but aimed at one
+   shard's replica group: the victim is whoever currently leads that
+   shard, so on a schedule that fires mid-2PC the crash lands between
+   prepare and decision.  Guarded like the generic crash — never the
+   shard's last controller standing. *)
+let crash_shard_leader t shard down_for =
+  let platform = t.nenv.platform in
+  if shard < 0 || shard >= Tropic.Platform.shard_count platform then
+    skip t (Printf.sprintf "no shard %d" shard)
+  else begin
+    let per_shard = (Tropic.Platform.spec platform).Tropic.Platform.controllers in
+    let slots = List.init per_shard (fun j -> (shard * per_shard) + j) in
+    let ups = List.filter (fun i -> not t.ctrl_down.(i)) slots in
+    if List.length ups <= 1 then
+      skip t (Printf.sprintf "last controller of shard %d standing" shard)
+    else
+      match Tropic.Platform.shard_leader_index platform shard with
+      | Some i when not t.ctrl_down.(i) ->
+        t.ctrl_down.(i) <- true;
+        inject t
+          (Printf.sprintf "crash shard %d leader controller-%d (down %.0fs)"
+             shard i down_for);
+        Tropic.Platform.kill_controller platform i;
+        Des.Proc.sleep down_for;
+        Tropic.Platform.restart_controller platform i;
+        t.ctrl_down.(i) <- false;
+        t.nenv.trace (Printf.sprintf "restart controller-%d" i)
+      | Some _ | None -> skip t (Printf.sprintf "shard %d has no leader" shard)
+  end
+
 let live_replicas ens =
   let n = Coord.Ensemble.replica_count ens in
   List.filter (Coord.Ensemble.replica_up ens) (List.init n (fun i -> i))
@@ -346,6 +376,8 @@ let perform t = function
   | Schedule.Flap_device { host; up_for; down_for; cycles } ->
     flap_device t host up_for down_for cycles
   | Schedule.Request_storm { count; gap } -> request_storm t count gap
+  | Schedule.Crash_shard_leader { shard; down_for } ->
+    crash_shard_leader t shard down_for
 
 (* ------------------------------------------------------------------ *)
 (* Trigger compilation *)

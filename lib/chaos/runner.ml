@@ -5,6 +5,7 @@ type build =
   | No_watchdog
   | No_breaker
   | No_plan_deps
+  | No_2pc
 
 let build_to_string = function
   | Stock -> "stock"
@@ -13,6 +14,7 @@ let build_to_string = function
   | No_watchdog -> "no-watchdog"
   | No_breaker -> "no-breaker"
   | No_plan_deps -> "no-plan-deps"
+  | No_2pc -> "no-2pc"
 
 let build_of_string = function
   | "stock" -> Ok Stock
@@ -21,11 +23,12 @@ let build_of_string = function
   | "no-watchdog" -> Ok No_watchdog
   | "no-breaker" -> Ok No_breaker
   | "no-plan-deps" -> Ok No_plan_deps
+  | "no-2pc" -> Ok No_2pc
   | other ->
     Error
       (Printf.sprintf
          "unknown build %S (expected stock, no-constraints, no-guard-locks, \
-          no-watchdog, no-breaker or no-plan-deps)"
+          no-watchdog, no-breaker, no-plan-deps or no-2pc)"
          other)
 
 type config = {
@@ -61,6 +64,12 @@ type result = {
   breaker_trips : int;
   breaker_probes : int;
   breaker_closes : int;
+  twopc_started : int;
+  twopc_committed : int;
+  twopc_aborted : int;
+  twopc_prepares : int;
+  shards : int;
+  per_shard : string list;
   violations : Invariant.violation list;
   trace : string list;
   phases : string;
@@ -126,7 +135,7 @@ let queue_budget = 64
    the invariant tracker must catch it).  Every 5th chain stops its VM
    after spawning, every 10th destroys it after stopping. *)
 
-type op_kind = Spawn | Stop | Destroy
+type op_kind = Spawn | Stop | Destroy | Migrated  (** op_host = destination *)
 
 type op = { kind : op_kind; op_vm : string; op_host : int }
 
@@ -221,6 +230,13 @@ let run_one ?(trace = false) config ~schedule ~seed =
       storage_capacity_mb = 5_000_000;
     }
   in
+  (* The migrate workload shuttles VMs between adjacent hosts; a uniform
+     hypervisor keeps every pair legal under the §6.2 VM-type rule. *)
+  let size =
+    match schedule.Schedule.workload with
+    | Schedule.Migrate -> { size with Tcloud.Setup.hypervisors = [ "xen" ] }
+    | Schedule.Chains | Schedule.Converge -> size
+  in
   (* Process timing: device actions take simulated seconds, so chains
      overlap and conflicting transactions really park in the blocked
      table (the window the blocked-crash schedule aims its crashes at).
@@ -237,7 +253,8 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Actions.register_all env;
       Tcloud.Procs.register_all env;
       env
-    | Stock | No_guard_locks | No_watchdog | No_breaker | No_plan_deps ->
+    | Stock | No_guard_locks | No_watchdog | No_breaker | No_plan_deps
+    | No_2pc ->
       inventory.Tcloud.Setup.env
   in
   (* No_watchdog strips the whole robustness layer — watchdog AND the
@@ -259,6 +276,11 @@ let run_one ?(trace = false) config ~schedule ~seed =
       health = (if breaker then health_config else Tropic.Health.disabled);
       admission =
         (if breaker then admission_watermarks else Tropic.Health.no_admission);
+      (* No_2pc skips the durable cross-shard decision record: a crashed
+         coordinator presumes abort on transactions whose commit already
+         reached the other shard — the ablation the shard-crash schedule
+         must convict. *)
+      twopc_decision_record = config.build <> No_2pc;
     }
   in
   let platform =
@@ -267,6 +289,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
         Tropic.Platform.default_spec with
         Tropic.Platform.controllers = 3;
         workers = 4;
+        shards = schedule.Schedule.shards;
         mode = Tropic.Platform.Full;
         coord_replicas = 3;
         controller_config;
@@ -309,7 +332,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
   let workload = schedule.Schedule.workload in
   let workload_target =
     match workload with
-    | Schedule.Chains -> config.txns
+    | Schedule.Chains | Schedule.Migrate -> config.txns
     | Schedule.Converge -> 1
   in
   let plan_reports = ref [] in
@@ -319,8 +342,9 @@ let run_one ?(trace = false) config ~schedule ~seed =
      such as an orphaned cloned image).  Returns how many were
      reloaded.  Must run inside a simulation process. *)
   let reload_unrepairable () =
-    let leader = Tropic.Platform.await_leader_controller platform in
-    let tree = Tropic.Controller.tree leader in
+    (* Judge each device against its owning shard's leader view (grafted
+       into one platform-wide tree); blocks until every shard leads. *)
+    let tree = Tropic.Platform.composite_tree platform in
     let reloaded = ref 0 in
     List.iter
       (fun device ->
@@ -400,6 +424,66 @@ let run_one ?(trace = false) config ~schedule ~seed =
                 "swap", converge_swap_goal;
               ];
             incr completed))
+   | Schedule.Migrate ->
+     (* Per-VM migration chains on a sharded platform: spawn on host [k
+        mod hosts] (single-shard), migrate to the adjacent host and back.
+        Device roots are assigned round-robin from the sorted root list,
+        so adjacent compute hosts land on different shards and every
+        migration commits through cross-shard 2PC. *)
+     for k = 0 to config.txns - 1 do
+       let src = k mod config.hosts in
+       let dst = (src + 1) mod config.hosts in
+       let vm = Printf.sprintf "m%03d" k in
+       let stop = k mod 3 = 2 in
+       ignore
+         (Des.Proc.spawn ~name:(Printf.sprintf "migrate-%d" k) sim (fun () ->
+              Des.Proc.sleep (5.0 +. (0.9 *. float_of_int k));
+              let path h =
+                Data.Path.to_string (Tcloud.Setup.compute_path h)
+              in
+              let storage_path =
+                Data.Path.to_string
+                  (Tcloud.Setup.storage_path (src mod storage_hosts))
+              in
+              let spawned =
+                submit_op { kind = Spawn; op_vm = vm; op_host = src }
+                  ~proc:"spawnVM"
+                  ~args:
+                    (Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img"
+                       ~mem_mb:512 ~storage:storage_path ~host:(path src))
+              in
+              if spawned = Tropic.Txn.Committed then begin
+                let out =
+                  submit_op { kind = Migrated; op_vm = vm; op_host = dst }
+                    ~proc:"migrateVM"
+                    ~args:
+                      (Tcloud.Procs.migrate_vm_args ~src:(path src)
+                         ~dst:(path dst) ~vm)
+                in
+                let back =
+                  if out = Tropic.Txn.Committed then
+                    submit_op { kind = Migrated; op_vm = vm; op_host = src }
+                      ~proc:"migrateVM"
+                      ~args:
+                        (Tcloud.Procs.migrate_vm_args ~src:(path dst)
+                           ~dst:(path src) ~vm)
+                  else out
+                in
+                (* Where the committed hops left the VM. *)
+                let here =
+                  match out, back with
+                  | Tropic.Txn.Committed, Tropic.Txn.Committed -> src
+                  | Tropic.Txn.Committed, _ -> dst
+                  | _ -> src
+                in
+                if stop then
+                  ignore
+                    (submit_op { kind = Stop; op_vm = vm; op_host = here }
+                       ~proc:"stopVM"
+                       ~args:(Tcloud.Procs.stop_vm_args ~host:(path here) ~vm))
+              end;
+              incr completed))
+     done
    | Schedule.Chains ->
   for k = 0 to config.txns - 1 do
     let vm, host, mem, stop, destroy = chain_plan config k in
@@ -500,26 +584,59 @@ let run_one ?(trace = false) config ~schedule ~seed =
     ()
   done;
   Invariant.stop tracker;
-  (* Scheduler counters of whoever leads at quiescence (controller
-     crash/fail-over resets them with the controller instance). *)
-  let ( deferrals, wakeups, spurious_wakeups, retries, transient_failures,
-        timeouts, auto_terms, auto_kills, sheds, breaker_trips, breaker_probes,
-        breaker_closes ) =
-    match Tropic.Platform.leader_controller platform with
-    | Some leader ->
-      let s = Tropic.Controller.stats leader in
-      Tropic.Controller.
-        ( s.deferrals, s.wakeups, s.spurious_wakeups, s.exec_retries,
-          s.transient_failures, s.timeouts, s.auto_terms, s.auto_kills,
-          s.sheds, s.breaker_trips, s.breaker_probes, s.breaker_closes )
-    | None -> (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+  (* Scheduler counters of whoever leads each shard at quiescence
+     (controller crash/fail-over resets them with the controller
+     instance), summed into platform totals; [per_shard] keeps the
+     breakdown for the run line on multi-shard platforms. *)
+  let shard_stats =
+    List.filter_map
+      (fun sid ->
+        match Tropic.Platform.shard_leader platform sid with
+        | None -> None
+        | Some leader -> Some (sid, Tropic.Controller.stats leader))
+      (List.init (Tropic.Platform.shard_count platform) Fun.id)
   in
+  let sum f = List.fold_left (fun acc (_, s) -> acc + f s) 0 shard_stats in
+  let deferrals = sum (fun s -> s.Tropic.Controller.deferrals)
+  and wakeups = sum (fun s -> s.Tropic.Controller.wakeups)
+  and spurious_wakeups = sum (fun s -> s.Tropic.Controller.spurious_wakeups)
+  and retries = sum (fun s -> s.Tropic.Controller.exec_retries)
+  and transient_failures = sum (fun s -> s.Tropic.Controller.transient_failures)
+  and timeouts = sum (fun s -> s.Tropic.Controller.timeouts)
+  and auto_terms = sum (fun s -> s.Tropic.Controller.auto_terms)
+  and auto_kills = sum (fun s -> s.Tropic.Controller.auto_kills)
+  and sheds = sum (fun s -> s.Tropic.Controller.sheds)
+  and breaker_trips = sum (fun s -> s.Tropic.Controller.breaker_trips)
+  and breaker_probes = sum (fun s -> s.Tropic.Controller.breaker_probes)
+  and breaker_closes = sum (fun s -> s.Tropic.Controller.breaker_closes)
+  and twopc_started = sum (fun s -> s.Tropic.Controller.twopc_started)
+  and twopc_committed = sum (fun s -> s.Tropic.Controller.twopc_committed)
+  and twopc_aborted = sum (fun s -> s.Tropic.Controller.twopc_aborted)
+  and twopc_prepares = sum (fun s -> s.Tropic.Controller.twopc_prepares) in
   let phases =
-    match Tropic.Platform.leader_controller platform with
-    | Some leader ->
-      Tropic.Controller.phase_summary (Tropic.Controller.stats leader)
-    | None ->
+    match shard_stats with
+    | (_, s) :: _ -> Tropic.Controller.phase_summary s
+    | [] ->
       "phases[p50/p99 s]: simulate n/a, lock-wait n/a, replay n/a, undo n/a"
+  in
+  let per_shard =
+    if Tropic.Platform.shard_count platform = 1 then []
+    else
+      List.map
+        (fun (sid, s) ->
+          Printf.sprintf
+            "shard %d: %d committed / %d aborted / %d failed, shed %d, %d \
+             wakeups, watchdog %d TERM / %d KILL, 2pc %d started / %d \
+             committed / %d aborted / %d prepares, %s"
+            sid s.Tropic.Controller.committed s.Tropic.Controller.aborted
+            s.Tropic.Controller.failed s.Tropic.Controller.sheds
+            s.Tropic.Controller.wakeups s.Tropic.Controller.auto_terms
+            s.Tropic.Controller.auto_kills s.Tropic.Controller.twopc_started
+            s.Tropic.Controller.twopc_committed
+            s.Tropic.Controller.twopc_aborted
+            s.Tropic.Controller.twopc_prepares
+            (Tropic.Controller.phase_summary s))
+        shard_stats
   in
   (* Lifecycle invariants over the recorded span tree — only meaningful
      once quiesced: live transactions legitimately hold open spans, and a
@@ -532,7 +649,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
     match workload with
-    | Schedule.Chains ->
+    | Schedule.Chains | Schedule.Migrate ->
       List.map
         (fun (id, _) -> (id, Hashtbl.find_opt final_states id))
         ordered_ops
@@ -570,6 +687,10 @@ let run_one ?(trace = false) config ~schedule ~seed =
           (match Hashtbl.find_opt fates op.op_vm with
            | Some fate -> Hashtbl.replace fates op.op_vm { fate with running = false }
            | None -> ())
+        | Migrated ->
+          (match Hashtbl.find_opt fates op.op_vm with
+           | Some fate -> Hashtbl.replace fates op.op_vm { fate with host = op.op_host }
+           | None -> ())
         | Destroy ->
           (match Hashtbl.find_opt fates op.op_vm with
            | Some fate -> Hashtbl.replace fates op.op_vm { fate with present = false }
@@ -577,7 +698,8 @@ let run_one ?(trace = false) config ~schedule ~seed =
     ordered_ops;
   let expected =
     match workload with
-    | Schedule.Chains -> Hashtbl.fold (fun _ fate acc -> fate :: acc) fates []
+    | Schedule.Chains | Schedule.Migrate ->
+      Hashtbl.fold (fun _ fate acc -> fate :: acc) fates []
     | Schedule.Converge ->
       (* The final goal is the authoritative placement — exactly the
          "no duplicate side-effects across crashes" check. *)
@@ -683,6 +805,12 @@ let run_one ?(trace = false) config ~schedule ~seed =
     breaker_trips;
     breaker_probes;
     breaker_closes;
+    twopc_started;
+    twopc_committed;
+    twopc_aborted;
+    twopc_prepares;
+    shards = Tropic.Platform.shard_count platform;
+    per_shard;
     violations =
       Invariant.tracker_violations tracker
       @ quiescence_violations @ crash_violations @ plan_violations

@@ -24,7 +24,11 @@
     [bounded-queue] invariant; [No_plan_deps] compiles goal-state plans
     with every dependency edge dropped ({!Plan.Planner.compile}
     [~ordered:false]), so the plan-crash schedule's capacity swap
-    livelocks and trips the [plan-converged] invariant. *)
+    livelocks and trips the [plan-converged] invariant; [No_2pc] skips
+    the durable cross-shard commit decision record, so a coordinator
+    crash between prepare and decision presumes abort on transactions
+    whose commit already took effect elsewhere — the shard-crash
+    schedule's [exactly-once]/[convergence] invariants convict it. *)
 type build =
   | Stock
   | No_constraints
@@ -32,6 +36,7 @@ type build =
   | No_watchdog
   | No_breaker
   | No_plan_deps
+  | No_2pc
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result
@@ -69,6 +74,14 @@ type result = {
   breaker_trips : int;  (** breaker [Closed]/[Half_open] -> [Tripped] *)
   breaker_probes : int;  (** canary transactions admitted half-open *)
   breaker_closes : int;  (** probe successes that re-closed a breaker *)
+  twopc_started : int;  (** cross-shard transactions reaching prepare *)
+  twopc_committed : int;  (** cross-shard commits (decision durable) *)
+  twopc_aborted : int;  (** cross-shard aborts, incl. presumed aborts *)
+  twopc_prepares : int;  (** participant prepare votes cast *)
+  shards : int;  (** resource-tree shards the platform ran with *)
+  per_shard : string list;
+      (** one per-shard counter line per shard leader (sheds, wakeups,
+          watchdog, 2PC, phase p50/p99); empty on single-shard runs *)
   violations : Invariant.violation list;
       (** includes [trace-*] lifecycle violations from
           {!Invariant.check_trace} when the run quiesced *)

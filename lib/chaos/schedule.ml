@@ -14,6 +14,7 @@ type action =
   | Signal_txn of { signal : [ `Term | `Kill ]; stall : float }
   | Flap_device of { host : int; up_for : float; down_for : float; cycles : int }
   | Request_storm of { count : int; gap : float }
+  | Crash_shard_leader of { shard : int; down_for : float }
 
 type trigger =
   | At of float
@@ -22,9 +23,14 @@ type trigger =
 
 type step = { trigger : trigger; action : action }
 
-type workload = Chains | Converge
+type workload = Chains | Converge | Migrate
 
-type t = { name : string; workload : workload; steps : step list }
+type t = {
+  name : string;
+  workload : workload;
+  shards : int;
+  steps : step list;
+}
 
 let at time action = { trigger = At time; action }
 
@@ -63,6 +69,8 @@ let action_to_string = function
       host cycles up_for down_for
   | Request_storm { count; gap } ->
     Printf.sprintf "request-storm(%d spawns, %.2fs gap)" count gap
+  | Crash_shard_leader { shard; down_for } ->
+    Printf.sprintf "crash-shard-leader(shard %d, down %.0fs)" shard down_for
 
 let step_end { trigger; action } =
   let trigger_end =
@@ -73,7 +81,9 @@ let step_end { trigger; action } =
   in
   let action_tail =
     match action with
-    | Crash_controller { down_for; _ } | Crash_coord_replica { down_for; _ } ->
+    | Crash_controller { down_for; _ }
+    | Crash_coord_replica { down_for; _ }
+    | Crash_shard_leader { down_for; _ } ->
       down_for
     | Partition_coord_leader { heal_after } -> heal_after
     | Fault_burst { lasting; _ } -> lasting
@@ -114,6 +124,7 @@ let controller_crashes =
   {
     name = "controller-crashes";
     workload = Chains;
+    shards = 1;
     steps =
       [
         every ~start:15. ~period:35. ~until:120.
@@ -127,6 +138,7 @@ let coord_faults =
   {
     name = "coord-faults";
     workload = Chains;
+    shards = 1;
     steps =
       [
         every ~start:12. ~period:40. ~until:110.
@@ -140,6 +152,7 @@ let device_storm =
   {
     name = "device-storm";
     workload = Chains;
+    shards = 1;
     steps =
       [
         at 10. (Fault_burst { probability = 0.05; lasting = 25. });
@@ -155,6 +168,7 @@ let signal_storm =
   {
     name = "signal-storm";
     workload = Chains;
+    shards = 1;
     steps =
       [
         random_window ~start:8. ~until:100. ~count:4
@@ -172,6 +186,7 @@ let blocked_crash =
   {
     name = "blocked-crash";
     workload = Chains;
+    shards = 1;
     steps =
       [
         at 16. (Crash_controller { target = Leader; down_for = 8. });
@@ -185,6 +200,7 @@ let mixed =
   {
     name = "mixed";
     workload = Chains;
+    shards = 1;
     steps =
       [
         at 18. (Crash_controller { target = Leader; down_for = 10. });
@@ -206,6 +222,7 @@ let hang_storm =
   {
     name = "hang-storm";
     workload = Chains;
+    shards = 1;
     steps =
       [
         random_window ~start:10. ~until:90. ~count:3
@@ -230,6 +247,7 @@ let flap_storm =
   {
     name = "flap-storm";
     workload = Chains;
+    shards = 1;
     steps =
       [
         at 10.
@@ -251,12 +269,43 @@ let plan_crash =
   {
     name = "plan-crash";
     workload = Converge;
+    shards = 1;
     steps =
       [
         at 12. (Crash_controller { target = Leader; down_for = 8. });
         at 24. (Crash_worker { down_for = 10. });
         random_window ~start:35. ~until:70. ~count:1
           (Crash_controller { target = Leader; down_for = 6. });
+      ];
+  }
+
+(* The sharding gauntlet: a two-shard platform under the migrate workload
+   (every chain's migrations are cross-shard, so 2PC runs continuously)
+   while shard leaders crash mid-wave.  Shard 0 coordinates every
+   cross-shard transaction here (the coordinator is the lowest touched
+   shard), so its crashes land between prepare and decision and recovery
+   must resume each in-doubt transaction to the durably decided outcome;
+   shard 1's crash exercises the participant side (vote lost, re-prepare,
+   presumed abort).  The no-2pc build skips the decision record, so a
+   crashed coordinator presumes abort on transactions whose commit
+   already reached the other shard — the exactly-once and convergence
+   invariants convict it.  Appended last so preset indices stay stable. *)
+let shard_crash =
+  {
+    name = "shard-crash";
+    workload = Migrate;
+    shards = 2;
+    steps =
+      [
+        at 14. (Crash_shard_leader { shard = 0; down_for = 8. });
+        at 32. (Crash_shard_leader { shard = 1; down_for = 8. });
+        (* Lock serialization pushes the bulk of the cross-shard traffic
+           into the 50–170 s range, so the coordinator crashes spread over
+           that window to land inside prepare→finish gaps. *)
+        random_window ~start:50. ~until:160. ~count:3
+          (Crash_shard_leader { shard = 0; down_for = 6. });
+        random_window ~start:90. ~until:150. ~count:1
+          (Crash_shard_leader { shard = 1; down_for = 6. });
       ];
   }
 
@@ -271,6 +320,7 @@ let presets =
     hang_storm;
     flap_storm;
     plan_crash;
+    shard_crash;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

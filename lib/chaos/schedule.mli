@@ -41,6 +41,10 @@ type action =
   | Request_storm of { count : int; gap : float }
       (** fire-and-forget burst of [count] small spawnVM requests against
           the flappable hot host, one every [gap] seconds *)
+  | Crash_shard_leader of { shard : int; down_for : float }
+      (** kill the named shard's current leader controller; restart it
+          [down_for] seconds later.  Skipped if the shard has no leader
+          or only one controller still standing. *)
 
 type trigger =
   | At of float
@@ -52,12 +56,19 @@ type trigger =
 type step = { trigger : trigger; action : action }
 
 (** Which workload the runner drives while the schedule injects faults:
-    the imperative spawn/stop/destroy chains, or the goal-state
-    convergence workload (two {!Plan} goals, the second a capacity swap
-    that needs dependency ordering and a staging hop). *)
-type workload = Chains | Converge
+    the imperative spawn/stop/destroy chains, the goal-state convergence
+    workload (two {!Plan} goals, the second a capacity swap that needs
+    dependency ordering and a staging hop), or the cross-shard migration
+    waves (spawn on one shard's host, migrate to the other shard's and
+    back — every migration a 2PC transaction). *)
+type workload = Chains | Converge | Migrate
 
-type t = { name : string; workload : workload; steps : step list }
+type t = {
+  name : string;
+  workload : workload;
+  shards : int;  (** resource-tree shards the platform is built with *)
+  steps : step list;
+}
 
 (** {1 Step builders} *)
 
@@ -104,6 +115,13 @@ val flap_storm : t
     fail-over and converge exactly; the no-plan-deps build livelocks on
     the workload's capacity swap and is convicted. *)
 val plan_crash : t
+
+(** The sharding gauntlet: shard-leader crashes landing between 2PC
+    prepare and decision while the two-shard migrate workload runs.
+    Recovery must resume every in-doubt transaction to its durably
+    decided outcome; the no-2pc build (decision record skipped) is
+    convicted by the exactly-once and convergence invariants. *)
+val shard_crash : t
 
 (** All of the above, in sweep order. *)
 val presets : t list

@@ -13,6 +13,8 @@ type config = {
   watchdog : Watchdog.config;
   health : Health.config;
   admission : Health.admission;
+  twopc_prepare_timeout : float;
+  twopc_decision_record : bool;
 }
 
 let default_config =
@@ -27,7 +29,16 @@ let default_config =
     watchdog = Watchdog.disabled;
     health = Health.disabled;
     admission = Health.no_admission;
+    twopc_prepare_timeout = 60.0;
+    twopc_decision_record = true;
   }
+
+(* Stored-procedure name of the shadow transaction a participant shard
+   runs for a cross-shard 2PC: it holds the write locks and carries the
+   decided log slice, but is never offered to the physical layer (the
+   coordinator's worker replays the full log). *)
+let participant_proc = "__2pc_participant"
+let is_participant (txn : Txn.t) = String.equal txn.Txn.proc participant_proc
 
 type stats = {
   mutable accepted : int;
@@ -53,6 +64,10 @@ type stats = {
   mutable breaker_trips : int;
   mutable breaker_probes : int;
   mutable breaker_closes : int;
+  mutable twopc_started : int;
+  mutable twopc_committed : int;
+  mutable twopc_aborted : int;
+  mutable twopc_prepares : int;
   (* Per-phase latency recorders (sim seconds).  Fed from direct
      measurements — simulate and lock-wait controller-side, replay and
      undo from the worker's exec stats — so they work with no trace
@@ -71,9 +86,28 @@ let phase_summary st =
     (pair st.simulate_lat) (pair st.lock_wait_lat) (pair st.replay_lat)
     (pair st.undo_lat)
 
+(* Coordinator-side state of one in-flight cross-shard transaction. *)
+type pending_2pc = {
+  participants : int list;
+  mutable votes : (int * (Data.Path.t * Data.Sexp.t) list) list;
+      (* shard -> locked-subtree snapshots, one entry per Prepared vote *)
+  mutable decided : bool;
+  mutable p2_deadline : float;
+}
+
+(* Participant-side state of one prepared cross-shard transaction. *)
+type part_2pc = {
+  coord : int;
+  mutable applied : bool;  (* commit slice applied, awaiting Finish *)
+  mutable pt_deadline : float;
+}
+
 type t = {
   cname : string;
   client : Coord.Client.t;
+  gclient : Coord.Client.t;  (* global (shard 0) ensemble: 2PC state *)
+  shard : Shard.t;
+  ns : string;
   env : Dsl.env;
   cfg : config;
   devices : Physical.device_lookup;
@@ -102,14 +136,28 @@ type t = {
   trace : Trace.t option;
   mutable shedding : bool; (* admission watermark hysteresis *)
   mutable wake_pending : bool; (* health monitor woke parked txns *)
+  pending : (int, pending_2pc) Hashtbl.t; (* coordinator-side, by gid *)
+  parts : (int, part_2pc) Hashtbl.t; (* participant-side, by gid *)
+  mutable recovered_cross : (Txn.t * bool) list;
+      (* Started cross-coordinator records found by recovery (flag: needs
+         a phyQ re-offer), resolved against the decision record on the
+         first 2PC drain *)
+  mutable recovered_cross_terminal : Txn.t list;
+      (* terminal cross-coordinator records: re-send Finish *)
   mutable leading : bool;
   mutable stopped : bool;
   mutable procs : Des.Proc.t list;
   st : stats;
 }
 
-let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
-    ~sim () =
+let create ?trace ?shard ?gclient ~name ~client ~env ~(config : config)
+    ~devices ~device_roots ~sim () =
+  let shard =
+    match shard with
+    | Some s -> s
+    | None -> Shard.singleton ~roots:device_roots
+  in
+  let gclient = Option.value gclient ~default:client in
   let health = Health.create config.health in
   (* Surface breaker transitions as trace instants (system lane when no
      canary transaction is involved). *)
@@ -125,6 +173,9 @@ let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
   {
     cname = name;
     client;
+    gclient;
+    shard;
+    ns = Proto.ns_of_shard shard.Shard.sid;
     env;
     cfg = config;
     devices;
@@ -151,6 +202,10 @@ let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
     trace;
     shedding = false;
     wake_pending = false;
+    pending = Hashtbl.create 8;
+    parts = Hashtbl.create 8;
+    recovered_cross = [];
+    recovered_cross_terminal = [];
     leading = false;
     stopped = false;
     procs = [];
@@ -179,6 +234,10 @@ let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
         breaker_trips = 0;
         breaker_probes = 0;
         breaker_closes = 0;
+        twopc_started = 0;
+        twopc_committed = 0;
+        twopc_aborted = 0;
+        twopc_prepares = 0;
         simulate_lat = Metrics.Cdf.create ();
         lock_wait_lat = Metrics.Cdf.create ();
         replay_lat = Metrics.Cdf.create ();
@@ -189,6 +248,8 @@ let create ?trace ~name ~client ~env ~(config : config) ~devices ~device_roots
 let name t = t.cname
 let is_leader t = t.leading
 let tree t = t.tree
+let shard t = t.shard
+let shard_id t = t.shard.Shard.sid
 
 (* The breaker counters live in Health; mirror them into the stats record
    so one struct carries everything into experiment summaries. *)
@@ -230,7 +291,7 @@ let quarantined t =
 
 let persist t (txn : Txn.t) =
   match
-    Coord.Client.write t.client ~key:(Txn.record_key txn.Txn.id)
+    Coord.Client.write t.client ~key:(Txn.record_key_ns t.ns txn.Txn.id)
       ~value:(Txn.to_string txn) ()
   with
   | Ok _ -> ()
@@ -262,13 +323,18 @@ let finish t (txn : Txn.t) state =
       Trace.close_all tr ~txn:txn.Txn.id ~attrs ())
     t.trace;
   persist t txn;
-  t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+  t.prune_candidates <- Txn.record_key_ns t.ns txn.Txn.id :: t.prune_candidates
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine *)
 
+(* Reconciliation is the owner's job: a coordinator never quarantines a
+   foreign shard's subtree — its copy of foreign state is stale by design,
+   and the owning shard (which saw the same failure as a participant)
+   quarantines and heals its own slice. *)
 let quarantine_path t path =
-  Hashtbl.replace t.quarantine (Data.Path.to_string path) ()
+  if Shard.owns t.shard path then
+    Hashtbl.replace t.quarantine (Data.Path.to_string path) ()
 
 let unquarantine_subtree t path =
   let doomed =
@@ -333,7 +399,7 @@ let maybe_checkpoint t =
           [ Data.Sexp.of_int seq; Data.Tree.to_sexp t.tree ]
       in
       (match
-         Coord.Client.write t.client ~key:Proto.checkpoint_key
+         Coord.Client.write t.client ~key:(Proto.checkpoint_key_ns t.ns)
            ~value:(Data.Sexp.to_string snapshot) ()
        with
        | Ok _ ->
@@ -390,21 +456,262 @@ let fail_txn t (txn : Txn.t) reason =
   t.st.failed <- t.st.failed + 1
 
 (* ------------------------------------------------------------------ *)
+(* Cross-shard two-phase commit (presumed abort).
+
+   The coordinator is the lowest-numbered shard touched by the request.
+   It W-locks its own roots, then asks every other touched shard to
+   prepare: the participant runs a shadow transaction that W-locks its
+   roots, persists the vote, and replies with snapshots of the locked
+   subtrees.  The coordinator grafts the snapshots into its logical tree,
+   simulates the full procedure, persists Started, atomically creates the
+   decision record (the commit point), applies the tree, offers the full
+   log to its own physical layer, and sends each participant its log
+   slice.  The physical outcome is propagated with Finish — a rollback
+   undoes each shard's slice via the ordinary undo machinery.
+
+   Aborts need no durable record before the commit point: a missing
+   decision record means abort, and a timed-out party can close the race
+   by creating the record as Abort — the atomic first-writer-wins create
+   arbitrates every interleaving. *)
+
+let twopc_instant t ~txn name =
+  Option.iter
+    (fun tr -> Trace.instant tr ~txn ~cat:"2pc" ~name ())
+    t.trace
+
+let send_twopc t ~shard msg =
+  ignore
+    (Coord.Recipes.enqueue t.gclient ~queue:(Proto.twopc_queue shard)
+       (Proto.twopc_to_string msg))
+
+let read_decision t gid =
+  if not t.cfg.twopc_decision_record then None
+  else
+    match Coord.Client.get t.gclient (Proto.twopc_decision_key gid) with
+    | None -> None
+    | Some (value, _) ->
+      (match Proto.decision_of_string value with
+       | Ok d -> Some d
+       | Error reason ->
+         Log.err (fun m ->
+             m "%s: corrupt 2pc decision for %d: %s" t.cname gid reason);
+         None)
+
+(* Returns the decision in force: ours if the create won, the existing
+   record's otherwise.  With the decision record ablated away, every
+   proposal "wins" — and is forgotten at the next crash. *)
+let propose_decision t gid proposal =
+  if not t.cfg.twopc_decision_record then proposal
+  else
+    match
+      Coord.Client.create t.gclient ~key:(Proto.twopc_decision_key gid)
+        ~value:(Proto.decision_to_string proposal) ()
+    with
+    | Ok _ -> proposal
+    | Error _ -> Option.value (read_decision t gid) ~default:proposal
+
+let write_finish t gid ~ok =
+  if t.cfg.twopc_decision_record then
+    ignore
+      (Coord.Client.create t.gclient ~key:(Proto.twopc_finish_key gid)
+         ~value:(if ok then "ok" else "rollback") ())
+
+let read_finish t gid =
+  match Coord.Client.get t.gclient (Proto.twopc_finish_key gid) with
+  | Some ("ok", _) -> Some true
+  | Some (_, _) -> Some false
+  | None -> None
+
+(* Coordinator-side abort before the commit point: nothing was applied to
+   any tree, so only locks and the pending entry need tearing down. *)
+let abort_cross t (txn : Txn.t) reason =
+  let gid = txn.Txn.id in
+  (match Hashtbl.find_opt t.pending gid with
+   | Some p ->
+     Hashtbl.remove t.pending gid;
+     ignore (propose_decision t gid Proto.Abort);
+     List.iter
+       (fun shard ->
+         send_twopc t ~shard (Proto.Decide { gid; commit = false; log = [] }))
+       p.participants
+   | None -> ());
+  (match Sched.remove t.sched gid with
+   | `Blocked -> Mglock.cancel_wait t.locks ~txn:gid
+   | `Ready | `Absent -> ());
+  twopc_instant t ~txn:gid "2pc-abort";
+  finish t txn (Txn.Aborted reason);
+  release_locks t txn;
+  t.st.aborted <- t.st.aborted + 1;
+  t.st.twopc_aborted <- t.st.twopc_aborted + 1
+
+(* Participant-side terminal transitions.  These do not bump the
+   client-visible committed/aborted counters: the coordinator shard
+   already accounts for the transaction once. *)
+let finish_participant t (txn : Txn.t) state =
+  (match Sched.remove t.sched txn.Txn.id with
+   | `Blocked -> Mglock.cancel_wait t.locks ~txn:txn.Txn.id
+   | `Ready | `Absent -> ());
+  Hashtbl.remove t.parts txn.Txn.id;
+  finish t txn state;
+  release_locks t txn
+
+(* Roll a decided-and-applied participant slice back (physical replay
+   failed after the commit point, or the decision turned out to be abort
+   on a redelivery race). *)
+let rollback_participant t (txn : Txn.t) reason =
+  match rollback_logical t txn with
+  | Ok () -> finish_participant t txn (Txn.Aborted reason)
+  | Error undo_reason ->
+    finish_participant t txn (Txn.Failed (reason ^ "; " ^ undo_reason))
+
+(* ------------------------------------------------------------------ *)
 (* Scheduling (paper §3.1.1) *)
 
-let try_start t (txn : Txn.t) : Sched.attempt =
-  (* A re-attempt closes the park span left open when the txn last
-     blocked, and credits the wait to the lock-wait phase recorder. *)
+(* A re-attempt closes the park span left open when the txn last blocked,
+   and credits the wait to the lock-wait phase recorder. *)
+let note_reattempt t (txn : Txn.t) =
   Option.iter
     (fun tr ->
       ignore (Trace.end_named tr ~txn:txn.Txn.id ~name:"lock-wait" ());
       ignore (Trace.end_named tr ~txn:txn.Txn.id ~name:"breaker-park" ()))
     t.trace;
-  (match Hashtbl.find_opt t.wait_since txn.Txn.id with
-   | Some since ->
-     Hashtbl.remove t.wait_since txn.Txn.id;
-     Metrics.Cdf.add t.st.lock_wait_lat (Des.Sim.now t.sim -. since)
-   | None -> ());
+  match Hashtbl.find_opt t.wait_since txn.Txn.id with
+  | Some since ->
+    Hashtbl.remove t.wait_since txn.Txn.id;
+    Metrics.Cdf.add t.st.lock_wait_lat (Des.Sim.now t.sim -. since)
+  | None -> ()
+
+(* Park a transaction on the lock-table node its acquisition conflicted
+   at; the holder's release is the wake-up call. *)
+let park_on_conflict t (txn : Txn.t) (conflict : Mglock.conflict) =
+  txn.Txn.state <- Txn.Deferred;
+  t.st.deferrals <- t.st.deferrals + 1;
+  Hashtbl.replace t.wait_since txn.Txn.id (Des.Sim.now t.sim);
+  Option.iter
+    (fun tr ->
+      ignore
+        (Trace.begin_span tr ~txn:txn.Txn.id ~cat:"lock" ~name:"lock-wait"
+           ~attrs:
+             [ ("path", Data.Path.to_string conflict.Mglock.path);
+               ("wanted", Mglock.mode_to_string conflict.Mglock.wanted);
+               ("holder", string_of_int conflict.Mglock.holder);
+               ("held", Mglock.mode_to_string conflict.Mglock.held) ]
+           ()))
+    t.trace;
+  Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path
+
+(* Participant shadow transaction: W-lock the requested roots, persist the
+   vote, reply with snapshots of the locked subtrees.  Never offered to
+   the physical layer. *)
+let try_start_participant t (txn : Txn.t) : Sched.attempt =
+  note_reattempt t txn;
+  let gid = txn.Txn.id in
+  match Hashtbl.find_opt t.parts gid with
+  | None ->
+    (* The coordinator gave up on us (Decide abort arrived while queued). *)
+    finish t txn (Txn.Aborted "2pc aborted before prepare");
+    `Finished
+  | Some part ->
+    let roots = Router.arg_paths txn.Txn.args in
+    let vote_no reason =
+      Hashtbl.remove t.parts gid;
+      finish t txn (Txn.Aborted reason);
+      send_twopc t ~shard:part.coord
+        (Proto.Prepared
+           { gid; shard = t.shard.Shard.sid; ok = false; reason; snaps = [] });
+      `Finished
+    in
+    if List.exists (is_quarantined t) roots then
+      vote_no "resource quarantined pending reconciliation"
+    else begin
+      let locks = List.map (fun p -> (p, Mglock.W)) roots in
+      match Mglock.try_acquire t.locks ~txn:gid locks with
+      | Error conflict ->
+        park_on_conflict t txn conflict;
+        `Conflict
+      | Ok () ->
+        let snaps =
+          List.filter_map
+            (fun root ->
+              match Data.Tree.subtree t.tree root with
+              | Ok node -> Some (root, Data.Tree.node_to_sexp node)
+              | Error _ -> None)
+            roots
+        in
+        if List.length snaps <> List.length roots then begin
+          wake_released t (Mglock.release_all t.locks ~txn:gid);
+          vote_no "participant root missing from logical tree"
+        end
+        else begin
+          txn.Txn.state <- Txn.Started;
+          txn.Txn.locks <- locks;
+          txn.Txn.start_seq <- Some t.next_start_seq;
+          t.next_start_seq <- t.next_start_seq + 1;
+          persist t txn;
+          part.pt_deadline <-
+            Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
+          t.st.twopc_prepares <- t.st.twopc_prepares + 1;
+          twopc_instant t ~txn:gid "2pc-prepared";
+          send_twopc t ~shard:part.coord
+            (Proto.Prepared
+               { gid; shard = t.shard.Shard.sid; ok = true; reason = "";
+                 snaps });
+          `Started
+        end
+    end
+
+(* Coordinator admission of a cross-shard transaction: W-lock the locally
+   owned roots, then fan the prepare out and park until the votes are in
+   (the 2PC drain, not a lock release, finishes this transaction). *)
+let try_start_cross t (txn : Txn.t) ~participants : Sched.attempt =
+  note_reattempt t txn;
+  let gid = txn.Txn.id in
+  let own_roots =
+    Router.arg_paths txn.Txn.args
+    |> List.filter (Shard.owns t.shard)
+    |> List.sort_uniq Data.Path.compare
+  in
+  if List.exists (is_quarantined t) own_roots then begin
+    finish t txn (Txn.Aborted "resource quarantined pending reconciliation");
+    t.st.aborted <- t.st.aborted + 1;
+    t.st.twopc_aborted <- t.st.twopc_aborted + 1;
+    `Finished
+  end
+  else begin
+    let locks = List.map (fun p -> (p, Mglock.W)) own_roots in
+    match Mglock.try_acquire t.locks ~txn:gid locks with
+    | Error conflict ->
+      park_on_conflict t txn conflict;
+      `Conflict
+    | Ok () ->
+      txn.Txn.locks <- locks;
+      let now = Des.Sim.now t.sim in
+      Hashtbl.replace t.pending gid
+        {
+          participants;
+          votes = [];
+          decided = false;
+          p2_deadline = now +. t.cfg.twopc_prepare_timeout;
+        };
+      t.st.twopc_started <- t.st.twopc_started + 1;
+      twopc_instant t ~txn:gid "2pc-prepare";
+      List.iter
+        (fun shard ->
+          let roots =
+            Router.arg_paths txn.Txn.args
+            |> List.filter (fun p -> Shard.owner_of t.shard p = shard)
+            |> List.sort_uniq Data.Path.compare
+          in
+          send_twopc t ~shard
+            (Proto.Prepare { gid; coord = t.shard.Shard.sid; roots }))
+        participants;
+      (* Parked in the scheduler's blocked table with no lock waiter: the
+         incoming votes (or the prepare timeout) resolve it. *)
+      `Conflict
+  end
+
+let try_start_single t (txn : Txn.t) : Sched.attempt =
+  note_reattempt t txn;
   let sim_t0 = Des.Sim.now t.sim in
   let sim_span =
     Option.map
@@ -490,24 +797,7 @@ let try_start t (txn : Txn.t) : Sched.attempt =
       else begin
         match Mglock.try_acquire t.locks ~txn:txn.Txn.id locks with
         | Error conflict ->
-          txn.Txn.state <- Txn.Deferred;
-          t.st.deferrals <- t.st.deferrals + 1;
-          Hashtbl.replace t.wait_since txn.Txn.id now;
-          Option.iter
-            (fun tr ->
-              ignore
-                (Trace.begin_span tr ~txn:txn.Txn.id ~cat:"lock"
-                   ~name:"lock-wait"
-                   ~attrs:
-                     [ ("path", Data.Path.to_string conflict.Mglock.path);
-                       ("wanted", Mglock.mode_to_string conflict.Mglock.wanted);
-                       ("holder", string_of_int conflict.Mglock.holder);
-                       ("held", Mglock.mode_to_string conflict.Mglock.held) ]
-                   ()))
-            t.trace;
-          (* Park on the node the conflict arose at: the holder's release of
-             that node is the wake-up call. *)
-          Mglock.wait t.locks ~txn:txn.Txn.id ~on:conflict.Mglock.path;
+          park_on_conflict t txn conflict;
           `Conflict
         | Ok () ->
           List.iter
@@ -531,11 +821,23 @@ let try_start t (txn : Txn.t) : Sched.attempt =
           persist t txn;
           t.tree <- new_tree;
           ignore
-            (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
+            (Coord.Recipes.enqueue t.client ~queue:(Proto.phy_queue_ns t.ns)
                (string_of_int txn.Txn.id));
           `Started
       end
     end
+
+let try_start t (txn : Txn.t) : Sched.attempt =
+  if is_participant txn then try_start_participant t txn
+  else if t.shard.Shard.count = 1 then try_start_single t txn
+  else
+    match Router.classify t.shard ~args:txn.Txn.args with
+    | Router.Single _ -> try_start_single t txn
+    | Router.Cross { participants; coord } ->
+      let participants =
+        List.filter (fun s -> s <> t.shard.Shard.sid) (coord :: participants)
+      in
+      try_start_cross t txn ~participants
 
 let schedule t =
   t.wake_pending <- false;
@@ -657,10 +959,26 @@ let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
        | Proto.Phy_committed -> commit_txn t txn
        | Proto.Phy_aborted reason -> abort_txn t txn reason
        | Proto.Phy_failed reason -> fail_txn t txn reason);
+      (* Cross-shard coordinator: propagate the physical outcome to the
+         participants (rollback included — their slices undo through the
+         same machinery). *)
+      (match Hashtbl.find_opt t.pending txn_id with
+       | Some p when p.decided ->
+         Hashtbl.remove t.pending txn_id;
+         let ok = txn.Txn.state = Txn.Committed in
+         write_finish t txn_id ~ok;
+         twopc_instant t ~txn:txn_id "2pc-finish";
+         List.iter
+           (fun shard ->
+             send_twopc t ~shard (Proto.Finish { gid = txn_id; ok }))
+           p.participants
+       | Some _ | None -> ());
       (* Clean up the signal marker, if one was ever written. *)
       if Hashtbl.mem t.signaled txn_id then begin
         Hashtbl.remove t.signaled txn_id;
-        ignore (Coord.Client.delete t.client ~key:(Proto.signal_key txn_id) ())
+        ignore
+          (Coord.Client.delete t.client ~key:(Proto.signal_key_ns t.ns txn_id)
+             ())
       end
     end
 
@@ -678,6 +996,12 @@ let handle_signal t ~txn_id signal =
         | Proto.Kill -> t.st.kills <- t.st.kills + 1)
      | Txn.Initialized | Txn.Committed | Txn.Aborted _ | Txn.Failed _ -> ());
     (match txn.Txn.state with
+     | Txn.Accepted | Txn.Deferred when Hashtbl.mem t.pending txn_id ->
+       (* Cross-shard coordinator still gathering votes: a decided abort
+          releases the participants along with the local locks. *)
+       abort_cross t txn
+         (Printf.sprintf "signal %s during prepare"
+            (Proto.signal_to_string signal))
      | Txn.Accepted | Txn.Deferred ->
        (* Not yet started: drop from the scheduler (and the lock manager's
           waiter index, if it was parked), nothing to roll back. *)
@@ -692,7 +1016,7 @@ let handle_signal t ~txn_id signal =
      | Txn.Started ->
        Hashtbl.replace t.signaled txn_id ();
        ignore
-         (Coord.Client.write t.client ~key:(Proto.signal_key txn_id)
+         (Coord.Client.write t.client ~key:(Proto.signal_key_ns t.ns txn_id)
             ~value:(Proto.signal_to_string signal) ());
        (match signal with
         | Proto.Term ->
@@ -758,7 +1082,12 @@ let handle_reload t path =
                 t.st.reloads <- t.st.reloads + 1)))
 
 let handle_repair t path =
-  match t.devices path with
+  if not (Shard.owns t.shard path) then
+    Log.err (fun m ->
+        m "%s: repair of %a refused: foreign shard's subtree" t.cname
+          Data.Path.pp path)
+  else
+    match t.devices path with
   | None -> Log.err (fun m -> m "%s: repair: no device at %a" t.cname Data.Path.pp path)
   | Some device ->
     (match Data.Tree.subtree t.tree path with
@@ -801,7 +1130,7 @@ let handle_repair t path =
 
 let load_checkpoint t =
   let rec wait () =
-    match Coord.Client.get t.client Proto.checkpoint_key with
+    match Coord.Client.get t.client (Proto.checkpoint_key_ns t.ns) with
     | Some (value, _) ->
       (match Data.Sexp.of_string value with
        | Ok (Data.Sexp.List [ seq; tree ]) ->
@@ -821,7 +1150,14 @@ let load_checkpoint t =
 
 let recover t =
   load_checkpoint t;
-  let record_keys = Coord.Client.get_children t.client Proto.txns_prefix in
+  let is_cross (txn : Txn.t) =
+    (not (is_participant txn))
+    && t.shard.Shard.count > 1
+    && Router.is_cross t.shard ~args:txn.Txn.args
+  in
+  let record_keys =
+    Coord.Client.get_children t.client (Proto.txns_prefix_ns t.ns)
+  in
   let records =
     List.filter_map
       (fun key ->
@@ -853,6 +1189,14 @@ let recover t =
   in
   List.iter
     (fun (txn : Txn.t) ->
+      (* A cross-shard coordinator log replays own-slice-only: the foreign
+         records were simulated against participant snapshots that are not
+         part of this shard's checkpoint lineage (the foreign subtrees of
+         the local tree are cosmetic copies). *)
+      let log =
+        if is_cross txn then Xlog.slice txn.Txn.log ~keep:(Shard.owns t.shard)
+        else txn.Txn.log
+      in
       List.iter
         (fun record ->
           match Dsl.apply_record t.env t.tree record with
@@ -861,7 +1205,7 @@ let recover t =
             Log.err (fun m ->
                 m "%s: recovery replay of txn %d failed: %s" t.cname
                   txn.Txn.id reason))
-        txn.Txn.log)
+        log)
     replayable;
   (* Rebuild scheduler and lock state; figure out which Started txns still
      need to be (re)offered to the physical layer. *)
@@ -871,7 +1215,7 @@ let recover t =
         match Coord.Client.get t.client key with
         | Some (value, _) -> int_of_string_opt value
         | None -> None)
-      (Coord.Client.get_children t.client Proto.phy_queue)
+      (Coord.Client.get_children t.client (Proto.phy_queue_ns t.ns))
   in
   let result_ids =
     List.filter_map
@@ -882,7 +1226,7 @@ let recover t =
            | Ok (Proto.Result { txn_id; _ }) -> Some txn_id
            | Ok (Proto.Request _ | Proto.Control _) | Error _ -> None)
         | None -> None)
-      (Coord.Client.get_children t.client Proto.input_queue)
+      (Coord.Client.get_children t.client (Proto.input_queue_ns t.ns))
   in
   let max_seq = ref t.checkpoint_seq in
   List.iter
@@ -894,8 +1238,18 @@ let recover t =
       | Txn.Accepted | Txn.Deferred ->
         (* Re-derive the blocked set rather than persist it: the txn goes
            back to the ready queue and the first post-recovery drain either
-           starts it or re-parks it on its (rebuilt) conflict. *)
+           starts it or re-parks it on its (rebuilt) conflict.  (A queued
+           cross-shard coordinator simply re-runs its prepare round — the
+           decision record arbitrates against any earlier attempt.) *)
         Hashtbl.replace t.txns txn.Txn.id txn;
+        if is_participant txn then
+          Hashtbl.replace t.parts txn.Txn.id
+            {
+              coord = txn.Txn.id mod t.shard.Shard.count;
+              applied = false;
+              pt_deadline =
+                Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
+            };
         ignore (Sched.submit t.sched txn)
       | Txn.Started ->
         Hashtbl.replace t.txns txn.Txn.id txn;
@@ -907,15 +1261,31 @@ let recover t =
                  txn.Txn.id Mglock.pp_conflict conflict));
         let executing =
           Option.is_some
-            (Coord.Client.get t.client (Proto.executing_key txn.Txn.id))
+            (Coord.Client.get t.client (Proto.executing_key_ns t.ns txn.Txn.id))
         in
-        if
+        let needs_phy =
           (not executing)
           && (not (List.mem txn.Txn.id phy_ids))
           && not (List.mem txn.Txn.id result_ids)
-        then
+        in
+        if is_participant txn then
+          (* A prepared shadow transaction: never physical; rebuild the
+             side state with an already-expired deadline, so the first
+             drain consults the decision record. *)
+          Hashtbl.replace t.parts txn.Txn.id
+            {
+              coord = txn.Txn.id mod t.shard.Shard.count;
+              applied = txn.Txn.log <> [];
+              pt_deadline = Des.Sim.now t.sim;
+            }
+        else if is_cross txn then
+          (* Coordinator of an in-flight cross-shard transaction: the
+             decision record (or its absence — presumed abort) resolves it
+             on the first 2PC drain. *)
+          t.recovered_cross <- (txn, needs_phy) :: t.recovered_cross
+        else if needs_phy then
           ignore
-            (Coord.Recipes.enqueue t.client ~queue:Proto.phy_queue
+            (Coord.Recipes.enqueue t.client ~queue:(Proto.phy_queue_ns t.ns)
                (string_of_int txn.Txn.id))
       | Txn.Failed _ ->
         (* A failed transaction left the layers inconsistent under its
@@ -924,26 +1294,470 @@ let recover t =
            reconciled but had not yet checkpointed the record away, the
            subtree needs another reload. *)
         List.iter (quarantine_path t) (write_paths txn);
-        t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+        if is_cross txn then
+          t.recovered_cross_terminal <- txn :: t.recovered_cross_terminal;
+        t.prune_candidates <-
+          Txn.record_key_ns t.ns txn.Txn.id :: t.prune_candidates
       | Txn.Committed | Txn.Aborted _ ->
-        t.prune_candidates <- Txn.record_key txn.Txn.id :: t.prune_candidates
+        if is_cross txn then
+          t.recovered_cross_terminal <- txn :: t.recovered_cross_terminal;
+        t.prune_candidates <-
+          Txn.record_key_ns t.ns txn.Txn.id :: t.prune_candidates
       | Txn.Initialized -> ())
     (List.sort (fun (a : Txn.t) b -> compare a.Txn.id b.Txn.id) records);
   t.next_start_seq <- !max_seq + 1;
+  (* Only this shard's own request stream advances the redelivery
+     watermark: participant shadow records carry the coordinator's gid —
+     a different residue class, numbered by a different submitter — and
+     letting one of those (often far larger) ids in would make the new
+     leader silently drop every later locally-numbered request as a
+     redelivery. *)
   List.iter
     (fun (txn : Txn.t) ->
-      if txn.Txn.id > t.max_request_seq then t.max_request_seq <- txn.Txn.id)
+      if
+        txn.Txn.id mod t.shard.Shard.count = t.shard.Shard.sid
+        && txn.Txn.id > t.max_request_seq
+      then t.max_request_seq <- txn.Txn.id)
     records;
   List.iter
     (fun key ->
       match Proto.seq_of_item_key key with
       | Ok txn_id -> Hashtbl.replace t.signaled txn_id ()
       | Error _ -> ())
-    (Coord.Client.get_children t.client "/tropic/signals");
+    (Coord.Client.get_children t.client (Proto.signals_prefix_ns t.ns));
   Log.info (fun m ->
       m "%s: recovered: %d records, todo=%d, inflight=%d, tree=%d nodes"
         t.cname (List.length records) (Sched.length t.sched) (inflight t)
         (Data.Tree.size t.tree))
+
+(* ------------------------------------------------------------------ *)
+(* 2PC message handling (drained from this shard's durable mailbox) *)
+
+let subtree_snaps t roots =
+  List.filter_map
+    (fun root ->
+      match Data.Tree.subtree t.tree root with
+      | Ok node -> Some (root, Data.Tree.node_to_sexp node)
+      | Error _ -> None)
+    roots
+
+(* Participant: apply the coordinator's decided log slice to the logical
+   tree.  The coordinator's worker replays the full log physically, so the
+   slice never reaches this shard's phyQ. *)
+let apply_participant_slice t (txn : Txn.t) (part : part_2pc) log =
+  List.iter
+    (fun record ->
+      match Dsl.apply_record t.env t.tree record with
+      | Ok tree' -> t.tree <- tree'
+      | Error reason ->
+        Log.err (fun m ->
+            m "%s: 2pc apply for txn %d failed: %s" t.cname txn.Txn.id reason))
+    log;
+  txn.Txn.log <- log;
+  persist t txn;
+  part.applied <- true;
+  part.pt_deadline <- Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
+  twopc_instant t ~txn:txn.Txn.id "2pc-applied"
+
+(* Participant receives a Prepare.  First delivery spawns the shadow
+   transaction; redeliveries (process-then-delete, coordinator retry after
+   fail-over) re-vote from current state. *)
+let handle_prepare t ~gid ~coord ~roots =
+  match Hashtbl.find_opt t.txns gid with
+  | Some txn ->
+    (match Hashtbl.find_opt t.parts gid with
+     | Some part when txn.Txn.state = Txn.Started && not part.applied ->
+       send_twopc t ~shard:coord
+         (Proto.Prepared
+            {
+              gid;
+              shard = t.shard.Shard.sid;
+              ok = true;
+              reason = "";
+              snaps = subtree_snaps t (Router.arg_paths txn.Txn.args);
+            })
+     | Some _ -> ()
+     | None ->
+       (match txn.Txn.state with
+        | Txn.Aborted reason ->
+          send_twopc t ~shard:coord
+            (Proto.Prepared
+               { gid; shard = t.shard.Shard.sid; ok = false; reason; snaps = [] })
+        | Txn.Initialized | Txn.Accepted | Txn.Deferred | Txn.Started
+        | Txn.Committed | Txn.Failed _ -> ()));
+    false
+  | None ->
+    let args =
+      List.map (fun p -> Data.Value.Str (Data.Path.to_string p)) roots
+    in
+    let txn =
+      Txn.make ~id:gid ~proc:participant_proc ~args
+        ~submitted_at:(Des.Sim.now t.sim)
+    in
+    txn.Txn.state <- Txn.Accepted;
+    Hashtbl.replace t.txns gid txn;
+    Hashtbl.replace t.parts gid
+      {
+        coord;
+        applied = false;
+        pt_deadline = Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
+      };
+    persist t txn;
+    ignore (Sched.submit t.sched txn);
+    true
+
+(* Coordinator has every vote in: graft the participant snapshots, simulate
+   the full procedure against the combined view, and atomically create the
+   decision record — the commit point of the whole transaction. *)
+let decide_cross t (txn : Txn.t) (p : pending_2pc) =
+  let gid = txn.Txn.id in
+  let abort reason = abort_cross t txn reason in
+  let grafted =
+    List.fold_left
+      (fun tree (_, snaps) ->
+        List.fold_left
+          (fun tree (path, sexp) ->
+            match Data.Tree.node_of_sexp sexp with
+            | Error _ -> tree
+            | Ok node ->
+              (match Data.Tree.replace_subtree tree path node with
+               | Ok tree' -> tree'
+               | Error _ -> tree))
+          tree snaps)
+      t.tree p.votes
+  in
+  let sim_t0 = Des.Sim.now t.sim in
+  match
+    Logical.simulate ~guard_locks:t.cfg.constraint_guard_locks t.env
+      ~tree:grafted ~proc:txn.Txn.proc ~args:txn.Txn.args
+  with
+  | Error reason ->
+    Des.Station.request t.cpu ~service:t.cfg.cpu_per_txn;
+    t.st.violations <- t.st.violations + 1;
+    abort reason
+  | Ok { Logical.new_tree; log; locks; actions } ->
+    Des.Station.request t.cpu
+      ~service:
+        (t.cfg.cpu_per_txn +. (t.cfg.cpu_per_action *. float_of_int actions));
+    Metrics.Cdf.add t.st.simulate_lat (Des.Sim.now t.sim -. sim_t0);
+    let permitted sid =
+      sid = t.shard.Shard.sid || List.mem sid p.participants
+    in
+    if
+      List.exists
+        (fun (path, _) -> not (permitted (Shard.owner_of t.shard path)))
+        locks
+    then abort "write set escaped the prepared shards"
+    else if
+      List.exists
+        (fun (path, _) -> Shard.owns t.shard path && is_quarantined t path)
+        locks
+    then abort "resource quarantined pending reconciliation"
+    else begin
+      (* Swap the prepare-time root locks for the simulated lock set
+         (finer-grained; includes the foreign paths in this table so local
+         reconciliation serializes against the in-flight 2PC). *)
+      wake_released t (Mglock.release_all t.locks ~txn:gid);
+      match Mglock.try_acquire t.locks ~txn:gid locks with
+      | Error conflict ->
+        abort
+          (Format.asprintf "lock conflict after prepare: %a" Mglock.pp_conflict
+             conflict)
+      | Ok () ->
+        txn.Txn.state <- Txn.Started;
+        txn.Txn.log <- log;
+        txn.Txn.locks <- locks;
+        txn.Txn.start_seq <- Some t.next_start_seq;
+        t.next_start_seq <- t.next_start_seq + 1;
+        persist t txn;
+        let slices =
+          List.map
+            (fun sid ->
+              ( sid,
+                Xlog.slice log ~keep:(fun path ->
+                    Shard.owner_of t.shard path = sid) ))
+            p.participants
+        in
+        (match propose_decision t gid (Proto.Commit slices) with
+         | Proto.Abort ->
+           (* A timed-out participant presumed abort first; obey the
+              record.  The tree was never applied, so nothing rolls back. *)
+           Hashtbl.remove t.pending gid;
+           (match Sched.remove t.sched gid with
+            | `Blocked -> Mglock.cancel_wait t.locks ~txn:gid
+            | `Ready | `Absent -> ());
+           twopc_instant t ~txn:gid "2pc-abort";
+           finish t txn (Txn.Aborted "2pc decision lost to presumed abort");
+           release_locks t txn;
+           t.st.aborted <- t.st.aborted + 1;
+           t.st.twopc_aborted <- t.st.twopc_aborted + 1;
+           List.iter
+             (fun sid ->
+               send_twopc t ~shard:sid
+                 (Proto.Decide { gid; commit = false; log = [] }))
+             p.participants
+         | Proto.Commit _ ->
+           p.decided <- true;
+           p.p2_deadline <- Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
+           t.tree <- new_tree;
+           t.st.twopc_committed <- t.st.twopc_committed + 1;
+           (match Sched.remove t.sched gid with
+            | `Blocked -> Mglock.cancel_wait t.locks ~txn:gid
+            | `Ready | `Absent -> ());
+           Hashtbl.replace t.started_at gid (Des.Sim.now t.sim);
+           twopc_instant t ~txn:gid "2pc-decide-commit";
+           ignore
+             (Coord.Recipes.enqueue t.client ~queue:(Proto.phy_queue_ns t.ns)
+                (string_of_int gid));
+           List.iter
+             (fun sid ->
+               let log = Option.value (List.assoc_opt sid slices) ~default:[] in
+               send_twopc t ~shard:sid (Proto.Decide { gid; commit = true; log }))
+             p.participants)
+    end
+
+(* Coordinator receives a vote. *)
+let handle_prepared t ~gid ~shard ~ok ~reason ~snaps =
+  match Hashtbl.find_opt t.pending gid with
+  | None -> false (* already decided or aborted; the record arbitrates *)
+  | Some p ->
+    (match Hashtbl.find_opt t.txns gid with
+     | None ->
+       Hashtbl.remove t.pending gid;
+       false
+     | Some txn ->
+       if p.decided then false
+       else if not ok then begin
+         abort_cross t txn
+           (Printf.sprintf "shard %d refused prepare: %s" shard reason);
+         true
+       end
+       else if List.mem_assoc shard p.votes then false
+       else begin
+         p.votes <- (shard, snaps) :: p.votes;
+         if List.length p.votes = List.length p.participants then begin
+           decide_cross t txn p;
+           true
+         end
+         else false
+       end)
+
+(* Participant receives the decision. *)
+let handle_decide t ~gid ~commit ~log =
+  match Hashtbl.find_opt t.parts gid with
+  | None -> false
+  | Some part ->
+    (match Hashtbl.find_opt t.txns gid with
+     | None ->
+       Hashtbl.remove t.parts gid;
+       false
+     | Some txn ->
+       if not commit then begin
+         if part.applied then rollback_participant t txn "2pc abort"
+         else if txn.Txn.state = Txn.Started then
+           finish_participant t txn (Txn.Aborted "2pc abort")
+         else begin
+           (* Still queued: drop before it ever votes. *)
+           (match Sched.remove t.sched gid with
+            | `Blocked -> Mglock.cancel_wait t.locks ~txn:gid
+            | `Ready | `Absent -> ());
+           Hashtbl.remove t.parts gid;
+           finish t txn (Txn.Aborted "2pc abort before prepare")
+         end;
+         true
+       end
+       else begin
+         if txn.Txn.state = Txn.Started && not part.applied then
+           apply_participant_slice t txn part log;
+         false
+       end)
+
+(* Participant receives the physical outcome. *)
+let handle_finish t ~gid ~ok =
+  match Hashtbl.find_opt t.parts gid with
+  | None -> false
+  | Some part ->
+    (match Hashtbl.find_opt t.txns gid with
+     | None ->
+       Hashtbl.remove t.parts gid;
+       false
+     | Some txn ->
+       if ok then finish_participant t txn Txn.Committed
+       else if part.applied then
+         rollback_participant t txn "2pc physical rollback"
+       else finish_participant t txn (Txn.Aborted "2pc physical rollback");
+       true)
+
+(* Presumed abort: a coordinator stuck gathering votes aborts outright; a
+   prepared participant that waited too long closes the race by creating
+   the decision record as Abort itself — if the create loses, it obeys the
+   commit it reads (applying its slice from the record's payload). *)
+let check_timeouts t =
+  let now = Des.Sim.now t.sim in
+  let progressed = ref false in
+  let stale_coords =
+    Hashtbl.fold
+      (fun gid p acc ->
+        if (not p.decided) && now >= p.p2_deadline then gid :: acc else acc)
+      t.pending []
+  in
+  List.iter
+    (fun gid ->
+      match Hashtbl.find_opt t.txns gid with
+      | Some txn ->
+        abort_cross t txn "2pc prepare timed out";
+        progressed := true
+      | None -> Hashtbl.remove t.pending gid)
+    stale_coords;
+  let waiting =
+    Hashtbl.fold
+      (fun gid part acc ->
+        if now >= part.pt_deadline then (gid, part) :: acc else acc)
+      t.parts []
+  in
+  List.iter
+    (fun (gid, (part : part_2pc)) ->
+      match Hashtbl.find_opt t.txns gid with
+      | None -> Hashtbl.remove t.parts gid
+      | Some txn ->
+        if txn.Txn.state <> Txn.Started then
+          (* Not yet voted (queued or lock-parked): nothing to presume. *)
+          part.pt_deadline <- now +. t.cfg.twopc_prepare_timeout
+        else if not part.applied then (
+          match propose_decision t gid Proto.Abort with
+          | Proto.Abort ->
+            twopc_instant t ~txn:gid "2pc-presume-abort";
+            finish_participant t txn (Txn.Aborted "2pc presumed abort");
+            (* Not [st.aborted] — the coordinator shard accounts for the
+               client-visible outcome — but it is a 2PC abort this shard
+               decided, and the counter doc promises presumed aborts. *)
+            t.st.twopc_aborted <- t.st.twopc_aborted + 1;
+            progressed := true
+          | Proto.Commit slices ->
+            let log =
+              Option.value (List.assoc_opt t.shard.Shard.sid slices) ~default:[]
+            in
+            apply_participant_slice t txn part log)
+        else
+          match read_finish t gid with
+          | Some true ->
+            finish_participant t txn Txn.Committed;
+            progressed := true
+          | Some false ->
+            rollback_participant t txn "2pc physical rollback";
+            progressed := true
+          | None -> part.pt_deadline <- now +. t.cfg.twopc_prepare_timeout)
+    waiting;
+  !progressed
+
+(* Cross-shard transactions a new leader inherited: terminal coordinators
+   re-broadcast their verdict (the participants may never have heard it);
+   in-flight ones resolve against the decision record — missing means
+   presumed abort. *)
+let participants_of t (txn : Txn.t) =
+  match Router.classify t.shard ~args:txn.Txn.args with
+  | Router.Single _ -> []
+  | Router.Cross { coord; participants } ->
+    List.filter (fun s -> s <> t.shard.Shard.sid) (coord :: participants)
+
+let resolve_recovered t =
+  let inflight_cross = t.recovered_cross in
+  t.recovered_cross <- [];
+  let terminal = t.recovered_cross_terminal in
+  t.recovered_cross_terminal <- [];
+  List.iter
+    (fun (txn : Txn.t) ->
+      let gid = txn.Txn.id in
+      let ok = txn.Txn.state = Txn.Committed in
+      write_finish t gid ~ok;
+      List.iter
+        (fun sid -> send_twopc t ~shard:sid (Proto.Finish { gid; ok }))
+        (participants_of t txn))
+    terminal;
+  let progressed = ref false in
+  List.iter
+    (fun ((txn : Txn.t), needs_phy) ->
+      let gid = txn.Txn.id in
+      let participants = participants_of t txn in
+      let now = Des.Sim.now t.sim in
+      let commit slices =
+        Hashtbl.replace t.pending gid
+          {
+            participants;
+            votes = [];
+            decided = true;
+            p2_deadline = now +. t.cfg.twopc_prepare_timeout;
+          };
+        List.iter
+          (fun sid ->
+            let log = Option.value (List.assoc_opt sid slices) ~default:[] in
+            send_twopc t ~shard:sid (Proto.Decide { gid; commit = true; log }))
+          participants;
+        if needs_phy then
+          ignore
+            (Coord.Recipes.enqueue t.client ~queue:(Proto.phy_queue_ns t.ns)
+               (string_of_int gid))
+      in
+      let abort () =
+        (* Recovery replayed this coordinator's own slice into the tree;
+           undo exactly that slice. *)
+        txn.Txn.log <- Xlog.slice txn.Txn.log ~keep:(Shard.owns t.shard);
+        twopc_instant t ~txn:gid "2pc-recovery-abort";
+        (match rollback_logical t txn with
+         | Ok () -> finish t txn (Txn.Aborted "2pc presumed abort on recovery")
+         | Error undo_reason ->
+           finish t txn
+             (Txn.Failed ("2pc presumed abort on recovery; " ^ undo_reason)));
+        release_locks t txn;
+        t.st.aborted <- t.st.aborted + 1;
+        t.st.twopc_aborted <- t.st.twopc_aborted + 1;
+        List.iter
+          (fun sid ->
+            send_twopc t ~shard:sid
+              (Proto.Decide { gid; commit = false; log = [] }))
+          participants;
+        progressed := true
+      in
+      match read_decision t gid with
+      | Some (Proto.Commit slices) -> commit slices
+      | Some Proto.Abort -> abort ()
+      | None ->
+        (match propose_decision t gid Proto.Abort with
+         | Proto.Commit slices -> commit slices
+         | Proto.Abort -> abort ()))
+    inflight_cross;
+  !progressed
+
+(* Drain this shard's 2PC mailbox (process-then-delete, like inputQ).
+   Returns true when the scheduler should run afterwards. *)
+let drain_twopc t =
+  if t.shard.Shard.count = 1 then false
+  else begin
+    let progressed = ref (resolve_recovered t) in
+    let queue = Proto.twopc_queue t.shard.Shard.sid in
+    let rec loop () =
+      match Coord.Client.first_child_value t.gclient queue with
+      | None -> ()
+      | Some (key, payload) ->
+        (match Proto.twopc_of_string payload with
+         | Error reason ->
+           Log.err (fun m -> m "%s: bad 2pc item %s: %s" t.cname key reason)
+         | Ok (Proto.Prepare { gid; coord; roots }) ->
+           if handle_prepare t ~gid ~coord ~roots then progressed := true
+         | Ok (Proto.Prepared { gid; shard; ok; reason; snaps }) ->
+           if handle_prepared t ~gid ~shard ~ok ~reason ~snaps then
+             progressed := true
+         | Ok (Proto.Decide { gid; commit; log }) ->
+           if handle_decide t ~gid ~commit ~log then progressed := true
+         | Ok (Proto.Finish { gid; ok }) ->
+           if handle_finish t ~gid ~ok then progressed := true);
+        ignore (Coord.Client.delete t.gclient ~key ());
+        loop ()
+    in
+    loop ();
+    if check_timeouts t then progressed := true;
+    !progressed
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Main loop *)
@@ -957,7 +1771,13 @@ let process_item t ~key ~payload =
     false
   | Ok (Proto.Request { proc; args }) ->
     (match Proto.seq_of_item_key key with
-     | Ok txn_id -> accept_request t ~txn_id ~proc ~args
+     | Ok seq ->
+       (* Transaction ids carry the shard in the residue (id mod shards =
+          sid), so any party can route an id without a lookup; at one
+          shard this is the identity map.  Submitting clients compute the
+          same id from the enqueue key. *)
+       let txn_id = (seq * t.shard.Shard.count) + t.shard.Shard.sid in
+       accept_request t ~txn_id ~proc ~args
      | Error reason ->
        Log.err (fun m -> m "%s: %s" t.cname reason);
        false)
@@ -978,11 +1798,12 @@ let process_item t ~key ~payload =
    mid-processing the item is re-processed by the next leader, and every
    handler above is idempotent. *)
 let next_item t =
-  match Coord.Client.first_child_value t.client Proto.input_queue with
+  let queue = Proto.input_queue_ns t.ns in
+  match Coord.Client.first_child_value t.client queue with
   | Some item -> Some item
   | None ->
-    Coord.Client.watch_children t.client Proto.input_queue;
-    (match Coord.Client.first_child_value t.client Proto.input_queue with
+    Coord.Client.watch_children t.client queue;
+    (match Coord.Client.first_child_value t.client queue with
      | Some item -> Some item
      | None ->
        ignore (Coord.Client.await_change t.client ~timeout:1.0);
@@ -1015,15 +1836,23 @@ let spawn_repair_sweeper t interval =
         let drifted =
           List.filter
             (fun root ->
-              (* Skip subtrees with transactions physically in flight: a
-                 transient mismatch there is work in progress, not drift. *)
-              Mglock.holders t.locks root = [] && device_diverged root)
+              (* Only sweep owned subtrees — the copies this shard keeps
+                 of foreign subtrees go stale the moment the owner commits
+                 a single-shard transaction there, and "repairing" a
+                 foreign device against a stale copy would undo the
+                 owner's committed work.  Also skip subtrees with
+                 transactions physically in flight: a transient mismatch
+                 there is work in progress, not drift. *)
+              Shard.owns t.shard root
+              && Mglock.holders t.locks root = []
+              && device_diverged root)
             t.device_roots
         in
         List.sort_uniq Data.Path.compare (quarantined_roots @ drifted)
         |> List.iter (fun root ->
                ignore
-                 (Coord.Recipes.enqueue t.client ~queue:Proto.input_queue
+                 (Coord.Recipes.enqueue t.client
+                    ~queue:(Proto.input_queue_ns t.ns)
                     (Proto.input_to_string (Proto.Control (Proto.Repair root)))))
       end
     done
@@ -1038,9 +1867,14 @@ let spawn_repair_sweeper t interval =
    if this one dies mid-escalation). *)
 let spawn_watchdog t =
   let started () =
+    (* Prepared 2PC shadow transactions are excluded: they legitimately
+       hold locks until the coordinator's decision, and the presumed-abort
+       timeout — not a KILL — is what unsticks them. *)
     Hashtbl.fold
       (fun id (txn : Txn.t) acc ->
-        if txn.Txn.state = Txn.Started then (id, txn.Txn.log) :: acc else acc)
+        if txn.Txn.state = Txn.Started && not (is_participant txn) then
+          (id, txn.Txn.log) :: acc
+        else acc)
       t.txns []
   in
   let signal txn_id signal =
@@ -1058,7 +1892,7 @@ let spawn_watchdog t =
         m "%s: watchdog %s txn %d" t.cname (Proto.signal_to_string signal)
           txn_id);
     ignore
-      (Coord.Recipes.enqueue t.client ~queue:Proto.input_queue
+      (Coord.Recipes.enqueue t.client ~queue:(Proto.input_queue_ns t.ns)
          (Proto.input_to_string (Proto.Control (Proto.Signal (txn_id, signal)))))
   in
   let loop () =
@@ -1118,12 +1952,14 @@ let spawn_health_monitor t =
     Des.Proc.spawn ~name:(t.cname ^ ".health") t.sim loop :: t.procs
 
 let run t () =
+  (* Shard ownership is a lease: the ephemeral sequential member node in
+     the shard's election recipe.  Holding the lease IS being the shard's
+     leader — exactly the pre-sharding election, one per namespace. *)
+  let lease = Proto.election_path_ns t.ns in
   let member =
-    Coord.Recipes.join_election t.client ~election:Proto.election_path
-      ~payload:t.cname
+    Coord.Recipes.acquire_lease t.client ~lease ~payload:t.cname
   in
-  Coord.Recipes.await_leadership t.client ~election:Proto.election_path
-    ~member;
+  Coord.Recipes.await_lease t.client ~lease ~member;
   t.leading <- true;
   Log.info (fun m -> m "%s: elected leader" t.cname);
   (match t.cfg.repair_interval with
@@ -1134,13 +1970,13 @@ let run t () =
   recover t;
   schedule t;
   while not t.stopped do
-    if t.wake_pending then schedule t;
+    if drain_twopc t || t.wake_pending then schedule t;
     match next_item t with
     | None -> ()
     | Some (key, payload) ->
       let need_schedule = process_item t ~key ~payload in
       ignore (Coord.Client.delete t.client ~key ());
-      if need_schedule || t.wake_pending then schedule t
+      if drain_twopc t || need_schedule || t.wake_pending then schedule t
   done
 
 let start t =
@@ -1152,4 +1988,5 @@ let crash t =
   t.leading <- false;
   List.iter Des.Proc.kill t.procs;
   t.procs <- [];
+  if t.gclient != t.client then Coord.Client.close t.gclient;
   Coord.Client.close t.client

@@ -41,9 +41,21 @@ type config = {
       (** pending-queue watermarks: at [queue_high] new arrivals are shed
           with the fast [Txn.overload_reason] abort until the queue drains
           to [queue_low]; {!Health.no_admission} by default *)
+  twopc_prepare_timeout : float;
+      (** presumed-abort deadline: a coordinator stuck gathering votes (or
+          a prepared participant stuck awaiting the decision) gives up
+          after this many sim seconds *)
+  twopc_decision_record : bool;
+      (** ablation knob: when false, the durable 2PC decision record is
+          never written or consulted — crashes mid-commit lose the
+          decision and shards diverge *)
 }
 
 val default_config : config
+
+(** Stored-procedure name of the shadow transactions a participant shard
+    runs on behalf of a cross-shard coordinator. *)
+val participant_proc : string
 
 type stats = {
   mutable accepted : int;
@@ -78,6 +90,10 @@ type stats = {
   mutable breaker_trips : int;    (** → Tripped transitions *)
   mutable breaker_probes : int;   (** canary transactions dispatched *)
   mutable breaker_closes : int;   (** canary successes re-closing a breaker *)
+  mutable twopc_started : int;    (** cross-shard coordinations begun here *)
+  mutable twopc_committed : int;  (** decision records created as Commit *)
+  mutable twopc_aborted : int;    (** cross-shard coordinations aborted *)
+  mutable twopc_prepares : int;   (** participant votes cast (ok = true) *)
   simulate_lat : Metrics.Cdf.t;
       (** per-attempt logical simulation + CPU-model time *)
   lock_wait_lat : Metrics.Cdf.t;
@@ -95,9 +111,18 @@ type t
 
 (** [trace], when given, records a span tree per transaction (admission,
     scheduling, lock waits, simulation, watchdog/health escalations); pass
-    the same recorder to the workers for replay/undo spans. *)
+    the same recorder to the workers for replay/undo spans.
+
+    [shard] scopes this controller to one shard of the resource tree
+    (default {!Shard.singleton}: the whole tree, pre-sharding layout);
+    [client] must then connect to that shard's coordination ensemble, and
+    [gclient] to the global (shard 0) ensemble carrying the 2PC mailboxes
+    and decision records (defaults to [client] — correct for shard 0 and
+    for single-shard platforms). *)
 val create :
   ?trace:Trace.t ->
+  ?shard:Shard.t ->
+  ?gclient:Coord.Client.t ->
   name:string ->
   client:Coord.Client.t ->
   env:Dsl.env ->
@@ -117,6 +142,11 @@ val crash : t -> unit
 
 val name : t -> string
 val is_leader : t -> bool
+
+(** The shard this controller serves, and its id. *)
+val shard : t -> Shard.t
+
+val shard_id : t -> int
 
 (** Current logical tree (meaningful on the leader). *)
 val tree : t -> Data.Tree.t

@@ -3,6 +3,7 @@ type mode = Full | Logical_only of float
 type spec = {
   controllers : int;
   workers : int;
+  shards : int;
   mode : mode;
   coord_replicas : int;
   coord_config : Coord.Types.config;
@@ -19,6 +20,7 @@ let default_spec =
   {
     controllers = 3;
     workers = 1;
+    shards = 1;
     mode = Full;
     coord_replicas = 3;
     coord_config = Coord.Types.default_config;
@@ -30,18 +32,24 @@ let default_spec =
     trace = None;
   }
 
+(* Controllers and workers live in flat shard-major arrays: shard [s]'s
+   replica group occupies slots [s*n .. s*n + n-1].  A single-shard
+   platform therefore has exactly the pre-sharding layout (and nemeses
+   that pick random slots keep working unchanged). *)
 type t = {
   psim : Des.Sim.t;
   pspec : spec;
   penv : Dsl.env;
   pdevices : Physical.device_lookup;
   pdevice_roots : Data.Path.t list;
-  ensemble : Coord.Ensemble.t;
+  pshard : Shard.t;  (* base assignment, viewed from shard 0 *)
+  ensembles : Coord.Ensemble.t array;  (* one per shard; slot 0 is global *)
   control : Controller.t array;
   work : Worker.t array;
-  submitters : Coord.Client.t array;
+  submitters : Coord.Client.t array array;  (* per shard *)
   mutable next_submitter : int;
-  (* await support: key -> wakeup channels, fed by per-client dispatchers *)
+  (* await support: key -> wakeup channels, fed by per-client dispatchers.
+     Namespaced keys are globally unique, so one table serves all shards. *)
   awaiters : (string, unit Des.Channel.t list ref) Hashtbl.t;
 }
 
@@ -49,19 +57,37 @@ let sim t = t.psim
 let spec t = t.pspec
 let controllers t = t.control
 let workers t = t.work
-let coord t = t.ensemble
+let coord t = t.ensembles.(0)
+let shard_count t = t.pspec.shards
 
-let leader_controller t =
-  Array.fold_left
-    (fun found c ->
-      match found with
-      | Some _ -> found
-      | None -> if Controller.is_leader c then Some c else None)
-    None t.control
+(* Shard responsible for a transaction: where its single-shard execution
+   runs, or the coordinator (lowest touched shard) of a cross-shard one. *)
+let route t ~args =
+  if t.pspec.shards = 1 then 0
+  else
+    match Router.classify t.pshard ~args with
+    | Router.Single sid -> sid
+    | Router.Cross { coord; _ } -> coord
 
-let await_leader_controller t =
+let shard_of_path t path = Shard.owner_of t.pshard path
+let shard_of_txn t txn_id = txn_id mod t.pspec.shards
+let ns_of_txn t txn_id = Proto.ns_of_shard (shard_of_txn t txn_id)
+
+let controller_slots t sid =
+  let n = t.pspec.controllers in
+  List.init n (fun j -> (sid * n) + j)
+
+let shard_leader_index t sid =
+  List.find_opt
+    (fun i -> Controller.is_leader t.control.(i))
+    (controller_slots t sid)
+
+let shard_leader t sid =
+  Option.map (fun i -> t.control.(i)) (shard_leader_index t sid)
+
+let await_shard_leader t sid =
   let rec wait () =
-    match leader_controller t with
+    match shard_leader t sid with
     | Some c -> c
     | None ->
       Des.Proc.sleep 0.25;
@@ -69,19 +95,54 @@ let await_leader_controller t =
   in
   wait ()
 
+let leader_controller t = shard_leader t 0
+let await_leader_controller t = await_shard_leader t 0
+let leader_index t = shard_leader_index t 0
+
 let logical_tree t =
   match leader_controller t with
   | Some c -> Controller.tree c
   | None -> failwith "Platform.logical_tree: no leading controller"
 
+(* The platform-wide logical tree: shard 0's view with every other
+   shard's owned subtrees grafted in from that shard's leader (the local
+   copies of foreign subtrees are cosmetic and go stale).  Blocks until
+   every shard has a leader. *)
+let composite_tree t =
+  let base = Controller.tree (await_shard_leader t 0) in
+  let rec graft tree sid =
+    if sid >= t.pspec.shards then tree
+    else begin
+      let c = await_shard_leader t sid in
+      let shard_tree = Controller.tree c in
+      let tree =
+        List.fold_left
+          (fun tree root ->
+            match Data.Tree.subtree shard_tree root with
+            | Error _ -> tree
+            | Ok node ->
+              (match Data.Tree.replace_subtree tree root node with
+               | Ok tree' -> tree'
+               | Error _ -> tree))
+          tree
+          (Shard.roots_of t.pshard sid)
+      in
+      graft tree (sid + 1)
+    end
+  in
+  graft base 1
+
 let controller_cpu_busy t =
   Array.fold_left (fun acc c -> acc +. Controller.cpu_busy_time c) 0. t.control
 
 let coord_io_busy t =
-  match Coord.Ensemble.leader_id t.ensemble with
-  | Some leader ->
-    Coord.Replica.station_busy_time (Coord.Ensemble.replica t.ensemble leader)
-  | None -> 0.
+  Array.fold_left
+    (fun acc ensemble ->
+      match Coord.Ensemble.leader_id ensemble with
+      | Some leader ->
+        acc +. Coord.Replica.station_busy_time (Coord.Ensemble.replica ensemble leader)
+      | None -> acc)
+    0. t.ensembles
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
@@ -90,36 +151,45 @@ let worker_mode = function
   | Full -> Worker.Full
   | Logical_only delay -> Worker.Logical_only delay
 
+let connect_controller t sid cname =
+  let client =
+    Coord.Ensemble.connect t.ensembles.(sid)
+      ~session_timeout:t.pspec.controller_session_timeout ~name:cname ()
+  in
+  let gclient =
+    if sid = 0 then None
+    else
+      Some
+        (Coord.Ensemble.connect t.ensembles.(0)
+           ~session_timeout:t.pspec.controller_session_timeout
+           ~name:(cname ^ "-g") ())
+  in
+  Controller.create ?trace:t.pspec.trace
+    ~shard:(Shard.view t.pshard ~sid)
+    ?gclient ~name:cname ~client ~env:t.penv ~config:t.pspec.controller_config
+    ~devices:t.pdevices ~device_roots:t.pdevice_roots ~sim:t.psim ()
+
+let connect_worker t sid wname =
+  let client = Coord.Ensemble.connect t.ensembles.(sid) ~name:wname () in
+  Worker.create ~retry:t.pspec.worker_retry ?trace:t.pspec.trace
+    ~ns:(Proto.ns_of_shard sid) ~name:wname ~client
+    ~mode:(worker_mode t.pspec.mode) ~devices:t.pdevices ~sim:t.psim ()
+
 let create pspec env ~initial_tree ~devices psim =
-  let ensemble =
-    Coord.Ensemble.create ~replicas:pspec.coord_replicas
-      ~clients:pspec.client_slots ~config:pspec.coord_config psim
+  let pspec = { pspec with shards = max 1 pspec.shards } in
+  let ensembles =
+    Array.init pspec.shards (fun _ ->
+        Coord.Ensemble.create ~replicas:pspec.coord_replicas
+          ~clients:pspec.client_slots ~config:pspec.coord_config psim)
   in
   let device_lookup = Physical.lookup_of_list devices in
   let device_roots = List.map Devices.Device.root devices in
-  let control =
-    Array.init pspec.controllers (fun i ->
-        let cname = Printf.sprintf "controller-%d" i in
-        let client =
-          Coord.Ensemble.connect ensemble
-            ~session_timeout:pspec.controller_session_timeout ~name:cname ()
-        in
-        Controller.create ?trace:pspec.trace ~name:cname ~client ~env
-          ~config:pspec.controller_config ~devices:device_lookup ~device_roots
-          ~sim:psim ())
-  in
-  let work =
-    Array.init pspec.workers (fun i ->
-        let wname = Printf.sprintf "worker-%d" i in
-        let client = Coord.Ensemble.connect ensemble ~name:wname () in
-        Worker.create ~retry:pspec.worker_retry ?trace:pspec.trace ~name:wname
-          ~client ~mode:(worker_mode pspec.mode) ~devices:device_lookup
-          ~sim:psim ())
-  in
+  let pshard = Shard.make ~sid:0 ~shards:pspec.shards device_roots in
   let submitters =
-    Array.init pspec.submit_clients (fun i ->
-        Coord.Ensemble.connect ensemble
-          ~name:(Printf.sprintf "submitter-%d" i) ())
+    Array.init pspec.shards (fun sid ->
+        Array.init pspec.submit_clients (fun i ->
+            Coord.Ensemble.connect ensembles.(sid)
+              ~name:(Printf.sprintf "submitter-%d-%d" sid i) ()))
   in
   let t =
     {
@@ -128,49 +198,77 @@ let create pspec env ~initial_tree ~devices psim =
       penv = env;
       pdevices = device_lookup;
       pdevice_roots = device_roots;
-      ensemble;
-      control;
-      work;
+      pshard;
+      ensembles;
+      control = [||];
+      work = [||];
       submitters;
       next_submitter = 0;
       awaiters = Hashtbl.create 256;
     }
   in
+  let control =
+    Array.init
+      (pspec.shards * pspec.controllers)
+      (fun i ->
+        let sid = i / pspec.controllers in
+        connect_controller t sid (Printf.sprintf "controller-%d" i))
+  in
+  let work =
+    Array.init
+      (pspec.shards * pspec.workers)
+      (fun i ->
+        let sid = i / pspec.workers in
+        connect_worker t sid (Printf.sprintf "worker-%d" i))
+  in
+  let t = { t with control; work } in
   (* Watch-event dispatcher: wake every awaiter registered on the key a
      watch fired for.  One dispatcher per submit client. *)
   Array.iteri
-    (fun i client ->
-      ignore
-        (Des.Proc.spawn
-           ~name:(Printf.sprintf "await-dispatch-%d" i)
-           psim
-           (fun () ->
-             let events = Coord.Client.events client in
-             while not (Coord.Client.closed client) do
-               let event = Des.Channel.recv events in
-               match Hashtbl.find_opt t.awaiters event.Coord.Types.watched with
-               | Some channels ->
-                 List.iter (fun ch -> Des.Channel.send ch ()) !channels
-               | None -> ()
-             done)))
-    submitters;
-  (* Bootstrap: the initial logical tree is checkpoint 0; controllers wait
-     for it before recovering. *)
+    (fun sid shard_submitters ->
+      Array.iteri
+        (fun i client ->
+          ignore
+            (Des.Proc.spawn
+               ~name:(Printf.sprintf "await-dispatch-%d-%d" sid i)
+               psim
+               (fun () ->
+                 let events = Coord.Client.events client in
+                 while not (Coord.Client.closed client) do
+                   let event = Des.Channel.recv events in
+                   match
+                     Hashtbl.find_opt t.awaiters event.Coord.Types.watched
+                   with
+                   | Some channels ->
+                     List.iter (fun ch -> Des.Channel.send ch ()) !channels
+                   | None -> ()
+                 done)))
+        shard_submitters)
+    t.submitters;
+  (* Bootstrap: the full initial logical tree is checkpoint 0 of {e every}
+     shard; each controller group waits for its own before recovering.
+     (Foreign subtrees in a shard's tree are cosmetic copies — only the
+     owned roots are served, see [composite_tree].) *)
   ignore
     (Des.Proc.spawn ~name:"bootstrap" psim (fun () ->
          let snapshot =
            Data.Sexp.List
              [ Data.Sexp.of_int 0; Data.Tree.to_sexp initial_tree ]
          in
-         match
-           Coord.Client.write t.submitters.(0) ~key:Proto.checkpoint_key
-             ~value:(Data.Sexp.to_string snapshot) ()
-         with
-         | Ok _ -> ()
-         | Error e ->
-           failwith
-             (Printf.sprintf "bootstrap failed: %s"
-                (Format.asprintf "%a" Coord.Types.pp_op_error e))));
+         let value = Data.Sexp.to_string snapshot in
+         for sid = 0 to pspec.shards - 1 do
+           match
+             Coord.Client.write
+               t.submitters.(sid).(0)
+               ~key:(Proto.checkpoint_key_ns (Proto.ns_of_shard sid))
+               ~value ()
+           with
+           | Ok _ -> ()
+           | Error e ->
+             failwith
+               (Printf.sprintf "bootstrap of shard %d failed: %s" sid
+                  (Format.asprintf "%a" Coord.Types.pp_op_error e))
+         done));
   Array.iter Controller.start control;
   Array.iter Worker.start work;
   t
@@ -178,31 +276,42 @@ let create pspec env ~initial_tree ~devices psim =
 (* ------------------------------------------------------------------ *)
 (* Client API *)
 
-let pick_submitter t =
-  let client = t.submitters.(t.next_submitter mod Array.length t.submitters) in
+let pick_submitter t sid =
+  let shard_submitters = t.submitters.(sid) in
+  let client =
+    shard_submitters.(t.next_submitter mod Array.length shard_submitters)
+  in
   t.next_submitter <- t.next_submitter + 1;
   client
 
-let enqueue_input t item =
-  let client = pick_submitter t in
-  Coord.Recipes.enqueue client ~queue:Proto.input_queue
+let enqueue_input t sid item =
+  let client = pick_submitter t sid in
+  Coord.Recipes.enqueue client
+    ~queue:(Proto.input_queue_ns (Proto.ns_of_shard sid))
     (Proto.input_to_string item)
 
+(* Transaction ids carry their shard in the residue: [id = seq * shards +
+   sid].  The accepting controller derives the same id from the queue-item
+   sequence number, so the platform can compute it at submit time without
+   a round trip. *)
 let submit t ~proc ~args =
-  let key = enqueue_input t (Proto.Request { proc; args }) in
+  let sid = route t ~args in
+  let key = enqueue_input t sid (Proto.Request { proc; args }) in
   match Proto.seq_of_item_key key with
-  | Ok txn_id -> txn_id
+  | Ok seq -> (seq * t.pspec.shards) + sid
   | Error reason -> failwith ("Platform.submit: " ^ reason)
 
-let txn_state_via client txn_id =
-  match Coord.Client.get client (Txn.record_key txn_id) with
+let txn_state_via client ~ns txn_id =
+  match Coord.Client.get client (Txn.record_key_ns ns txn_id) with
   | None -> None
   | Some (value, _) ->
     (match Txn.of_string value with
      | Ok txn -> Some txn.Txn.state
      | Error _ -> None)
 
-let txn_state t txn_id = txn_state_via (pick_submitter t) txn_id
+let txn_state t txn_id =
+  let sid = shard_of_txn t txn_id in
+  txn_state_via (pick_submitter t sid) ~ns:(ns_of_txn t txn_id) txn_id
 
 let register_awaiter t key channel =
   let channels =
@@ -223,21 +332,23 @@ let unregister_awaiter t key channel =
     if !channels = [] then Hashtbl.remove t.awaiters key
 
 let await t txn_id =
-  let client = pick_submitter t in
-  let key = Txn.record_key txn_id in
+  let sid = shard_of_txn t txn_id in
+  let ns = ns_of_txn t txn_id in
+  let client = pick_submitter t sid in
+  let key = Txn.record_key_ns ns txn_id in
   let wakeup = Des.Channel.create ~name:"await" () in
   register_awaiter t key wakeup;
   Fun.protect
     ~finally:(fun () -> unregister_awaiter t key wakeup)
     (fun () ->
       let rec wait () =
-        match txn_state_via client txn_id with
+        match txn_state_via client ~ns txn_id with
         | Some state when Txn.is_terminal state -> state
         | Some _ | None ->
           Coord.Client.watch_key client key;
           (* Re-check: the transition may have happened before the watch was
              armed; fall back to a poll in case the event is lost. *)
-          (match txn_state_via client txn_id with
+          (match txn_state_via client ~ns txn_id with
            | Some state when Txn.is_terminal state -> state
            | Some _ | None ->
              ignore (Des.Channel.recv_timeout wakeup ~timeout:1.0);
@@ -257,9 +368,22 @@ let submit_batch t specs =
   let ids = List.map (fun (proc, args) -> submit t ~proc ~args) specs in
   List.map (fun id -> id, await t id) ids
 
-let signal t txn_id s = ignore (enqueue_input t (Proto.Control (Proto.Signal (txn_id, s))))
-let reload t path = ignore (enqueue_input t (Proto.Control (Proto.Reload path)))
-let repair t path = ignore (enqueue_input t (Proto.Control (Proto.Repair path)))
+let signal t txn_id s =
+  ignore
+    (enqueue_input t (shard_of_txn t txn_id)
+       (Proto.Control (Proto.Signal (txn_id, s))))
+
+let reload t path =
+  ignore
+    (enqueue_input t
+       (Shard.owner_of t.pshard path)
+       (Proto.Control (Proto.Reload path)))
+
+let repair t path =
+  ignore
+    (enqueue_input t
+       (Shard.owner_of t.pshard path)
+       (Proto.Control (Proto.Repair path)))
 
 let kill_controller t i = Controller.crash t.control.(i)
 
@@ -269,15 +393,8 @@ let kill_controller t i = Controller.crash t.control.(i)
    the daemon on the same machine. *)
 let restart_controller t i =
   let cname = Controller.name t.control.(i) in
-  let client =
-    Coord.Ensemble.connect t.ensemble
-      ~session_timeout:t.pspec.controller_session_timeout ~name:cname ()
-  in
-  let c =
-    Controller.create ?trace:t.pspec.trace ~name:cname ~client ~env:t.penv
-      ~config:t.pspec.controller_config ~devices:t.pdevices
-      ~device_roots:t.pdevice_roots ~sim:t.psim ()
-  in
+  let sid = i / t.pspec.controllers in
+  let c = connect_controller t sid cname in
   t.control.(i) <- c;
   Controller.start c
 
@@ -288,21 +405,10 @@ let kill_worker t i = Worker.crash t.work.(i)
    with the crashed session) under the same name and slot. *)
 let restart_worker t i =
   let wname = Worker.name t.work.(i) in
-  let client = Coord.Ensemble.connect t.ensemble ~name:wname () in
-  let w =
-    Worker.create ~retry:t.pspec.worker_retry ?trace:t.pspec.trace ~name:wname
-      ~client ~mode:(worker_mode t.pspec.mode) ~devices:t.pdevices ~sim:t.psim
-      ()
-  in
+  let sid = i / t.pspec.workers in
+  let w = connect_worker t sid wname in
   t.work.(i) <- w;
   Worker.start w
-
-let leader_index t =
-  let found = ref None in
-  Array.iteri
-    (fun i c -> if !found = None && Controller.is_leader c then found := Some i)
-    t.control;
-  !found
 
 type leader_stats = {
   ls_leader : int option;
@@ -323,17 +429,26 @@ let no_leader_stats =
     ls_todo = 0;
   }
 
+(* Platform totals: every shard leader's counters summed.  [ls_leader]
+   reports shard 0's leading slot (the historical single-shard field). *)
 let leader_stats t =
-  match leader_index t with
-  | None -> no_leader_stats
-  | Some i ->
-    let c = t.control.(i) in
-    let st = Controller.stats c in
-    {
-      ls_leader = Some i;
-      ls_committed = st.Controller.committed;
-      ls_aborted = st.Controller.aborted;
-      ls_failed = st.Controller.failed;
-      ls_sheds = st.Controller.sheds;
-      ls_todo = Controller.todo_length c;
-    }
+  let acc = ref no_leader_stats in
+  let any = ref false in
+  for sid = 0 to t.pspec.shards - 1 do
+    match shard_leader t sid with
+    | None -> ()
+    | Some c ->
+      any := true;
+      let st = Controller.stats c in
+      acc :=
+        {
+          ls_leader =
+            (if sid = 0 then shard_leader_index t 0 else !acc.ls_leader);
+          ls_committed = !acc.ls_committed + st.Controller.committed;
+          ls_aborted = !acc.ls_aborted + st.Controller.aborted;
+          ls_failed = !acc.ls_failed + st.Controller.failed;
+          ls_sheds = !acc.ls_sheds + st.Controller.sheds;
+          ls_todo = !acc.ls_todo + Controller.todo_length c;
+        }
+  done;
+  if !any then !acc else no_leader_stats

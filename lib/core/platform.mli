@@ -13,6 +13,11 @@ type mode =
 type spec = {
   controllers : int;
   workers : int;
+  shards : int;
+      (** partitions of the resource tree, each with its own coordination
+          ensemble, controller replica group and worker pool; device roots
+          are assigned round-robin.  1 (the default) is the pre-sharding
+          platform, laid out bit-identically *)
   mode : mode;
   coord_replicas : int;
   coord_config : Coord.Types.config;
@@ -72,17 +77,38 @@ val signal : t -> int -> Proto.signal -> unit
 val reload : t -> Data.Path.t -> unit
 val repair : t -> Data.Path.t -> unit
 
-(** {1 Introspection and fault injection} *)
+(** {1 Introspection and fault injection}
+
+    Controllers and workers live in flat shard-major arrays: shard [s]'s
+    replica group is slots [s*n .. s*n + n-1]. *)
 
 val controllers : t -> Controller.t array
 val workers : t -> Worker.t array
+val shard_count : t -> int
+
+(** Leader of shard 0 (the historical accessor). *)
 val leader_controller : t -> Controller.t option
 
-(** Block until some controller is leading; returns it. *)
+(** Block until shard 0 has a leader; returns it. *)
 val await_leader_controller : t -> Controller.t
 
-(** Logical tree of the current leader.  @raise Failure if none leads. *)
+(** Current leader of shard [sid], and its flat slot index. *)
+val shard_leader : t -> int -> Controller.t option
+
+val shard_leader_index : t -> int -> int option
+
+(** Owning shard of a resource path (pure function of the assignment). *)
+val shard_of_path : t -> Data.Path.t -> int
+
+(** Block until shard [sid] has a leader; returns it. *)
+val await_shard_leader : t -> int -> Controller.t
+
+(** Logical tree of shard 0's leader.  @raise Failure if none leads. *)
 val logical_tree : t -> Data.Tree.t
+
+(** Platform-wide logical tree: every shard leader's owned subtrees
+    grafted over shard 0's view.  Blocks until each shard has a leader. *)
+val composite_tree : t -> Data.Tree.t
 
 (** Crash controller [i] (process death + session loss). *)
 val kill_controller : t -> int -> unit
@@ -101,12 +127,12 @@ val kill_worker : t -> int -> unit
     client slot. *)
 val restart_worker : t -> int -> unit
 
-(** Index of the currently leading controller, if any. *)
+(** Flat index of shard 0's leading controller, if any. *)
 val leader_index : t -> int option
 
-(** Snapshot of the leading controller's transaction counters — what the
-    goal-state frontend reports next to its convergence result.  All
-    zeroes when no controller is leading. *)
+(** Platform transaction-counter totals (every shard leader summed) —
+    what the goal-state frontend reports next to its convergence result.
+    All zeroes when no controller is leading. *)
 type leader_stats = {
   ls_leader : int option;
   ls_committed : int;
@@ -118,12 +144,12 @@ type leader_stats = {
 
 val leader_stats : t -> leader_stats
 
+(** Shard 0's (global) coordination ensemble. *)
 val coord : t -> Coord.Ensemble.t
 
 (** Sum of controller-CPU busy time (all controllers; only the leader
     accrues). *)
 val controller_cpu_busy : t -> float
 
-(** Busy time of the coordination leader's op station, if there is a
-    leader. *)
+(** Summed busy time of each ensemble leader's op station. *)
 val coord_io_busy : t -> float

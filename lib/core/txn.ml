@@ -79,7 +79,8 @@ let pp fmt t =
     (String.concat ", " (List.map Data.Value.to_string t.args))
     pp_state t.state
 
-let record_key id = Printf.sprintf "/tropic/txns/t%010d" id
+let record_key_ns ns id = Printf.sprintf "%s/txns/t%010d" ns id
+let record_key id = record_key_ns "/tropic" id
 
 let mode_to_sexp mode = Data.Sexp.Atom (Mglock.mode_to_string mode)
 

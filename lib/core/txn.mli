@@ -56,3 +56,6 @@ val of_string : string -> (t, string) result
 (** Key of this transaction's record in the coordination service,
     e.g. ["/tropic/txns/t0000000042"]. *)
 val record_key : int -> string
+
+(** Same, under a shard namespace (see {!Proto.ns_of_shard}). *)
+val record_key_ns : string -> int -> string

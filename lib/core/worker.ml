@@ -7,6 +7,7 @@ type mode = Full | Logical_only of float
 type t = {
   wname : string;
   client : Coord.Client.t;
+  ns : string;
   mode : mode;
   devices : Physical.device_lookup;
   sim : Des.Sim.t;
@@ -18,11 +19,12 @@ type t = {
   mutable n_committed : int;
 }
 
-let create ?(retry = Physical.no_retry) ?trace ~name ~client ~mode ~devices
-    ~sim () =
+let create ?(retry = Physical.no_retry) ?trace ?(ns = Proto.default_ns) ~name
+    ~client ~mode ~devices ~sim () =
   {
     wname = name;
     client;
+    ns;
     mode;
     devices;
     sim;
@@ -39,13 +41,13 @@ let executed w = w.n_executed
 let committed w = w.n_committed
 
 let check_signal w txn_id () =
-  match Coord.Client.get w.client (Proto.signal_key txn_id) with
+  match Coord.Client.get w.client (Proto.signal_key_ns w.ns txn_id) with
   | Some ("TERM", _) -> `Term
   | Some ("KILL", _) -> `Kill
   | Some _ | None -> `Go
 
 let execute_txn w txn_id =
-  match Coord.Client.get w.client (Txn.record_key txn_id) with
+  match Coord.Client.get w.client (Txn.record_key_ns w.ns txn_id) with
   | None ->
     Log.err (fun m -> m "%s: no record for txn %d" w.wname txn_id);
     None
@@ -135,7 +137,7 @@ let take_and_run w (key, payload) =
   (match int_of_string_opt payload with
      | None -> ignore (Coord.Client.delete w.client ~key ())
      | Some txn_id ->
-       let marker = Proto.executing_key txn_id in
+       let marker = Proto.executing_key_ns w.ns txn_id in
        ignore
          (Coord.Client.create w.client ~ephemeral:true ~key:marker ~value:w.wname ());
        (match Coord.Client.delete w.client ~key () with
@@ -149,19 +151,21 @@ let take_and_run w (key, payload) =
           (match execute_txn w txn_id with
            | Some (outcome, exec) ->
              ignore
-               (Coord.Recipes.enqueue w.client ~queue:Proto.input_queue
+               (Coord.Recipes.enqueue w.client
+                  ~queue:(Proto.input_queue_ns w.ns)
                   (Proto.input_to_string
                      (Proto.Result { txn_id; outcome; exec })))
            | None -> ());
           ignore (Coord.Client.delete w.client ~key:marker ())))
 
 let run w () =
+  let queue = Proto.phy_queue_ns w.ns in
   while not w.stopped do
-    match Coord.Client.first_child_value w.client Proto.phy_queue with
+    match Coord.Client.first_child_value w.client queue with
     | Some item -> take_and_run w item
     | None ->
-      Coord.Client.watch_children w.client Proto.phy_queue;
-      (match Coord.Client.first_child_value w.client Proto.phy_queue with
+      Coord.Client.watch_children w.client queue;
+      (match Coord.Client.first_child_value w.client queue with
        | Some item -> take_and_run w item
        | None -> ignore (Coord.Client.await_change w.client ~timeout:1.0))
   done

@@ -17,10 +17,14 @@ type t
 (** [retry] (default {!Physical.no_retry}) is the per-action robustness
     policy applied to every log replayed by this worker.  [trace], when
     given, records a replay span (plus per-action/backoff/undo spans in
-    [Full] mode) for every transaction this worker executes. *)
+    [Full] mode) for every transaction this worker executes.  [ns] is the
+    shard namespace whose queues this worker serves (default
+    {!Proto.default_ns}); [client] must connect to that shard's
+    coordination ensemble. *)
 val create :
   ?retry:Physical.retry_policy ->
   ?trace:Trace.t ->
+  ?ns:string ->
   name:string ->
   client:Coord.Client.t ->
   mode:mode ->

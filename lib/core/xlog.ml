@@ -73,3 +73,13 @@ let of_sexp sexp =
       (Ok []) records
     |> Result.map List.rev
   | Data.Sexp.Atom _ -> Error "Xlog.of_sexp: expected a list"
+
+(* Write-path footprint and per-shard slicing (cross-shard 2PC): the
+   participant's share of a decided transaction is exactly the log records
+   whose target path it owns, so slices are re-derivable from the full log
+   by anyone who knows the partition. *)
+
+let paths log =
+  List.map (fun r -> r.path) log |> List.sort_uniq Data.Path.compare
+
+let slice log ~keep = List.filter (fun r -> keep r.path) log

@@ -75,11 +75,11 @@ let outcome_of_state state =
     | Tropic.Txn.Failed reason -> Failed reason
     | other -> Aborted (Tropic.Txn.state_to_string other)
 
-(* The logical tree lives on the leader; during fail-over there is none —
-   wait for the next election rather than crash mid-plan. *)
-let leader_tree platform =
-  let c = Tropic.Platform.await_leader_controller platform in
-  Tropic.Controller.tree c
+(* The logical tree lives on the shard leaders; during fail-over some
+   shard may have none — wait for the next election rather than crash
+   mid-plan.  On a sharded platform this grafts every leader's owned
+   subtrees into one platform-wide view. *)
+let leader_tree platform = Tropic.Platform.composite_tree platform
 
 (* Execute one compiled plan as dependency waves: a step becomes ready
    when all its dependencies committed; ready steps are submitted in

@@ -195,6 +195,55 @@ let test_no_plan_deps_convicted () =
            r.Chaos.Runner.violations))
     sweep.Chaos.Runner.violating
 
+let shard_crash =
+  match Chaos.Schedule.find "shard-crash" with
+  | Some s -> s
+  | None -> Alcotest.fail "shard-crash preset missing"
+
+(* Two shards under the migrate workload: every chain crosses the shard
+   boundary, so 2PC runs continuously while shard leaders crash between
+   prepare and decision.  With the decision record, recovery resumes
+   every in-doubt transaction to its durably decided outcome: the sweep
+   stays clean and the 2PC counters show the protocol actually ran. *)
+let test_shard_crash_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ shard_crash ]
+      ~seeds:(List.init 2 (fun i -> i + 1))
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations);
+      check bool_c
+        (Printf.sprintf "seed %d: cross-shard commits happened"
+           r.Chaos.Runner.seed)
+        true
+        (r.Chaos.Runner.twopc_committed > 0))
+    sweep.Chaos.Runner.runs;
+  let prepared =
+    List.exists (fun r -> r.Chaos.Runner.twopc_prepares > 0) sweep.Chaos.Runner.runs
+  in
+  check bool_c "participants voted on some seed" true prepared
+
+(* Skipping the decision record turns a coordinator crash between a
+   participant's commit and its own into split-brain: the exactly-once
+   and convergence invariants must convict. *)
+let test_no_2pc_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_2pc } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ shard_crash ]
+      ~seeds:(List.init 3 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "no-2pc"))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -219,6 +268,8 @@ let suite =
     ("sweep: no-breaker build convicted", `Slow, test_no_breaker_convicted);
     ("sweep: plan-crash clean with ordered plans", `Slow, test_plan_crash_clean);
     ("sweep: no-plan-deps build convicted", `Slow, test_no_plan_deps_convicted);
+    ("sweep: shard-crash clean with 2PC", `Slow, test_shard_crash_clean);
+    ("sweep: no-2pc build convicted", `Slow, test_no_2pc_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 

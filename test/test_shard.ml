@@ -1,0 +1,422 @@
+(* Sharding: partition/ownership properties, client-side routing, and
+   end-to-end cross-shard 2PC under coordinator failures.
+
+   The property tests pin the contracts everything else leans on: the
+   round-robin partition is total and stable (every replica and router
+   agrees on one owner per path), and a request is cross-shard exactly
+   when its path arguments span owners, coordinated by the lowest.  The
+   platform tests drive a two-shard deployment through the presumed-abort
+   protocol: a clean cross-shard migrate, a coordinator crash mid-2PC
+   that must resume to the durably decided outcome, and a coordinator
+   group lost before deciding, which the prepared participant resolves by
+   presuming abort. *)
+
+open Tropic
+
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let roots_of_hosts hosts storages =
+  List.init hosts Tcloud.Setup.compute_path
+  @ List.init storages Tcloud.Setup.storage_path
+
+let gen_partition =
+  QCheck.Gen.(
+    let* hosts = int_range 1 12 in
+    let* storages = int_range 0 3 in
+    let* shards = int_range 1 6 in
+    return (hosts, storages, shards))
+
+let arb_partition =
+  QCheck.make gen_partition ~print:(fun (h, s, k) ->
+      Printf.sprintf "hosts=%d storages=%d shards=%d" h s k)
+
+(* ------------------------------------------------------------------ *)
+(* Partition / ownership properties *)
+
+let prop_owner_total_and_stable =
+  QCheck.Test.make ~name:"owner_of is total, bounded and replica-agreed"
+    ~count:200 arb_partition (fun (hosts, storages, shards) ->
+      let roots = roots_of_hosts hosts storages in
+      let shard0 = Shard.make ~sid:0 ~shards roots in
+      let deep root =
+        [
+          root;
+          Data.Path.child root "vm1";
+          Data.Path.child (Data.Path.child root "vm1") "state";
+        ]
+      in
+      List.for_all
+        (fun path ->
+          let owner = Shard.owner_of shard0 path in
+          owner >= 0
+          && owner < shard0.Shard.count
+          (* Every view of the partition agrees. *)
+          && List.for_all
+               (fun sid ->
+                 Shard.owner_of (Shard.view shard0 ~sid) path = owner)
+               (List.init shard0.Shard.count Fun.id)
+          (* Deterministic: recomputing from scratch agrees. *)
+          && Shard.owner_of (Shard.make ~sid:0 ~shards roots) path = owner)
+        (List.concat_map deep roots))
+
+let prop_partition_covers_all_shards =
+  QCheck.Test.make
+    ~name:"round-robin gives every shard a root when roots >= shards"
+    ~count:200 arb_partition (fun (hosts, storages, shards) ->
+      let roots = roots_of_hosts hosts storages in
+      let shard = Shard.make ~sid:0 ~shards roots in
+      QCheck.assume (List.length roots >= shard.Shard.count);
+      List.for_all
+        (fun sid -> Shard.roots_of shard sid <> [])
+        (List.init shard.Shard.count Fun.id))
+
+let prop_singleton_owns_everything =
+  QCheck.Test.make ~name:"count=1 owns every path" ~count:50 arb_partition
+    (fun (hosts, storages, _) ->
+      let roots = roots_of_hosts hosts storages in
+      let shard = Shard.singleton ~roots in
+      List.for_all (Shard.owns shard) roots
+      && Shard.owns shard (Data.Path.v "/no/such/subtree"))
+
+(* ------------------------------------------------------------------ *)
+(* Router properties *)
+
+let host_str h = Data.Path.to_string (Tcloud.Setup.compute_path h)
+
+let gen_request =
+  QCheck.Gen.(
+    let* hosts = int_range 2 12 in
+    let* shards = int_range 1 6 in
+    let* picks = list_size (int_range 1 4) (int_range 0 (hosts - 1)) in
+    return (hosts, shards, picks))
+
+let arb_request =
+  QCheck.make gen_request ~print:(fun (h, k, picks) ->
+      Printf.sprintf "hosts=%d shards=%d picks=[%s]" h k
+        (String.concat ";" (List.map string_of_int picks)))
+
+let prop_router_cross_iff_owners_span =
+  QCheck.Test.make
+    ~name:"classify = Cross iff path args span owners; coord is lowest"
+    ~count:300 arb_request (fun (hosts, shards, picks) ->
+      let roots = roots_of_hosts hosts 2 in
+      let shard = Shard.make ~sid:0 ~shards roots in
+      (* Mix path args with non-path args the router must ignore. *)
+      let args =
+        Data.Value.Str "vm1" :: Data.Value.Int 512
+        :: List.map (fun h -> Data.Value.Str (host_str h)) picks
+      in
+      let owners =
+        List.sort_uniq compare
+          (List.map
+             (fun h -> Shard.owner_of shard (Tcloud.Setup.compute_path h))
+             picks)
+      in
+      match Router.classify shard ~args with
+      | Router.Single sid ->
+        List.length owners <= 1
+        && (owners = [] || owners = [ sid ])
+        && not (Router.is_cross shard ~args)
+      | Router.Cross { coord; participants } ->
+        List.length owners > 1
+        && coord = List.hd owners
+        && List.sort compare (coord :: participants) = owners
+        && Router.is_cross shard ~args)
+
+let prop_router_pathless_routes_to_zero =
+  QCheck.Test.make ~name:"pathless requests route to shard 0" ~count:50
+    arb_partition (fun (hosts, storages, shards) ->
+      let shard = Shard.make ~sid:0 ~shards (roots_of_hosts hosts storages) in
+      Router.classify shard ~args:[ Data.Value.Str "vm"; Data.Value.Int 1 ]
+      = Router.Single 0)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end 2PC on a two-shard platform *)
+
+(* All-xen so host0 -> host1 migration is legal under the §6.2 VM-type
+   rule (hypervisors otherwise alternate with host parity, which under
+   two shards coincides with shard parity). *)
+let twoshard_size =
+  { Tcloud.Setup.small with Tcloud.Setup.hypervisors = [ "xen" ] }
+
+let quick_coord_config =
+  { Coord.Types.default_config with Coord.Types.default_session_timeout = 5.0 }
+
+let twoshard_spec ?(prepare_timeout = 20.) () =
+  {
+    Platform.default_spec with
+    Platform.controllers = 2;
+    workers = 2;
+    shards = 2;
+    mode = Platform.Full;
+    coord_config = quick_coord_config;
+    controller_config =
+      {
+        Tcloud.Setup.controller_config with
+        Controller.twopc_prepare_timeout = prepare_timeout;
+      };
+    controller_session_timeout = 3.0;
+  }
+
+let with_two_shards ?prepare_timeout ?(horizon = 600.) ?(seed = 7) scenario =
+  let sim = Des.Sim.create ~seed () in
+  let inv =
+    Tcloud.Setup.build ~timing:`Process ~rng:(Des.Sim.rng sim) twoshard_size
+  in
+  let platform =
+    Platform.create
+      (twoshard_spec ?prepare_timeout ())
+      inv.Tcloud.Setup.env ~initial_tree:inv.Tcloud.Setup.tree
+      ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let finished = ref false in
+  ignore
+    (Des.Proc.spawn ~name:"scenario" sim (fun () ->
+         scenario platform inv;
+         finished := true));
+  ignore (Des.Sim.run ~until:horizon sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     Alcotest.failf "process %s crashed: %s" who (Printexc.to_string exn));
+  if not !finished then Alcotest.fail "scenario did not finish before horizon"
+
+let host_path h = Tcloud.Setup.compute_path h
+
+let spawn_on platform ~vm ~host =
+  let args =
+    Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:512
+      ~storage:(Data.Path.to_string (Tcloud.Setup.storage_path 0))
+      ~host:(Data.Path.to_string (host_path host))
+  in
+  match Platform.run_txn platform ~proc:"spawnVM" ~args with
+  | Txn.Committed -> ()
+  | other ->
+    Alcotest.failf "spawn %s: expected committed, got %s" vm
+      (Txn.state_to_string other)
+
+let migrate_args ~src ~dst ~vm =
+  Tcloud.Procs.migrate_vm_args
+    ~src:(Data.Path.to_string (host_path src))
+    ~dst:(Data.Path.to_string (host_path dst))
+    ~vm
+
+(* Poll until [f ()] or [tries] sleeps of [gap] elapse. *)
+let await_cond ?(tries = 400) ?(gap = 0.1) f =
+  let n = ref 0 in
+  while (not (f ())) && !n < tries do
+    Des.Proc.sleep gap;
+    incr n
+  done;
+  f ()
+
+let check_converged platform inv hosts =
+  let tree = Platform.composite_tree platform in
+  List.iter
+    (fun h ->
+      let root, compute = inv.Tcloud.Setup.computes.(h) in
+      let logical =
+        match Data.Tree.subtree tree root with
+        | Ok node -> node
+        | Error e -> Alcotest.fail (Data.Tree.error_to_string e)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "host %d layers converge" h)
+        true
+        (Data.Tree.equal logical
+           (Devices.Device.export (Devices.Compute.device compute))))
+    hosts
+
+let vm_host inv vm =
+  let found = ref [] in
+  Array.iteri
+    (fun i (_, compute) ->
+      if Devices.Compute.vm_state compute vm <> None then found := i :: !found)
+    inv.Tcloud.Setup.computes;
+  !found
+
+(* host0 is owned by shard 1 and host1 by shard 0 under the two-shard
+   round-robin (switch, storage0, storage1, host0, host1, ... alternate),
+   so a host0 -> host1 migration always spans both shards. *)
+let cross_shard_pair platform =
+  let src = 0 and dst = 1 in
+  Alcotest.(check bool)
+    "src/dst on different shards" true
+    (Platform.shard_of_path platform (host_path src)
+    <> Platform.shard_of_path platform (host_path dst));
+  (src, dst)
+
+let test_cross_shard_migrate_commits () =
+  with_two_shards (fun platform inv ->
+      let src, dst = cross_shard_pair platform in
+      spawn_on platform ~vm:"web1" ~host:src;
+      (match
+         Platform.run_txn platform ~proc:"migrateVM"
+           ~args:(migrate_args ~src ~dst ~vm:"web1")
+       with
+       | Txn.Committed -> ()
+       | other ->
+         Alcotest.failf "migrate: expected committed, got %s"
+           (Txn.state_to_string other));
+      Alcotest.(check (list int)) "vm lives only on dst" [ dst ]
+        (vm_host inv "web1");
+      check_converged platform inv [ src; dst ];
+      let coord_sid = Platform.shard_of_path platform (host_path dst) in
+      let part_sid = Platform.shard_of_path platform (host_path src) in
+      let coord = Platform.await_shard_leader platform coord_sid in
+      let part = Platform.await_shard_leader platform part_sid in
+      Alcotest.(check bool) "coordinator started a 2pc" true
+        ((Controller.stats coord).Controller.twopc_started >= 1);
+      Alcotest.(check bool) "coordinator committed a 2pc" true
+        ((Controller.stats coord).Controller.twopc_committed >= 1);
+      Alcotest.(check bool) "participant voted" true
+        ((Controller.stats part).Controller.twopc_prepares >= 1))
+
+let test_coordinator_crash_resumes_to_decided_outcome () =
+  with_two_shards (fun platform inv ->
+      let src, dst = cross_shard_pair platform in
+      spawn_on platform ~vm:"web2" ~host:src;
+      let coord_sid = Platform.shard_of_path platform (host_path dst) in
+      let gid =
+        Platform.submit platform ~proc:"migrateVM"
+          ~args:(migrate_args ~src ~dst ~vm:"web2")
+      in
+      (* Wait until the coordinator has begun the prepare round, then
+         crash it mid-protocol and bring the slot back. *)
+      let started () =
+        match Platform.shard_leader platform coord_sid with
+        | None -> false
+        | Some c -> (Controller.stats c).Controller.twopc_started >= 1
+      in
+      Alcotest.(check bool) "2pc reached prepare" true (await_cond started);
+      (match Platform.shard_leader_index platform coord_sid with
+       | None -> Alcotest.fail "no coordinator leader to crash"
+       | Some i ->
+         Platform.kill_controller platform i;
+         Des.Proc.sleep 8.0;
+         Platform.restart_controller platform i);
+      let state = Platform.await platform gid in
+      (* Either outcome is legal — what matters is that recovery resumed
+         the in-doubt transaction to one durable verdict applied on both
+         shards: exactly one host has the VM, and both layers agree. *)
+      (match state with
+       | Txn.Committed ->
+         Alcotest.(check (list int)) "committed => vm only on dst" [ dst ]
+           (vm_host inv "web2")
+       | Txn.Aborted _ ->
+         Alcotest.(check (list int)) "aborted => vm only on src" [ src ]
+           (vm_host inv "web2")
+       | other ->
+         Alcotest.failf "expected committed or aborted, got %s"
+           (Txn.state_to_string other));
+      Alcotest.(check bool) "quiesced" true
+        (await_cond (fun () ->
+             match Platform.shard_leader platform coord_sid with
+             | None -> false
+             | Some c -> Controller.inflight c = 0));
+      check_converged platform inv [ src; dst ])
+
+let test_presumed_abort_on_lost_coordinator () =
+  with_two_shards ~prepare_timeout:2.0 (fun platform inv ->
+      let src, dst = cross_shard_pair platform in
+      spawn_on platform ~vm:"web3" ~host:src;
+      let coord_sid = Platform.shard_of_path platform (host_path dst) in
+      let part_sid = Platform.shard_of_path platform (host_path src) in
+      let gid =
+        Platform.submit platform ~proc:"migrateVM"
+          ~args:(migrate_args ~src ~dst ~vm:"web3")
+      in
+      (* Let the participant cast its vote, then take the whole
+         coordinator replica group down before any decision lands. *)
+      let voted () =
+        match Platform.shard_leader platform part_sid with
+        | None -> false
+        | Some c -> (Controller.stats c).Controller.twopc_prepares >= 1
+      in
+      Alcotest.(check bool) "participant voted" true (await_cond voted);
+      let n = (Platform.spec platform).Platform.controllers in
+      let slots = List.init n (fun k -> (coord_sid * n) + k) in
+      List.iter (Platform.kill_controller platform) slots;
+      (* The prepared participant owns the race now: past the prepare
+         timeout it creates the decision record itself — as Abort. *)
+      let participant_aborted () =
+        match Platform.shard_leader platform part_sid with
+        | None -> false
+        | Some c -> (Controller.stats c).Controller.twopc_aborted >= 1
+      in
+      Alcotest.(check bool) "participant presumed abort" true
+        (await_cond participant_aborted);
+      List.iter (Platform.restart_controller platform) slots;
+      (match Platform.await platform gid with
+       | Txn.Aborted _ -> ()
+       | other ->
+         Alcotest.failf "expected aborted, got %s" (Txn.state_to_string other));
+      Alcotest.(check (list int)) "vm stayed on src" [ src ]
+        (vm_host inv "web3");
+      (match Devices.Compute.vm_state (snd inv.Tcloud.Setup.computes.(src)) "web3"
+       with
+       | Some `Running -> ()
+       | other ->
+         Alcotest.failf "expected web3 running on src, got %s"
+           (match other with
+            | Some `Stopped -> "stopped"
+            | None -> "absent"
+            | Some `Running -> "running"));
+      Alcotest.(check bool) "quiesced" true
+        (await_cond (fun () ->
+             match Platform.shard_leader platform coord_sid with
+             | None -> false
+             | Some c -> Controller.inflight c = 0));
+      check_converged platform inv [ src; dst ])
+
+let test_single_shard_request_stays_local () =
+  with_two_shards (fun platform _inv ->
+      let src, _ = cross_shard_pair platform in
+      spawn_on platform ~vm:"solo" ~host:src;
+      let host = Data.Path.to_string (host_path src) in
+      (match
+         Platform.run_txn platform ~proc:"stopVM"
+           ~args:(Tcloud.Procs.stop_vm_args ~host ~vm:"solo")
+       with
+       | Txn.Committed -> ()
+       | other ->
+         Alcotest.failf "stop: expected committed, got %s"
+           (Txn.state_to_string other));
+      (* A host-local request never opens a 2PC on the owning shard. *)
+      let sid = Platform.shard_of_path platform (host_path src) in
+      let leader = Platform.await_shard_leader platform sid in
+      Alcotest.check int_c "no coordination started on owner" 0
+        (Controller.stats leader).Controller.twopc_started)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ?rand:None) tests)
+
+let () =
+  ignore bool_c;
+  Alcotest.run "shard"
+    [
+      qsuite "partition"
+        [
+          prop_owner_total_and_stable;
+          prop_partition_covers_all_shards;
+          prop_singleton_owns_everything;
+        ];
+      qsuite "router"
+        [ prop_router_cross_iff_owners_span; prop_router_pathless_routes_to_zero ];
+      ( "2pc",
+        [
+          Alcotest.test_case "cross-shard migrate commits" `Quick
+            test_cross_shard_migrate_commits;
+          Alcotest.test_case "coordinator crash resumes to decided outcome"
+            `Quick test_coordinator_crash_resumes_to_decided_outcome;
+          Alcotest.test_case "presumed abort on lost coordinator" `Quick
+            test_presumed_abort_on_lost_coordinator;
+          Alcotest.test_case "single-shard request stays local" `Quick
+            test_single_shard_request_stays_local;
+        ] );
+    ]

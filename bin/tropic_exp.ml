@@ -246,6 +246,15 @@ let print_chaos_result ~with_trace r =
     r.Chaos.Runner.auto_terms r.Chaos.Runner.auto_kills r.Chaos.Runner.sheds
     r.Chaos.Runner.breaker_trips r.Chaos.Runner.breaker_probes
     r.Chaos.Runner.breaker_closes;
+  if
+    r.Chaos.Runner.joins > 0 || r.Chaos.Runner.leaves > 0
+    || r.Chaos.Runner.stale_sessions > 0
+  then
+    Printf.printf
+      "       membership: %d joins / %d leaves / %d catchups, %d stale \
+       sessions rejected\n"
+      r.Chaos.Runner.joins r.Chaos.Runner.leaves r.Chaos.Runner.catchups
+      r.Chaos.Runner.stale_sessions;
   if r.Chaos.Runner.shards > 1 then begin
     Printf.printf "       2pc: %d started / %d committed / %d aborted / %d prepares (%d shards)\n"
       r.Chaos.Runner.twopc_started r.Chaos.Runner.twopc_committed
@@ -368,7 +377,7 @@ let chaos_cmd =
   let build =
     let doc =
       "Build to exercise: stock, no-constraints, no-guard-locks, \
-       no-watchdog, no-breaker, no-plan-deps or no-2pc."
+       no-watchdog, no-breaker, no-plan-deps, no-2pc or no-session-id."
     in
     Arg.(value & opt string "stock" & info [ "build" ] ~doc)
   in

@@ -12,6 +12,8 @@ type tracker = {
   mutable found : violation list;
   leaders_by_term : (int, int) Hashtbl.t;  (* coord term -> replica id *)
   overcommitted : (int, unit) Hashtbl.t;   (* host idx already reported *)
+  progress_lied : (int * int, unit) Hashtbl.t;
+      (* (shard, peer) pairs already reported by progress-integrity *)
   stall_budget : float option;
   first_started : (int, float) Hashtbl.t;  (* txn id -> first seen Started *)
   stuck_reported : (int, unit) Hashtbl.t;
@@ -25,19 +27,66 @@ let record tracker invariant detail =
 
 let poll_coord_leadership tracker platform =
   let ens = Tropic.Platform.coord platform in
-  for i = 0 to Coord.Ensemble.replica_count ens - 1 do
-    if Coord.Ensemble.replica_up ens i then begin
-      let replica = Coord.Ensemble.replica ens i in
-      if Coord.Replica.is_leader replica then begin
-        let term = Coord.Replica.term replica in
-        match Hashtbl.find_opt tracker.leaders_by_term term with
-        | None -> Hashtbl.replace tracker.leaders_by_term term i
-        | Some j when j <> i ->
-          record tracker "one-leader-per-term"
-            (Printf.sprintf "replicas %d and %d both lead term %d" j i term)
-        | Some _ -> ()
-      end
-    end
+  List.iter
+    (fun i ->
+      if Coord.Ensemble.replica_up ens i then begin
+        let replica = Coord.Ensemble.replica ens i in
+        if Coord.Replica.is_leader replica then begin
+          let term = Coord.Replica.term replica in
+          match Hashtbl.find_opt tracker.leaders_by_term term with
+          | None -> Hashtbl.replace tracker.leaders_by_term term i
+          | Some j when j <> i ->
+            record tracker "one-leader-per-term"
+              (Printf.sprintf "replicas %d and %d both lead term %d" j i term)
+          | Some _ -> ()
+        end
+      end)
+    (Coord.Ensemble.replica_ids ens)
+
+(* The leader's replication progress must never run ahead of reality: if
+   it believes peer P has replicated up to index m, P's log must actually
+   reach m.  Under the current leader this holds unconditionally — acked
+   entries are never truncated out from under the leader that acked them —
+   unless a stale append reply leaks across a membership change (node
+   removed and re-added within one term) and inflates the fresh
+   incarnation's progress entry.  Checked only when exactly one live
+   member claims leadership, so a transient split view (old leader not yet
+   deposed) cannot false-positive. *)
+let poll_progress_integrity tracker platform =
+  for sid = 0 to Tropic.Platform.shard_count platform - 1 do
+    let ens = Tropic.Platform.coord_ensemble platform sid in
+    let leaders =
+      List.filter
+        (fun i ->
+          Coord.Ensemble.replica_up ens i
+          &&
+          let r = Coord.Ensemble.replica ens i in
+          Coord.Replica.is_leader r && Coord.Replica.is_member r)
+        (Coord.Ensemble.replica_ids ens)
+    in
+    match leaders with
+    | [ lid ] ->
+      let leader = Coord.Ensemble.replica ens lid in
+      List.iter
+        (fun (peer, match_index) ->
+          if List.mem peer (Coord.Ensemble.replica_ids ens) then begin
+            let actual =
+              Coord.Replica.last_log_index (Coord.Ensemble.replica ens peer)
+            in
+            if
+              match_index > actual
+              && not (Hashtbl.mem tracker.progress_lied (sid, peer))
+            then begin
+              Hashtbl.replace tracker.progress_lied (sid, peer) ();
+              record tracker "progress-integrity"
+                (Printf.sprintf
+                   "shard %d: leader %d believes replica %d matches index \
+                    %d, but its log ends at %d"
+                   sid lid peer match_index actual)
+            end
+          end)
+        (Coord.Replica.progress_snapshot leader)
+    | _ -> ()
   done
 
 (* A transaction may be Started for a long time legitimately (phyQ
@@ -142,6 +191,7 @@ let start ?(period = 0.25) ?stall_budget ?queue_budget ~platform ~computes () =
       found = [];
       leaders_by_term = Hashtbl.create 16;
       overcommitted = Hashtbl.create 8;
+      progress_lied = Hashtbl.create 8;
       stall_budget;
       first_started = Hashtbl.create 16;
       stuck_reported = Hashtbl.create 8;
@@ -154,6 +204,7 @@ let start ?(period = 0.25) ?stall_budget ?queue_budget ~platform ~computes () =
          while not tracker.stopped do
            Des.Proc.sleep period;
            poll_coord_leadership tracker platform;
+           poll_progress_integrity tracker platform;
            poll_stuck_locks tracker platform;
            poll_bounded_queue tracker platform;
            List.iter

@@ -12,6 +12,7 @@ type t = {
   ctrl_down : bool array;
   worker_down : bool array;
   mutable partitioned : bool;
+  mutable churning : bool; (* a member-churn cycle is in progress *)
   mutable fired_count : int;
   mutable removed : string list;
   mutable storm_submitted : string list; (* storm VM names, newest first *)
@@ -94,15 +95,18 @@ let crash_shard_leader t shard down_for =
       | Some _ | None -> skip t (Printf.sprintf "shard %d has no leader" shard)
   end
 
-let live_replicas ens =
-  let n = Coord.Ensemble.replica_count ens in
-  List.filter (Coord.Ensemble.replica_up ens) (List.init n (fun i -> i))
+(* Members of the current effective configuration that are up.  Node ids
+   are no longer a contiguous range: replicas added at runtime live in the
+   spare id region, and removed-but-running instances are not members. *)
+let live_members ens =
+  List.filter (Coord.Ensemble.replica_up ens) (Coord.Ensemble.members ens)
 
 let crash_coord_replica t target down_for =
   let ens = Tropic.Platform.coord t.nenv.platform in
-  let n = Coord.Ensemble.replica_count ens in
-  let ups = live_replicas ens in
+  let n = List.length (Coord.Ensemble.members ens) in
+  let ups = live_members ens in
   if t.partitioned then skip t "coord crash during partition"
+  else if t.churning then skip t "coord crash during member churn"
   else if 2 * (List.length ups - 1) <= n then skip t "would break quorum"
   else
     let choice =
@@ -125,17 +129,16 @@ let crash_coord_replica t target down_for =
 
 let partition_coord_leader t heal_after =
   let ens = Tropic.Platform.coord t.nenv.platform in
-  let n = Coord.Ensemble.replica_count ens in
+  let members = Coord.Ensemble.members ens in
   if t.partitioned then skip t "partition already active"
-  else if List.length (live_replicas ens) < n then
+  else if t.churning then skip t "partition during member churn"
+  else if List.length (live_members ens) < List.length members then
     skip t "partition while a replica is down"
   else
     match Coord.Ensemble.leader_id ens with
     | None -> skip t "no coordination leader to partition"
     | Some leader ->
-      let others =
-        List.filter (fun i -> i <> leader) (List.init n (fun i -> i))
-      in
+      let others = List.filter (fun i -> i <> leader) members in
       t.partitioned <- true;
       inject t
         (Printf.sprintf "partition coord leader %d from peers (heal %.0fs)"
@@ -357,6 +360,57 @@ let request_storm t count gap =
     t.nenv.trace "storm submitted"
   end
 
+(* Remove a random non-leader member and re-add a fresh instance at the
+   same node id, all within one leader term.  Extra latency on the victim
+   keeps the old incarnation's high-match append replies in flight across
+   the remove/re-add: with replication session ids the leader rejects them
+   as stale; without, they corrupt the fresh learner's progress entry —
+   the leader then believes a wiped replica holds entries it never
+   received (convicted by the progress-integrity invariant).  The latency
+   clears after [gap] seconds so the learner's catch-up can finish. *)
+let member_churn t delay gap =
+  let ens = Tropic.Platform.coord t.nenv.platform in
+  let members = Coord.Ensemble.members ens in
+  if t.partitioned then skip t "member churn during partition"
+  else if t.churning then skip t "member churn already active"
+  else if List.exists (fun i -> not (Coord.Ensemble.replica_up ens i)) members
+  then skip t "member churn while a member is down"
+  else if List.length members < 3 then skip t "membership too small to churn"
+  else
+    match Coord.Ensemble.leader_id ens with
+    | None -> skip t "no coordination leader"
+    | Some leader ->
+      (match pick t (List.filter (fun i -> i <> leader) members) with
+       | None -> skip t "no non-leader member to churn"
+       | Some victim ->
+         t.churning <- true;
+         inject t
+           (Printf.sprintf
+              "member churn: +%.1fs latency on replica %d, remove, re-add"
+              delay victim);
+         let net = Coord.Ensemble.net ens in
+         Des.Net.set_node_delay net victim delay;
+         (* Let the victim answer a few heartbeats first — it still hears
+            the leader on time, but its replies (full match index, the
+            pre-removal session id) are now in flight with the egress
+            latency and will land after the remove/re-add. *)
+         Des.Proc.sleep 0.15;
+         Coord.Ensemble.remove_replica ens victim;
+         (* Clear the latency after [gap] from a side process: add_replica
+            below blocks until the learner catches up, which needs the
+            link back at LAN speed. *)
+         ignore
+           (Des.Proc.spawn
+              ~name:(Printf.sprintf "nemesis-churn-clear-%d" victim)
+              (Tropic.Platform.sim t.nenv.platform)
+              (fun () ->
+                Des.Proc.sleep gap;
+                Des.Net.set_node_delay net victim 0.));
+         ignore (Coord.Ensemble.add_replica ens ~id:victim ());
+         t.churning <- false;
+         t.nenv.trace
+           (Printf.sprintf "member churn over: replica %d rejoined" victim))
+
 let perform t = function
   | Schedule.Crash_controller { target; down_for } ->
     crash_controller t target down_for
@@ -378,6 +432,7 @@ let perform t = function
   | Schedule.Request_storm { count; gap } -> request_storm t count gap
   | Schedule.Crash_shard_leader { shard; down_for } ->
     crash_shard_leader t shard down_for
+  | Schedule.Member_churn { delay; gap } -> member_churn t delay gap
 
 (* ------------------------------------------------------------------ *)
 (* Trigger compilation *)
@@ -413,6 +468,7 @@ let install env schedule =
       worker_down =
         Array.make (Array.length (Tropic.Platform.workers env.platform)) false;
       partitioned = false;
+      churning = false;
       fired_count = 0;
       removed = [];
       storm_submitted = [];

@@ -6,6 +6,7 @@ type build =
   | No_breaker
   | No_plan_deps
   | No_2pc
+  | No_session_ids
 
 let build_to_string = function
   | Stock -> "stock"
@@ -15,6 +16,7 @@ let build_to_string = function
   | No_breaker -> "no-breaker"
   | No_plan_deps -> "no-plan-deps"
   | No_2pc -> "no-2pc"
+  | No_session_ids -> "no-session-id"
 
 let build_of_string = function
   | "stock" -> Ok Stock
@@ -24,11 +26,12 @@ let build_of_string = function
   | "no-breaker" -> Ok No_breaker
   | "no-plan-deps" -> Ok No_plan_deps
   | "no-2pc" -> Ok No_2pc
+  | "no-session-id" | "no-session-ids" -> Ok No_session_ids
   | other ->
     Error
       (Printf.sprintf
          "unknown build %S (expected stock, no-constraints, no-guard-locks, \
-          no-watchdog, no-breaker, no-plan-deps or no-2pc)"
+          no-watchdog, no-breaker, no-plan-deps, no-2pc or no-session-id)"
          other)
 
 type config = {
@@ -68,6 +71,10 @@ type result = {
   twopc_committed : int;
   twopc_aborted : int;
   twopc_prepares : int;
+  joins : int;
+  leaves : int;
+  catchups : int;
+  stale_sessions : int; (* append replies rejected as stale-session *)
   shards : int;
   per_shard : string list;
   violations : Invariant.violation list;
@@ -254,7 +261,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Procs.register_all env;
       env
     | Stock | No_guard_locks | No_watchdog | No_breaker | No_plan_deps
-    | No_2pc ->
+    | No_2pc | No_session_ids ->
       inventory.Tcloud.Setup.env
   in
   (* No_watchdog strips the whole robustness layer — watchdog AND the
@@ -292,6 +299,15 @@ let run_one ?(trace = false) config ~schedule ~seed =
         shards = schedule.Schedule.shards;
         mode = Tropic.Platform.Full;
         coord_replicas = 3;
+        (* No_session_ids drops the replication-session check on append
+           replies: a response from a node removed and re-added within
+           one term then corrupts the fresh incarnation's progress entry
+           — the ablation the member-churn schedule must convict. *)
+        coord_config =
+          {
+            Coord.Types.default_config with
+            Coord.Types.session_ids = config.build <> No_session_ids;
+          };
         controller_config;
         (* Generous enough that a healed 8 s partition does not expire
            live controller sessions behind their backs. *)
@@ -645,6 +661,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
     if !quiesced then Invariant.check_trace ~at:(Des.Sim.now sim) tracer
     else []
   in
+  let membership = Tropic.Platform.membership_stats platform in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
@@ -809,6 +826,10 @@ let run_one ?(trace = false) config ~schedule ~seed =
     twopc_committed;
     twopc_aborted;
     twopc_prepares;
+    joins = membership.Coord.Types.joins;
+    leaves = membership.Coord.Types.leaves;
+    catchups = membership.Coord.Types.catchups;
+    stale_sessions = membership.Coord.Types.stale_sessions_rejected;
     shards = Tropic.Platform.shard_count platform;
     per_shard;
     violations =

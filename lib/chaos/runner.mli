@@ -28,7 +28,12 @@
     the durable cross-shard commit decision record, so a coordinator
     crash between prepare and decision presumes abort on transactions
     whose commit already took effect elsewhere — the shard-crash
-    schedule's [exactly-once]/[convergence] invariants convict it. *)
+    schedule's [exactly-once]/[convergence] invariants convict it;
+    [No_session_ids] drops the replication-session check on coordination
+    append replies, so a replica removed and re-added within one term can
+    poison the leader's progress tracking with acks from its previous
+    incarnation — the member-churn schedule's [progress-integrity]
+    invariant convicts it. *)
 type build =
   | Stock
   | No_constraints
@@ -37,6 +42,7 @@ type build =
   | No_breaker
   | No_plan_deps
   | No_2pc
+  | No_session_ids
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result
@@ -78,6 +84,12 @@ type result = {
   twopc_committed : int;  (** cross-shard commits (decision durable) *)
   twopc_aborted : int;  (** cross-shard aborts, incl. presumed aborts *)
   twopc_prepares : int;  (** participant prepare votes cast *)
+  joins : int;  (** replicas added to the coordination membership *)
+  leaves : int;  (** replicas removed from the coordination membership *)
+  catchups : int;  (** learners caught up and promoted to voting *)
+  stale_sessions : int;
+      (** append replies dropped for carrying a stale replication
+          session id (proof the churn window was actually exercised) *)
   shards : int;  (** resource-tree shards the platform ran with *)
   per_shard : string list;
       (** one per-shard counter line per shard leader (sheds, wakeups,

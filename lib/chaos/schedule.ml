@@ -15,6 +15,12 @@ type action =
   | Flap_device of { host : int; up_for : float; down_for : float; cycles : int }
   | Request_storm of { count : int; gap : float }
   | Crash_shard_leader of { shard : int; down_for : float }
+  | Member_churn of { delay : float; gap : float }
+      (* remove a random non-leader coord replica and re-add a fresh
+         instance at the same node id, with [delay] seconds of extra
+         network latency on that node so the old incarnation's append
+         replies are still in flight across the remove/re-add; the delay
+         clears after [gap] seconds *)
 
 type trigger =
   | At of float
@@ -71,6 +77,8 @@ let action_to_string = function
     Printf.sprintf "request-storm(%d spawns, %.2fs gap)" count gap
   | Crash_shard_leader { shard; down_for } ->
     Printf.sprintf "crash-shard-leader(shard %d, down %.0fs)" shard down_for
+  | Member_churn { delay; gap } ->
+    Printf.sprintf "member-churn(delay %.1fs, clear after %.0fs)" delay gap
 
 let step_end { trigger; action } =
   let trigger_end =
@@ -92,6 +100,7 @@ let step_end { trigger; action } =
     | Flap_device { up_for; down_for; cycles; _ } ->
       float_of_int cycles *. (up_for +. down_for)
     | Request_storm { count; gap } -> float_of_int count *. gap
+    | Member_churn { gap; _ } -> gap +. 8.
     | Fail_next_device_action _ | Hang_next_device_action _ | Power_cycle_host
     | Oob_stop_vm | Oob_remove_vm ->
       0.
@@ -309,6 +318,32 @@ let shard_crash =
       ];
   }
 
+(* The membership gauntlet: coord replicas leave and rejoin while crash
+   and partition faults run — removal, a delayed-message window, and the
+   re-add all land inside one leader term.  The delayed node keeps the old
+   incarnation's append replies in flight across the remove/re-add; with
+   replication session ids the leader drops them as stale, so the fresh
+   learner's progress stays honest.  The no-session-id build accepts them:
+   the leader then believes the wiped replica holds entries it never
+   received, and the progress-integrity invariant convicts it (or, if the
+   phantom acks reach quorum, lost-commit does).  Appended last so preset
+   indices stay stable. *)
+let member_churn =
+  {
+    name = "member-churn";
+    workload = Chains;
+    shards = 1;
+    steps =
+      [
+        every ~start:12. ~period:25. ~until:100.
+          (Member_churn { delay = 1.0; gap = 4.0 });
+        (* Offset from the churn windows (12–16.5, 37–41.5, 62–66.5,
+           87–91.5): overlapping faults skip rather than stack. *)
+        at 45. (Crash_coord_replica { target = Random; down_for = 8. });
+        at 70. (Partition_coord_leader { heal_after = 6. });
+      ];
+  }
+
 let presets =
   [
     controller_crashes;
@@ -321,6 +356,7 @@ let presets =
     flap_storm;
     plan_crash;
     shard_crash;
+    member_churn;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

@@ -45,6 +45,15 @@ type action =
       (** kill the named shard's current leader controller; restart it
           [down_for] seconds later.  Skipped if the shard has no leader
           or only one controller still standing. *)
+  | Member_churn of { delay : float; gap : float }
+      (** remove a random non-leader coordination replica from the
+          ensemble configuration and immediately re-add a fresh instance
+          at the same node id, inside one leader term.  [delay] seconds of
+          extra egress latency are put on that node first, so the old
+          incarnation's append replies are still in flight when the fresh
+          learner takes over the id; the latency clears after [gap]
+          seconds.  Skipped when there is no leader, a member is down, or
+          the membership is below three. *)
 
 type trigger =
   | At of float
@@ -122,6 +131,14 @@ val plan_crash : t
     decided outcome; the no-2pc build (decision record skipped) is
     convicted by the exactly-once and convergence invariants. *)
 val shard_crash : t
+
+(** The membership gauntlet: coordination replicas removed and re-added
+    within one leader term while crashes and partitions run, with a
+    delayed-message window keeping the old incarnation's append replies
+    in flight across the churn.  Clean only with replication session ids;
+    the no-session-id build is convicted by the progress-integrity
+    invariant. *)
+val member_churn : t
 
 (** All of the above, in sweep order. *)
 val presets : t list

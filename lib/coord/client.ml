@@ -6,7 +6,9 @@ type t = {
   session : int;
   cname : string;
   net : Types.msg Des.Net.t;
-  replicas : int;
+  mutable known : int list;
+      (* last known membership, sorted; refreshed from Not_leader replies
+         so leader search follows config changes, not boot-time ids *)
   config : Types.config;
   session_timeout : float;
   mutable leader_hint : int;
@@ -53,7 +55,17 @@ let wait_response c req_id =
         Hashtbl.remove c.pending req_id;
         cancel_timer ())
 
-let rotate_leader c = c.leader_hint <- (c.leader_hint + 1) mod c.replicas
+(* Cycle through the last known membership (not a boot-time id range:
+   replicas added later must be probed, removed ones skipped). *)
+let rotate_leader c =
+  match c.known with
+  | [] -> ()
+  | members ->
+    let rec next = function
+      | [] -> List.hd members
+      | m :: rest -> if m > c.leader_hint then m else next rest
+    in
+    c.leader_hint <- next members
 
 (* Send a request and keep retrying until some leader answers it.  Safe for
    replicated commands thanks to state-machine deduplication. *)
@@ -67,9 +79,11 @@ let rpc c request =
       (Types.Client_req
          { req_id; session_timeout = c.session_timeout; request });
     match wait_response c req_id with
-    | Some (Types.Not_leader hint) ->
+    | Some (Types.Not_leader { hint; members }) ->
+      if members <> [] then c.known <- members;
       (match hint with
-       | Some leader when leader <> c.leader_hint -> c.leader_hint <- leader
+       | Some leader when leader <> c.leader_hint && List.mem leader c.known ->
+         c.leader_hint <- leader
        | Some _ | None ->
          rotate_leader c;
          Des.Proc.sleep (c.config.Types.request_timeout /. 10.));
@@ -139,6 +153,31 @@ let delete c ?expect_version ~key () =
   | other ->
     failwith
       (Printf.sprintf "Coord.Client.delete: bad result (%s)"
+         (Format.asprintf "%a" Types.pp_op_result other))
+
+(* ------------------------------------------------------------------ *)
+(* Membership changes *)
+
+let add_replica c ~id =
+  match
+    submit c (fun ~session ~req -> Types.Add_replica { session; req; id })
+  with
+  | Types.Config_ok -> Ok ()
+  | Types.Op_failed e -> Error e
+  | other ->
+    failwith
+      (Printf.sprintf "Coord.Client.add_replica: bad result (%s)"
+         (Format.asprintf "%a" Types.pp_op_result other))
+
+let remove_replica c ~id =
+  match
+    submit c (fun ~session ~req -> Types.Remove_replica { session; req; id })
+  with
+  | Types.Config_ok -> Ok ()
+  | Types.Op_failed e -> Error e
+  | other ->
+    failwith
+      (Printf.sprintf "Coord.Client.remove_replica: bad result (%s)"
          (Format.asprintf "%a" Types.pp_op_result other))
 
 (* ------------------------------------------------------------------ *)
@@ -214,7 +253,9 @@ let pinger c () =
     if not c.is_closed then ignore (rpc c Types.Ping)
   done
 
-let connect ~net ~id ~replicas ~config ?session_timeout ~name () =
+let connect ~net ~id ~members ~config ?session_timeout ~name () =
+  let known = List.sort compare members in
+  if known = [] then invalid_arg "Coord.Client.connect: empty membership";
   let session_timeout =
     Option.value session_timeout ~default:config.Types.default_session_timeout
   in
@@ -223,10 +264,10 @@ let connect ~net ~id ~replicas ~config ?session_timeout ~name () =
       session = id;
       cname = name;
       net;
-      replicas;
+      known;
       config;
       session_timeout;
-      leader_hint = 0;
+      leader_hint = List.hd known;
       next_req_id = 0;
       cmd_seq = 0;
       pending = Hashtbl.create 8;

@@ -13,10 +13,12 @@
 
 type t
 
+(** [members] seeds the leader search; the client refreshes its view from
+    [Not_leader] replies as the ensemble configuration changes. *)
 val connect :
   net:Types.msg Des.Net.t ->
   id:int ->
-  replicas:int ->
+  members:int list ->
   config:Types.config ->
   ?session_timeout:float ->
   name:string ->
@@ -44,6 +46,12 @@ val write :
 
 val delete :
   t -> ?expect_version:int -> key:string -> unit -> (unit, Types.op_error) result
+
+(** {1 Membership changes} — replicated like any command.  [Error
+    Config_pending] means another change is in flight; retry. *)
+
+val add_replica : t -> id:int -> (unit, Types.op_error) result
+val remove_replica : t -> id:int -> (unit, Types.op_error) result
 
 (** {1 Queries} — served by the leader from applied state. *)
 

@@ -1,20 +1,47 @@
 (** Assembles a coordination-service ensemble on a simulated network and
     hands out client sessions.
 
-    Network node ids [0 .. replicas-1] are replicas; client sessions take
-    ids from [replicas] upward. *)
+    Network node ids [0 .. replicas-1] are the boot replicas; client
+    sessions take ids from [replicas] up to [replicas + clients - 1];
+    [spares] node ids above the client range are reserved for replicas
+    added at runtime ({!add_replica}).  Membership is dynamic: the live
+    set of replica node ids is {!replica_ids}, not a contiguous range. *)
 
 type t
 
-(** [create ?replicas ?clients ?config sim] — [replicas] defaults to 3,
-    [clients] (client id slots) to 64. *)
+(** Membership lifecycle notification (joins, leaves, catch-ups); consumed
+    by the platform layer to emit trace events without a dependency from
+    here to the tracer. *)
+type event = { ev_name : string; ev_attrs : (string * string) list }
+
+(** [create ?replicas ?clients ?spares ?config ?on_event sim] — [replicas]
+    defaults to 3, [clients] (client id slots) to 64, [spares] (node ids
+    for runtime-added replicas) to 4. *)
 val create :
-  ?replicas:int -> ?clients:int -> ?config:Types.config -> Des.Sim.t -> t
+  ?replicas:int ->
+  ?clients:int ->
+  ?spares:int ->
+  ?config:Types.config ->
+  ?on_event:(event -> unit) ->
+  Des.Sim.t ->
+  t
 
 val sim : t -> Des.Sim.t
 val net : t -> Types.msg Des.Net.t
 val config : t -> Types.config
+
+(** Counters shared by every replica instance this ensemble ever created
+    (instances come and go across {!add_replica}/{!remove_replica}). *)
+val membership_stats : t -> Types.membership_stats
+
+(** Number of replica instances currently hosted (including removed-but-
+    still-running ones awaiting teardown or re-add). *)
 val replica_count : t -> int
+
+(** Node ids currently hosting a replica instance, sorted. *)
+val replica_ids : t -> int list
+
+(** The instance at node [i]. @raise Failure if no replica lives there. *)
 val replica : t -> int -> Replica.t
 
 (** Open a client session. *)
@@ -27,8 +54,8 @@ val crash_replica : t -> int -> unit
 val restart_replica : t -> int -> unit
 val replica_up : t -> int -> bool
 
-(** The current leader among live replicas (highest term wins if the view
-    is transiently split); [None] during elections. *)
+(** The current leader among live member replicas (highest term wins if
+    the view is transiently split); [None] during elections. *)
 val leader_id : t -> int option
 
 (** Block the calling process until a leader exists; returns its id. *)
@@ -36,3 +63,25 @@ val await_leader : t -> int
 
 (** The leader's applied store, for tests. @raise Failure if no leader. *)
 val leader_store : t -> Store.t
+
+(** The leader's effective membership; falls back to {!replica_ids} while
+    no leader is known. *)
+val members : t -> int list
+
+(** {1 Dynamic membership}
+
+    Both calls block the calling (simulated) process until the change
+    commits, retrying through [Config_pending] windows. *)
+
+(** [add_replica e ?id ()] boots a fresh learner instance at [id] (default:
+    a free spare slot) and asks the leader to add it; the leader catches
+    the learner up via log replay or snapshot before the configuration
+    changes.  If [id] hosted a replica before, that old instance is killed
+    and replaced — the re-add case.  Returns the node id. *)
+val add_replica : t -> ?id:int -> unit -> int
+
+(** [remove_replica e id] removes [id] from the replicated configuration.
+    The removed instance is deliberately left running (a decommissioned
+    server does not learn of its removal synchronously); crash it
+    afterwards with {!crash_replica} if silence is wanted. *)
+val remove_replica : t -> int -> unit

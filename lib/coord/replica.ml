@@ -6,10 +6,33 @@ type role = Follower | Candidate | Leader
 
 type session_info = { mutable last_seen : float; mutable timeout : float }
 
+(* A learner being caught up before it may count toward quorum: the leader
+   replicates to it like any peer, and once its match index reaches
+   [target] (the leader's last index when the join was requested) the
+   deferred [Add_replica] entry is appended and the configuration actually
+   changes — Raft §4.2.1's non-voting catch-up phase. *)
+type join = {
+  target : int;
+  add_cmd : Types.cmd;
+  reply_to : int * int; (* client node, req_id *)
+}
+
+(* Leader-side replication progress, one entry per target node id —
+   voting peers of the effective configuration plus any learners.  The
+   table replaces the old fixed [next_index]/[match_index] arrays, so
+   membership can grow and shrink at runtime. *)
+type progress = {
+  mutable next : int;
+  mutable match_ : int;
+  mutable pending_join : join option;
+}
+
 type t = {
   rid : int;
   net : Types.msg Des.Net.t;
-  replicas : int;
+  base_members : int list; (* canonical boot configuration *)
+  boot_voting : bool;      (* false iff created as a learner *)
+  stats : Types.membership_stats;
   config : Types.config;
   (* State that survives a crash (stable storage). *)
   mutable term : int;
@@ -21,14 +44,26 @@ type t = {
   mutable snapshot : (int * int * string) option;
       (* (last_included_index, last_included_term, serialized store);
          stable storage, like term/vote/log *)
+  (* Effective membership: the latest configuration entry present in the
+     log (committed or not — effective on append, Raft §4), on top of the
+     configuration the snapshot/boot base carries. *)
+  mutable members : int list;
+  mutable config_index : int;
+      (* log index the effective configuration took effect at; part of
+         the replication session id *)
+  mutable snapshot_members : int list; (* configuration as of [log_base] *)
+  mutable config_base : int;           (* identifier for that base config *)
+  mutable voting : bool;
+      (* a learner may not campaign until it has seen evidence of its own
+         membership (its Add entry, or a snapshot listing it) — otherwise
+         a freshly re-added empty node would disrupt elections *)
   (* Volatile state. *)
   mutable role : role;
   mutable leader_hint : int option;
   mutable commit_index : int;
   mutable last_applied : int;
   mutable machine : Store.t;
-  next_index : int array;
-  match_index : int array;
+  progress : (int, progress) Hashtbl.t;
   mutable votes : int list;
   mutable election_deadline : float;
   pending : (int, int * int) Hashtbl.t; (* log index -> client node, req_id *)
@@ -52,28 +87,110 @@ let has_snapshot r = Option.is_some r.snapshot
 let store r = r.machine
 let station_busy_time r = Des.Station.busy_time r.station
 let station_queue_length r = Des.Station.queue_length r.station
-let quorum r = (r.replicas / 2) + 1
+let members r = r.members
+let is_member r = Types.member r.members r.rid
+let quorum r = Types.quorum_of r.members
 let last_log_index r = r.log_base + Vec.length r.log - 1
 let entry_at r i = Vec.get r.log (i - r.log_base)
 let term_at r i = (entry_at r i).Types.term
+
+let progress_snapshot r =
+  Hashtbl.fold (fun peer p acc -> (peer, p.match_) :: acc) r.progress []
+  |> List.sort compare
+
+(* The replication session this leader is currently running: its vote
+   (term × id) crossed with the membership log id.  Any append reply
+   echoing a different session belongs to an earlier configuration or
+   term and must not touch progress tracking. *)
+let current_session r =
+  { Types.s_term = r.term; s_leader = r.rid; s_mlog = r.config_index }
 
 let reset_election_deadline r =
   let base = r.config.Types.election_timeout in
   let jitter = Des.Dist.uniform (Des.Sim.rng (sim r)) ~lo:0. ~hi:base in
   r.election_deadline <- now r +. base +. jitter
 
-let peers r = List.filter (fun p -> p <> r.rid) (List.init r.replicas Fun.id)
+let voting_peers r = Types.remove_member r.members r.rid
+
+(* Everyone the leader replicates to: voting peers plus learners. *)
+let replication_targets r =
+  Hashtbl.fold (fun peer _ acc -> peer :: acc) r.progress []
+
 let send_peer r dst pm = Des.Net.send r.net ~src:r.rid ~dst (Types.Peer pm)
 
 let send_resp r dst ~req_id response =
   Des.Net.send r.net ~src:r.rid ~dst (Types.Client_resp { req_id; response })
 
+let not_leader r = Types.Not_leader { hint = r.leader_hint; members = r.members }
+
+(* ------------------------------------------------------------------ *)
+(* Membership tracking (effective on append) *)
+
+(* Incremental update for an entry just appended at [index]. *)
+let note_config_append r index (cmd : Types.cmd) =
+  match cmd with
+  | Types.Add_replica { id; _ } ->
+    r.members <- Types.add_member r.members id;
+    r.config_index <- index;
+    if id = r.rid then r.voting <- true
+  | Types.Remove_replica { id; _ } ->
+    r.members <- Types.remove_member r.members id;
+    r.config_index <- index
+  | Types.Create _ | Types.Write _ | Types.Delete _ | Types.Expire_session _
+  | Types.Noop ->
+    ()
+
+(* Recompute from scratch: base configuration at [log_base], then every
+   configuration entry in the retained log.  Needed after a conflicting
+   suffix was truncated below [config_index] and on restart. *)
+let rescan_membership r =
+  let members = ref r.snapshot_members in
+  let cidx = ref r.config_base in
+  let voting =
+    ref
+      (r.boot_voting
+      || (r.config_base > 0 && Types.member r.snapshot_members r.rid))
+  in
+  for i = r.log_base + 1 to last_log_index r do
+    match (entry_at r i).Types.cmd with
+    | Types.Add_replica { id; _ } ->
+      members := Types.add_member !members id;
+      cidx := i;
+      if id = r.rid then voting := true
+    | Types.Remove_replica { id; _ } ->
+      members := Types.remove_member !members id;
+      cidx := i
+    | Types.Create _ | Types.Write _ | Types.Delete _ | Types.Expire_session _
+    | Types.Noop ->
+      ()
+  done;
+  r.members <- !members;
+  r.config_index <- !cidx;
+  r.voting <- !voting
+
+(* A configuration change may be proposed only when none is in flight:
+   the latest config entry is committed and no learner is catching up
+   (single-server changes, Raft §4.1). *)
+let config_change_pending r =
+  r.config_index > r.commit_index
+  || Hashtbl.fold
+       (fun _ p acc -> acc || p.pending_join <> None)
+       r.progress false
+
 (* ------------------------------------------------------------------ *)
 (* Sessions and watches (leader-local) *)
 
 let touch_session ?timeout r session =
+  let default = r.config.Types.default_session_timeout in
+  (* Clamp to a sane positive range (mirrors Fault.set_probability): NaN
+     makes every expiry comparison false — an immortal session — and a
+     non-positive timeout expires the session at the next reaper tick
+     while its client is still alive. *)
   let timeout =
-    Option.value timeout ~default:r.config.Types.default_session_timeout
+    match timeout with
+    | None -> default
+    | Some t when Float.is_nan t || t <= 0. -> default
+    | Some t -> Float.min t 86_400.
   in
   match Hashtbl.find_opt r.sessions session with
   | Some info ->
@@ -122,6 +239,7 @@ let fire_watches r changed_keys =
 let maybe_compact r =
   let threshold = r.config.Types.snapshot_threshold in
   if threshold > 0 && r.last_applied - r.log_base >= threshold then begin
+    let old_base = r.log_base in
     let data = Data.Sexp.to_string (Store.to_sexp r.machine) in
     let included_term = term_at r r.last_applied in
     r.snapshot <- Some (r.last_applied, included_term, data);
@@ -132,6 +250,11 @@ let maybe_compact r =
     done;
     r.log <- compacted;
     r.log_base <- r.last_applied;
+    (* The applied store carries the configuration as of the new base;
+       keep the config identifier of an entry that got compacted away. *)
+    r.snapshot_members <- Store.members r.machine;
+    if r.config_index > old_base && r.config_index <= r.log_base then
+      r.config_base <- r.config_index;
     Log.info (fun m ->
         m "replica %d: compacted log up to index %d" r.rid r.last_applied)
   end
@@ -157,10 +280,15 @@ let advance_commit r =
   let highest = ref r.commit_index in
   for candidate = r.commit_index + 1 to n do
     if term_at r candidate = r.term then begin
-      let acks = ref 1 (* self *) in
-      Array.iteri
-        (fun peer m -> if peer <> r.rid && m >= candidate then incr acks)
-        r.match_index;
+      let acks = ref 0 in
+      List.iter
+        (fun m ->
+          if m = r.rid then incr acks
+          else
+            match Hashtbl.find_opt r.progress m with
+            | Some p when p.match_ >= candidate -> incr acks
+            | Some _ | None -> ())
+        r.members;
       if !acks >= quorum r then highest := candidate
     end
   done;
@@ -181,7 +309,12 @@ let entries_from r start =
   if start > last then [] else collect stop []
 
 let send_append r peer =
-  let next = max r.next_index.(peer) 1 in
+  let session = current_session r in
+  let next =
+    match Hashtbl.find_opt r.progress peer with
+    | Some p -> max p.next 1
+    | None -> max 1 (last_log_index r + 1)
+  in
   if next <= r.log_base then
     (* The entries this follower needs were compacted away: ship the
        snapshot instead (Raft's InstallSnapshot). *)
@@ -189,7 +322,8 @@ let send_append r peer =
     | Some (last_included_index, last_included_term, data) ->
       send_peer r peer
         (Types.Install_snapshot
-           { term = r.term; last_included_index; last_included_term; data })
+           { session; term = r.term; last_included_index; last_included_term;
+             data })
     | None ->
       Log.err (fun m ->
           m "replica %d: next_index %d below log base %d with no snapshot"
@@ -199,6 +333,7 @@ let send_append r peer =
     send_peer r peer
       (Types.Append_entries
          {
+           session;
            term = r.term;
            prev_log_index = prev;
            prev_log_term = term_at r prev;
@@ -206,7 +341,7 @@ let send_append r peer =
            leader_commit = r.commit_index;
          })
 
-let replicate_all r = List.iter (send_append r) (peers r)
+let replicate_all r = List.iter (send_append r) (replication_targets r)
 
 let append_local r cmd =
   Vec.push r.log { Types.term = r.term; cmd };
@@ -239,7 +374,10 @@ let expire_dead_sessions r =
       Hashtbl.remove r.sessions session;
       ignore (append_local r (Types.Expire_session session)))
     dead;
-  if dead <> [] then replicate_all r
+  if dead <> [] then begin
+    replicate_all r;
+    advance_commit r
+  end
 
 (* The replication pump doubles as the heartbeat: it periodically sends
    append-entries (possibly empty) to every follower, retransmitting any
@@ -273,8 +411,14 @@ let become_leader r =
   Log.info (fun m -> m "replica %d: -> leader (term %d)" r.rid r.term);
   r.role <- Leader;
   r.leader_hint <- Some r.rid;
-  Array.fill r.next_index 0 r.replicas (last_log_index r + 1);
-  Array.fill r.match_index 0 r.replicas 0;
+  (* Fresh progress for the effective configuration; any learner being
+     caught up by the previous leader is dropped (its client retries). *)
+  Hashtbl.reset r.progress;
+  List.iter
+    (fun peer ->
+      Hashtbl.replace r.progress peer
+        { next = last_log_index r + 1; match_ = 0; pending_join = None })
+    (voting_peers r);
   (* Commit the new term immediately (Raft's no-op trick), so earlier-term
      entries become committable. *)
   ignore (append_local r Types.Noop);
@@ -282,23 +426,30 @@ let become_leader r =
      owning an ephemeral gets a fresh expiry clock. *)
   List.iter (touch_session r) (Store.ephemeral_owners r.machine);
   spawn_leader_duties r;
-  replicate_all r
+  replicate_all r;
+  advance_commit r
 
 let start_election r =
-  r.term <- r.term + 1;
-  r.role <- Candidate;
-  r.voted_for <- Some r.rid;
-  r.votes <- [ r.rid ];
-  reset_election_deadline r;
-  Log.debug (fun m -> m "replica %d: election for term %d" r.rid r.term);
-  let last = last_log_index r in
-  List.iter
-    (fun peer ->
-      send_peer r peer
-        (Types.Request_vote
-           { term = r.term; last_log_index = last; last_log_term = term_at r last }))
-    (peers r);
-  if quorum r = 1 then become_leader r
+  if not (r.voting && is_member r) then
+    (* Learners and removed servers do not campaign (Raft §4.2.1/§4.2.3);
+       push the deadline out instead of spinning on it every tick. *)
+    reset_election_deadline r
+  else begin
+    r.term <- r.term + 1;
+    r.role <- Candidate;
+    r.voted_for <- Some r.rid;
+    r.votes <- [ r.rid ];
+    reset_election_deadline r;
+    Log.debug (fun m -> m "replica %d: election for term %d" r.rid r.term);
+    let last = last_log_index r in
+    List.iter
+      (fun peer ->
+        send_peer r peer
+          (Types.Request_vote
+             { term = r.term; last_log_index = last; last_log_term = term_at r last }))
+      (voting_peers r);
+    if quorum r = 1 then become_leader r
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Peer message handling *)
@@ -309,103 +460,151 @@ let log_up_to_date r ~last_log_index:cand_last ~last_log_term:cand_term =
   cand_term > my_term || (cand_term = my_term && cand_last >= my_last)
 
 let handle_request_vote r src ~term ~last_log_index ~last_log_term =
-  if term > r.term then become_follower r term;
-  let granted =
-    term = r.term
-    && (match r.voted_for with None -> true | Some v -> v = src)
-    && log_up_to_date r ~last_log_index ~last_log_term
-  in
-  if granted then begin
-    r.voted_for <- Some src;
-    reset_election_deadline r
-  end;
-  send_peer r src (Types.Vote_reply { term = r.term; granted })
-
-let handle_vote_reply r src ~term ~granted =
-  if term > r.term then become_follower r term
-  else if r.role = Candidate && term = r.term && granted then begin
-    if not (List.mem src r.votes) then r.votes <- src :: r.votes;
-    if List.length r.votes >= quorum r then become_leader r
+  if not (Types.member r.members src) then
+    (* A removed server that never learned of its removal keeps
+       campaigning on ever-higher terms; adopting its term would depose
+       legitimate leaders (Raft §4.2.3).  Refuse without adopting. *)
+    send_peer r src (Types.Vote_reply { term = r.term; granted = false })
+  else begin
+    if term > r.term then become_follower r term;
+    let granted =
+      term = r.term
+      && (match r.voted_for with None -> true | Some v -> v = src)
+      && log_up_to_date r ~last_log_index ~last_log_term
+    in
+    if granted then begin
+      r.voted_for <- Some src;
+      reset_election_deadline r
+    end;
+    send_peer r src (Types.Vote_reply { term = r.term; granted })
   end
 
-let handle_append_entries r src ~term ~prev_log_index ~prev_log_term ~entries
-    ~leader_commit =
-  if term < r.term then
+let handle_vote_reply r src ~term ~granted =
+  if not (Types.member r.members src) then ()
+  else if term > r.term then become_follower r term
+  else if r.role = Candidate && term = r.term && granted then begin
+    if not (List.mem src r.votes) then r.votes <- src :: r.votes;
+    (* Count votes against the effective configuration: a vote from a
+       node removed since the ballot went out must not count. *)
+    if Types.count_votes ~members:r.members r.votes >= quorum r then
+      become_leader r
+  end
+
+let handle_append_entries r src ~session ~term ~prev_log_index ~prev_log_term
+    ~entries ~leader_commit =
+  let reply ~success ~match_index =
     send_peer r src
-      (Types.Append_reply { term = r.term; success = false; match_index = 0 })
+      (Types.Append_reply { session; term = r.term; success; match_index })
+  in
+  if term < r.term then reply ~success:false ~match_index:0
   else begin
     become_follower r term;
     r.leader_hint <- Some src;
     if prev_log_index < r.log_base then
       (* Everything at or below the log base is covered by our snapshot:
          acknowledge it so the leader advances next_index. *)
-      send_peer r src
-        (Types.Append_reply
-           { term = r.term; success = true; match_index = r.log_base })
+      reply ~success:true ~match_index:r.log_base
     else if
       prev_log_index > last_log_index r
       || term_at r prev_log_index <> prev_log_term
     then
       (* Log mismatch: hint the leader where to back up to. *)
-      send_peer r src
-        (Types.Append_reply
-           {
-             term = r.term;
-             success = false;
-             match_index =
-               min (last_log_index r) (max r.log_base (prev_log_index - 1));
-           })
+      reply ~success:false
+        ~match_index:
+          (min (last_log_index r) (max r.log_base (prev_log_index - 1)))
     else begin
       (* Append entries, truncating any conflicting suffix; duplicates from
          retransmissions are recognized and skipped. *)
+      let config_truncated = ref false in
       List.iteri
         (fun offset (entry : Types.log_entry) ->
           let index = prev_log_index + 1 + offset in
           if index <= r.log_base then () (* already in the snapshot *)
           else if index <= last_log_index r then begin
             if term_at r index <> entry.Types.term then begin
+              (* The truncated suffix may contain configuration entries;
+                 recompute the effective membership afterwards. *)
+              if r.config_index >= index then config_truncated := true;
               Vec.truncate r.log (index - r.log_base);
-              Vec.push r.log entry
+              Vec.push r.log entry;
+              note_config_append r index entry.Types.cmd
             end
           end
-          else Vec.push r.log entry)
+          else begin
+            Vec.push r.log entry;
+            note_config_append r index entry.Types.cmd
+          end)
         entries;
+      if !config_truncated then rescan_membership r;
       let matched = prev_log_index + List.length entries in
       if leader_commit > r.commit_index then begin
         r.commit_index <- min leader_commit (last_log_index r);
         apply_committed r
       end;
-      send_peer r src
-        (Types.Append_reply { term = r.term; success = true; match_index = matched })
+      reply ~success:true ~match_index:matched
     end
   end
 
-let handle_append_reply r src ~term ~success ~match_index =
-  if term > r.term then become_follower r term
-  else if r.role = Leader && term = r.term then
-    if success then begin
-      r.match_index.(src) <- max r.match_index.(src) match_index;
-      r.next_index.(src) <- r.match_index.(src) + 1;
-      advance_commit r
-    end
-    else begin
-      r.next_index.(src) <- max 1 (match_index + 1);
-      send_append r src
-    end
+(* A caught-up learner gets its deferred Add entry appended: from here on
+   the new configuration is effective at this leader and the node counts
+   toward quorum.  The client's reply rides the normal pending path (the
+   Add commits, Store.apply returns Config_ok). *)
+let maybe_promote r p =
+  match p.pending_join with
+  | Some j when p.match_ >= j.target ->
+    p.pending_join <- None;
+    r.stats.Types.catchups <- r.stats.Types.catchups + 1;
+    let index = append_local r j.add_cmd in
+    note_config_append r index j.add_cmd;
+    r.stats.Types.joins <- r.stats.Types.joins + 1;
+    let client, req_id = j.reply_to in
+    Hashtbl.replace r.pending index (client, req_id);
+    Log.info (fun m ->
+        m "replica %d: learner caught up, membership now [%s]" r.rid
+          (String.concat ";" (List.map string_of_int r.members)));
+    replicate_all r
+  | Some _ | None -> ()
 
-let handle_install_snapshot r src ~term ~last_included_index
+let handle_append_reply r src ~session ~term ~success ~match_index =
+  if term > r.term then become_follower r term
+  else if r.role = Leader && term = r.term then begin
+    if r.config.Types.session_ids && session <> current_session r then
+      (* Echo from a previous replication session — an earlier term, or a
+         configuration that has since changed.  If this node was removed
+         and re-added in between, the stale match index describes a log
+         the current incarnation does not have; honouring it would
+         corrupt progress tracking. *)
+      r.stats.Types.stale_sessions_rejected <-
+        r.stats.Types.stale_sessions_rejected + 1
+    else
+      match Hashtbl.find_opt r.progress src with
+      | None -> () (* not a replication target (removed meanwhile) *)
+      | Some p ->
+        if success then begin
+          p.match_ <- max p.match_ match_index;
+          p.next <- p.match_ + 1;
+          maybe_promote r p;
+          advance_commit r
+        end
+        else begin
+          p.next <- max 1 (match_index + 1);
+          send_append r src
+        end
+  end
+
+let handle_install_snapshot r src ~session ~term ~last_included_index
     ~last_included_term ~data =
-  if term < r.term then
+  let reply ~success ~match_index =
     send_peer r src
-      (Types.Append_reply { term = r.term; success = false; match_index = 0 })
+      (Types.Append_reply { session; term = r.term; success; match_index })
+  in
+  if term < r.term then reply ~success:false ~match_index:0
   else begin
     become_follower r term;
     r.leader_hint <- Some src;
     if last_included_index <= r.last_applied then
       (* Stale snapshot: we already have this prefix applied. *)
-      send_peer r src
-        (Types.Append_reply
-           { term = r.term; success = true; match_index = r.last_applied })
+      reply ~success:true ~match_index:r.last_applied
     else begin
       match Result.bind (Data.Sexp.of_string data) Store.of_sexp with
       | Error reason ->
@@ -419,12 +618,18 @@ let handle_install_snapshot r src ~term ~last_included_index
         r.commit_index <- last_included_index;
         r.last_applied <- last_included_index;
         r.snapshot <- Some (last_included_index, last_included_term, data);
+        (* The snapshot carries the configuration as of its index; with
+           the log reset, it is also the effective one.  A learner listed
+           in it has its membership confirmed. *)
+        r.snapshot_members <- Store.members machine;
+        r.config_base <- last_included_index;
+        r.members <- r.snapshot_members;
+        r.config_index <- r.config_base;
+        if Types.member r.snapshot_members r.rid then r.voting <- true;
         Log.info (fun m ->
             m "replica %d: installed snapshot at index %d" r.rid
               last_included_index);
-        send_peer r src
-          (Types.Append_reply
-             { term = r.term; success = true; match_index = last_included_index })
+        reply ~success:true ~match_index:last_included_index
     end
   end
 
@@ -434,13 +639,15 @@ let handle_peer r src pm =
     handle_request_vote r src ~term ~last_log_index ~last_log_term
   | Types.Vote_reply { term; granted } -> handle_vote_reply r src ~term ~granted
   | Types.Append_entries
-      { term; prev_log_index; prev_log_term; entries; leader_commit } ->
-    handle_append_entries r src ~term ~prev_log_index ~prev_log_term ~entries
-      ~leader_commit
-  | Types.Append_reply { term; success; match_index } ->
-    handle_append_reply r src ~term ~success ~match_index
-  | Types.Install_snapshot { term; last_included_index; last_included_term; data } ->
-    handle_install_snapshot r src ~term ~last_included_index
+      { session; term; prev_log_index; prev_log_term; entries; leader_commit }
+    ->
+    handle_append_entries r src ~session ~term ~prev_log_index ~prev_log_term
+      ~entries ~leader_commit
+  | Types.Append_reply { session; term; success; match_index } ->
+    handle_append_reply r src ~session ~term ~success ~match_index
+  | Types.Install_snapshot
+      { session; term; last_included_index; last_included_term; data } ->
+    handle_install_snapshot r src ~session ~term ~last_included_index
       ~last_included_term ~data
 
 (* ------------------------------------------------------------------ *)
@@ -469,9 +676,66 @@ let serve_query r src query =
     add_watch r.child_watches prefix src;
     Types.Watch_set
 
+(* Membership changes intercept the submit path: the entry must not be
+   appended blindly — single change at a time, adds of unknown nodes go
+   through learner catch-up first, and obviously-settled requests
+   (already a member / already gone) answer immediately so ensemble-level
+   retries converge. *)
+let handle_config_change r src ~req_id cmd =
+  let answer result = send_resp r src ~req_id (Types.Result result) in
+  match cmd with
+  | Types.Add_replica { id; _ } ->
+    if Types.member r.members id then answer Types.Config_ok
+    else if config_change_pending r then
+      answer (Types.Op_failed Types.Config_pending)
+    else if id < 0 || id >= Des.Net.node_count r.net || id = r.rid then
+      answer (Types.Op_failed Types.Config_invalid)
+    else begin
+      let p =
+        match Hashtbl.find_opt r.progress id with
+        | Some p -> p
+        | None ->
+          let p =
+            { next = last_log_index r + 1; match_ = 0; pending_join = None }
+          in
+          Hashtbl.replace r.progress id p;
+          p
+      in
+      p.pending_join <-
+        Some { target = last_log_index r; add_cmd = cmd; reply_to = (src, req_id) };
+      Log.info (fun m ->
+          m "replica %d: catching up learner %d to index %d" r.rid id
+            (last_log_index r));
+      send_append r id
+    end
+  | Types.Remove_replica { id; _ } ->
+    if not (Types.member r.members id) then answer Types.Config_ok
+    else if config_change_pending r then
+      answer (Types.Op_failed Types.Config_pending)
+    else if id = r.rid || List.length r.members <= 1 then
+      (* The leader never removes itself (no joint consensus here), and
+         the last member must stay. *)
+      answer (Types.Op_failed Types.Config_invalid)
+    else begin
+      let index = append_local r cmd in
+      note_config_append r index cmd;
+      r.stats.Types.leaves <- r.stats.Types.leaves + 1;
+      (* Stop replicating to it; its in-flight replies now carry a stale
+         session id and are rejected. *)
+      Hashtbl.remove r.progress id;
+      Hashtbl.replace r.pending index (src, req_id);
+      Log.info (fun m ->
+          m "replica %d: removing %d, membership now [%s]" r.rid id
+            (String.concat ";" (List.map string_of_int r.members)));
+      replicate_all r;
+      advance_commit r
+    end
+  | Types.Create _ | Types.Write _ | Types.Delete _ | Types.Expire_session _
+  | Types.Noop ->
+    assert false
+
 let handle_client r src ~req_id ~session_timeout request =
-  if r.role <> Leader then
-    send_resp r src ~req_id (Types.Not_leader r.leader_hint)
+  if r.role <> Leader then send_resp r src ~req_id (not_leader r)
   else begin
     touch_session ~timeout:session_timeout r src;
     match request with
@@ -482,21 +746,24 @@ let handle_client r src ~req_id ~session_timeout request =
       Hashtbl.remove r.sessions src;
       ignore (append_local r (Types.Expire_session src));
       replicate_all r;
-      if r.replicas = 1 then advance_commit r;
+      advance_commit r;
       send_resp r src ~req_id Types.Pong
     | Types.Query query ->
       send_resp r src ~req_id (Types.Query_result (serve_query r src query))
+    | Types.Submit ((Types.Add_replica _ | Types.Remove_replica _) as cmd) ->
+      Des.Station.request r.station ~service:r.config.Types.op_service_time;
+      if r.role <> Leader then send_resp r src ~req_id (not_leader r)
+      else handle_config_change r src ~req_id cmd
     | Types.Submit cmd ->
       (* The modeled per-op I/O cost: this blocks the main loop, so client
          commands queue here under load — the paper's throughput ceiling. *)
       Des.Station.request r.station ~service:r.config.Types.op_service_time;
-      if r.role <> Leader then
-        send_resp r src ~req_id (Types.Not_leader r.leader_hint)
+      if r.role <> Leader then send_resp r src ~req_id (not_leader r)
       else begin
         let index = append_local r cmd in
         Hashtbl.replace r.pending index (src, req_id);
         replicate_all r;
-        if r.replicas = 1 then advance_commit r
+        advance_commit r
       end
   end
 
@@ -520,26 +787,36 @@ let main_loop r () =
     if r.role <> Leader && now r >= r.election_deadline then start_election r
   done
 
-let create ~net ~id ~replicas ~config =
+let create ?(learner = false) ?stats ~net ~id ~members ~config () =
+  let base_members = List.sort compare members in
   let log = Vec.create () in
   Vec.push log { Types.term = 0; cmd = Types.Noop };
   {
     rid = id;
     net;
-    replicas;
+    base_members;
+    boot_voting = not learner;
+    stats =
+      (match stats with
+       | Some s -> s
+       | None -> Types.fresh_membership_stats ());
     config;
     term = 0;
     voted_for = None;
     log;
     log_base = 0;
     snapshot = None;
+    members = base_members;
+    config_index = 0;
+    snapshot_members = base_members;
+    config_base = 0;
+    voting = not learner;
     role = Follower;
     leader_hint = None;
     commit_index = 0;
     last_applied = 0;
-    machine = Store.create ();
-    next_index = Array.make replicas 1;
-    match_index = Array.make replicas 0;
+    machine = Store.create ~members:base_members ();
+    progress = Hashtbl.create 8;
     votes = [];
     election_deadline = 0.;
     pending = Hashtbl.create 64;
@@ -575,18 +852,26 @@ let reset_volatile r =
       | Ok machine ->
         r.machine <- machine;
         r.commit_index <- index;
-        r.last_applied <- index
+        r.last_applied <- index;
+        r.snapshot_members <- Store.members machine;
+        r.config_base <- index
       | Error reason ->
         Log.err (fun m -> m "replica %d: corrupt snapshot on restart: %s" r.rid reason);
-        r.machine <- Store.create ();
+        r.machine <- Store.create ~members:r.base_members ();
         r.commit_index <- r.log_base;
-        r.last_applied <- r.log_base)
+        r.last_applied <- r.log_base;
+        r.snapshot_members <- r.base_members;
+        r.config_base <- 0)
    | None ->
-     r.machine <- Store.create ();
+     r.machine <- Store.create ~members:r.base_members ();
      r.commit_index <- 0;
-     r.last_applied <- 0);
-  Array.fill r.next_index 0 r.replicas 1;
-  Array.fill r.match_index 0 r.replicas 0;
+     r.last_applied <- 0;
+     r.snapshot_members <- r.base_members;
+     r.config_base <- 0);
+  (* Effective membership follows the surviving log and snapshot. *)
+  r.voting <- r.boot_voting;
+  rescan_membership r;
+  Hashtbl.reset r.progress;
   r.votes <- [];
   Hashtbl.reset r.pending;
   Hashtbl.reset r.sessions;

@@ -8,17 +8,36 @@
     to a FIFO service station — the modeled ZooKeeper I/O cost that bounds
     transaction throughput in the paper's evaluation.
 
+    Membership is dynamic: [Add_replica]/[Remove_replica] commands flow
+    through the same log as data commands and take effect on {e append}
+    (single-server changes, Raft §4).  Quorum and vote counting always use
+    the effective configuration; replication progress is tracked per node
+    id, not per slot.  Every append/snapshot carries a replication session
+    id (leader vote × membership log id); replies echoing a stale session
+    are dropped, so a node removed and re-added within one term cannot
+    corrupt the fresh incarnation's progress tracking.
+
     Lifecycle is driven by {!Ensemble}: [create] then [start]; a crash is
     [stop] (plus {!Des.Net.crash}); a restart is [reset_volatile] then
     [start] again — term, vote and log survive, mimicking stable storage. *)
 
 type t
 
+(** [create ~net ~id ~members ~config ()] — [members] is the canonical
+    boot configuration (every instance of the ensemble must pass the same
+    list; see {!Store.create}).  [~learner:true] creates a non-voting
+    instance that will not campaign until it has seen evidence of its own
+    membership — an [Add_replica] entry for itself, or a snapshot whose
+    configuration lists it.  [?stats] shares membership counters across
+    the instances an ensemble creates over its lifetime. *)
 val create :
+  ?learner:bool ->
+  ?stats:Types.membership_stats ->
   net:Types.msg Des.Net.t ->
   id:int ->
-  replicas:int ->
+  members:int list ->
   config:Types.config ->
+  unit ->
   t
 
 (** Spawn the replica's processes (main loop; leaders add a replication
@@ -38,6 +57,22 @@ val id : t -> int
 val is_leader : t -> bool
 val term : t -> int
 val commit_index : t -> int
+
+(** Effective membership: boot/snapshot base plus every configuration
+    entry in the log, committed or not. *)
+val members : t -> int list
+
+(** Whether this replica is in its own effective configuration. *)
+val is_member : t -> bool
+
+(** Absolute index of the last log entry. *)
+val last_log_index : t -> int
+
+(** Leader-side replication progress as [(peer, match_index)] pairs,
+    sorted by peer id; empty on non-leaders.  Used by the chaos
+    progress-integrity invariant: a leader must never believe a peer has
+    replicated further than that peer's actual log. *)
+val progress_snapshot : t -> (int * int) list
 
 (** Retained (post-compaction) log entries. *)
 val log_length : t -> int

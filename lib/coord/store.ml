@@ -7,9 +7,20 @@ type t = {
   mutable entries : entry Smap.t;
   mutable seq_counter : int;
   mutable dedup : (int * Types.op_result) Imap.t; (* session -> last req, result *)
+  mutable members : int list;
+      (* ensemble configuration as of the *applied* prefix; every
+         instance must boot from the same list or replay diverges *)
 }
 
-let create () = { entries = Smap.empty; seq_counter = 0; dedup = Imap.empty }
+let create ?(members = []) () =
+  {
+    entries = Smap.empty;
+    seq_counter = 0;
+    dedup = Imap.empty;
+    members = List.sort compare members;
+  }
+
+let members t = t.members
 
 let parent key =
   match String.rindex_opt key '/' with
@@ -131,6 +142,14 @@ let apply t cmd =
     deduped session req (fun () -> do_delete t ~key ~expect_version)
   | Types.Expire_session session -> do_expire t session
   | Types.Noop -> (Types.Noop_ok, [])
+  | Types.Add_replica { session; req; id } ->
+    deduped session req (fun () ->
+        t.members <- Types.add_member t.members id;
+        (Types.Config_ok, []))
+  | Types.Remove_replica { session; req; id } ->
+    deduped session req (fun () ->
+        t.members <- Types.remove_member t.members id;
+        (Types.Config_ok, []))
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot codec *)
@@ -143,9 +162,12 @@ let result_to_sexp =
   | Types.Deleted_ok -> List [ Atom "deleted" ]
   | Types.Expired_ok -> List [ Atom "expired" ]
   | Types.Noop_ok -> List [ Atom "noop" ]
+  | Types.Config_ok -> List [ Atom "config" ]
   | Types.Op_failed Types.Key_missing -> List [ Atom "failed"; Atom "missing" ]
   | Types.Op_failed Types.Key_exists -> List [ Atom "failed"; Atom "exists" ]
   | Types.Op_failed Types.Bad_version -> List [ Atom "failed"; Atom "version" ]
+  | Types.Op_failed Types.Config_pending -> List [ Atom "failed"; Atom "pending" ]
+  | Types.Op_failed Types.Config_invalid -> List [ Atom "failed"; Atom "invalid" ]
 
 let result_of_sexp =
   let open Data.Sexp in
@@ -156,9 +178,14 @@ let result_of_sexp =
   | List [ Atom "deleted" ] -> Ok Types.Deleted_ok
   | List [ Atom "expired" ] -> Ok Types.Expired_ok
   | List [ Atom "noop" ] -> Ok Types.Noop_ok
+  | List [ Atom "config" ] -> Ok Types.Config_ok
   | List [ Atom "failed"; Atom "missing" ] -> Ok (Types.Op_failed Types.Key_missing)
   | List [ Atom "failed"; Atom "exists" ] -> Ok (Types.Op_failed Types.Key_exists)
   | List [ Atom "failed"; Atom "version" ] -> Ok (Types.Op_failed Types.Bad_version)
+  | List [ Atom "failed"; Atom "pending" ] ->
+    Ok (Types.Op_failed Types.Config_pending)
+  | List [ Atom "failed"; Atom "invalid" ] ->
+    Ok (Types.Op_failed Types.Config_invalid)
   | other -> Error ("Store.result_of_sexp: " ^ to_string other)
 
 let to_sexp t =
@@ -166,6 +193,7 @@ let to_sexp t =
   List
     [
       of_int t.seq_counter;
+      List (List.map of_int t.members);
       List
         (Smap.fold
            (fun key e acc ->
@@ -187,8 +215,19 @@ let ( let* ) r f = Result.bind r f
 
 let of_sexp sexp =
   match sexp with
-  | Data.Sexp.List [ seq; Data.Sexp.List entries; Data.Sexp.List dedup ] ->
+  | Data.Sexp.List
+      [ seq; Data.Sexp.List members; Data.Sexp.List entries;
+        Data.Sexp.List dedup ] ->
     let* seq_counter = Data.Sexp.to_int seq in
+    let* members =
+      List.fold_left
+        (fun acc m ->
+          let* acc = acc in
+          let* m = Data.Sexp.to_int m in
+          Ok (m :: acc))
+        (Ok []) members
+    in
+    let members = List.sort compare members in
     let* entries =
       List.fold_left
         (fun acc entry ->
@@ -218,5 +257,5 @@ let of_sexp sexp =
           | other -> Error ("bad dedup entry: " ^ Data.Sexp.to_string other))
         (Ok Imap.empty) dedup
     in
-    Ok { entries; seq_counter; dedup }
+    Ok { entries; seq_counter; dedup; members }
   | other -> Error ("Store.of_sexp: " ^ Data.Sexp.to_string other)

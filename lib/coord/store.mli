@@ -7,7 +7,16 @@
 
 type t
 
-val create : unit -> t
+(** [create ?members ()] — [members] is the boot-time ensemble
+    configuration.  Every instance (boot replicas and later-added
+    learners alike) must pass the {e same} canonical list: the member set
+    is part of the replicated state, so replaying the log from different
+    bases would diverge. *)
+val create : ?members:int list -> unit -> t
+
+(** Configuration as of the applied prefix (boot list plus every applied
+    [Add_replica]/[Remove_replica]), sorted. *)
+val members : t -> int list
 
 (** [apply t cmd] executes one committed command.  Returns its result and
     the list of keys whose state changed (used by the leader to fire

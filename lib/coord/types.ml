@@ -31,8 +31,19 @@ type cmd =
   | Delete of { session : int; req : int; key : string; expect_version : int option }
   | Expire_session of int (* proposed by the leader; system command *)
   | Noop (* appended by a fresh leader to commit its term *)
+  (* Single-server membership changes (Raft §4), replicated through the
+     same log as data commands.  They take effect on *append*, not on
+     commit: a replica uses the latest configuration entry in its log to
+     compute quorum and voting membership. *)
+  | Add_replica of { session : int; req : int; id : int }
+  | Remove_replica of { session : int; req : int; id : int }
 
-type op_error = Key_missing | Key_exists | Bad_version
+type op_error =
+  | Key_missing
+  | Key_exists
+  | Bad_version
+  | Config_pending (* another membership change is still in flight *)
+  | Config_invalid (* e.g. removing the leader or the last member *)
 
 type op_result =
   | Created of string (* the final key, with sequence suffix if requested *)
@@ -40,6 +51,7 @@ type op_result =
   | Deleted_ok
   | Expired_ok
   | Noop_ok
+  | Config_ok
   | Op_failed of op_error
 
 (* ------------------------------------------------------------------ *)
@@ -71,18 +83,36 @@ type query_result =
 
 type log_entry = { term : int; cmd : cmd }
 
+(* Identity of one leader's replication stream towards its peers: the
+   leader's vote (term × id) crossed with the log index of the latest
+   membership-configuration entry.  Carried on every append/snapshot and
+   echoed verbatim in the response, so the leader can tell a response that
+   belongs to the *current* progress-tracking session from one left over
+   from before a membership change — the openraft ReplicationSessionId
+   trap: remove a node and re-add it within one term, and a delayed
+   response from the old incarnation would otherwise corrupt the
+   fresh progress entry. *)
+type session_id = { s_term : int; s_leader : int; s_mlog : int }
+
 type peer_msg =
   | Request_vote of { term : int; last_log_index : int; last_log_term : int }
   | Vote_reply of { term : int; granted : bool }
   | Append_entries of {
+      session : session_id;
       term : int;
       prev_log_index : int;
       prev_log_term : int;
       entries : log_entry list;
       leader_commit : int;
     }
-  | Append_reply of { term : int; success : bool; match_index : int }
+  | Append_reply of {
+      session : session_id; (* echoed from the request *)
+      term : int;
+      success : bool;
+      match_index : int;
+    }
   | Install_snapshot of {
+      session : session_id;
       term : int;
       last_included_index : int;
       last_included_term : int;
@@ -99,7 +129,10 @@ type response =
   | Pong
   | Result of op_result
   | Query_result of query_result
-  | Not_leader of int option (* best-known leader id *)
+  | Not_leader of { hint : int option; members : int list }
+      (* best-known leader id plus the responder's view of the effective
+         membership, so clients connected before a config change stop
+         cycling departed boot-time node ids *)
 
 type msg =
   | Peer of peer_msg
@@ -127,6 +160,8 @@ type config = {
   batch_limit : int;        (* max log entries per Append_entries *)
   snapshot_threshold : int; (* applied entries kept in the log before
                                compacting into a snapshot; 0 disables *)
+  session_ids : bool;       (* reject append replies from a stale
+                               replication session; ablation hook *)
 }
 
 let default_config =
@@ -140,14 +175,54 @@ let default_config =
     request_timeout = 1.0;
     batch_limit = 64;
     snapshot_threshold = 50_000;
+    session_ids = true;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Membership helpers (pure; shared by replicas, tests and harnesses) *)
+
+let member members id = List.mem id members
+
+let add_member members id =
+  if List.mem id members then members else List.sort compare (id :: members)
+
+let remove_member members id = List.filter (fun m -> m <> id) members
+
+(* Majority of the *effective* configuration. *)
+let quorum_of members = (List.length members / 2) + 1
+
+(* Votes (or acks) that actually count: one per distinct member.  A vote
+   from a node outside [members] — a removed server still campaigning, a
+   learner not yet promoted — never counts. *)
+let count_votes ~members votes =
+  List.length
+    (List.sort_uniq compare (List.filter (fun v -> List.mem v members) votes))
+
+(* ------------------------------------------------------------------ *)
+(* Membership counters, shared by every replica instance an ensemble
+   creates (instances come and go across add/remove; the counters must
+   survive them). *)
+
+type membership_stats = {
+  mutable joins : int;   (* Add_replica entries appended by a leader *)
+  mutable leaves : int;  (* Remove_replica entries appended by a leader *)
+  mutable catchups : int;
+      (* learners that reached their catch-up target and were promoted *)
+  mutable stale_sessions_rejected : int;
+      (* append replies dropped because their session id was stale *)
+}
+
+let fresh_membership_stats () =
+  { joins = 0; leaves = 0; catchups = 0; stale_sessions_rejected = 0 }
 
 let pp_op_error fmt e =
   Format.pp_print_string fmt
     (match e with
      | Key_missing -> "key missing"
      | Key_exists -> "key exists"
-     | Bad_version -> "bad version")
+     | Bad_version -> "bad version"
+     | Config_pending -> "config change pending"
+     | Config_invalid -> "config change invalid")
 
 let pp_op_result fmt = function
   | Created k -> Format.fprintf fmt "created %s" k
@@ -155,4 +230,5 @@ let pp_op_result fmt = function
   | Deleted_ok -> Format.pp_print_string fmt "deleted"
   | Expired_ok -> Format.pp_print_string fmt "session expired"
   | Noop_ok -> Format.pp_print_string fmt "noop"
+  | Config_ok -> Format.pp_print_string fmt "config ok"
   | Op_failed e -> Format.fprintf fmt "failed: %a" pp_op_error e

@@ -58,6 +58,24 @@ let spec t = t.pspec
 let controllers t = t.control
 let workers t = t.work
 let coord t = t.ensembles.(0)
+let coord_ensemble t sid = t.ensembles.(sid)
+
+(* Membership counters summed across shards (each ensemble's instances
+   share one stats record; here we merge the per-shard records). *)
+let membership_stats t =
+  let total = Coord.Types.fresh_membership_stats () in
+  Array.iter
+    (fun e ->
+      let s = Coord.Ensemble.membership_stats e in
+      total.Coord.Types.joins <- total.Coord.Types.joins + s.Coord.Types.joins;
+      total.Coord.Types.leaves <- total.Coord.Types.leaves + s.Coord.Types.leaves;
+      total.Coord.Types.catchups <-
+        total.Coord.Types.catchups + s.Coord.Types.catchups;
+      total.Coord.Types.stale_sessions_rejected <-
+        total.Coord.Types.stale_sessions_rejected
+        + s.Coord.Types.stale_sessions_rejected)
+    t.ensembles;
+  total
 let shard_count t = t.pspec.shards
 
 (* Shard responsible for a transaction: where its single-shard execution
@@ -177,10 +195,17 @@ let connect_worker t sid wname =
 
 let create pspec env ~initial_tree ~devices psim =
   let pspec = { pspec with shards = max 1 pspec.shards } in
+  let on_event =
+    Option.map
+      (fun tracer { Coord.Ensemble.ev_name; ev_attrs } ->
+        Trace.instant tracer ~txn:0 ~cat:"membership" ~name:ev_name
+          ~attrs:ev_attrs ())
+      pspec.trace
+  in
   let ensembles =
     Array.init pspec.shards (fun _ ->
         Coord.Ensemble.create ~replicas:pspec.coord_replicas
-          ~clients:pspec.client_slots ~config:pspec.coord_config psim)
+          ~clients:pspec.client_slots ~config:pspec.coord_config ?on_event psim)
   in
   let device_lookup = Physical.lookup_of_list devices in
   let device_roots = List.map Devices.Device.root devices in

@@ -147,6 +147,13 @@ val leader_stats : t -> leader_stats
 (** Shard 0's (global) coordination ensemble. *)
 val coord : t -> Coord.Ensemble.t
 
+(** Shard [sid]'s coordination ensemble. *)
+val coord_ensemble : t -> int -> Coord.Ensemble.t
+
+(** Membership counters (joins, leaves, catch-ups, stale replication
+    sessions rejected) summed across all shards' ensembles. *)
+val membership_stats : t -> Coord.Types.membership_stats
+
 (** Sum of controller-CPU busy time (all controllers; only the leader
     accrues). *)
 val controller_cpu_busy : t -> float

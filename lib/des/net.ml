@@ -12,6 +12,7 @@ type 'm t = {
   up : bool array;
   inboxes : (int * 'm) Channel.t array;
   mutable cuts : Pair_set.t;
+  extra_delay : float array;
   mutable n_delivered : int;
   mutable n_dropped : int;
 }
@@ -29,6 +30,7 @@ let create ?(latency = default_latency) ?(drop_rate = 0.) sim ~nodes =
       Array.init nodes (fun i ->
           Channel.create ~name:(Printf.sprintf "inbox-%d" i) ());
     cuts = Pair_set.empty;
+    extra_delay = Array.make nodes 0.;
     n_delivered = 0;
     n_dropped = 0;
   }
@@ -49,7 +51,10 @@ let send net ~src ~dst msg =
   in
   if not deliverable then net.n_dropped <- net.n_dropped + 1
   else begin
-    let delay = net.latency ~src ~dst ~rng:(Sim.rng net.net_sim) in
+    let delay =
+      net.latency ~src ~dst ~rng:(Sim.rng net.net_sim)
+      +. net.extra_delay.(src)
+    in
     ignore
       (Sim.after net.net_sim delay (fun () ->
            if net.up.(dst) then begin
@@ -86,5 +91,10 @@ let partition net group_a group_b =
 
 let heal net = net.cuts <- Pair_set.empty
 let set_drop_rate net p = net.drop_rate <- p
+
+let set_node_delay net i extra =
+  net.extra_delay.(i) <- (if extra > 0. then extra else 0.)
+
+let node_delay net i = net.extra_delay.(i)
 let delivered net = net.n_delivered
 let dropped net = net.n_dropped

@@ -41,6 +41,15 @@ val heal : 'm t -> unit
 
 val set_drop_rate : 'm t -> float -> unit
 
+(** [set_node_delay net i extra] adds [extra] seconds of latency to every
+    message node [i] {e sends} (egress congestion: the node still hears
+    the world on time, but the world hears it late).  Pass [0.] (or a
+    negative value) to clear.  Messages already in flight keep the delay
+    drawn at send time. *)
+val set_node_delay : 'm t -> int -> float -> unit
+
+val node_delay : 'm t -> int -> float
+
 (** Total messages actually delivered (for tests / stats). *)
 val delivered : 'm t -> int
 

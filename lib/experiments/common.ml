@@ -115,6 +115,14 @@ let robust_summary c =
     c.rc_auto_terms c.rc_auto_kills c.rc_sheds c.rc_breaker_trips
     c.rc_breaker_probes c.rc_breaker_closes c.rc_breaker_deferrals
 
+let membership_summary platform =
+  let m = Tropic.Platform.membership_stats platform in
+  Printf.sprintf
+    "membership: %d joins / %d leaves / %d catchups, %d stale sessions \
+     rejected"
+    m.Coord.Types.joins m.Coord.Types.leaves m.Coord.Types.catchups
+    m.Coord.Types.stale_sessions_rejected
+
 (* Per-phase p50/p99 breakdown from the leader's recorders; empty phases
    print n/a rather than a placeholder 0. *)
 let phase_summary platform =

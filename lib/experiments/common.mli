@@ -67,6 +67,11 @@ val robust_summary : robust_counters -> string
     phases with no samples print [n/a]. *)
 val phase_summary : Tropic.Platform.t -> string
 
+(** One-line summary of the coordination-membership counters summed over
+    every shard's ensemble (joins, leaves, catch-ups, stale replication
+    sessions rejected).  All zeroes on runs with no membership churn. *)
+val membership_summary : Tropic.Platform.t -> string
+
 (** Write [tracer]'s Chrome trace-event JSON to [file] and return the
     lifecycle-invariant violations {!Trace.Check.validate} found (ideally
     none). *)

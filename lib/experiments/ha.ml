@@ -12,6 +12,7 @@ type result = {
   sched : Common.sched_counters;
   robust : Common.robust_counters;
   phases : string;
+  membership : string;
 }
 
 (* Historical seed of this experiment's runs; --seed overrides it. *)
@@ -119,6 +120,7 @@ let run ?(seed = default_seed) ?(session_timeout = 10.) ?(rate = 2.)
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
     phases = Common.phase_summary platform;
+    membership = Common.membership_summary platform;
   }
 
 let print r =
@@ -131,5 +133,5 @@ let print r =
     r.recovery_seconds;
   Printf.printf "submitted=%d committed=%d aborted=%d lost=%d (paper: 0 lost)\n"
     r.submitted r.committed r.aborted r.lost;
-  Printf.printf "%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
-    (Common.robust_summary r.robust) r.phases
+  Printf.printf "%s\n%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust) r.phases r.membership

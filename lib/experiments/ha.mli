@@ -22,6 +22,7 @@ type result = {
   robust : Common.robust_counters;
       (** surviving leader's retry/timeout/signal tallies *)
   phases : string;  (** per-phase p50/p99 latency breakdown *)
+  membership : string;  (** coordination membership/session counters *)
 }
 
 (** Simulation seed used when [?seed] is not given. *)

@@ -16,6 +16,7 @@ type result = {
   sched : Common.sched_counters;
   robust : Common.robust_counters;
   phases : string;
+  membership : string;
   trace : Trace.t option;
 }
 
@@ -136,6 +137,7 @@ let run ?(seed = default_seed) ?(rate = 1.0) ?(duration = 300.)
     sched = Common.sched_counters platform;
     robust = Common.robust_counters platform;
     phases = Common.phase_summary platform;
+    membership = Common.membership_summary platform;
     trace = tracer;
   }
 
@@ -158,5 +160,5 @@ let print r =
   Printf.printf
     "lock-conflict deferrals: %d; constraint violations: %d; layers consistent at end: %b\n"
     r.deferrals r.violations r.layers_consistent;
-  Printf.printf "%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
-    (Common.robust_summary r.robust) r.phases
+  Printf.printf "%s\n%s\n%s\n%s\n%!" (Common.sched_summary r.sched)
+    (Common.robust_summary r.robust) r.phases r.membership

@@ -23,6 +23,7 @@ type result = {
   sched : Common.sched_counters;  (** leader's wake-on-release counters *)
   robust : Common.robust_counters;  (** leader's retry/timeout/signal tallies *)
   phases : string;  (** per-phase p50/p99 breakdown (simulate/lock-wait/...) *)
+  membership : string;  (** coordination membership/session counters *)
   trace : Trace.t option;  (** span recorder, when [record_trace] was set *)
 }
 

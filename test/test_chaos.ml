@@ -244,6 +244,58 @@ let test_no_2pc_convicted () =
         (Str_contains.contains (Chaos.Runner.reproducer r) "no-2pc"))
     sweep.Chaos.Runner.violating
 
+let member_churn =
+  match Chaos.Schedule.find "member-churn" with
+  | Some s -> s
+  | None -> Alcotest.fail "member-churn preset missing"
+
+(* Replicas removed and re-added within one leader term, with a delayed-
+   egress window keeping the old incarnation's high-match append replies
+   in flight across the churn, plus a crash and a partition between
+   churns.  With replication session ids the stale echoes are rejected
+   (the counters prove the window was actually exercised) and the sweep
+   stays clean. *)
+let test_member_churn_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ member_churn ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations);
+      check bool_c
+        (Printf.sprintf "seed %d: membership actually churned"
+           r.Chaos.Runner.seed)
+        true
+        (r.Chaos.Runner.joins > 0 && r.Chaos.Runner.leaves > 0
+        && r.Chaos.Runner.catchups > 0))
+    sweep.Chaos.Runner.runs;
+  let fenced =
+    List.exists (fun r -> r.Chaos.Runner.stale_sessions > 0)
+      sweep.Chaos.Runner.runs
+  in
+  check bool_c "stale session echoes rejected on some seed" true fenced
+
+(* Without session ids the stale echoes are honoured: the leader's
+   progress entry for the rejoined node runs ahead of its actual log, and
+   the progress-integrity invariant convicts. *)
+let test_no_session_id_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.No_session_ids } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ member_churn ]
+      ~seeds:(List.init 3 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  List.iter
+    (fun r ->
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "no-session-id"))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -270,6 +322,8 @@ let suite =
     ("sweep: no-plan-deps build convicted", `Slow, test_no_plan_deps_convicted);
     ("sweep: shard-crash clean with 2PC", `Slow, test_shard_crash_clean);
     ("sweep: no-2pc build convicted", `Slow, test_no_2pc_convicted);
+    ("sweep: member-churn clean with session ids", `Slow, test_member_churn_clean);
+    ("sweep: no-session-id build convicted", `Slow, test_no_session_id_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- sched        # contention bench -> BENCH_sched.json
      dune exec bench/main.exe -- overload     # shed-vs-queue -> BENCH_overload.json
      dune exec bench/main.exe -- shard        # shard scaling -> BENCH_shard.json
+     dune exec bench/main.exe -- throughput   # saturation + group commit -> BENCH_throughput.json
      dune exec bench/main.exe -- table1|fig3|fig4|fig5|safety|robustness|
                                  ha|hosting|scale|ablation
    TROPIC_BENCH_QUICK=1 shrinks the long runs. *)
@@ -567,6 +568,208 @@ let run_shard_bench () =
     monotonic_1_to_4
 
 (* ------------------------------------------------------------------ *)
+(* Saturation throughput macro-benchmark (BENCH_throughput.json)
+
+   A closed-loop load generator: N client sessions, each with zero think
+   time, toggling its own VM start/stop on its own host — the single-shard
+   hosting mix, so there is no lock contention and the ceiling is the
+   coordination write path (every persist, queue item and record delete is
+   a replicated command charged to the leader's op-service station).  The
+   ladder raises N until committed-txn/s plateaus; each level reports the
+   rate plus the driver-observed commit-latency p50/p99.  Run once with
+   group commit (per-txn persists coalesced into one grouped append per
+   quorum round) and once with the [group_commit:false] ablation, whose
+   per-command station charge is the pre-batching baseline the headline
+   ratio is measured against. *)
+
+type tp_point = {
+  tp_sessions : int;
+  tp_committed : int;
+  tp_other : int;  (* aborted/failed — expected 0 on this workload *)
+  tp_virtual_s : float;
+  tp_rate : float;
+  tp_p50 : float;
+  tp_p99 : float;
+  tp_flushes : int;
+  tp_mean_batch : float;
+  tp_max_batch : int;
+}
+
+let run_throughput_point ~group_commit ~sessions ~ops =
+  let sim = Des.Sim.create ~seed:42 () in
+  let size =
+    {
+      Tcloud.Setup.small with
+      Tcloud.Setup.compute_hosts = sessions;
+      prepopulated_vms_per_host = 1;
+    }
+  in
+  let inv = Tcloud.Setup.build ~rng:(Des.Sim.rng sim) size in
+  let spec =
+    {
+      Tropic.Platform.default_spec with
+      Tropic.Platform.controllers = 1;
+      workers = 4;
+      shards = 1;
+      (* Physical replay stubbed to a fixed small delay: the measured
+         ceiling must be the coordination write path, not device time. *)
+      mode = Tropic.Platform.Logical_only 0.002;
+      (* Disk-backed log: 5 ms fsync per append round (both arms), so the
+         op-service station — not the LAN round trip — is the ceiling the
+         batcher amortizes.  The flush timer stays well under the fsync. *)
+      coord_config =
+        {
+          Coord.Types.default_config with
+          Coord.Types.group_commit;
+          op_service_time = 0.005;
+          group_timeout = 0.001;
+        };
+      controller_config = Tcloud.Setup.controller_config;
+      submit_clients = min sessions 16;
+      (* Overlap the controller's burst persists through a session pool so
+         they ride shared group-commit batches (both arms get the pool;
+         only the batcher turns the overlap into fewer fsync rounds). *)
+      persist_clients = 8;
+      trace = None;
+    }
+  in
+  let platform =
+    Tropic.Platform.create spec inv.Tcloud.Setup.env
+      ~initial_tree:inv.Tcloud.Setup.tree ~devices:inv.Tcloud.Setup.devices sim
+  in
+  let committed = ref 0 and other = ref 0 and live = ref 0 in
+  let elapsed = ref 0. in
+  let lat = Metrics.Cdf.create () in
+  let driver h () =
+    let host = Data.Path.to_string (Tcloud.Setup.compute_path h) in
+    let vm = Tcloud.Setup.prepop_vm_name ~host:h ~index:0 in
+    let one proc args =
+      let t0 = Des.Sim.now sim in
+      (match Tropic.Platform.run_txn platform ~proc ~args with
+       | Tropic.Txn.Committed ->
+         incr committed;
+         Metrics.Cdf.add lat (Des.Sim.now sim -. t0)
+       | _ -> incr other)
+    in
+    for _ = 1 to ops do
+      one "startVM" (Tcloud.Procs.start_vm_args ~host ~vm);
+      one "stopVM" (Tcloud.Procs.stop_vm_args ~host ~vm)
+    done;
+    decr live
+  in
+  ignore
+    (Des.Proc.spawn ~name:"throughput-bench" sim (fun () ->
+         ignore (Tropic.Platform.await_shard_leader platform 0);
+         let t0 = Des.Sim.now sim in
+         live := sessions;
+         for h = 0 to sessions - 1 do
+           ignore
+             (Des.Proc.spawn ~name:(Printf.sprintf "session-%d" h) sim
+                (driver h))
+         done;
+         while !live > 0 do
+           Des.Proc.sleep 0.25
+         done;
+         elapsed := Des.Sim.now sim -. t0));
+  ignore (Des.Sim.run ~until:100_000. sim);
+  (match Des.Sim.failures sim with
+   | [] -> ()
+   | (who, exn) :: _ ->
+     failwith (Printf.sprintf "%s crashed: %s" who (Printexc.to_string exn)));
+  let g = Tropic.Platform.group_commit_stats platform in
+  {
+    tp_sessions = sessions;
+    tp_committed = !committed;
+    tp_other = !other;
+    tp_virtual_s = !elapsed;
+    tp_rate =
+      (if !elapsed > 0. then float_of_int !committed /. !elapsed else 0.);
+    tp_p50 = Metrics.Cdf.quantile lat 0.5;
+    tp_p99 = Metrics.Cdf.quantile lat 0.99;
+    tp_flushes = g.Coord.Types.flushes;
+    tp_mean_batch =
+      (if g.Coord.Types.flushes = 0 then 0.
+       else
+         float_of_int g.Coord.Types.batched_cmds
+         /. float_of_int g.Coord.Types.flushes);
+    tp_max_batch = g.Coord.Types.max_batch;
+  }
+
+let run_throughput_bench () =
+  let quick = Experiments.Common.quick_mode () in
+  let ladder = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  (* Closed loop with a fixed per-ladder transaction budget, so high
+     concurrency levels don't multiply the run length. *)
+  let budget = if quick then 96 else 512 in
+  Experiments.Common.section
+    (Printf.sprintf
+       "Saturation throughput: committed-txn/s vs closed-loop sessions \
+        (budget %d txns/level)"
+       budget);
+  let run_ladder ~group_commit =
+    List.map
+      (fun sessions ->
+        let ops = max 2 (budget / (2 * sessions)) in
+        run_throughput_point ~group_commit ~sessions ~ops)
+      ladder
+  in
+  let on_pts = run_ladder ~group_commit:true in
+  let off_pts = run_ladder ~group_commit:false in
+  let print_ladder label pts =
+    Printf.printf "%s\n%10s %10s %8s %12s %10s %10s %10s %9s\n" label
+      "sessions" "committed" "other" "virtual s" "txn/s" "p50 ms" "p99 ms"
+      "batch";
+    List.iter
+      (fun p ->
+        Printf.printf "%10d %10d %8d %12.2f %10.2f %10.2f %10.2f %8.1f\n"
+          p.tp_sessions p.tp_committed p.tp_other p.tp_virtual_s p.tp_rate
+          (1e3 *. p.tp_p50) (1e3 *. p.tp_p99) p.tp_mean_batch)
+      pts
+  in
+  print_ladder "group commit ON" on_pts;
+  print_ladder "group commit OFF (ablation)" off_pts;
+  let last l = List.nth l (List.length l - 1) in
+  let penultimate l = List.nth l (List.length l - 2) in
+  let top_on = last on_pts and top_off = last off_pts in
+  (* Saturation: the last doubling of sessions buys < 25% more rate. *)
+  let plateau = top_on.tp_rate < 1.25 *. (penultimate on_pts).tp_rate in
+  let ratio =
+    if top_off.tp_rate > 0. then top_on.tp_rate /. top_off.tp_rate else 0.
+  in
+  let out = "BENCH_throughput.json" in
+  let oc = open_out out in
+  let point_json p =
+    Printf.sprintf
+      "    { \"sessions\": %d, \"committed\": %d, \"other\": %d,\n\
+      \      \"virtual_s\": %.3f, \"txn_per_s\": %.3f,\n\
+      \      \"commit_p50_s\": %.5f, \"commit_p99_s\": %.5f,\n\
+      \      \"flushes\": %d, \"mean_batch\": %.2f, \"max_batch\": %d }"
+      p.tp_sessions p.tp_committed p.tp_other p.tp_virtual_s p.tp_rate
+      p.tp_p50 p.tp_p99 p.tp_flushes p.tp_mean_batch p.tp_max_batch
+  in
+  let ladder_json pts = String.concat ",\n" (List.map point_json pts) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"throughput-saturation\",\n\
+    \  \"generated_by\": \"bench/main.exe throughput\",\n\
+    \  \"quick\": %b,\n\
+    \  \"txn_budget_per_level\": %d,\n\
+    \  \"group_commit_on\": [\n%s\n  ],\n\
+    \  \"group_commit_off\": [\n%s\n  ],\n\
+    \  \"headline\": { \"saturating_sessions\": %d, \"on_txn_per_s\": %.3f, \
+     \"off_txn_per_s\": %.3f, \"speedup\": %.3f, \"meets_3x_target\": %b, \
+     \"saturated\": %b }\n\
+     }\n"
+    quick budget (ladder_json on_pts) (ladder_json off_pts)
+    top_on.tp_sessions top_on.tp_rate top_off.tp_rate ratio (ratio >= 3.)
+    plateau;
+  close_out oc;
+  Printf.printf
+    "wrote %s (at %d sessions: on %.1f txn/s vs off %.1f txn/s = %.2fx, \
+     saturated: %b)\n\n%!"
+    out top_on.tp_sessions top_on.tp_rate top_off.tp_rate ratio plateau
+
+(* ------------------------------------------------------------------ *)
 (* Experiment harness entries *)
 
 let quick () = Experiments.Common.quick_mode ()
@@ -611,6 +814,7 @@ let run_all () =
   run_sched_bench ();
   run_overload_bench ();
   run_shard_bench ();
+  run_throughput_bench ();
   Experiments.Perf.print_fig3 ();
   run_fig45 ();
   run_safety ();
@@ -627,6 +831,7 @@ let () =
   | [ _; "sched" ] -> run_sched_bench ()
   | [ _; "overload" ] -> run_overload_bench ()
   | [ _; "shard" ] -> run_shard_bench ()
+  | [ _; "throughput" ] -> run_throughput_bench ()
   | [ _; "table1" ] -> Experiments.Table1.print ()
   | [ _; "fig3" ] -> Experiments.Perf.print_fig3 ()
   | [ _; ("fig4" | "fig5") ] -> run_fig45 ()
@@ -639,5 +844,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe \
-       [all|micro|sched|overload|shard|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
+       [all|micro|sched|overload|shard|throughput|table1|fig3|fig4|fig5|safety|robustness|ha|hosting|scale|ablation]";
     exit 2

@@ -255,6 +255,12 @@ let print_chaos_result ~with_trace r =
        sessions rejected\n"
       r.Chaos.Runner.joins r.Chaos.Runner.leaves r.Chaos.Runner.catchups
       r.Chaos.Runner.stale_sessions;
+  if r.Chaos.Runner.group_flushes > 0 then
+    Printf.printf
+      "       group-commit: %d flushes, %d cmds batched, acks %d deferred \
+       / %d unsafe\n"
+      r.Chaos.Runner.group_flushes r.Chaos.Runner.group_batched
+      r.Chaos.Runner.acks_deferred r.Chaos.Runner.unsafe_acks;
   if r.Chaos.Runner.shards > 1 then begin
     Printf.printf "       2pc: %d started / %d committed / %d aborted / %d prepares (%d shards)\n"
       r.Chaos.Runner.twopc_started r.Chaos.Runner.twopc_committed
@@ -377,7 +383,8 @@ let chaos_cmd =
   let build =
     let doc =
       "Build to exercise: stock, no-constraints, no-guard-locks, \
-       no-watchdog, no-breaker, no-plan-deps, no-2pc or no-session-id."
+       no-watchdog, no-breaker, no-plan-deps, no-2pc, no-session-id or \
+       unsafe-ack."
     in
     Arg.(value & opt string "stock" & info [ "build" ] ~doc)
   in

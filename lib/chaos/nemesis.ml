@@ -16,11 +16,13 @@ type t = {
   mutable fired_count : int;
   mutable removed : string list;
   mutable storm_submitted : string list; (* storm VM names, newest first *)
+  mutable storm_ids : int list; (* acked storm txn ids, newest first *)
 }
 
 let fired t = t.fired_count
 let oob_removed t = t.removed
 let storm_vms t = t.storm_submitted
+let storm_txns t = t.storm_ids
 
 let pick t = function
   | [] -> None
@@ -349,12 +351,18 @@ let request_storm t count gap =
     for i = 1 to count do
       let vm = Printf.sprintf "storm%03d" i in
       t.storm_submitted <- vm :: t.storm_submitted;
-      ignore
-        (Tropic.Platform.submit t.nenv.platform ~proc:"spawnVM"
-           ~args:
-             (Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:256
-                ~storage:(Data.Path.to_string (Tcloud.Setup.storage_path 0))
-                ~host:(Data.Path.to_string root)));
+      (* [submit] returning means the enqueue was acked by the
+         coordination service — from here on the request must be durable
+         (the acked-durable invariant holds every one of these ids to a
+         terminal record at quiescence). *)
+      let id =
+        Tropic.Platform.submit t.nenv.platform ~proc:"spawnVM"
+          ~args:
+            (Tcloud.Procs.spawn_vm_args ~vm ~template:"base.img" ~mem_mb:256
+               ~storage:(Data.Path.to_string (Tcloud.Setup.storage_path 0))
+               ~host:(Data.Path.to_string root))
+      in
+      t.storm_ids <- id :: t.storm_ids;
       Des.Proc.sleep gap
     done;
     t.nenv.trace "storm submitted"
@@ -472,6 +480,7 @@ let install env schedule =
       fired_count = 0;
       removed = [];
       storm_submitted = [];
+      storm_ids = [];
     }
   in
   List.iteri

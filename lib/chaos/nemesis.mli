@@ -34,3 +34,9 @@ val oob_removed : t -> string list
     harness never awaits them, so their fate (committed, shed, aborted on
     capacity) is unpredictable and the quiescence check must skip them. *)
 val storm_vms : t -> string list
+
+(** Transaction ids of the storm submissions, i.e. every id whose enqueue
+    the coordination service acked.  While a storm txn's {e fate} is
+    unpredictable, its {e existence} is not: an acked submission must
+    reach some terminal record — the acked-durable invariant. *)
+val storm_txns : t -> int list

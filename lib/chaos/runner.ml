@@ -7,6 +7,7 @@ type build =
   | No_plan_deps
   | No_2pc
   | No_session_ids
+  | Unsafe_ack
 
 let build_to_string = function
   | Stock -> "stock"
@@ -17,6 +18,7 @@ let build_to_string = function
   | No_plan_deps -> "no-plan-deps"
   | No_2pc -> "no-2pc"
   | No_session_ids -> "no-session-id"
+  | Unsafe_ack -> "unsafe-ack"
 
 let build_of_string = function
   | "stock" -> Ok Stock
@@ -27,11 +29,13 @@ let build_of_string = function
   | "no-plan-deps" -> Ok No_plan_deps
   | "no-2pc" -> Ok No_2pc
   | "no-session-id" | "no-session-ids" -> Ok No_session_ids
+  | "unsafe-ack" -> Ok Unsafe_ack
   | other ->
     Error
       (Printf.sprintf
          "unknown build %S (expected stock, no-constraints, no-guard-locks, \
-          no-watchdog, no-breaker, no-plan-deps, no-2pc or no-session-id)"
+          no-watchdog, no-breaker, no-plan-deps, no-2pc, no-session-id or \
+          unsafe-ack)"
          other)
 
 type config = {
@@ -75,6 +79,10 @@ type result = {
   leaves : int;
   catchups : int;
   stale_sessions : int; (* append replies rejected as stale-session *)
+  group_flushes : int;
+  group_batched : int; (* commands that rode a grouped append *)
+  acks_deferred : int; (* acks held back until batch quorum *)
+  unsafe_acks : int;   (* acks released before quorum (unsafe-ack build) *)
   shards : int;
   per_shard : string list;
   violations : Invariant.violation list;
@@ -261,7 +269,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
       Tcloud.Procs.register_all env;
       env
     | Stock | No_guard_locks | No_watchdog | No_breaker | No_plan_deps
-    | No_2pc | No_session_ids ->
+    | No_2pc | No_session_ids | Unsafe_ack ->
       inventory.Tcloud.Setup.env
   in
   (* No_watchdog strips the whole robustness layer — watchdog AND the
@@ -307,6 +315,20 @@ let run_one ?(trace = false) config ~schedule ~seed =
           {
             Coord.Types.default_config with
             Coord.Types.session_ids = config.build <> No_session_ids;
+            (* Unsafe_ack releases client acks at enqueue instead of
+               after batch quorum: a coordination leader crash inside the
+               batch window then loses acked submissions — the ablation
+               the commit-storm schedule must convict.  For that schedule
+               only, the batch window is stretched to the storm's
+               submission gap so a leader crash during the storm reliably
+               lands while acked commands are still short of quorum;
+               stock group commit defers those acks and stays clean
+               regardless.  Other schedules keep the default window —
+               their convictions are tuned to sub-ms ack latency. *)
+            unsafe_ack = config.build = Unsafe_ack;
+            group_timeout =
+              (if schedule.Schedule.name = "commit-storm" then 0.05
+               else Coord.Types.default_config.Coord.Types.group_timeout);
           };
         controller_config;
         (* Generous enough that a healed 8 s partition does not expire
@@ -555,6 +577,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
      divergence has no repair rule (out-of-band removals), and settle. *)
   let quiesced = ref false in
   let final_states = Hashtbl.create 64 in
+  let storm_states = Hashtbl.create 64 in
   ignore
     (Des.Proc.spawn ~name:"quiesce-monitor" sim (fun () ->
          let deadline = config.horizon -. (3. *. config.quiesce_grace) -. 20. in
@@ -564,6 +587,22 @@ let run_one ?(trace = false) config ~schedule ~seed =
          let schedule_end = Schedule.end_time schedule +. 10. in
          if Des.Sim.now sim < schedule_end then
            Des.Proc.sleep (schedule_end -. Des.Sim.now sim);
+         (* The storm's fire-and-forget backlog must also drain before
+            quiescence is declared: acked submissions still parked behind
+            workload locks are live transactions, not durability
+            violations.  Bounded by the same deadline — a backlog that
+            never drains is a wedge the invariants should convict. *)
+         let storm_live () =
+           List.exists
+             (fun id ->
+               match Tropic.Platform.txn_state platform id with
+               | Some state -> not (Tropic.Txn.is_terminal state)
+               | None -> false)
+             (Nemesis.storm_txns nemesis)
+         in
+         while storm_live () && Des.Sim.now sim < deadline do
+           Des.Proc.sleep 5.0
+         done;
          Des.Proc.sleep config.quiesce_grace;
          if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
          if reload_unrepairable () > 0 then Des.Proc.sleep config.quiesce_grace;
@@ -589,6 +628,16 @@ let run_one ?(trace = false) config ~schedule ~seed =
                     | None -> ()))
                report.Plan.Executor.history)
            !plan_reports;
+         (* Storm submissions are fire-and-forget, but each returned id
+            was acked by the coordination service — read their records
+            here (client queries must run inside the simulation) for the
+            acked-durable check below. *)
+         List.iter
+           (fun id ->
+             match Tropic.Platform.txn_state platform id with
+             | Some state -> Hashtbl.replace storm_states id state
+             | None -> ())
+           (Nemesis.storm_txns nemesis);
          quiesced := true));
   (* Drive the simulation by hand so the run ends at quiescence instead of
      grinding heartbeats until the horizon. *)
@@ -600,16 +649,23 @@ let run_one ?(trace = false) config ~schedule ~seed =
     ()
   done;
   Invariant.stop tracker;
-  (* Scheduler counters of whoever leads each shard at quiescence
-     (controller crash/fail-over resets them with the controller
-     instance), summed into platform totals; [per_shard] keeps the
-     breakdown for the run line on multi-shard platforms. *)
+  (* Cumulative scheduler counters per shard: the leader at quiescence
+     plus the banked totals of every instance a crash retired, summed
+     into platform totals; [per_shard] keeps the breakdown for the run
+     line on multi-shard platforms.  Latency percentiles come from the
+     final leader only (quantiles don't merge). *)
   let shard_stats =
     List.filter_map
       (fun sid ->
+        let retired = Tropic.Platform.shard_retired_stats platform sid in
         match Tropic.Platform.shard_leader platform sid with
-        | None -> None
-        | Some leader -> Some (sid, Tropic.Controller.stats leader))
+        | None -> Some (sid, Tropic.Controller.copy_stats retired)
+        | Some leader ->
+          (* Leader counters plus whatever earlier (crashed) instances
+             banked — a late fail-over must not erase the shard's totals. *)
+          let s = Tropic.Controller.copy_stats (Tropic.Controller.stats leader) in
+          Tropic.Controller.absorb_stats ~into:s retired;
+          Some (sid, s))
       (List.init (Tropic.Platform.shard_count platform) Fun.id)
   in
   let sum f = List.fold_left (fun acc (_, s) -> acc + f s) 0 shard_stats in
@@ -662,6 +718,7 @@ let run_one ?(trace = false) config ~schedule ~seed =
     else []
   in
   let membership = Tropic.Platform.membership_stats platform in
+  let group = Tropic.Platform.group_commit_stats platform in
   (* Evaluate *)
   let ordered_ops = List.sort (fun (a, _) (b, _) -> compare a b) !ops in
   let txns =
@@ -780,6 +837,71 @@ let run_one ?(trace = false) config ~schedule ~seed =
       !plan_reports
     |> List.rev
   in
+  (* Acked-implies-durable: [submit] returning means the coordination
+     service acked the enqueue, so every such id must carry a terminal
+     transaction record at quiescence.  A missing record means the acked
+     submission was lost (the post-crash coordination leader never had
+     it); an id acked twice means a lost enqueue's sequence number was
+     recycled.  Stock group commit releases acks only after batch quorum
+     and stays clean; the unsafe-ack build acks at enqueue and loses the
+     batch window's tail on a leader crash.  Skipped when not quiesced —
+     such runs already carry the [quiescence] violation. *)
+  let acked_durable_violations =
+    if not !quiesced then []
+    else begin
+      let now = Des.Sim.now sim in
+      let seen = Hashtbl.create 64 in
+      List.iter (fun (id, _) -> Hashtbl.replace seen id ()) !ops;
+      List.concat_map
+        (fun id ->
+          let recycled =
+            if Hashtbl.mem seen id then
+              [
+                {
+                  Invariant.invariant = "acked-durable";
+                  at = now;
+                  detail =
+                    Printf.sprintf
+                      "txn id %d acked twice: a lost acked enqueue's \
+                       sequence number was recycled"
+                      id;
+                };
+              ]
+            else begin
+              Hashtbl.replace seen id ();
+              []
+            end
+          in
+          let lost =
+            match Hashtbl.find_opt storm_states id with
+            | Some state when Tropic.Txn.is_terminal state -> []
+            | Some state ->
+              [
+                {
+                  Invariant.invariant = "acked-durable";
+                  at = now;
+                  detail =
+                    Printf.sprintf "acked txn %d still %s at quiescence" id
+                      (Tropic.Txn.state_to_string state);
+                };
+              ]
+            | None ->
+              [
+                {
+                  Invariant.invariant = "acked-durable";
+                  at = now;
+                  detail =
+                    Printf.sprintf
+                      "acked txn %d has no transaction record at \
+                       quiescence: the acked submission was lost"
+                      id;
+                };
+              ]
+          in
+          recycled @ lost)
+        (Nemesis.storm_txns nemesis)
+    end
+  in
   let horizon_violations =
     if !quiesced then []
     else
@@ -830,12 +952,16 @@ let run_one ?(trace = false) config ~schedule ~seed =
     leaves = membership.Coord.Types.leaves;
     catchups = membership.Coord.Types.catchups;
     stale_sessions = membership.Coord.Types.stale_sessions_rejected;
+    group_flushes = group.Coord.Types.flushes;
+    group_batched = group.Coord.Types.batched_cmds;
+    acks_deferred = group.Coord.Types.acks_deferred;
+    unsafe_acks = group.Coord.Types.unsafe_acks;
     shards = Tropic.Platform.shard_count platform;
     per_shard;
     violations =
       Invariant.tracker_violations tracker
       @ quiescence_violations @ crash_violations @ plan_violations
-      @ horizon_violations @ trace_violations;
+      @ acked_durable_violations @ horizon_violations @ trace_violations;
     trace = List.rev !trace_buf;
     phases;
     span_dump = (if trace then Trace.to_normalized_lines tracer else []);

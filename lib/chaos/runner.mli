@@ -33,6 +33,10 @@
     append replies, so a replica removed and re-added within one term can
     poison the leader's progress tracking with acks from its previous
     incarnation — the member-churn schedule's [progress-integrity]
+    invariant convicts it; [Unsafe_ack] makes the coordination leader
+    release client acks at enqueue time instead of after its group-commit
+    batch reaches quorum, so a leader crash inside the batch window loses
+    acked submissions — the commit-storm schedule's [acked-durable]
     invariant convicts it. *)
 type build =
   | Stock
@@ -43,6 +47,7 @@ type build =
   | No_plan_deps
   | No_2pc
   | No_session_ids
+  | Unsafe_ack
 
 val build_to_string : build -> string
 val build_of_string : string -> (build, string) result
@@ -90,6 +95,12 @@ type result = {
   stale_sessions : int;
       (** append replies dropped for carrying a stale replication
           session id (proof the churn window was actually exercised) *)
+  group_flushes : int;  (** grouped appends the coordination leader flushed *)
+  group_batched : int;  (** client commands that rode a grouped append *)
+  acks_deferred : int;  (** acks held back until their batch reached quorum *)
+  unsafe_acks : int;
+      (** acks released before quorum — nonzero only on the unsafe-ack
+          build (proof the ablation was actually exercised) *)
   shards : int;  (** resource-tree shards the platform ran with *)
   per_shard : string list;
       (** one per-shard counter line per shard leader (sheds, wakeups,

@@ -344,6 +344,31 @@ let member_churn =
       ];
   }
 
+(* The durability gauntlet for group commit: an open-loop request storm
+   keeps the coordination leader's append batcher full while
+   leader-targeted replica crashes land inside the batch windows — the
+   gap between an enqueue's ack and its batch reaching quorum is exactly
+   where an early ack loses the request.  Stock group commit releases
+   acks only after batch quorum, so every acked submission survives into
+   the new term and the run stays clean; the unsafe-ack build acks at
+   enqueue time and the acked-durable invariant convicts it (a lost
+   acked submission has no transaction record at quiescence, or its
+   recycled id collides with a later one).  The storm fires after the
+   chain workload's submission wave so lost sequence numbers stay
+   visibly unfilled.  Appended last so preset indices stay stable. *)
+let commit_storm =
+  {
+    name = "commit-storm";
+    workload = Chains;
+    shards = 1;
+    steps =
+      [
+        at 40. (Request_storm { count = 60; gap = 0.05 });
+        every ~start:40.3 ~period:2.5 ~until:48.
+          (Crash_coord_replica { target = Leader; down_for = 2. });
+      ];
+  }
+
 let presets =
   [
     controller_crashes;
@@ -357,6 +382,7 @@ let presets =
     plan_crash;
     shard_crash;
     member_churn;
+    commit_storm;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) presets

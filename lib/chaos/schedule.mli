@@ -140,6 +140,14 @@ val shard_crash : t
     invariant. *)
 val member_churn : t
 
+(** The group-commit durability gauntlet: an open-loop request storm
+    keeps the coordination leader's append batcher full while
+    leader-targeted replica crashes land inside the batch windows.
+    Stock group commit acks only after batch quorum, so every acked
+    submission survives; the unsafe-ack build (acks at enqueue) is
+    convicted by the acked-durable invariant. *)
+val commit_storm : t
+
 (** All of the above, in sweep order. *)
 val presets : t list
 

@@ -7,6 +7,7 @@ type t = {
   slots : (int, Replica.t) Hashtbl.t; (* node id -> current instance *)
   up : (int, bool) Hashtbl.t;
   stats : Types.membership_stats;
+  gstats : Types.group_stats;
   boot_members : int list;
   mutable next_client : int;
   client_base : int;
@@ -33,12 +34,14 @@ let create ?(replicas = 3) ?(clients = 64) ?(spares = 4)
   let enet = Des.Net.create ~latency:lan_latency sim ~nodes in
   let boot_members = List.init replicas Fun.id in
   let stats = Types.fresh_membership_stats () in
+  let gstats = Types.fresh_group_stats () in
   let slots = Hashtbl.create 8 in
   let up = Hashtbl.create 8 in
   List.iter
     (fun id ->
       let r =
-        Replica.create ~stats ~net:enet ~id ~members:boot_members ~config ()
+        Replica.create ~stats ~gstats ~net:enet ~id ~members:boot_members
+          ~config ()
       in
       Hashtbl.replace slots id r;
       Hashtbl.replace up id true;
@@ -51,6 +54,7 @@ let create ?(replicas = 3) ?(clients = 64) ?(spares = 4)
     slots;
     up;
     stats;
+    gstats;
     boot_members;
     next_client = replicas;
     client_base = replicas;
@@ -65,6 +69,7 @@ let sim e = e.esim
 let net e = e.enet
 let config e = e.econfig
 let membership_stats e = e.stats
+let group_stats e = e.gstats
 let replica_count e = Hashtbl.length e.slots
 
 let replica_ids e =
@@ -176,8 +181,8 @@ let add_replica e ?id () =
   Des.Net.crash e.enet id;
   Des.Net.restart e.enet id;
   let r =
-    Replica.create ~learner:true ~stats:e.stats ~net:e.enet ~id
-      ~members:e.boot_members ~config:e.econfig ()
+    Replica.create ~learner:true ~stats:e.stats ~gstats:e.gstats ~net:e.enet
+      ~id ~members:e.boot_members ~config:e.econfig ()
   in
   Hashtbl.replace e.slots id r;
   Hashtbl.replace e.up id true;

@@ -34,6 +34,9 @@ val config : t -> Types.config
     (instances come and go across {!add_replica}/{!remove_replica}). *)
 val membership_stats : t -> Types.membership_stats
 
+(** Group-commit counters, shared across instances the same way. *)
+val group_stats : t -> Types.group_stats
+
 (** Number of replica instances currently hosted (including removed-but-
     still-running ones awaiting teardown or re-add). *)
 val replica_count : t -> int

@@ -27,12 +27,23 @@ type progress = {
   mutable pending_join : join option;
 }
 
+(* One client command parked in the group-commit batch.  [b_acked] marks
+   commands already answered at enqueue (the unsafe-ack ablation): they
+   must not be answered again when the batch bounces or commits. *)
+type batch_item = {
+  b_client : int;
+  b_req : int;
+  b_cmd : Types.cmd;
+  b_acked : bool;
+}
+
 type t = {
   rid : int;
   net : Types.msg Des.Net.t;
   base_members : int list; (* canonical boot configuration *)
   boot_voting : bool;      (* false iff created as a learner *)
   stats : Types.membership_stats;
+  gstats : Types.group_stats;
   config : Types.config;
   (* State that survives a crash (stable storage). *)
   mutable term : int;
@@ -71,6 +82,14 @@ type t = {
   key_watches : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   child_watches : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable station : Des.Station.t;
+  (* Group-commit batcher (leader-only).  Commands are consed on in arrival
+     order and reversed at flush, so log order preserves submit order. *)
+  mutable batch : batch_item list;
+  mutable batch_len : int;
+  mutable batch_deadline : float;
+  mutable batch_signal : unit Des.Channel.t;
+      (* one token per empty->nonempty transition; wakes the timeout
+         flusher *)
   mutable stop_requested : bool;
   mutable procs : Des.Proc.t list;
 }
@@ -87,6 +106,8 @@ let has_snapshot r = Option.is_some r.snapshot
 let store r = r.machine
 let station_busy_time r = Des.Station.busy_time r.station
 let station_queue_length r = Des.Station.queue_length r.station
+let group_stats r = r.gstats
+let batch_length r = r.batch_len
 let members r = r.members
 let is_member r = Types.member r.members r.rid
 let quorum r = Types.quorum_of r.members
@@ -348,6 +369,65 @@ let append_local r cmd =
   last_log_index r
 
 (* ------------------------------------------------------------------ *)
+(* Group commit (paper's throughput ceiling): the per-op persistence cost
+   used to be charged once per Submit, serializing client commands through
+   the station one fsync at a time.  The batcher coalesces them: commands
+   enqueue for free, and a flush — triggered by size or timeout — pays one
+   station round for the whole batch, appends every command, and starts
+   one replication round.  Acks stay quorum-gated: [apply_committed]
+   releases them when the batch's entries commit. *)
+
+(* Bounce the parked batch back to its clients (leadership lost before the
+   flush): they retry against the new leader, and the store's per-session
+   dedup keeps every command exactly-once.  Already-acked (unsafe-ack)
+   items get no second answer. *)
+let bounce_batch r =
+  if r.batch <> [] then begin
+    let items = r.batch in
+    r.batch <- [];
+    r.batch_len <- 0;
+    List.iter
+      (fun item ->
+        if not item.b_acked then
+          send_resp r item.b_client ~req_id:item.b_req (not_leader r))
+      items
+  end
+
+let flush_batch r trigger =
+  match r.batch with
+  | [] -> ()
+  | _ ->
+    let items = List.rev r.batch in
+    let size = r.batch_len in
+    r.batch <- [];
+    r.batch_len <- 0;
+    (* One amortized persistence charge for the whole batch — the group
+       commit.  This blocks (possibly behind earlier station jobs), so
+       re-check leadership afterwards. *)
+    Des.Station.request r.station ~service:r.config.Types.op_service_time;
+    if r.role <> Leader then
+      List.iter
+        (fun item ->
+          if not item.b_acked then
+            send_resp r item.b_client ~req_id:item.b_req (not_leader r))
+        items
+    else begin
+      List.iter
+        (fun item ->
+          let index = append_local r item.b_cmd in
+          if not item.b_acked then
+            Hashtbl.replace r.pending index (item.b_client, item.b_req))
+        items;
+      Types.note_batch r.gstats size;
+      (match trigger with
+       | `Full -> r.gstats.Types.flush_full <- r.gstats.Types.flush_full + 1
+       | `Timeout ->
+         r.gstats.Types.flush_timeout <- r.gstats.Types.flush_timeout + 1);
+      replicate_all r;
+      advance_commit r
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Role transitions *)
 
 let become_follower r term =
@@ -358,6 +438,9 @@ let become_follower r term =
   if r.role <> Follower then
     Log.debug (fun m -> m "replica %d: -> follower (term %d)" r.rid r.term);
   r.role <- Follower;
+  (* A deposed leader's parked batch never flushes; bounce it so its
+     clients retry at the new leader instead of waiting out the timeout. *)
+  bounce_batch r;
   reset_election_deadline r
 
 let expire_dead_sessions r =
@@ -405,12 +488,44 @@ let spawn_leader_duties r =
           if still_leading () then expire_dead_sessions r
         done)
   in
-  r.procs <- pump :: reaper :: r.procs
+  (* Timeout side of the group-commit batcher: each empty->nonempty batch
+     transition sends one token; the flusher sleeps out the batch's
+     deadline and flushes whatever is still parked.  A batch that hit
+     [group_size] first was already flushed inline — the leftover token
+     finds an empty batch and the wakeup no-ops. *)
+  let flusher =
+    Des.Proc.spawn ~name:(Printf.sprintf "replica-%d-group" r.rid) (sim r)
+      (fun () ->
+        while still_leading () do
+          (match
+             Des.Channel.recv_timeout r.batch_signal
+               ~timeout:r.config.Types.session_check_interval
+           with
+           | None -> ()
+           | Some () ->
+             (* Sleep out the deadline of whatever batch is open when the
+                sleep ends — the one this token announced may have been
+                size-flushed and replaced meanwhile. *)
+             while still_leading () && r.batch <> [] && r.batch_deadline > now r
+             do
+               Des.Proc.sleep (r.batch_deadline -. now r)
+             done;
+             if still_leading () then flush_batch r `Timeout)
+        done)
+  in
+  r.procs <- pump :: reaper :: flusher :: r.procs
 
 let become_leader r =
   Log.info (fun m -> m "replica %d: -> leader (term %d)" r.rid r.term);
   r.role <- Leader;
   r.leader_hint <- Some r.rid;
+  (* Fresh batcher state for this leadership: any parked batch was bounced
+     on step-down, and a fresh signal channel keeps a lingering flusher
+     from an earlier epoch from eating this epoch's wakeup tokens. *)
+  r.batch <- [];
+  r.batch_len <- 0;
+  r.batch_signal <-
+    Des.Channel.create ~name:(Printf.sprintf "replica-%d-batch" r.rid) ();
   (* Fresh progress for the effective configuration; any learner being
      caught up by the previous leader is dropped (its client retries). *)
   Hashtbl.reset r.progress;
@@ -754,9 +869,41 @@ let handle_client r src ~req_id ~session_timeout request =
       Des.Station.request r.station ~service:r.config.Types.op_service_time;
       if r.role <> Leader then send_resp r src ~req_id (not_leader r)
       else handle_config_change r src ~req_id cmd
+    | Types.Submit cmd when r.config.Types.group_commit ->
+      (* Group commit: enqueue for free; the batch pays one amortized
+         station round when it flushes on size or timeout.  The ack is
+         released by [apply_committed] once the batch reaches quorum. *)
+      let acked =
+        r.config.Types.unsafe_ack
+        && begin
+          (* DURABILITY ABLATION: answer from a speculative apply before
+             the command is replicated.  The per-session dedup absorbs
+             the duplicate apply when the batch commits; a leader crash
+             before quorum loses a command the client believes durable —
+             the hazard the commit-storm preset convicts. *)
+          let result, changed = Store.apply r.machine cmd in
+          send_resp r src ~req_id (Types.Result result);
+          fire_watches r changed;
+          r.gstats.Types.unsafe_acks <- r.gstats.Types.unsafe_acks + 1;
+          true
+        end
+      in
+      if not acked then
+        r.gstats.Types.acks_deferred <- r.gstats.Types.acks_deferred + 1;
+      let was_empty = r.batch = [] in
+      r.batch <-
+        { b_client = src; b_req = req_id; b_cmd = cmd; b_acked = acked }
+        :: r.batch;
+      r.batch_len <- r.batch_len + 1;
+      if was_empty then begin
+        r.batch_deadline <- now r +. r.config.Types.group_timeout;
+        Des.Channel.send r.batch_signal ()
+      end;
+      if r.batch_len >= r.config.Types.group_size then flush_batch r `Full
     | Types.Submit cmd ->
-      (* The modeled per-op I/O cost: this blocks the main loop, so client
-         commands queue here under load — the paper's throughput ceiling. *)
+      (* Ungrouped baseline: the modeled per-op I/O cost blocks the main
+         loop, so client commands serialize here one fsync at a time —
+         the paper's throughput ceiling, kept as an ablation. *)
       Des.Station.request r.station ~service:r.config.Types.op_service_time;
       if r.role <> Leader then send_resp r src ~req_id (not_leader r)
       else begin
@@ -787,7 +934,7 @@ let main_loop r () =
     if r.role <> Leader && now r >= r.election_deadline then start_election r
   done
 
-let create ?(learner = false) ?stats ~net ~id ~members ~config () =
+let create ?(learner = false) ?stats ?gstats ~net ~id ~members ~config () =
   let base_members = List.sort compare members in
   let log = Vec.create () in
   Vec.push log { Types.term = 0; cmd = Types.Noop };
@@ -800,6 +947,10 @@ let create ?(learner = false) ?stats ~net ~id ~members ~config () =
       (match stats with
        | Some s -> s
        | None -> Types.fresh_membership_stats ());
+    gstats =
+      (match gstats with
+       | Some s -> s
+       | None -> Types.fresh_group_stats ());
     config;
     term = 0;
     voted_for = None;
@@ -824,6 +975,11 @@ let create ?(learner = false) ?stats ~net ~id ~members ~config () =
     key_watches = Hashtbl.create 64;
     child_watches = Hashtbl.create 64;
     station = Des.Station.create ~name:(Printf.sprintf "replica-%d-io" id) (Des.Net.sim net);
+    batch = [];
+    batch_len = 0;
+    batch_deadline = 0.;
+    batch_signal =
+      Des.Channel.create ~name:(Printf.sprintf "replica-%d-batch" id) ();
     stop_requested = false;
     procs = [];
   }
@@ -877,6 +1033,12 @@ let reset_volatile r =
   Hashtbl.reset r.sessions;
   Hashtbl.reset r.key_watches;
   Hashtbl.reset r.child_watches;
-  (* A fresh station: jobs queued before the crash are gone. *)
+  (* A fresh station: jobs queued before the crash are gone.  Likewise the
+     group-commit batch — a crashed leader's unflushed commands die with
+     it (their clients never saw an ack and retry). *)
   r.station <-
-    Des.Station.create ~name:(Printf.sprintf "replica-%d-io" r.rid) (sim r)
+    Des.Station.create ~name:(Printf.sprintf "replica-%d-io" r.rid) (sim r);
+  r.batch <- [];
+  r.batch_len <- 0;
+  r.batch_signal <-
+    Des.Channel.create ~name:(Printf.sprintf "replica-%d-batch" r.rid) ()

@@ -4,9 +4,14 @@
     protocol (randomized election timeouts, term-checked append entries,
     quorum commit, new-leader no-op).  The leader additionally owns the
     client-facing duties: serving queries, tracking sessions and expiring
-    their ephemerals, firing watches, and charging each replicated command
-    to a FIFO service station — the modeled ZooKeeper I/O cost that bounds
-    transaction throughput in the paper's evaluation.
+    their ephemerals, firing watches, and charging replicated commands to
+    a FIFO service station — the modeled ZooKeeper I/O cost that bounds
+    transaction throughput in the paper's evaluation.  With
+    [config.group_commit] on (the default), client commands coalesce into
+    a batch that pays one amortized station round per flush (size- or
+    timeout-triggered) and rides one replication round; acks are released
+    only when the batch reaches quorum, unless the [unsafe_ack] durability
+    ablation answers at enqueue.
 
     Membership is dynamic: [Add_replica]/[Remove_replica] commands flow
     through the same log as data commands and take effect on {e append}
@@ -29,10 +34,12 @@ type t
     instance that will not campaign until it has seen evidence of its own
     membership — an [Add_replica] entry for itself, or a snapshot whose
     configuration lists it.  [?stats] shares membership counters across
-    the instances an ensemble creates over its lifetime. *)
+    the instances an ensemble creates over its lifetime; [?gstats] does
+    the same for the group-commit counters. *)
 val create :
   ?learner:bool ->
   ?stats:Types.membership_stats ->
+  ?gstats:Types.group_stats ->
   net:Types.msg Des.Net.t ->
   id:int ->
   members:int list ->
@@ -90,3 +97,9 @@ val station_busy_time : t -> float
 
 (** Jobs queued at the op service station right now. *)
 val station_queue_length : t -> int
+
+(** Group-commit counters (shared across this ensemble's instances). *)
+val group_stats : t -> Types.group_stats
+
+(** Client commands parked in the open batch right now. *)
+val batch_length : t -> int

@@ -162,6 +162,14 @@ type config = {
                                compacting into a snapshot; 0 disables *)
   session_ids : bool;       (* reject append replies from a stale
                                replication session; ablation hook *)
+  group_commit : bool;      (* batch client Submits into one append/fsync
+                               round instead of charging each op alone;
+                               ablation hook for the throughput baseline *)
+  group_size : int;         (* flush the batch once it holds this many *)
+  group_timeout : float;    (* ... or this long after its first command;
+                               must stay well below [request_timeout] *)
+  unsafe_ack : bool;        (* DURABILITY ABLATION: ack a Submit on
+                               enqueue, before the batch reaches quorum *)
 }
 
 let default_config =
@@ -176,6 +184,10 @@ let default_config =
     batch_limit = 64;
     snapshot_threshold = 50_000;
     session_ids = true;
+    group_commit = true;
+    group_size = 16;
+    group_timeout = 0.002;
+    unsafe_ack = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -214,6 +226,50 @@ type membership_stats = {
 
 let fresh_membership_stats () =
   { joins = 0; leaves = 0; catchups = 0; stale_sessions_rejected = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Group-commit counters, shared by every replica instance of an ensemble
+   for the same reason as [membership_stats]: leaders come and go, the
+   batching telemetry must accumulate across them. *)
+
+type group_stats = {
+  mutable flushes : int;          (* batches appended *)
+  mutable flush_full : int;       (* ... because the batch hit group_size *)
+  mutable flush_timeout : int;    (* ... because group_timeout elapsed *)
+  mutable batched_cmds : int;     (* client commands that rode a batch *)
+  mutable acks_deferred : int;    (* commands enqueued without an
+                                     immediate ack (released at quorum) *)
+  mutable unsafe_acks : int;      (* commands acked at enqueue (ablation) *)
+  mutable max_batch : int;        (* largest batch flushed so far *)
+  batch_hist : int array;
+      (* batch-size histogram: bucket i counts flushes of size in
+         [2^i, 2^(i+1)); sizes past the last bucket land in it *)
+}
+
+let group_hist_buckets = 8 (* 1, 2-3, 4-7, ..., 128+ *)
+
+let fresh_group_stats () =
+  {
+    flushes = 0;
+    flush_full = 0;
+    flush_timeout = 0;
+    batched_cmds = 0;
+    acks_deferred = 0;
+    unsafe_acks = 0;
+    max_batch = 0;
+    batch_hist = Array.make group_hist_buckets 0;
+  }
+
+let group_hist_bucket size =
+  let rec go i n = if n <= 1 || i >= group_hist_buckets - 1 then i else go (i + 1) (n / 2) in
+  go 0 (max 1 size)
+
+let note_batch gs size =
+  gs.flushes <- gs.flushes + 1;
+  gs.batched_cmds <- gs.batched_cmds + size;
+  if size > gs.max_batch then gs.max_batch <- size;
+  let b = group_hist_bucket size in
+  gs.batch_hist.(b) <- gs.batch_hist.(b) + 1
 
 let pp_op_error fmt e =
   Format.pp_print_string fmt

@@ -52,6 +52,7 @@ type stats = {
   mutable wakeups : int;
   mutable spurious_wakeups : int;
   mutable retries_saved : int;
+  mutable wake_passes : int;
   mutable terms : int;
   mutable kills : int;
   mutable auto_terms : int;
@@ -102,6 +103,13 @@ type part_2pc = {
   mutable pt_deadline : float;
 }
 
+(* Work item for the persist-pool sessions (parallel record writes and
+   queue-item deletes). *)
+type pjob =
+  | Pwrite of string * string
+  | Pdelete of string
+  | Penqueue of string * string  (* queue, payload: sequential create *)
+
 type t = {
   cname : string;
   client : Coord.Client.t;
@@ -136,6 +144,24 @@ type t = {
   trace : Trace.t option;
   mutable shedding : bool; (* admission watermark hysteresis *)
   mutable wake_pending : bool; (* health monitor woke parked txns *)
+  wake_buf : (int, unit) Hashtbl.t;
+      (* txn ids released since the last scheduler pass; delivered to the
+         scheduler in ONE deduplicated [Sched.wake] per pass instead of
+         one ready-deque scan per lock release *)
+  persist_pool : Coord.Client.t list;
+      (* extra coordination sessions for overlapping record persists and
+         item deletes across an input burst; empty = the pre-pool serial
+         write path *)
+  dirty : (int, Txn.t) Hashtbl.t;
+      (* txns whose record changed while [defer_persists] was on; written
+         (concurrently, via the pool) at the next [flush_persists] *)
+  mutable defer_persists : bool;
+  mutable phyq_buf : int list;
+      (* phyQ offers buffered during a deferred scheduler drain; enqueued
+         (newest first in the list, reversed on flush) only after the
+         Started records they announce are durable *)
+  mutable pjobs : pjob Des.Channel.t option; (* pool work queue, lazy *)
+  packs : unit Des.Channel.t; (* one ack per completed pool job *)
   pending : (int, pending_2pc) Hashtbl.t; (* coordinator-side, by gid *)
   parts : (int, part_2pc) Hashtbl.t; (* participant-side, by gid *)
   mutable recovered_cross : (Txn.t * bool) list;
@@ -150,8 +176,82 @@ type t = {
   st : stats;
 }
 
-let create ?trace ?shard ?gclient ~name ~client ~env ~(config : config)
-    ~devices ~device_roots ~sim () =
+let fresh_stats () =
+  {
+    accepted = 0;
+    committed = 0;
+    aborted = 0;
+    failed = 0;
+    deferrals = 0;
+    violations = 0;
+    repairs = 0;
+    reloads = 0;
+    wakeups = 0;
+    spurious_wakeups = 0;
+    retries_saved = 0;
+    wake_passes = 0;
+    terms = 0;
+    kills = 0;
+    auto_terms = 0;
+    auto_kills = 0;
+    exec_retries = 0;
+    transient_failures = 0;
+    timeouts = 0;
+    sheds = 0;
+    breaker_deferrals = 0;
+    breaker_trips = 0;
+    breaker_probes = 0;
+    breaker_closes = 0;
+    twopc_started = 0;
+    twopc_committed = 0;
+    twopc_aborted = 0;
+    twopc_prepares = 0;
+    simulate_lat = Metrics.Cdf.create ();
+    lock_wait_lat = Metrics.Cdf.create ();
+    replay_lat = Metrics.Cdf.create ();
+    undo_lat = Metrics.Cdf.create ();
+  }
+
+(* Snapshot of the integer counters that shares the latency recorders:
+   lets a caller fold other instances' counters in (via [absorb_stats])
+   without mutating the live record. *)
+let copy_stats (st : stats) = { st with accepted = st.accepted }
+
+(* Counters survive a fail-over by being absorbed into an accumulator
+   when the instance is retired; the latency recorders stay with the
+   instance (exact quantiles cannot be merged after the fact). *)
+let absorb_stats ~(into : stats) (src : stats) =
+  into.accepted <- into.accepted + src.accepted;
+  into.committed <- into.committed + src.committed;
+  into.aborted <- into.aborted + src.aborted;
+  into.failed <- into.failed + src.failed;
+  into.deferrals <- into.deferrals + src.deferrals;
+  into.violations <- into.violations + src.violations;
+  into.repairs <- into.repairs + src.repairs;
+  into.reloads <- into.reloads + src.reloads;
+  into.wakeups <- into.wakeups + src.wakeups;
+  into.spurious_wakeups <- into.spurious_wakeups + src.spurious_wakeups;
+  into.retries_saved <- into.retries_saved + src.retries_saved;
+  into.wake_passes <- into.wake_passes + src.wake_passes;
+  into.terms <- into.terms + src.terms;
+  into.kills <- into.kills + src.kills;
+  into.auto_terms <- into.auto_terms + src.auto_terms;
+  into.auto_kills <- into.auto_kills + src.auto_kills;
+  into.exec_retries <- into.exec_retries + src.exec_retries;
+  into.transient_failures <- into.transient_failures + src.transient_failures;
+  into.timeouts <- into.timeouts + src.timeouts;
+  into.sheds <- into.sheds + src.sheds;
+  into.breaker_deferrals <- into.breaker_deferrals + src.breaker_deferrals;
+  into.breaker_trips <- into.breaker_trips + src.breaker_trips;
+  into.breaker_probes <- into.breaker_probes + src.breaker_probes;
+  into.breaker_closes <- into.breaker_closes + src.breaker_closes;
+  into.twopc_started <- into.twopc_started + src.twopc_started;
+  into.twopc_committed <- into.twopc_committed + src.twopc_committed;
+  into.twopc_aborted <- into.twopc_aborted + src.twopc_aborted;
+  into.twopc_prepares <- into.twopc_prepares + src.twopc_prepares
+
+let create ?trace ?shard ?gclient ?(persist_pool = []) ~name ~client ~env
+    ~(config : config) ~devices ~device_roots ~sim () =
   let shard =
     match shard with
     | Some s -> s
@@ -202,6 +302,13 @@ let create ?trace ?shard ?gclient ~name ~client ~env ~(config : config)
     trace;
     shedding = false;
     wake_pending = false;
+    wake_buf = Hashtbl.create 32;
+    persist_pool;
+    dirty = Hashtbl.create 32;
+    defer_persists = false;
+    phyq_buf = [];
+    pjobs = None;
+    packs = Des.Channel.create ~name:(name ^ ".packs") ();
     pending = Hashtbl.create 8;
     parts = Hashtbl.create 8;
     recovered_cross = [];
@@ -209,40 +316,7 @@ let create ?trace ?shard ?gclient ~name ~client ~env ~(config : config)
     leading = false;
     stopped = false;
     procs = [];
-    st =
-      {
-        accepted = 0;
-        committed = 0;
-        aborted = 0;
-        failed = 0;
-        deferrals = 0;
-        violations = 0;
-        repairs = 0;
-        reloads = 0;
-        wakeups = 0;
-        spurious_wakeups = 0;
-        retries_saved = 0;
-        terms = 0;
-        kills = 0;
-        auto_terms = 0;
-        auto_kills = 0;
-        exec_retries = 0;
-        transient_failures = 0;
-        timeouts = 0;
-        sheds = 0;
-        breaker_deferrals = 0;
-        breaker_trips = 0;
-        breaker_probes = 0;
-        breaker_closes = 0;
-        twopc_started = 0;
-        twopc_committed = 0;
-        twopc_aborted = 0;
-        twopc_prepares = 0;
-        simulate_lat = Metrics.Cdf.create ();
-        lock_wait_lat = Metrics.Cdf.create ();
-        replay_lat = Metrics.Cdf.create ();
-        undo_lat = Metrics.Cdf.create ();
-      };
+    st = fresh_stats ();
   }
 
 let name t = t.cname
@@ -289,9 +363,9 @@ let quarantined t =
 (* ------------------------------------------------------------------ *)
 (* Persistence helpers *)
 
-let persist t (txn : Txn.t) =
+let persist_now t ~client (txn : Txn.t) =
   match
-    Coord.Client.write t.client ~key:(Txn.record_key_ns t.ns txn.Txn.id)
+    Coord.Client.write client ~key:(Txn.record_key_ns t.ns txn.Txn.id)
       ~value:(Txn.to_string txn) ()
   with
   | Ok _ -> ()
@@ -299,6 +373,59 @@ let persist t (txn : Txn.t) =
     Log.err (fun m ->
         m "%s: persisting txn %d failed: %s" t.cname txn.Txn.id
           (Format.asprintf "%a" Coord.Types.pp_op_error e))
+
+(* While the main loop processes a burst of input items it defers txn-record
+   persists into [dirty] (latest state per txn id wins); [flush_persists]
+   pushes them through the session pool so the writes overlap and ride
+   shared replica-side group-commit batches.  Deferral is gated on the pool
+   actually existing: without one the flush would replay the same writes
+   serially through the main session — no overlap, just delayed durability
+   and perturbed timing — so no-pool deployments keep the synchronous write
+   path bit-for-bit. *)
+let deferring t = t.defer_persists && t.persist_pool <> []
+
+let persist t (txn : Txn.t) =
+  if deferring t then Hashtbl.replace t.dirty txn.Txn.id txn
+  else persist_now t ~client:t.client txn
+
+(* Run a set of coordination writes/deletes, overlapping them through the
+   persist pool when one is attached; inline through the main session
+   otherwise.  Blocks until every job is applied. *)
+let run_coord_jobs t jobs =
+  match (t.pjobs, jobs) with
+  | _, [] -> ()
+  | None, jobs ->
+    List.iter
+      (fun job ->
+        match job with
+        | Pwrite (key, value) -> (
+          match Coord.Client.write t.client ~key ~value () with
+          | Ok _ -> ()
+          | Error e ->
+            Log.err (fun m ->
+                m "%s: pooled persist of %s failed: %s" t.cname key
+                  (Format.asprintf "%a" Coord.Types.pp_op_error e)))
+        | Pdelete key -> ignore (Coord.Client.delete t.client ~key ())
+        | Penqueue (queue, payload) ->
+          ignore (Coord.Recipes.enqueue t.client ~queue payload))
+      jobs
+  | Some chan, jobs ->
+    let n = List.length jobs in
+    List.iter (fun job -> Des.Channel.send chan job) jobs;
+    for _ = 1 to n do
+      Des.Channel.recv t.packs
+    done
+
+let flush_persists t =
+  if Hashtbl.length t.dirty > 0 then begin
+    let txns = Hashtbl.fold (fun _ txn acc -> txn :: acc) t.dirty [] in
+    Hashtbl.reset t.dirty;
+    run_coord_jobs t
+      (List.map
+         (fun (txn : Txn.t) ->
+           Pwrite (Txn.record_key_ns t.ns txn.Txn.id, Txn.to_string txn))
+         txns)
+  end
 
 let finish t (txn : Txn.t) state =
   txn.Txn.state <- state;
@@ -360,12 +487,31 @@ let is_quarantined t path =
    on a released node; everything else stays blocked untouched — this is
    the O(woken) replacement for the old full-todo rescan.  [retries_saved]
    counts the blocked transactions a rescan would have re-attempted here
-   for nothing. *)
+   for nothing.
+
+   Released ids are *buffered*, not delivered: a burst of completions (a
+   group-commit flush acking many persists at once) used to fire one
+   [Sched.wake] — one ready-deque membership scan — per release.  Now each
+   release merges its waiters into [wake_buf] and the scheduler pass
+   drains the buffer with a single deduplicated wake ([flush_wakes]), so
+   wakeup accounting counts distinct woken transactions no matter how
+   many overlapping releases reported them. *)
 let wake_released t woken =
-  let blocked_before = Sched.blocked_length t.sched in
-  let moved = Sched.wake t.sched woken in
-  t.st.wakeups <- t.st.wakeups + moved;
-  t.st.retries_saved <- t.st.retries_saved + (blocked_before - moved)
+  if woken <> [] then begin
+    List.iter (fun id -> Hashtbl.replace t.wake_buf id ()) woken;
+    t.wake_pending <- true
+  end
+
+let flush_wakes t =
+  if Hashtbl.length t.wake_buf > 0 then begin
+    let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.wake_buf [] in
+    Hashtbl.reset t.wake_buf;
+    let blocked_before = Sched.blocked_length t.sched in
+    let moved = Sched.wake t.sched ids in
+    t.st.wake_passes <- t.st.wake_passes + 1;
+    t.st.wakeups <- t.st.wakeups + moved;
+    t.st.retries_saved <- t.st.retries_saved + (blocked_before - moved)
+  end
 
 let release_locks t (txn : Txn.t) =
   wake_released t (Mglock.release_all t.locks ~txn:txn.Txn.id)
@@ -393,6 +539,10 @@ let maybe_checkpoint t =
   | None -> ()
   | Some period ->
     if t.commits_since_checkpoint >= period && inflight t = 0 then begin
+      (* Deferred records must hit the store before the checkpoint prunes:
+         a dirty record flushed after its key was pruned would resurrect a
+         terminal txn the checkpoint already folded in. *)
+      flush_persists t;
       let seq = t.next_start_seq - 1 in
       let snapshot =
         Data.Sexp.List
@@ -647,7 +797,10 @@ let try_start_participant t (txn : Txn.t) : Sched.attempt =
           txn.Txn.locks <- locks;
           txn.Txn.start_seq <- Some t.next_start_seq;
           t.next_start_seq <- t.next_start_seq + 1;
-          persist t txn;
+          (* The Prepared vote is a durability promise to the coordinator:
+             the record must hit the coordination service before the vote
+             leaves, so it is never deferred into a batch flush. *)
+          persist_now t ~client:t.client txn;
           part.pt_deadline <-
             Des.Sim.now t.sim +. t.cfg.twopc_prepare_timeout;
           t.st.twopc_prepares <- t.st.twopc_prepares + 1;
@@ -820,9 +973,17 @@ let try_start_single t (txn : Txn.t) : Sched.attempt =
           t.next_start_seq <- t.next_start_seq + 1;
           persist t txn;
           t.tree <- new_tree;
-          ignore
-            (Coord.Recipes.enqueue t.client ~queue:(Proto.phy_queue_ns t.ns)
-               (string_of_int txn.Txn.id));
+          (* During a deferred drain the phyQ offer waits until the Started
+             record is flushed (record-before-offer, same order as the
+             synchronous path).  A crash between flush and offer leaves a
+             Started record with no queue item — recovery's [needs_phy]
+             re-offer covers exactly that window. *)
+          if deferring t then t.phyq_buf <- txn.Txn.id :: t.phyq_buf
+          else
+            ignore
+              (Coord.Recipes.enqueue t.client
+                 ~queue:(Proto.phy_queue_ns t.ns)
+                 (string_of_int txn.Txn.id));
           `Started
       end
     end
@@ -839,10 +1000,31 @@ let try_start t (txn : Txn.t) : Sched.attempt =
       in
       try_start_cross t txn ~participants
 
-let schedule t =
+(* One scheduler pass: deliver the buffered wakes in a single [Sched.wake],
+   then drain.  Draining can release more waiters (participant vote-no,
+   cross-shard decisions), so loop until the buffer stays empty. *)
+let rec schedule t =
   t.wake_pending <- false;
+  flush_wakes t;
+  (* The drain itself runs with persists deferred: every txn the pass
+     starts batches its Started record into one pooled flush, and the phyQ
+     offers follow only once those records are durable.  Participant
+     prepares opt out via [persist_now] (the vote is the durability
+     promise). *)
+  t.defer_persists <- true;
   Sched.drain t.sched ~attempt:(try_start t) ~on_spurious:(fun _ ->
-      t.st.spurious_wakeups <- t.st.spurious_wakeups + 1)
+      t.st.spurious_wakeups <- t.st.spurious_wakeups + 1);
+  t.defer_persists <- false;
+  flush_persists t;
+  (match List.rev t.phyq_buf with
+   | [] -> ()
+   | ids ->
+     t.phyq_buf <- [];
+     run_coord_jobs t
+       (List.map
+          (fun id -> Penqueue (Proto.phy_queue_ns t.ns, string_of_int id))
+          ids));
+  if Hashtbl.length t.wake_buf > 0 then schedule t
 
 (* ------------------------------------------------------------------ *)
 (* Input processing *)
@@ -966,6 +1148,9 @@ let handle_result t ~txn_id ~outcome ~(exec : Proto.exec_stats) =
        | Some p when p.decided ->
          Hashtbl.remove t.pending txn_id;
          let ok = txn.Txn.state = Txn.Committed in
+         (* The terminal txn record must be durable before the Finish
+            marker: participants take the marker as license to forget. *)
+         flush_persists t;
          write_finish t txn_id ~ok;
          twopc_instant t ~txn:txn_id "2pc-finish";
          List.iter
@@ -1951,6 +2136,41 @@ let spawn_health_monitor t =
   t.procs <-
     Des.Proc.spawn ~name:(t.cname ^ ".health") t.sim loop :: t.procs
 
+(* Long-lived persist-pool workers: each owns one extra coordination
+   session and drains the shared job queue, so a burst flush's record
+   writes overlap — and coalesce into shared replica-side group-commit
+   batches — instead of serializing on the main session.  Registered in
+   [t.procs] so [crash] kills them with the rest of the controller. *)
+let spawn_persist_workers t =
+  if t.persist_pool <> [] then begin
+    let jobs = Des.Channel.create ~name:(t.cname ^ ".pjobs") () in
+    t.pjobs <- Some jobs;
+    List.iteri
+      (fun i client ->
+        let worker () =
+          while not t.stopped do
+            (match Des.Channel.recv jobs with
+             | Pwrite (key, value) -> (
+               match Coord.Client.write client ~key ~value () with
+               | Ok _ -> ()
+               | Error e ->
+                 Log.err (fun m ->
+                     m "%s: pooled persist of %s failed: %s" t.cname key
+                       (Format.asprintf "%a" Coord.Types.pp_op_error e)))
+             | Pdelete key -> ignore (Coord.Client.delete client ~key ())
+             | Penqueue (queue, payload) ->
+               ignore (Coord.Recipes.enqueue client ~queue payload));
+            Des.Channel.send t.packs ()
+          done
+        in
+        t.procs <-
+          Des.Proc.spawn
+            ~name:(Printf.sprintf "%s.persist-%d" t.cname i)
+            t.sim worker
+          :: t.procs)
+      t.persist_pool
+  end
+
 let run t () =
   (* Shard ownership is a lease: the ephemeral sequential member node in
      the shard's election recipe.  Holding the lease IS being the shard's
@@ -1967,16 +2187,55 @@ let run t () =
    | None -> ());
   if t.cfg.watchdog.Watchdog.enabled then spawn_watchdog t;
   if t.cfg.health.Health.enabled then spawn_health_monitor t;
+  spawn_persist_workers t;
   recover t;
   schedule t;
+  (* Items already sitting in inputQ behind the one just processed are
+     drained in the same pass (bounded burst) before the scheduler runs:
+     a group-commit flush delivers many results back-to-back, and one
+     batched wake pass over the whole burst replaces a scan per item.
+     Txn-record persists are deferred across the burst and flushed
+     through the session pool before the items are deleted, so the
+     process→persist→delete ordering a single-item pass guarantees still
+     holds at burst granularity (a crash mid-burst replays the items,
+     which processing dedups exactly as it did before). *)
+  (* Burst reads are pointless without a pool to overlap the resulting
+     writes: a one-item "burst" keeps the op sequence of the classic
+     process-then-delete loop. *)
+  let input_burst = if t.persist_pool = [] then 1 else 16 in
   while not t.stopped do
     if drain_twopc t || t.wake_pending then schedule t;
     match next_item t with
     | None -> ()
     | Some (key, payload) ->
-      let need_schedule = process_item t ~key ~payload in
-      ignore (Coord.Client.delete t.client ~key ());
-      if drain_twopc t || need_schedule || t.wake_pending then schedule t
+      t.defer_persists <- true;
+      let need_schedule = ref (process_item t ~key ~payload) in
+      let keys = ref [ key ] in
+      if input_burst > 1 && not t.stopped then begin
+        let queue = Proto.input_queue_ns t.ns in
+        let backlog =
+          List.filter (fun k -> k <> key) (Coord.Client.get_children t.client queue)
+        in
+        let rec take n = function
+          | x :: tl when n > 0 -> x :: take (n - 1) tl
+          | _ -> []
+        in
+        List.iter
+          (fun k ->
+            if not t.stopped then
+              match Coord.Client.get t.client k with
+              | None -> ()
+              | Some (payload, _) ->
+                keys := k :: !keys;
+                if process_item t ~key:k ~payload then need_schedule := true)
+          (take (input_burst - 1) backlog)
+      end;
+      t.defer_persists <- false;
+      flush_persists t;
+      if not t.stopped then begin
+        run_coord_jobs t (List.rev_map (fun k -> Pdelete k) !keys);
+        if drain_twopc t || !need_schedule || t.wake_pending then schedule t
+      end
   done
 
 let start t =
@@ -1988,5 +2247,6 @@ let crash t =
   t.leading <- false;
   List.iter Des.Proc.kill t.procs;
   t.procs <- [];
+  List.iter Coord.Client.close t.persist_pool;
   if t.gclient != t.client then Coord.Client.close t.gclient;
   Coord.Client.close t.client

@@ -73,6 +73,9 @@ type stats = {
   mutable retries_saved : int;
       (** blocked txns a per-completion rescan would have re-attempted but
           wake-on-release left sleeping *)
+  mutable wake_passes : int;
+      (** batched [Sched.wake] deliveries: one deduplicated pass per
+          scheduler round, however many releases fed it *)
   mutable terms : int;     (** TERM signals handled (operator + watchdog) *)
   mutable kills : int;     (** KILL signals handled (operator + watchdog) *)
   mutable auto_terms : int;  (** TERMs issued by the watchdog *)
@@ -118,11 +121,17 @@ type t
     [client] must then connect to that shard's coordination ensemble, and
     [gclient] to the global (shard 0) ensemble carrying the 2PC mailboxes
     and decision records (defaults to [client] — correct for shard 0 and
-    for single-shard platforms). *)
+    for single-shard platforms).
+
+    [persist_pool] is a set of extra coordination sessions the controller
+    uses to overlap the txn-record writes of an input burst (they then
+    coalesce into shared replica-side group-commit batches); empty
+    (default) keeps every persist synchronous on [client]. *)
 val create :
   ?trace:Trace.t ->
   ?shard:Shard.t ->
   ?gclient:Coord.Client.t ->
+  ?persist_pool:Coord.Client.t list ->
   name:string ->
   client:Coord.Client.t ->
   env:Dsl.env ->
@@ -152,6 +161,22 @@ val shard_id : t -> int
 val tree : t -> Data.Tree.t
 
 val stats : t -> stats
+
+(** Zeroed counters with empty latency recorders — an accumulator for
+    {!absorb_stats}. *)
+val fresh_stats : unit -> stats
+
+(** Snapshot of the integer counters that shares the latency recorders
+    with [src]; safe to {!absorb_stats} into without touching the live
+    record. *)
+val copy_stats : stats -> stats
+
+(** [absorb_stats ~into src] adds [src]'s integer counters into [into].
+    Latency recorders are not merged (exact quantiles cannot be combined
+    after the fact).  Lets transaction totals survive controller
+    fail-overs: fold a retired instance's stats into an accumulator and
+    add that to the current leader's. *)
+val absorb_stats : into:stats -> stats -> unit
 
 (** Scheduled-but-not-started transactions: ready + blocked (the
     refactored todoQ length). *)

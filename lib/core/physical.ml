@@ -214,7 +214,8 @@ let invoke_with_retry ~devices ~policy ~rng ~sim ~counters ~check_signal
    and deadline, so a transient blip or hang during rollback does not
    convert a clean abort into a Failed transaction. *)
 let undo_executed ~devices ?(policy = no_retry) ?rng ?sim ?counters ?tracer
-    executed =
+    ?on_progress executed =
+  let progress i = match on_progress with Some f -> f i | None -> () in
   let rec go = function
     | [] -> Ok ()
     | (record : Xlog.record) :: rest ->
@@ -243,13 +244,20 @@ let undo_executed ~devices ?(policy = no_retry) ?rng ?sim ?counters ?tracer
                   Error reason
                 | A_signal _ -> assert false)
           with
-          | Ok () -> go rest
+          | Ok () ->
+            (* The record's effect is off the device: move the replay
+               cursor below it so a crash mid-rollback does not resume
+               past work that has been unwound. *)
+            progress (record.Xlog.index - 1);
+            go rest
           | Error reason -> Error (record.Xlog.index, reason)))
   in
   go executed
 
 let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
-    ?sim ?counters ?tracer log =
+    ?sim ?counters ?tracer ?(skip = 0) ?on_progress
+    ?(confirm_undo = fun () -> true) log =
+  let progress i = match on_progress with Some f -> f i | None -> () in
   (* [executed] accumulates completed records, newest first. *)
   let rec run executed = function
     | [] -> Proto.Phy_committed
@@ -263,7 +271,9 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
               ~check_signal record ~action:record.Xlog.action
               ~args:record.Xlog.args
           with
-          | A_ok -> run (record :: executed) rest
+          | A_ok ->
+            progress record.Xlog.index;
+            run (record :: executed) rest
           | A_signal `Kill -> Proto.Phy_failed "killed by operator"
           | A_signal `Term -> roll_back executed "terminated by operator"
           | A_error reason ->
@@ -271,6 +281,17 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
               (Printf.sprintf "action #%d %s: %s" record.Xlog.index
                  record.Xlog.action reason)))
   and roll_back executed reason =
+    (* Two workers can replay the same transaction when an executing
+       marker expires under a live session (fail-over semantics).  The
+       losing duplicate typically aborts on the winner's already-applied
+       state — and with a resume prefix its undo stack holds actions it
+       never ran, so unwinding would corrupt the winner's committed
+       effects.  [confirm_undo] re-reads the authoritative record; once
+       the transaction is terminal the rollback is abandoned. *)
+    if executed <> [] && not (confirm_undo ()) then
+      Proto.Phy_aborted
+        (reason ^ "; rollback skipped: transaction already terminal")
+    else
     let t0 = Option.map Des.Sim.now sim in
     let opened =
       trace_span tracer ~cat:"undo" ~name:"undo"
@@ -280,7 +301,8 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
     in
     protect_span opened (fun () ->
         let result =
-          undo_executed ~devices ~policy ?rng ?sim ?counters ?tracer executed
+          undo_executed ~devices ~policy ?rng ?sim ?counters ?tracer
+            ?on_progress executed
         in
         (match (t0, sim, counters) with
          | Some t0, Some sim, Some c ->
@@ -298,4 +320,12 @@ let execute ~devices ?(check_signal = fun () -> `Go) ?(policy = no_retry) ?rng
           Proto.Phy_failed
             (Printf.sprintf "%s; undo #%d failed: %s" reason index undo_reason))
   in
-  run [] log
+  (* A resumed replay treats the first [skip] records as already applied:
+     they are not re-invoked, but they join the undo prefix so a later
+     failure rolls the whole transaction back, not just the tail. *)
+  let rec split n acc = function
+    | x :: tl when n > 0 -> split (n - 1) (x :: acc) tl
+    | rest -> (acc, rest)
+  in
+  let skipped, rest = split skip [] log in
+  run skipped rest

@@ -69,7 +69,24 @@ val fresh_counters : unit -> counters
     immediate and deadlines are ignored.  [counters], when given, is
     incremented in place.  [tracer], when given, records per-attempt
     action spans, backoff spans and undo chains under the given
-    transaction id. *)
+    transaction id.
+
+    [skip] (default 0) treats the first [skip] records as already
+    executed by a previous incarnation of this replay: they are not
+    re-invoked — their effects are on the devices — but they join the
+    undo prefix, so a later failure still rolls them back.
+    [on_progress] is called with each record's index once its action
+    completes, and again as undos retire records (with the index {e
+    below} the undone record — [0] for a fully undone prefix, indices
+    being 1-based); persisting that cursor is what makes a crashed
+    replay resumable.
+
+    [confirm_undo] (default: always true) is consulted once before a
+    rollback with a non-empty executed prefix.  Returning [false]
+    abandons the rollback and reports the abort with the physical state
+    left as-is: the hook lets a worker that lost a duplicate-replay race
+    re-read the authoritative record and refuse to unwind effects the
+    winning incarnation already committed. *)
 val execute :
   devices:device_lookup ->
   ?check_signal:signal_check ->
@@ -78,6 +95,9 @@ val execute :
   ?sim:Des.Sim.t ->
   ?counters:counters ->
   ?tracer:Trace.t * int * int ->
+  ?skip:int ->
+  ?on_progress:(int -> unit) ->
+  ?confirm_undo:(unit -> bool) ->
   Xlog.t ->
   Proto.outcome
 

@@ -11,6 +11,9 @@ type spec = {
   controller_session_timeout : float;
   submit_clients : int;
   client_slots : int;
+  persist_clients : int;
+      (* extra coordination sessions per controller, used to overlap the
+         txn-record writes of an input burst (0 = synchronous persists) *)
   worker_retry : Physical.retry_policy;
   trace : Trace.t option;
       (* span recorder shared by every controller and worker *)
@@ -28,6 +31,7 @@ let default_spec =
     controller_session_timeout = 10.0;
     submit_clients = 4;
     client_slots = 64;
+    persist_clients = 0;
     worker_retry = Physical.no_retry;
     trace = None;
   }
@@ -47,6 +51,11 @@ type t = {
   control : Controller.t array;
   work : Worker.t array;
   submitters : Coord.Client.t array array;  (* per shard *)
+  retired : Controller.stats array;
+      (* per shard: counters of controller instances retired by
+         [restart_controller], so fail-overs do not erase transaction
+         totals (a crashed leader's commits would otherwise vanish from
+         the run summary with its in-memory stats record) *)
   mutable next_submitter : int;
   (* await support: key -> wakeup channels, fed by per-client dispatchers.
      Namespaced keys are globally unique, so one table serves all shards. *)
@@ -76,6 +85,35 @@ let membership_stats t =
         + s.Coord.Types.stale_sessions_rejected)
     t.ensembles;
   total
+
+(* Group-commit counters, merged the same way (the batch-size histogram
+   sums bucket-wise; max_batch takes the max). *)
+let group_commit_stats t =
+  let total = Coord.Types.fresh_group_stats () in
+  Array.iter
+    (fun e ->
+      let s = Coord.Ensemble.group_stats e in
+      total.Coord.Types.flushes <- total.Coord.Types.flushes + s.Coord.Types.flushes;
+      total.Coord.Types.flush_full <-
+        total.Coord.Types.flush_full + s.Coord.Types.flush_full;
+      total.Coord.Types.flush_timeout <-
+        total.Coord.Types.flush_timeout + s.Coord.Types.flush_timeout;
+      total.Coord.Types.batched_cmds <-
+        total.Coord.Types.batched_cmds + s.Coord.Types.batched_cmds;
+      total.Coord.Types.acks_deferred <-
+        total.Coord.Types.acks_deferred + s.Coord.Types.acks_deferred;
+      total.Coord.Types.unsafe_acks <-
+        total.Coord.Types.unsafe_acks + s.Coord.Types.unsafe_acks;
+      if s.Coord.Types.max_batch > total.Coord.Types.max_batch then
+        total.Coord.Types.max_batch <- s.Coord.Types.max_batch;
+      Array.iteri
+        (fun i n ->
+          total.Coord.Types.batch_hist.(i) <-
+            total.Coord.Types.batch_hist.(i) + n)
+        s.Coord.Types.batch_hist)
+    t.ensembles;
+  total
+
 let shard_count t = t.pspec.shards
 
 (* Shard responsible for a transaction: where its single-shard execution
@@ -182,10 +220,20 @@ let connect_controller t sid cname =
            ~session_timeout:t.pspec.controller_session_timeout
            ~name:(cname ^ "-g") ())
   in
+  let persist_pool =
+    List.init
+      (max 0 t.pspec.persist_clients)
+      (fun i ->
+        Coord.Ensemble.connect t.ensembles.(sid)
+          ~session_timeout:t.pspec.controller_session_timeout
+          ~name:(Printf.sprintf "%s-p%d" cname i)
+          ())
+  in
   Controller.create ?trace:t.pspec.trace
     ~shard:(Shard.view t.pshard ~sid)
-    ?gclient ~name:cname ~client ~env:t.penv ~config:t.pspec.controller_config
-    ~devices:t.pdevices ~device_roots:t.pdevice_roots ~sim:t.psim ()
+    ?gclient ~persist_pool ~name:cname ~client ~env:t.penv
+    ~config:t.pspec.controller_config ~devices:t.pdevices
+    ~device_roots:t.pdevice_roots ~sim:t.psim ()
 
 let connect_worker t sid wname =
   let client = Coord.Ensemble.connect t.ensembles.(sid) ~name:wname () in
@@ -228,6 +276,7 @@ let create pspec env ~initial_tree ~devices psim =
       control = [||];
       work = [||];
       submitters;
+      retired = Array.init pspec.shards (fun _ -> Controller.fresh_stats ());
       next_submitter = 0;
       awaiters = Hashtbl.create 256;
     }
@@ -419,9 +468,15 @@ let kill_controller t i = Controller.crash t.control.(i)
 let restart_controller t i =
   let cname = Controller.name t.control.(i) in
   let sid = i / t.pspec.controllers in
+  (* The replaced instance's counters would die with it; bank them so the
+     shard's cumulative totals survive the fail-over. *)
+  Controller.absorb_stats ~into:t.retired.(sid)
+    (Controller.stats t.control.(i));
   let c = connect_controller t sid cname in
   t.control.(i) <- c;
   Controller.start c
+
+let shard_retired_stats t sid = t.retired.(sid)
 
 let kill_worker t i = Worker.crash t.work.(i)
 

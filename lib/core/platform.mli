@@ -26,6 +26,12 @@ type spec = {
       (** failure-detection time for controller fail-over (§6.4) *)
   submit_clients : int;  (** client sessions the harness submits through *)
   client_slots : int;    (** coordination-service session slots *)
+  persist_clients : int;
+      (** extra coordination sessions per controller used to overlap the
+          txn-record writes of an input burst so they coalesce into shared
+          group-commit batches; 0 (the default) keeps persists synchronous.
+          Each controller (re)start consumes [1 + persist_clients] client
+          slots. *)
   worker_retry : Physical.retry_policy;
       (** per-action robustness policy every worker executes under *)
   trace : Trace.t option;
@@ -95,6 +101,12 @@ val await_leader_controller : t -> Controller.t
 (** Current leader of shard [sid], and its flat slot index. *)
 val shard_leader : t -> int -> Controller.t option
 
+(** Accumulated counters of shard [sid]'s controller instances retired by
+    {!restart_controller} — add to the current leader's
+    {!Controller.stats} for fail-over-proof cumulative totals.  Latency
+    recorders in the result are always empty. *)
+val shard_retired_stats : t -> int -> Controller.stats
+
 val shard_leader_index : t -> int -> int option
 
 (** Owning shard of a resource path (pure function of the assignment). *)
@@ -153,6 +165,11 @@ val coord_ensemble : t -> int -> Coord.Ensemble.t
 (** Membership counters (joins, leaves, catch-ups, stale replication
     sessions rejected) summed across all shards' ensembles. *)
 val membership_stats : t -> Coord.Types.membership_stats
+
+(** Group-commit counters (flushes by trigger, batched commands, deferred
+    and unsafe acks, batch-size histogram) summed across all shards'
+    ensembles. *)
+val group_commit_stats : t -> Coord.Types.group_stats
 
 (** Sum of controller-CPU busy time (all controllers; only the leader
     accrues). *)

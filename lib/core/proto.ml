@@ -172,6 +172,12 @@ let signal_key_ns ns txn_id = Printf.sprintf "%s/signals/s%010d" ns txn_id
 let executing_key_ns ns txn_id =
   Printf.sprintf "%s/executing/e%010d" ns txn_id
 
+(* Highest log index whose physical action completed (and has not been
+   undone): a replaying worker resumes after it instead of re-running
+   non-idempotent actions that already took effect on the device. *)
+let progress_key_ns ns txn_id =
+  Printf.sprintf "%s/progress/p%010d" ns txn_id
+
 let default_ns = ns_of_shard 0
 let election_path = election_path_ns default_ns
 let input_queue = input_queue_ns default_ns

@@ -67,6 +67,12 @@ val signals_prefix_ns : string -> string
 val signal_key_ns : string -> int -> string
 val executing_key_ns : string -> int -> string
 
+(** Durable replay cursor: highest log index whose physical action has
+    completed and not been undone.  Lets a replay after a worker or
+    leader crash {e resume} instead of re-running non-idempotent actions
+    whose effects already landed on the device. *)
+val progress_key_ns : string -> int -> string
+
 (** Shard-0 values of the namespaced keys above. *)
 
 val election_path : string

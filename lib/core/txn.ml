@@ -49,6 +49,22 @@ let is_terminal = function
   | Committed | Aborted _ | Failed _ -> true
   | Initialized | Accepted | Deferred | Started -> false
 
+(* Serialization cache: a record is persisted at *every* state transition,
+   but [args] never change after creation and [log]/[locks] are rebound
+   only when simulation fills them in — yet the old code re-rendered all
+   three sexp subtrees on each persist.  On the group-commit hot path that
+   re-rendering (one full log serialization per Accepted → Started →
+   terminal hop) dominated allocation, so the rendered subtrees are cached
+   and keyed on the *physical identity* of the log and lock lists: any
+   rebind invalidates, and sexps are immutable so sharing them is safe. *)
+type ser_cache = {
+  c_log : Xlog.t;
+  c_locks : (Data.Path.t * Mglock.mode) list;
+  c_args : Data.Sexp.t;
+  c_log_sexp : Data.Sexp.t;
+  c_locks_sexp : Data.Sexp.t;
+}
+
 type t = {
   id : int;
   proc : string;
@@ -59,6 +75,7 @@ type t = {
   mutable start_seq : int option;
   mutable submitted_at : float;
   mutable finished_at : float option;
+  mutable ser_cache : ser_cache option;
 }
 
 let make ~id ~proc ~args ~submitted_at =
@@ -72,6 +89,7 @@ let make ~id ~proc ~args ~submitted_at =
     start_seq = None;
     submitted_at;
     finished_at = None;
+    ser_cache = None;
   }
 
 let pp fmt t =
@@ -91,24 +109,47 @@ let mode_of_sexp = function
   | Data.Sexp.Atom "IW" -> Ok Mglock.IW
   | other -> Error ("bad lock mode: " ^ Data.Sexp.to_string other)
 
+let locks_to_sexp locks =
+  Data.Sexp.List
+    (List.map
+       (fun (path, mode) ->
+         Data.Sexp.List [ Data.Path.to_sexp path; mode_to_sexp mode ])
+       locks)
+
+let cached_parts t =
+  match t.ser_cache with
+  | Some c when c.c_log == t.log && c.c_locks == t.locks ->
+    (c.c_args, c.c_log_sexp, c.c_locks_sexp)
+  | stale ->
+    (* Args never change; a stale cache still holds their rendering. *)
+    let c_args =
+      match stale with
+      | Some c -> c.c_args
+      | None -> Data.Sexp.List (List.map Data.Value.to_sexp t.args)
+    in
+    let c =
+      {
+        c_log = t.log;
+        c_locks = t.locks;
+        c_args;
+        c_log_sexp = Xlog.to_sexp t.log;
+        c_locks_sexp = locks_to_sexp t.locks;
+      }
+    in
+    t.ser_cache <- Some c;
+    (c.c_args, c.c_log_sexp, c.c_locks_sexp)
+
 let to_sexp t =
+  let args_sexp, log_sexp, locks_sexp = cached_parts t in
   let open Data.Sexp in
   List
     [
       List [ Atom "id"; of_int t.id ];
       List [ Atom "proc"; Atom t.proc ];
-      List [ Atom "args"; List (List.map Data.Value.to_sexp t.args) ];
+      List [ Atom "args"; args_sexp ];
       List [ Atom "state"; Atom (state_to_string t.state) ];
-      List [ Atom "log"; Xlog.to_sexp t.log ];
-      List
-        [
-          Atom "locks";
-          List
-            (List.map
-               (fun (path, mode) ->
-                 List [ Data.Path.to_sexp path; mode_to_sexp mode ])
-               t.locks);
-        ];
+      List [ Atom "log"; log_sexp ];
+      List [ Atom "locks"; locks_sexp ];
       List [ Atom "submitted"; of_float t.submitted_at ];
       List
         [
@@ -176,6 +217,7 @@ let of_sexp sexp =
       start_seq;
       submitted_at;
       finished_at = None;
+      ser_cache = None;
     }
 
 let to_string t = Data.Sexp.to_string (to_sexp t)

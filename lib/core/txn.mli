@@ -29,6 +29,12 @@ val overload_reason : string
     outcome, not an orchestration failure. *)
 val is_overload : state -> bool
 
+(** Cached sexp renderings of the immutable-ish record parts (args, log,
+    locks), so persisting every state transition doesn't re-serialize the
+    whole execution log each time; invalidated by rebinding [log] or
+    [locks] (identity-keyed).  Managed by {!to_sexp} — leave it [None]. *)
+type ser_cache
+
 type t = {
   id : int;
   proc : string;                     (** stored procedure name *)
@@ -41,6 +47,7 @@ type t = {
           replays Started/Committed logs in this order *)
   mutable submitted_at : float;
   mutable finished_at : float option;
+  mutable ser_cache : ser_cache option;
 }
 
 val make : id:int -> proc:string -> args:Data.Value.t list -> submitted_at:float -> t

@@ -61,6 +61,45 @@ let execute_txn w txn_id =
        else begin
          let counters = Physical.fresh_counters () in
          let t0 = Des.Sim.now w.sim in
+         (* Resume cursor: a previous incarnation of this replay (lost to
+            a worker or leader crash) persisted the index of the last
+            action it completed.  Re-running those actions is not safe —
+            creates are not idempotent, the effects are already on the
+            devices — so the replay skips past them while keeping them in
+            the undo prefix. *)
+         let pkey = Proto.progress_key_ns w.ns txn_id in
+         let skip =
+           match w.mode with
+           | Logical_only _ -> 0
+           | Full ->
+             (* Log indices are 1-based, so the last completed index IS
+                the number of completed records to skip. *)
+             (match Coord.Client.get w.client pkey with
+              | Some (s, _) ->
+                (match int_of_string_opt s with
+                 | Some i -> max 0 i
+                 | None -> 0)
+              | None -> 0)
+         in
+         let on_progress i =
+           if i <= 0 then ignore (Coord.Client.delete w.client ~key:pkey ())
+           else
+             ignore
+               (Coord.Client.write w.client ~key:pkey
+                  ~value:(string_of_int i) ())
+         in
+         (* Undo only while the record still says Started: if another
+            incarnation of this replay already drove the transaction to a
+            terminal state, unwinding our (partly inherited) prefix would
+            corrupt its committed effects. *)
+         let confirm_undo () =
+           match Coord.Client.get w.client (Txn.record_key_ns w.ns txn_id) with
+           | None -> false
+           | Some (value, _) ->
+             (match Txn.of_string value with
+              | Error _ -> false
+              | Ok now -> now.Txn.state = Txn.Started)
+         in
          (* Each execution gets a fresh tracer lane: after a fail-over
             the same transaction can be replayed by two workers at once,
             and lanes keep their span trees from interleaving. *)
@@ -72,12 +111,15 @@ let execute_txn w txn_id =
                  Trace.begin_span tr ~txn:txn_id ~lane ~cat:"physical"
                    ~name:"replay"
                    ~attrs:
-                     [ ("worker", w.wname);
-                       ("actions", string_of_int (List.length txn.Txn.log));
-                       ( "mode",
-                         match w.mode with
-                         | Full -> "full"
-                         | Logical_only _ -> "logical" ) ]
+                     ([ ("worker", w.wname);
+                        ("actions", string_of_int (List.length txn.Txn.log));
+                        ( "mode",
+                          match w.mode with
+                          | Full -> "full"
+                          | Logical_only _ -> "logical" ) ]
+                     @
+                     if skip > 0 then [ ("resume", string_of_int skip) ]
+                     else [])
                    () ))
              w.trace
          in
@@ -106,7 +148,7 @@ let execute_txn w txn_id =
                        (match (w.trace, span) with
                        | Some tr, Some (lane, _) -> Some (tr, txn_id, lane)
                        | _ -> None)
-                     txn.Txn.log
+                     ~skip ~on_progress ~confirm_undo txn.Txn.log
                in
                (outcome_label :=
                   match o with
@@ -154,7 +196,14 @@ let take_and_run w (key, payload) =
                (Coord.Recipes.enqueue w.client
                   ~queue:(Proto.input_queue_ns w.ns)
                   (Proto.input_to_string
-                     (Proto.Result { txn_id; outcome; exec })))
+                     (Proto.Result { txn_id; outcome; exec })));
+             (* Result first, cursor second: a crash in between leaves a
+                stale cursor on a terminal transaction (harmless — it is
+                never replayed again), whereas the opposite order could
+                lose the cursor of a replay whose result never landed. *)
+             ignore
+               (Coord.Client.delete w.client
+                  ~key:(Proto.progress_key_ns w.ns txn_id) ())
            | None -> ());
           ignore (Coord.Client.delete w.client ~key:marker ())))
 

@@ -123,6 +123,28 @@ let membership_summary platform =
     m.Coord.Types.joins m.Coord.Types.leaves m.Coord.Types.catchups
     m.Coord.Types.stale_sessions_rejected
 
+(* Group-commit batching telemetry: flush counts by trigger, the mean and
+   max flushed batch size, ack discipline, and the power-of-two batch-size
+   histogram (bucket i covers sizes [2^i, 2^(i+1))). *)
+let group_summary platform =
+  let g = Tropic.Platform.group_commit_stats platform in
+  let mean_batch =
+    if g.Coord.Types.flushes = 0 then 0.
+    else
+      float_of_int g.Coord.Types.batched_cmds
+      /. float_of_int g.Coord.Types.flushes
+  in
+  let hist =
+    String.concat ","
+      (Array.to_list (Array.map string_of_int g.Coord.Types.batch_hist))
+  in
+  Printf.sprintf
+    "group-commit: %d flushes (%d full, %d timeout), %d cmds batched, mean \
+     batch %.1f (max %d), acks %d deferred / %d unsafe, hist [%s]"
+    g.Coord.Types.flushes g.Coord.Types.flush_full g.Coord.Types.flush_timeout
+    g.Coord.Types.batched_cmds mean_batch g.Coord.Types.max_batch
+    g.Coord.Types.acks_deferred g.Coord.Types.unsafe_acks hist
+
 (* Per-phase p50/p99 breakdown from the leader's recorders; empty phases
    print n/a rather than a placeholder 0. *)
 let phase_summary platform =

@@ -72,6 +72,12 @@ val phase_summary : Tropic.Platform.t -> string
     sessions rejected).  All zeroes on runs with no membership churn. *)
 val membership_summary : Tropic.Platform.t -> string
 
+(** One-line summary of the group-commit batching counters summed over
+    every shard's ensemble: flushes by trigger, mean/max batch size, ack
+    discipline and the batch-size histogram.  All zeroes with
+    [group_commit:false]. *)
+val group_summary : Tropic.Platform.t -> string
+
 (** Write [tracer]'s Chrome trace-event JSON to [file] and return the
     lifecycle-invariant violations {!Trace.Check.validate} found (ideally
     none). *)

@@ -402,6 +402,14 @@ module Check = struct
              err "committed-no-undo" txn
                "%d undo spans under the committed execution"
                (List.length offending_undo);
+           let replays = List.filter (fun s -> s.name = "replay") group in
+           (* A replay that resumed after a crash (attr [resume=k]) only
+              runs actions k..n-1 itself; actions 0..k-1 were applied by
+              earlier incarnations, whose interrupted replay spans still
+              carry the ok action spans.  Coverage is therefore: the
+              committed incarnation ran exactly its own tail, and every
+              skipped index has an ok action span under {e some} replay
+              of this transaction. *)
            let covering replay =
              attr replay "outcome" = Some "committed"
              && (attr replay "mode" = Some "logical"
@@ -409,15 +417,38 @@ module Check = struct
                 match int_attr replay "actions" with
                 | None -> false
                 | Some n ->
+                  let resume =
+                    Option.value (int_attr replay "resume") ~default:0
+                  in
                   let idx = List.sort_uniq compare (ok_actions replay.sid) in
-                  List.length idx = n)
+                  (* Action indices are 1-based: a resume of [k] means
+                     records 1..k were skipped and k+1..n ran here. *)
+                  List.length idx = n - resume
+                  && List.for_all (fun i -> i > resume) idx
+                  &&
+                  let all =
+                    List.sort_uniq compare
+                      (List.concat_map (fun s -> ok_actions s.sid) replays)
+                  in
+                  List.for_all
+                    (fun i -> List.mem i all)
+                    (List.init resume (fun i -> i + 1)))
            in
-           let replays = List.filter (fun s -> s.name = "replay") group in
            if not (List.exists covering replays) then
              err "committed-coverage" txn
                "no replay span with committed outcome covering all actions"
          | _ -> ());
-        (* aborted-in-physical lifecycle: undo order mirrors replay order *)
+        (* aborted-in-physical lifecycle: undo order mirrors replay order.
+           A replay that lost a duplicate-race to a committed incarnation
+           deliberately skips its rollback (unwinding would corrupt the
+           winner's effects), so a committed sibling replay waives the
+           undo requirement. *)
+        let committed_sibling =
+          List.exists
+            (fun s ->
+              s.name = "replay" && attr s "outcome" = Some "committed")
+            group
+        in
         List.iter
           (fun replay ->
             if replay.name = "replay" && attr replay "outcome" = Some "aborted"
@@ -429,7 +460,7 @@ module Check = struct
               in
               match undos with
               | [] ->
-                if executed <> [] then
+                if executed <> [] && not committed_sibling then
                   err "undo-missing" txn
                     "aborted replay #%d with %d executed actions has no undo \
                      span"

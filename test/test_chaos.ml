@@ -296,6 +296,63 @@ let test_no_session_id_convicted () =
         (Str_contains.contains (Chaos.Runner.reproducer r) "no-session-id"))
     sweep.Chaos.Runner.violating
 
+let commit_storm =
+  match Chaos.Schedule.find "commit-storm" with
+  | Some s -> s
+  | None -> Alcotest.fail "commit-storm preset missing"
+
+(* A submission storm into coordination-leader crashes timed inside the
+   group-commit window: quorum-gated acks keep every acked submission
+   durable, so the stock sweep stays clean — and the flush counters prove
+   batches actually formed under the storm. *)
+let test_commit_storm_clean () =
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ commit_storm ] ~seeds:[ 1; 2 ]
+  in
+  List.iter
+    (fun r ->
+      check int_c
+        (Printf.sprintf "seed %d: no violations" r.Chaos.Runner.seed)
+        0
+        (List.length r.Chaos.Runner.violations);
+      check bool_c
+        (Printf.sprintf "seed %d: the storm committed work"
+           r.Chaos.Runner.seed)
+        true
+        (r.Chaos.Runner.committed > 0);
+      check bool_c
+        (Printf.sprintf "seed %d: batches formed" r.Chaos.Runner.seed)
+        true
+        (r.Chaos.Runner.group_flushes > 0
+        && r.Chaos.Runner.acks_deferred > 0))
+    sweep.Chaos.Runner.runs
+
+(* Acking a submission before its batch reaches quorum turns a leader
+   crash inside the window into silent loss: the acked-durable invariant
+   must convict the ablation on some seed. *)
+let test_unsafe_ack_convicted () =
+  let config = { config with Chaos.Runner.build = Chaos.Runner.Unsafe_ack } in
+  let sweep =
+    Chaos.Runner.sweep config ~schedules:[ commit_storm ]
+      ~seeds:(List.init 4 (fun i -> i + 1))
+  in
+  check bool_c "the ablation is convicted" true
+    (sweep.Chaos.Runner.violating <> []);
+  check bool_c "an acked-durable violation is reported" true
+    (List.exists
+       (fun r ->
+         List.exists
+           (fun v -> v.Chaos.Invariant.invariant = "acked-durable")
+           r.Chaos.Runner.violations)
+       sweep.Chaos.Runner.violating);
+  List.iter
+    (fun r ->
+      check bool_c "unsafe acks were actually released" true
+        (r.Chaos.Runner.unsafe_acks > 0);
+      check bool_c "reproducer names the build" true
+        (Str_contains.contains (Chaos.Runner.reproducer r) "unsafe-ack"))
+    sweep.Chaos.Runner.violating
+
 let test_replay_deterministic () =
   let schedule = List.nth Chaos.Schedule.presets 4 in
   let run () = Chaos.Runner.run_one ~trace:true config ~schedule ~seed:42 in
@@ -324,6 +381,8 @@ let suite =
     ("sweep: no-2pc build convicted", `Slow, test_no_2pc_convicted);
     ("sweep: member-churn clean with session ids", `Slow, test_member_churn_clean);
     ("sweep: no-session-id build convicted", `Slow, test_no_session_id_convicted);
+    ("sweep: commit-storm clean with group commit", `Slow, test_commit_storm_clean);
+    ("sweep: unsafe-ack build convicted", `Slow, test_unsafe_ack_convicted);
     ("replay: same seed, same run", `Slow, test_replay_deterministic);
   ]
 
